@@ -1,0 +1,14 @@
+"""E11 — ablation: bypass links on/off under hub-heavy traffic."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_ablation_bypass(benchmark):
+    result = benchmark(run_experiment, "E11")
+    emit(result.text)
+    assert result.data["speedup"] > 1.2  # bypass must help hub traffic
+    assert (
+        result.data["bypass"].avg_hops <= result.data["plain"].avg_hops
+    )  # express segments shorten routes

@@ -1,0 +1,15 @@
+"""E9 — ablation: degree-aware mapping vs hashing (the CGRA-ME baseline)."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_ablation_mapping(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E9",), rounds=1, iterations=1
+    )
+    emit(result.text)
+    for ds, row in result.data.items():
+        assert row["speedup"] > 1.0, ds  # degree-aware always wins
+        assert row["degree_aware_s"] < row["hashing_s"]

@@ -1,0 +1,15 @@
+"""E10 — ablation: Algorithm 2's balanced split vs a fixed 50/50 split."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_ablation_partition(benchmark):
+    result = benchmark(run_experiment, "E10")
+    emit(result.text)
+    for model, row in result.data.items():
+        assert row["gain_vs_half_split"] >= 1.0, model
+        assert row["imbalance"] < 0.05, model  # near-perfect balance
+    # GCN is aggregation-light: A gets few PEs; G-GCN is edge-heavy: many.
+    assert result.data["gcn"]["a"] < result.data["ggcn"]["a"]

@@ -1,0 +1,19 @@
+"""E7 — regenerate the §VI-F area analysis."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_area_breakdown(benchmark):
+    result = benchmark(run_experiment, "E7")
+    emit(result.text)
+    pe = result.data["pe"]
+    chip = result.data["chip"]
+    # Paper: MAC array 7.1% of PE, memory 82.9%, chip PE-array 62.74%,
+    # flexible interconnect 5.2%, controller 0.9%.
+    assert abs(pe.fraction("mac_array") - 0.071) < 0.02
+    assert abs(pe.fraction("memory") - 0.829) < 0.06
+    assert abs(chip.fraction("pe_array") - 0.6274) < 0.05
+    assert abs(chip.fraction("flexible_interconnect") - 0.052) < 0.015
+    assert abs(chip.fraction("controller") - 0.009) < 0.006

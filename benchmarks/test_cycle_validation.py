@@ -1,0 +1,21 @@
+"""E14 (extension) — analytical-vs-cycle-tier NoC validation.
+
+The full-dataset sweeps run on the analytical (counting) tier, exactly
+as the paper's simulator derives time from counts; this bench checks the
+counting model against the flit-level simulator on matched tiles.
+"""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_cycle_validation(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E14",), rounds=1, iterations=1
+    )
+    emit(result.text)
+    for seed, row in result.data.items():
+        # The analytical drain stays within 3x of the measured drain and
+        # is conservative (never underestimates by more than 3x either).
+        assert 1 / 3 < row["ratio"] < 3, (seed, row)

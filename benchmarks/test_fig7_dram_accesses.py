@@ -1,0 +1,32 @@
+"""E3 — regenerate Fig. 7: normalized DRAM accesses per dataset.
+
+Expected shape (paper §VI-B): Aurora has the lowest DRAM volume on every
+dataset; the weakest baselines (HyGCN, and the weight-duplicating /
+spilling designs on sparse-feature datasets) sit several-fold higher;
+dense-feature Reddit compresses everyone toward parity.
+"""
+
+from conftest import emit
+
+from repro.eval import render_normalized_figure
+
+
+def test_fig7_dram_accesses(benchmark, sweep):
+    text = benchmark(
+        render_normalized_figure,
+        sweep,
+        "dram_accesses",
+        title="Fig. 7: normalized DRAM accesses (baseline / Aurora)",
+    )
+    emit(text)
+    grid = sweep.normalized_grid("dram_accesses")
+    for ds in sweep.datasets:
+        for acc in sweep.accelerators:
+            if acc == "aurora":
+                continue
+            # Aurora never loses on DRAM volume (>= within rounding).
+            assert grid[ds][acc] > 0.9, (ds, acc)
+    # Reductions land in the paper's overall band (15%-86% per dataset).
+    for ds in sweep.datasets:
+        red = sweep.per_dataset_reduction("dram_accesses", ds)
+        assert 5.0 < red < 95.0, (ds, red)

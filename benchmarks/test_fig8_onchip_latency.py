@@ -1,0 +1,34 @@
+"""E4 — regenerate Fig. 8: on-chip communication latency.
+
+Paper averages: Aurora reduces on-chip communication by 75% (HyGCN),
+87% (AWB-GCN), 50% (GCNAX), 68% (ReGNN), 64% (FlowGNN) — i.e. baselines
+carry 2-8x Aurora's communication cycles, with AWB-GCN's multi-stage
+partial routing the worst and GCNAX's fused loops the closest.
+"""
+
+from conftest import emit
+
+from repro.eval import render_normalized_figure
+
+# Paper Fig. 8 average reductions per baseline (percent).
+PAPER = {"hygcn": 75, "awb-gcn": 87, "gcnax": 50, "regnn": 68, "flowgnn": 64}
+
+
+def test_fig8_onchip_latency(benchmark, sweep):
+    text = benchmark(
+        render_normalized_figure,
+        sweep,
+        "onchip_latency",
+        title="Fig. 8: on-chip communication latency (baseline / Aurora)",
+    )
+    emit(text)
+    for base, paper_red in PAPER.items():
+        measured = sweep.average_reduction_vs("onchip_latency", base)
+        # Shape check: within 15 percentage points of the paper's average.
+        assert abs(measured - paper_red) < 15, (base, measured, paper_red)
+    # Ordering: AWB-GCN worst, GCNAX best among baselines.
+    reds = {
+        b: sweep.average_reduction_vs("onchip_latency", b) for b in PAPER
+    }
+    assert max(reds, key=reds.get) == "awb-gcn"
+    assert min(reds, key=reds.get) == "gcnax"

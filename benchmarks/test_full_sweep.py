@@ -1,0 +1,17 @@
+"""Times the full five-dataset × six-accelerator comparison sweep.
+
+This is the workload behind Figs. 7-10: 2-layer GCN inference simulated
+on Aurora and all five baselines over (scaled) Cora, Citeseer, Pubmed,
+Nell, and Reddit.
+"""
+
+from repro.eval import run_comparison
+
+
+def test_full_sweep(benchmark):
+    comp = benchmark.pedantic(
+        run_comparison, kwargs={"model": "gcn"}, rounds=1, iterations=1
+    )
+    assert len(comp.results) == 5 * 6
+    for r in comp.results.values():
+        assert r.total_seconds > 0

@@ -1,0 +1,14 @@
+"""E8 — regenerate the §VI-D reconfiguration/mapping overhead numbers."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_reconfig_overhead(benchmark):
+    result = benchmark(run_experiment, "E8")
+    emit(result.text)
+    # 2K-1 = 63 cycles for the 32x32 array; mapping/partition ~100 cycles.
+    assert result.data["reconfiguration_cycles"] == 63
+    strat = result.data["partition"]
+    assert strat.a + strat.b == 1024

@@ -1,0 +1,17 @@
+"""E1 — regenerate Table I: GNN coverage and features per accelerator."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_table1_coverage(benchmark):
+    result = benchmark(run_experiment, "E1")
+    emit(result.text)
+    # Aurora covers everything; HyGCN/AWB-GCN/GCNAX are C-GNN only.
+    assert all(result.data["aurora"].values())
+    for name in ("hygcn", "awb-gcn", "gcnax"):
+        assert result.data[name]["c_gnn"]
+        assert not result.data[name]["mp_gnn"]
+        assert not result.data[name]["flexible_noc"]
+    assert result.data["flowgnn"]["mp_gnn"]

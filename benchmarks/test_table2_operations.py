@@ -1,0 +1,17 @@
+"""E2 — regenerate Table II: required operations per execution phase."""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_table2_operations(benchmark):
+    result = benchmark(run_experiment, "E2")
+    emit(result.text)
+    data = result.data
+    assert data["gcn"]["edge_update"] == ["SxV"]
+    assert data["gin"]["edge_update"] == []  # Null row
+    assert data["edgeconv-1"]["vertex_update"] == []  # Null row
+    assert "MxV" in data["ggcn"]["edge_update"]
+    assert data["graphsage-pool"]["aggregation"] == ["MaxV"]
+    assert len(data) == 10  # every model of Table II present

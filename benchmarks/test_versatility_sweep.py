@@ -1,0 +1,28 @@
+"""E13 (extension) — Aurora's versatility: all Table-II models on one device.
+
+Quantifies the Table-I coverage argument: the unified PE + adaptive
+workflow run every model, with the partition tracking the phase mix
+(C-GNNs give sub-accelerator A few PEs, edge-heavy MP-GNNs most of
+them), while a C-GNN-only baseline aborts or pays the fallback penalty.
+"""
+
+from conftest import emit
+
+from repro.eval import run_experiment
+
+
+def test_versatility_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E13",), rounds=1, iterations=1
+    )
+    emit(result.text)
+    assert len(result.data) == 10  # all Table-II models execute
+    # The partition tracks the phase mix.
+    assert result.data["gcn"]["partition_a"] < result.data["ggcn"]["partition_a"]
+    # EdgeConv (no vertex update) takes the whole array.
+    assert result.data["edgeconv-1"]["partition_a"] == 1024
+    # HyGCN only runs the C-GNN rows natively.
+    for name in ("gcn", "gin", "graphsage-mean", "commnet"):
+        assert result.data[name]["hygcn"] == "runs"
+    for name in ("ggcn", "edgeconv-1", "agnn"):
+        assert "unsupported" in result.data[name]["hygcn"]

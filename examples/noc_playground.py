@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Explore the flexible NoC at its three fidelities.
+
+Walks one traffic scenario — a high-degree vertex's neighborhood
+converging on its PE — through the analytical counting model, the lumped
+flit simulator, and the detailed VC-router simulator, with and without
+the bypass configuration the degree-aware mapper would install.  Also
+runs the deadlock checker on each configuration and a tree-multicast
+broadcast for contrast.
+
+Run:  python examples/noc_playground.py
+"""
+
+import numpy as np
+
+from repro.arch.noc import (
+    AnalyticalNoCModel,
+    BypassSegment,
+    FlexibleMeshTopology,
+    MulticastSimulator,
+    NoCSimulator,
+    TrafficMatrix,
+    VCNetworkSimulator,
+    check_deadlock_freedom,
+)
+from repro.eval import format_table
+
+K = 8
+HUB = 36  # node (4, 4)
+
+
+def hub_flows(payload: int = 64):
+    return np.array(
+        [[src, HUB, payload] for src in range(K * K) if src != HUB],
+        dtype=np.int64,
+    )
+
+
+def configured_topology() -> FlexibleMeshTopology:
+    topo = FlexibleMeshTopology(K)
+    topo.add_bypass_segment(BypassSegment("row", 4, 0, K - 1))
+    topo.add_bypass_segment(BypassSegment("col", 4, 0, K - 1))
+    return topo
+
+
+def main() -> None:
+    rows = []
+    for label, topo, boost in (
+        ("plain mesh", FlexibleMeshTopology(K), ()),
+        ("mesh + hub bypass", configured_topology(), (HUB,)),
+    ):
+        flows = hub_flows()
+        # Tier 1: analytical counting model.
+        traffic = TrafficMatrix.from_flows(flows, 16, K)
+        analytical = AnalyticalNoCModel(topo).evaluate(
+            traffic, boost_nodes=boost, boost_factor=4.0
+        )
+        # Tier 2: lumped flit simulator.
+        lumped = NoCSimulator(topo)
+        for src, dst, nbytes in flows.tolist():
+            lumped.inject(src, dst, nbytes)
+        t_lumped = lumped.run().cycles
+        # Tier 3: detailed VC-router simulator.
+        detailed = VCNetworkSimulator(topo)
+        for src, dst, nbytes in flows.tolist():
+            detailed.inject(src, dst, nbytes)
+        t_detailed = detailed.run()
+        # Safety: channel-dependency analysis of the configuration.
+        report = check_deadlock_freedom(topo)
+        rows.append(
+            [
+                label,
+                f"{analytical.drain_cycles:,}",
+                f"{t_lumped:,}",
+                f"{t_detailed:,}",
+                "acyclic" if report.acyclic else "ring-safe",
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "analytical", "lumped flit", "VC router", "CDG"],
+            rows,
+            title=f"Hub convergence at node {HUB} (63 senders, 4 flits each)",
+        )
+    )
+    print(
+        "\nnote: the three tiers agree on the plain mesh; with the bypass "
+        "the analytical model credits the S_PE's extra ejection bandwidth "
+        "(local port + bypass endpoints + row-mate merging), which the "
+        "single-local-port flit simulators deliberately do not model — "
+        "the fidelity gap experiment E14 quantifies."
+    )
+
+    # Contrast: the hub broadcasting its feature — tree multicast.
+    mc = MulticastSimulator(FlexibleMeshTopology(K))
+    dsts = [n for n in range(K * K) if n != HUB]
+    tree = mc.inject(HUB, dsts, 64)
+    stats = mc.run()
+    print(
+        f"\nmulticast broadcast from the hub: {stats.cycles} cycles, "
+        f"{stats.link_traversals} link traversals over a {tree.num_edges}-edge "
+        f"tree (unicast would traverse "
+        f"{sum(abs(n % K - 4) + abs(n // K - 4) for n in dsts) * 4} links)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a 2-layer GCN on Cora with Aurora and one baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AuroraAccelerator, get_model, load_dataset, make_baseline
+from repro.core.accelerator import layer_plan
+
+
+def main() -> None:
+    # 1. A synthetic stand-in for Cora with the published statistics.
+    graph = load_dataset("cora")
+    print(f"dataset: {graph}  (mean degree {graph.degrees.mean():.1f})")
+
+    # 2. Aurora: dynamic partitioning + degree-aware mapping + flexible NoC.
+    aurora = AuroraAccelerator()
+    model = get_model("gcn")
+    result = aurora.run(model, graph, hidden=64, num_layers=2, num_classes=7)
+    print("\n=== Aurora ===")
+    print(f"execution time : {result.total_seconds * 1e6:9.1f} us")
+    print(f"cycles         : {result.total_cycles:12,.0f}")
+    print(f"DRAM traffic   : {result.dram_bytes / 1e6:9.2f} MB")
+    print(f"energy         : {result.energy.total * 1e3:9.3f} mJ")
+    print(f"tiles          : {result.num_tiles}")
+
+    # 3. Compare against a scaled baseline (same multipliers, bandwidth,
+    #    and on-chip storage, per the paper's methodology).
+    hygcn = make_baseline("hygcn")
+    dims = layer_plan(graph, 64, 2, 7)
+    base = hygcn.simulate(model, graph, dims)
+    print("\n=== HyGCN (scaled baseline) ===")
+    print(f"execution time : {base.total_seconds * 1e6:9.1f} us")
+    print(f"DRAM traffic   : {base.dram_bytes / 1e6:9.2f} MB")
+    print(f"energy         : {base.energy.total * 1e3:9.3f} mJ")
+
+    print(
+        f"\nAurora speedup over HyGCN: "
+        f"{base.total_seconds / result.total_seconds:.2f}x, "
+        f"energy reduction: "
+        f"{100 * (1 - result.energy.total / base.energy.total):.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setup shim for offline editable installs (`python setup.py develop`).
+
+The environment has no `wheel` package, so pip's PEP-660 editable path is
+unavailable; `pip install -e .` falls back to this legacy entry point.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Aurora: a versatile and flexible GNN accelerator — "
+        "full-system simulator reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+)

@@ -1,0 +1,33 @@
+"""Hardware architecture models: PEs, NoC, memory hierarchy, energy, area."""
+
+from .area import AreaModel, AreaParameters, ChipAreaBreakdown, PEAreaBreakdown
+from .dram import AccessPattern, DRAMModel, DRAMStats
+from .energy import EnergyBreakdown, EnergyCounters, EnergyModel, EnergyTable
+from .memory import BankBuffer, BufferStats, GlobalBuffer, ReuseFIFO
+from .pe import PE, PEConfig, PECycleModel, PEDatapath, datapath_for_op
+from .power import PowerModel, PowerReport
+
+__all__ = [
+    "PE",
+    "PEConfig",
+    "PECycleModel",
+    "PEDatapath",
+    "datapath_for_op",
+    "BankBuffer",
+    "GlobalBuffer",
+    "ReuseFIFO",
+    "BufferStats",
+    "DRAMModel",
+    "DRAMStats",
+    "AccessPattern",
+    "EnergyModel",
+    "EnergyTable",
+    "EnergyCounters",
+    "EnergyBreakdown",
+    "PowerModel",
+    "PowerReport",
+    "AreaModel",
+    "AreaParameters",
+    "PEAreaBreakdown",
+    "ChipAreaBreakdown",
+]

@@ -1,0 +1,122 @@
+"""Off-package DRAM timing model (DRAMSim2 substitute).
+
+The paper obtains off-package communication time from DRAMSim2.  The
+simulator only consumes two things from it: the *time* a request stream
+takes and the *byte volume* (for energy).  This model reproduces the
+first-order DRAMSim2 behaviours that matter to a streaming accelerator:
+
+* bandwidth-limited transfer for large sequential streams,
+* row-buffer locality: sequential streams hit open rows, random (gather)
+  streams pay activate/precharge on nearly every burst,
+* bank-level parallelism hides part of the random-access latency.
+
+Every request is accounted in whole bursts, matching DDR burst framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DRAMConfig
+
+__all__ = ["AccessPattern", "DRAMStats", "DRAMModel"]
+
+
+class AccessPattern:
+    """Request-stream classification."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass
+class DRAMStats:
+    """Accumulated DRAM activity of a run."""
+
+    reads_bytes: int = 0
+    writes_bytes: int = 0
+    bursts: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.reads_bytes + self.writes_bytes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class DRAMModel:
+    """Stateless-per-request banked DRAM timing model.
+
+    ``access`` returns the service time in seconds for the given stream
+    and accumulates stats.  Sequential streams pay one row miss per row
+    buffer's worth of data; random streams pay a miss on (almost) every
+    burst, amortised across the bank/channel parallelism.
+    """
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self.stats = DRAMStats()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.stats = DRAMStats()
+
+    def access(
+        self,
+        num_bytes: int,
+        *,
+        pattern: str = AccessPattern.SEQUENTIAL,
+        write: bool = False,
+    ) -> float:
+        """Service ``num_bytes`` and return the stream's service time (s)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if pattern not in (AccessPattern.SEQUENTIAL, AccessPattern.RANDOM):
+            raise ValueError(f"unknown access pattern {pattern!r}")
+        if num_bytes == 0:
+            return 0.0
+        cfg = self.config
+        bursts = -(-num_bytes // cfg.burst_bytes)  # ceil division
+        padded = bursts * cfg.burst_bytes
+
+        if pattern == AccessPattern.SEQUENTIAL:
+            rows_touched = -(-padded // cfg.row_buffer_bytes)
+            hits = bursts - rows_touched
+            misses = rows_touched
+        else:
+            # Random gathers: ~1 miss per burst, softened by residual
+            # locality (two gathers occasionally land in the same row).
+            misses = max(1, int(round(bursts * 0.9)))
+            hits = bursts - misses
+
+        # Latency component: misses pay t_row_miss, hits t_row_hit, spread
+        # across the banks that can work in parallel.
+        parallel_banks = cfg.channels * cfg.banks_per_channel
+        latency_s = (
+            misses * cfg.t_row_miss_ns + hits * cfg.t_row_hit_ns
+        ) * 1e-9 / parallel_banks
+        # Bandwidth component: the bus must move every padded byte.
+        bandwidth_s = padded / cfg.bandwidth_bytes_per_sec
+        service = max(latency_s, bandwidth_s)
+
+        st = self.stats
+        if write:
+            st.writes_bytes += padded
+        else:
+            st.reads_bytes += padded
+        st.bursts += bursts
+        st.row_hits += hits
+        st.row_misses += misses
+        st.busy_seconds += service
+        return service
+
+    # ------------------------------------------------------------------
+    def stream_time(self, num_bytes: int) -> float:
+        """Pure-bandwidth time for ``num_bytes`` (no stats side effects)."""
+        return num_bytes / self.config.bandwidth_bytes_per_sec

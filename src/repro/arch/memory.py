@@ -1,0 +1,154 @@
+"""On-chip memory models: distributed bank buffers and reuse FIFOs.
+
+Each Aurora PE owns a distributed bank buffer (100 KB at defaults) plus a
+small reuse FIFO that double-buffers intermediate feature vectors received
+from neighboring PEs (paper §III-D).  Baselines use a monolithic global
+buffer instead; both are modelled here so the simulators charge accesses
+consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferStats", "BankBuffer", "ReuseFIFO", "GlobalBuffer"]
+
+
+@dataclass
+class BufferStats:
+    """Access accounting for one buffer instance."""
+
+    reads_bytes: int = 0
+    writes_bytes: int = 0
+    overflow_bytes: int = 0  # bytes that did not fit (spilled to DRAM)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.reads_bytes + self.writes_bytes
+
+
+class BankBuffer:
+    """A PE's distributed bank buffer with explicit allocation tracking.
+
+    Allocation is a simple bump allocator over named regions (weights,
+    features, edge data); ``allocate`` fails over to reporting spill bytes
+    rather than raising, because the simulator's response to overflow is
+    extra DRAM traffic, not an error.
+    """
+
+    def __init__(self, capacity_bytes: int, *, banks: int = 4) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        if banks < 1:
+            raise ValueError("banks must be >= 1")
+        self.capacity_bytes = capacity_bytes
+        self.banks = banks
+        self.stats = BufferStats()
+        self._regions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._regions.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, region: str, num_bytes: int) -> int:
+        """Reserve ``num_bytes`` for ``region``; returns spilled bytes.
+
+        Re-allocating an existing region replaces its reservation.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._regions.pop(region, None)
+        grant = min(num_bytes, self.free_bytes)
+        self._regions[region] = grant
+        spill = num_bytes - grant
+        self.stats.overflow_bytes += spill
+        return spill
+
+    def release(self, region: str) -> None:
+        self._regions.pop(region, None)
+
+    def region_bytes(self, region: str) -> int:
+        return self._regions.get(region, 0)
+
+    def read(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.reads_bytes += num_bytes
+
+    def write(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.writes_bytes += num_bytes
+
+    def bank_conflict_factor(self, concurrent_streams: int) -> float:
+        """Serialisation multiplier when streams exceed bank count."""
+        if concurrent_streams < 1:
+            return 1.0
+        return max(1.0, concurrent_streams / self.banks)
+
+
+class ReuseFIFO:
+    """Double-buffered inter-PE reuse FIFO (paper Fig. 5).
+
+    Stores intermediate feature vectors received from neighbors at the
+    vertex-update phase and updated edge features at aggregation.  Acts as
+    a double buffer: one half fills while the other drains, so a transfer
+    is hidden as long as it fits in half the capacity.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 2:
+            raise ValueError("capacity must be >= 2 bytes")
+        self.capacity_bytes = capacity_bytes
+        self.stats = BufferStats()
+
+    @property
+    def half_capacity(self) -> int:
+        return self.capacity_bytes // 2
+
+    def push(self, num_bytes: int) -> bool:
+        """Record an incoming transfer; True if it fits in one half
+        (i.e. fully overlapped), False if the producer must stall."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.writes_bytes += num_bytes
+        return num_bytes <= self.half_capacity
+
+    def pop(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.reads_bytes += num_bytes
+
+
+class GlobalBuffer:
+    """Monolithic on-chip buffer used by the baseline accelerators.
+
+    Same capacity as Aurora's aggregate distributed buffers (the paper
+    sizes all baselines to 100 MB), but accesses are charged at the
+    higher global-buffer energy and it cannot forward data between
+    pipeline phases without a round trip.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.stats = BufferStats()
+
+    def fits(self, num_bytes: int) -> bool:
+        return num_bytes <= self.capacity_bytes
+
+    def read(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.reads_bytes += num_bytes
+
+    def write(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.writes_bytes += num_bytes

@@ -1,0 +1,42 @@
+"""Flexible NoC: topology, routers, cycle simulator, analytical model."""
+
+from .analytical import AnalyticalNoCModel, AnalyticalNoCResult, TrafficMatrix
+from .deadlock import DeadlockReport, build_channel_dependency_graph, check_deadlock_freedom
+from .multicast import MulticastSimulator, MulticastTree, build_tree
+from .network import NoCSimulator, NoCStats
+from .packet import Flit, Packet
+from .router import INJECT_PORT, Router, RouterPort
+from .routing import bypass_route, compute_route, ring_route, segment_usable, xy_route
+from .topology import BypassSegment, FlexibleMeshTopology, RingConfig
+from .vc_router import PortDir, VCNetworkSimulator, VCRouter, VirtualChannel
+
+__all__ = [
+    "FlexibleMeshTopology",
+    "BypassSegment",
+    "RingConfig",
+    "xy_route",
+    "bypass_route",
+    "ring_route",
+    "compute_route",
+    "Packet",
+    "Flit",
+    "Router",
+    "RouterPort",
+    "INJECT_PORT",
+    "NoCSimulator",
+    "NoCStats",
+    "TrafficMatrix",
+    "AnalyticalNoCModel",
+    "AnalyticalNoCResult",
+    "PortDir",
+    "VCRouter",
+    "VirtualChannel",
+    "VCNetworkSimulator",
+    "DeadlockReport",
+    "check_deadlock_freedom",
+    "build_channel_dependency_graph",
+    "segment_usable",
+    "MulticastSimulator",
+    "MulticastTree",
+    "build_tree",
+]

@@ -1,0 +1,204 @@
+"""Flit-level tree multicast.
+
+The analytical tier models the aggregation feature distribution as tree
+multicast (inject once, replicate toward every consumer — see
+``mapping.traffic.multicast_flows``).  This module *executes* that
+distribution at flit level: the union of XY routes from one source forms
+a tree (XY paths from a common source share prefixes and never rejoin
+after diverging), flits flow down the tree, and a fork router serialises
+the per-child replication through its crossbar one copy per cycle.
+
+Used by tests to validate the analytical approximation: total link
+traversals equal tree-edges × flits (vs Σ path-lengths × flits for
+unicast), and hub fan-out drains far faster than per-destination
+unicast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ...config import NoCConfig
+from .routing import xy_route
+from .topology import FlexibleMeshTopology
+
+__all__ = ["MulticastTree", "build_tree", "MulticastSimulator"]
+
+
+@dataclass(frozen=True)
+class MulticastTree:
+    """Source-rooted replication tree."""
+
+    source: int
+    children: dict[int, tuple[int, ...]]  # node -> downstream nodes
+    consumers: frozenset[int]  # nodes that eject the payload
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(c) for c in self.children.values())
+
+    def nodes(self) -> set[int]:
+        out = {self.source}
+        for parent, kids in self.children.items():
+            out.add(parent)
+            out.update(kids)
+        return out
+
+
+def build_tree(
+    topo: FlexibleMeshTopology, source: int, destinations: list[int]
+) -> MulticastTree:
+    """Union of XY routes from ``source`` — a tree by construction."""
+    children: dict[int, set[int]] = {}
+    consumers = set()
+    for dst in destinations:
+        if dst == source:
+            continue
+        consumers.add(dst)
+        route = xy_route(topo, source, dst)
+        for a, b in zip(route, route[1:]):
+            children.setdefault(a, set()).add(b)
+    return MulticastTree(
+        source=source,
+        children={k: tuple(sorted(v)) for k, v in children.items()},
+        consumers=frozenset(consumers),
+    )
+
+
+@dataclass
+class _TreeFlit:
+    """One flit copy heading into the subtree rooted at ``node``."""
+
+    index: int  # flit index within the payload
+    node: int  # current node
+    remaining_children: tuple[int, ...]  # children still to be served
+    ready_cycle: int
+    tree: "MulticastTree" = None  # type: ignore[assignment]
+    ejected: bool = False
+
+
+@dataclass
+class _McStats:
+    cycles: int = 0
+    link_traversals: int = 0
+    ejected_flits: int = 0
+    fork_serialisation_events: int = 0
+
+
+class MulticastSimulator:
+    """Cycle simulation of one or more multicast trees over a mesh.
+
+    Per cycle, each directed link moves at most one flit and each router
+    forwards at most one copy per output (fork replication serialises);
+    ejection consumes one flit per node per cycle.
+    """
+
+    def __init__(
+        self, topology: FlexibleMeshTopology, config: NoCConfig | None = None
+    ) -> None:
+        self.topology = topology
+        self.config = config or NoCConfig()
+        self.cycle = 0
+        self.stats = _McStats()
+        # Per-node queue of tree flits awaiting forwarding/ejection.
+        self._queues: dict[int, deque] = {}
+        self._pending_ejects: dict[int, int] = {}  # node -> flits still due
+        self._trees: list[tuple[MulticastTree, int]] = []  # (tree, num_flits)
+
+    # ------------------------------------------------------------------
+    def inject(
+        self, source: int, destinations: list[int], size_bytes: int
+    ) -> MulticastTree:
+        if size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        tree = build_tree(self.topology, source, destinations)
+        num_flits = max(1, -(-size_bytes // self.config.flit_bytes))
+        self._trees.append((tree, num_flits))
+        queue = self._queues.setdefault(source, deque())
+        for i in range(num_flits):
+            queue.append(
+                _TreeFlit(
+                    index=i,
+                    node=source,
+                    remaining_children=tree.children.get(source, ()),
+                    ready_cycle=self.cycle,
+                    tree=tree,
+                )
+            )
+        for dst in tree.consumers:
+            self._pending_ejects[dst] = (
+                self._pending_ejects.get(dst, 0) + num_flits
+            )
+        return tree
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        now = self.cycle
+        per_hop = self.config.router_pipeline_stages + self.config.link_latency
+        # Per-cycle resource budgets.
+        link_busy: set[tuple[int, int]] = set()
+        eject_busy: set[int] = set()
+        arrivals: list[tuple[int, _TreeFlit]] = []
+
+        for node, queue in self._queues.items():
+            if not queue:
+                continue
+            flit = queue[0]
+            if flit.ready_cycle > now:
+                continue
+            tree = flit.tree
+            # Ejection first (the local port is separate from the links).
+            if (
+                node in tree.consumers
+                and not flit.ejected
+                and node not in eject_busy
+            ):
+                eject_busy.add(node)
+                flit.ejected = True
+                self.stats.ejected_flits += 1
+                self._pending_ejects[node] -= 1
+            # Forward toward the next unserved child, one per cycle.
+            if flit.remaining_children:
+                child = flit.remaining_children[0]
+                if (node, child) not in link_busy:
+                    link_busy.add((node, child))
+                    self.stats.link_traversals += 1
+                    rest = flit.remaining_children[1:]
+                    if rest:
+                        self.stats.fork_serialisation_events += 1
+                    clone = _TreeFlit(
+                        index=flit.index,
+                        node=child,
+                        remaining_children=tree.children.get(child, ()),
+                        ready_cycle=now + per_hop,
+                        tree=tree,
+                    )
+                    arrivals.append((child, clone))
+                    if rest:
+                        flit.remaining_children = rest  # stay for next child
+                    else:
+                        queue.popleft()
+            elif flit.ejected or node not in tree.consumers:
+                queue.popleft()
+
+        for node, clone in arrivals:
+            self._queues.setdefault(node, deque()).append(clone)
+
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        return all(v == 0 for v in self._pending_ejects.values()) and not any(
+            self._queues.values()
+        )
+
+    def run(self, *, max_cycles: int = 200_000) -> _McStats:
+        while not self.done():
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"multicast did not drain within {max_cycles} cycles"
+                )
+            self.step()
+        return self.stats

@@ -1,0 +1,66 @@
+"""Packets and flits for the flit-level NoC simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet", "Flit"]
+
+
+@dataclass
+class Packet:
+    """One network packet: a message between two PEs.
+
+    ``route`` is the precomputed sequence of node ids from source to
+    destination inclusive (routing is deterministic, computed at
+    injection per the paper's RC unit).
+    """
+
+    pid: int
+    src: int
+    dst: int
+    size_bytes: int
+    inject_cycle: int
+    route: tuple[int, ...]
+    num_flits: int = 0
+    done_cycle: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise ValueError("packet must carry at least one byte")
+        if len(self.route) < 1:
+            raise ValueError("route must contain at least the source node")
+        if self.route[0] != self.src or self.route[-1] != self.dst:
+            raise ValueError("route endpoints must match src/dst")
+
+    @property
+    def latency(self) -> int | None:
+        if self.done_cycle is None:
+            return None
+        return self.done_cycle - self.inject_cycle
+
+    @property
+    def hops(self) -> int:
+        return len(self.route) - 1
+
+
+@dataclass
+class Flit:
+    """One flit of a packet in flight."""
+
+    packet: Packet
+    index: int  # flit index within the packet
+    hop: int  # current position: index into packet.route
+    ready_cycle: int  # earliest cycle this flit may be forwarded
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.num_flits - 1
+
+    @property
+    def at_destination(self) -> bool:
+        return self.hop == len(self.packet.route) - 1

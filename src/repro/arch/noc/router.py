@@ -1,0 +1,127 @@
+"""Flexible router microarchitecture (paper §III-C, Fig. 4).
+
+The proposed router keeps the five classic components — route computation
+(RC), VC allocation (VA), switch allocation (SA), VC buffers and crossbar —
+but replaces the monolithic crossbar with a cheaper two-stage design
+(horizontal + vertical switches) that can be decomposed to support ring
+topology, and adds muxes at the +x/+y ports connecting to the bypassing
+links.
+
+For the cycle simulator we model the router as:
+
+* per-input-port VC buffers of ``vcs_per_port × vc_depth`` flits with
+  credit-based backpressure,
+* a fixed pipeline latency of ``router_pipeline_stages`` cycles covering
+  RC/VA/SA/ST (flits are stamped with an earliest-forward cycle),
+* one flit per output port per cycle, round-robin switch allocation
+  across the input ports contending for it.
+
+This captures what the evaluation measures — queueing/contention latency,
+hop counts, serialisation — without simulating individual allocator
+wires.  Flits of different packets may interleave on a link as in a
+VC-multiplexed wormhole router.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ...config import NoCConfig
+from .packet import Flit
+
+__all__ = ["RouterPort", "Router"]
+
+INJECT_PORT = -1  # pseudo upstream id for the local injection port
+
+
+@dataclass
+class RouterPort:
+    """One input port: a FIFO of flits with bounded capacity."""
+
+    capacity: int
+    queue: deque = field(default_factory=deque)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.queue) < self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue)
+
+
+class Router:
+    """Cycle-level router node."""
+
+    def __init__(self, node_id: int, config: NoCConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        buf = config.vcs_per_port * config.vc_depth
+        self._buf_capacity = buf
+        self.inputs: dict[int, RouterPort] = {}
+        self._rr_state: dict[int, int] = {}  # output -> last-served index
+        # Counters
+        self.flits_forwarded = 0
+        self.flits_ejected = 0
+        self.stall_cycles = 0
+
+    def input_port(self, upstream: int) -> RouterPort:
+        """Get (lazily creating) the input port fed by ``upstream``."""
+        port = self.inputs.get(upstream)
+        if port is None:
+            # The injection port is deep (the PE's output FIFO backs it);
+            # network ports have the VC-buffer capacity.
+            cap = 1 << 30 if upstream == INJECT_PORT else self._buf_capacity
+            port = RouterPort(capacity=cap)
+            self.inputs[upstream] = port
+        return port
+
+    def accept(self, upstream: int, flit: Flit) -> bool:
+        """Try to buffer an incoming flit; False when the VC is full."""
+        port = self.input_port(upstream)
+        if not port.has_space:
+            return False
+        port.queue.append(flit)
+        return True
+
+    def heads_by_output(self, now: int) -> dict[int, list[int]]:
+        """Group ready head flits by their requested next-hop node.
+
+        Returns ``{next_node: [upstream ids with a ready head flit]}``;
+        ``next_node == self.node_id`` denotes ejection.
+        """
+        wants: dict[int, list[int]] = {}
+        for upstream, port in self.inputs.items():
+            if not port.queue:
+                continue
+            flit = port.queue[0]
+            if flit.ready_cycle > now:
+                continue
+            if flit.at_destination:
+                target = self.node_id
+            else:
+                target = flit.packet.route[flit.hop + 1]
+            wants.setdefault(target, []).append(upstream)
+        return wants
+
+    def arbitrate(self, output: int, contenders: list[int]) -> int:
+        """Round-robin pick among contending upstream ports."""
+        if len(contenders) == 1:
+            return contenders[0]
+        contenders = sorted(contenders)
+        last = self._rr_state.get(output, -2)
+        for upstream in contenders:
+            if upstream > last:
+                self._rr_state[output] = upstream
+                return upstream
+        # Wrap around.
+        self._rr_state[output] = contenders[0]
+        return contenders[0]
+
+    def pop_head(self, upstream: int) -> Flit:
+        return self.inputs[upstream].queue.popleft()
+
+    @property
+    def total_occupancy(self) -> int:
+        return sum(p.occupancy for p in self.inputs.values())

@@ -1,0 +1,161 @@
+"""Route computation for the flexible NoC.
+
+Baseline routing is dimension-ordered XY (deadlock-free on the mesh).
+When bypass segments are configured, the route computation considers the
+segments reachable from the source's row/column and takes a bypass when it
+strictly shortens the path — this is how the "longest communications for
+each high-degree vertex" get bridged (paper §IV).
+
+Inside a ring region, traffic flows in the ring direction (+x with a
+wrap-around), which is what the weight-stationary dataflow requires.
+"""
+
+from __future__ import annotations
+
+from .topology import BypassSegment, FlexibleMeshTopology
+
+__all__ = ["xy_route", "bypass_route", "ring_route", "compute_route"]
+
+
+def xy_route(topo: FlexibleMeshTopology, src: int, dst: int) -> tuple[int, ...]:
+    """Dimension-ordered route: x first, then y. Includes both endpoints."""
+    sx, sy = topo.coords(src)
+    dx, dy = topo.coords(dst)
+    route = [src]
+    x, y = sx, sy
+    step = 1 if dx > x else -1
+    while x != dx:
+        x += step
+        route.append(topo.node_id(x, y))
+    step = 1 if dy > y else -1
+    while y != dy:
+        y += step
+        route.append(topo.node_id(x, y))
+    return tuple(route)
+
+
+def _sign(v: int) -> int:
+    return (v > 0) - (v < 0)
+
+
+def _segment_route(
+    topo: FlexibleMeshTopology, src: int, dst: int, seg: BypassSegment
+) -> tuple[int, ...] | None:
+    """Route src → seg entry → seg exit → dst, or None if disallowed.
+
+    Bypass usage follows the *monotonic express-channel* discipline that
+    keeps the channel-dependency graph acyclic (verified by
+    :mod:`repro.arch.noc.deadlock`): the segment may only act as an
+    express link inside a dimension-ordered route, never to double back.
+
+    * Row segments: the source must sit on the segment's row, and both
+      the approach and the continuation must move in the segment's
+      travel direction (the whole x-phase is monotonic; y follows).
+    * Column segments: the destination must sit on the segment's column
+      (no x-movement after the express hop, preserving x-before-y), with
+      the same monotonic-y requirement.
+    """
+    a, b = topo.segment_endpoints(seg)
+    sx, sy = topo.coords(src)
+    dx, dy = topo.coords(dst)
+    best: tuple[int, ...] | None = None
+    for entry, exit_ in ((a, b), (b, a)):
+        ex, ey = topo.coords(entry)
+        xx, xy_ = topo.coords(exit_)
+        if seg.axis == "row":
+            direction = _sign(xx - ex)
+            if sy != ey:
+                continue  # approach would need y-then-x (illegal turn)
+            if _sign(ex - sx) not in (0, direction):
+                continue
+            if _sign(dx - xx) not in (0, direction):
+                continue
+        else:  # column segment
+            direction = _sign(xy_ - ey)
+            if dx != ex:
+                continue  # continuation would need y-then-x (illegal turn)
+            if _sign(ey - sy) not in (0, direction):
+                continue
+            if _sign(dy - xy_) not in (0, direction):
+                continue
+        head = xy_route(topo, src, entry)  # ends at the segment entry
+        tail = xy_route(topo, exit_, dst)  # starts at the segment exit
+        route = head + (exit_,) + tail[1:]
+        if best is None or len(route) < len(best):
+            best = route
+    return best
+
+
+def bypass_route(
+    topo: FlexibleMeshTopology, src: int, dst: int
+) -> tuple[int, ...]:
+    """Shortest route considering configured bypass segments.
+
+    Evaluates the plain XY route and every single-segment bypass route,
+    returning the shortest (ties favour plain XY for determinism).  A
+    single bypass per route matches the hardware: a packet may use at most
+    one express segment, as segments are per-row/column resources.
+    """
+    base = xy_route(topo, src, dst)
+    best = base
+    for seg in topo.bypass_segments:
+        cand = _segment_route(topo, src, dst, seg)
+        if cand is not None and len(cand) < len(best):
+            best = cand
+    return best
+
+
+def segment_usable(
+    topo: FlexibleMeshTopology,
+    src: int,
+    dst: int,
+    seg: BypassSegment,
+) -> bool:
+    """Whether the express-channel discipline lets (src → dst) use ``seg``."""
+    return _segment_route(topo, src, dst, seg) is not None
+
+
+def ring_route(topo: FlexibleMeshTopology, src: int, dst: int) -> tuple[int, ...]:
+    """Route within a ring region: unidirectional +x with wrap-around.
+
+    Both endpoints must sit on the same ring row; vertical moves fall
+    back to XY (rings are per-row).
+    """
+    ring = topo.ring_for(src)
+    if ring is None or topo.ring_for(dst) is not ring:
+        raise ValueError("ring_route endpoints must share a ring region")
+    sx, sy = topo.coords(src)
+    dx, dy = topo.coords(dst)
+    if sy != dy:
+        # Move vertically first (mesh links), then ring along the row.
+        mid = topo.node_id(sx, dy)
+        head = xy_route(topo, src, mid)
+        tail = ring_route(topo, mid, dst)
+        return head + tail[1:]
+    route = [src]
+    x = sx
+    while x != dx:
+        if x + 1 < ring.x1:
+            x += 1
+        else:
+            x = ring.x0  # wrap-around over the bypass wire
+        route.append(topo.node_id(x, dy))
+    return tuple(route)
+
+
+def compute_route(
+    topo: FlexibleMeshTopology,
+    src: int,
+    dst: int,
+    *,
+    allow_bypass: bool = True,
+) -> tuple[int, ...]:
+    """The RC unit: pick the route class by the current configuration."""
+    if src == dst:
+        return (src,)
+    ring = topo.ring_for(src)
+    if ring is not None and topo.ring_for(dst) is ring:
+        return ring_route(topo, src, dst)
+    if allow_bypass and topo.bypass_segments:
+        return bypass_route(topo, src, dst)
+    return xy_route(topo, src, dst)

@@ -1,0 +1,410 @@
+"""Detailed virtual-channel router microarchitecture (paper Fig. 4).
+
+The default cycle simulator (:mod:`.network`) models routers as
+credit-bounded FIFOs with a lumped pipeline latency — fast and adequate
+for drain/contention studies.  This module is the faithful
+microarchitecture: the five classic components as explicit per-cycle
+pipeline stages,
+
+* **RC** — route computation for head flits entering a VC,
+* **VA** — virtual-channel allocation: a head flit must win a free VC on
+  its output port before competing for the switch,
+* **SA** — switch allocation with separable input-first/output-second
+  round-robin arbitration,
+* **ST** — switch traversal through the *two-stage* switch (horizontal
+  then vertical stage, the paper's cheap decomposable crossbar), then
+  link traversal into the downstream VC,
+
+with credit-based flow control per VC.  The two-stage switch constraint
+is structural: in one cycle a horizontal output (E/W) accepts at most
+one flit from the horizontal stage and a vertical/eject output (N/S/L)
+at most one from the vertical stage, and flits turning from a horizontal
+input to a vertical output pass both stages (modelled by the extra
+``TURN_LATENCY`` cycle, matching the hardware's staged traversal).
+
+:class:`VCNetworkSimulator` runs a mesh of these routers end to end; the
+tests cross-validate it against the lumped simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from ...config import NoCConfig
+from .packet import Flit, Packet
+from .routing import compute_route
+from .topology import FlexibleMeshTopology
+
+__all__ = ["PortDir", "VirtualChannel", "VCRouter", "VCNetworkSimulator"]
+
+
+class PortDir(enum.Enum):
+    """Router port directions; LOCAL is injection/ejection."""
+
+    EAST = "E"
+    WEST = "W"
+    NORTH = "N"
+    SOUTH = "S"
+    LOCAL = "L"
+    BYPASS = "B"
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self in (PortDir.EAST, PortDir.WEST)
+
+
+@dataclass
+class VirtualChannel:
+    """One VC: a flit FIFO plus allocation state."""
+
+    capacity: int
+    flits: deque = field(default_factory=deque)
+    # Output port + output VC this channel is allocated to (None until VA).
+    out_port: PortDir | None = None
+    out_vc: int | None = None
+    route_ready: bool = False  # RC done for the head packet
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.flits)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.flits) < self.capacity
+
+    @property
+    def head(self) -> Flit | None:
+        return self.flits[0] if self.flits else None
+
+    def release(self) -> None:
+        """Tail flit left: the VC returns to the free pool."""
+        self.out_port = None
+        self.out_vc = None
+        self.route_ready = False
+
+
+class VCRouter:
+    """One router: per-port VCs + RC/VA/SA/ST pipeline state."""
+
+    #: Extra cycle for flits crossing both switch stages (a turn).
+    TURN_LATENCY = 1
+
+    def __init__(self, node_id: int, config: NoCConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.vcs: dict[PortDir, list[VirtualChannel]] = {
+            port: [
+                VirtualChannel(config.vc_depth)
+                for _ in range(config.vcs_per_port)
+            ]
+            for port in PortDir
+        }
+        # Downstream credit counters per (output port, output VC).
+        self.credits: dict[tuple[PortDir, int], int] = {
+            (port, v): config.vc_depth
+            for port in PortDir
+            for v in range(config.vcs_per_port)
+        }
+        # Output-VC allocation table: which (in_port, in_vc) holds it.
+        self.out_vc_owner: dict[tuple[PortDir, int], tuple[PortDir, int] | None] = {
+            (port, v): None
+            for port in PortDir
+            for v in range(config.vcs_per_port)
+        }
+        self._rr_input_counter = 0
+        # Stats
+        self.sa_conflicts = 0
+        self.va_stalls = 0
+        self.flits_routed = 0
+
+    # ------------------------------------------------------------------
+    def free_input_vc(self, port: PortDir) -> int | None:
+        """A VC on ``port`` able to accept a new packet's head flit."""
+        for i, vc in enumerate(self.vcs[port]):
+            if vc.occupancy == 0 and vc.out_port is None:
+                return i
+        return None
+
+    def accept_flit(self, port: PortDir, vc_index: int, flit: Flit) -> bool:
+        vc = self.vcs[port][vc_index]
+        if not vc.has_space:
+            return False
+        vc.flits.append(flit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (invoked by the network each cycle)
+    # ------------------------------------------------------------------
+    def stage_rc(self, next_hop_of) -> None:
+        """Route computation for head flits in unrouted VCs."""
+        for port, vcs in self.vcs.items():
+            for vc in vcs:
+                head = vc.head
+                if head is None or vc.route_ready:
+                    continue
+                if not head.is_head and vc.out_port is not None:
+                    vc.route_ready = True
+                    continue
+                vc.out_port = next_hop_of(self.node_id, head)
+                vc.route_ready = True
+
+    def stage_va(self) -> None:
+        """Allocate a free output VC to routed head flits lacking one."""
+        for port, vcs in self.vcs.items():
+            for vc_index, vc in enumerate(vcs):
+                if not vc.route_ready or vc.out_vc is not None:
+                    continue
+                if vc.head is None or vc.out_port is None:
+                    continue
+                granted = False
+                for out_vc in range(self.config.vcs_per_port):
+                    key = (vc.out_port, out_vc)
+                    if self.out_vc_owner[key] is None:
+                        self.out_vc_owner[key] = (port, vc_index)
+                        vc.out_vc = out_vc
+                        granted = True
+                        break
+                if not granted:
+                    self.va_stalls += 1
+
+    def stage_sa(self) -> list[tuple[PortDir, int]]:
+        """Switch allocation: pick one winning (port, vc) per output port.
+
+        Separable allocation: round-robin over input ports, then over the
+        VCs of the winning input; the two-stage switch adds the
+        constraint that each output accepts one flit per cycle.
+        """
+        winners: list[tuple[PortDir, int]] = []
+        taken_outputs: set[PortDir] = set()
+        ports = list(PortDir)
+        for offset in range(len(ports)):
+            port = ports[(self._rr_input_counter + offset) % len(ports)]
+            for vc_index, vc in enumerate(self.vcs[port]):
+                head = vc.head
+                if (
+                    head is None
+                    or vc.out_vc is None
+                    or vc.out_port is None
+                    or vc.out_port in taken_outputs
+                ):
+                    if head is not None and vc.out_port in taken_outputs:
+                        self.sa_conflicts += 1
+                    continue
+                if self.credits[(vc.out_port, vc.out_vc)] <= 0:
+                    continue
+                winners.append((port, vc_index))
+                taken_outputs.add(vc.out_port)
+                break  # one grant per input port per cycle
+        self._rr_input_counter += 1
+        return winners
+
+    def pop_winner(self, port: PortDir, vc_index: int) -> tuple[Flit, PortDir, int, int]:
+        """Remove the winning flit; returns (flit, out_port, out_vc, latency).
+
+        Latency covers switch traversal: +1 for the extra stage when the
+        flit turns between the horizontal and vertical switch stages.
+        """
+        vc = self.vcs[port][vc_index]
+        flit = vc.flits.popleft()
+        out_port, out_vc = vc.out_port, vc.out_vc
+        assert out_port is not None and out_vc is not None
+        self.credits[(out_port, out_vc)] -= 1
+        turn = port.is_horizontal != out_port.is_horizontal
+        latency = self.TURN_LATENCY if turn else 0
+        self.flits_routed += 1
+        if flit.is_tail:
+            self.out_vc_owner[(out_port, out_vc)] = None
+            vc.release()
+        return flit, out_port, out_vc, latency
+
+    def return_credit(self, port: PortDir, vc_index: int) -> None:
+        self.credits[(port, vc_index)] += 1
+
+
+class VCNetworkSimulator:
+    """Mesh of :class:`VCRouter` nodes with full pipeline semantics."""
+
+    def __init__(
+        self, topology: FlexibleMeshTopology, config: NoCConfig | None = None
+    ) -> None:
+        self.topology = topology
+        self.config = config or NoCConfig()
+        self.routers = [
+            VCRouter(n, self.config) for n in range(topology.num_nodes)
+        ]
+        self.cycle = 0
+        self._next_pid = 0
+        self._pending_tails: dict[int, int] = {}
+        self.delivered: list[Packet] = []
+        self._in_flight: list[tuple[int, int, PortDir, int, Flit]] = []
+        # (arrival_cycle, router, port, vc, flit)
+        self._inject_queues: dict[int, deque] = {}
+        self._credit_returns: list[tuple[int, int, PortDir, int]] = []
+
+    # ------------------------------------------------------------------
+    def _direction(self, here: int, there: int) -> PortDir:
+        hx, hy = self.topology.coords(here)
+        tx, ty = self.topology.coords(there)
+        if ty == hy:
+            if tx == hx + 1:
+                return PortDir.EAST
+            if tx == hx - 1:
+                return PortDir.WEST
+        if tx == hx:
+            if ty == hy + 1:
+                return PortDir.SOUTH
+            if ty == hy - 1:
+                return PortDir.NORTH
+        return PortDir.BYPASS  # non-adjacent: a configured express segment
+
+    def _next_hop(self, node: int, flit: Flit) -> PortDir:
+        if flit.at_destination:
+            return PortDir.LOCAL
+        nxt = flit.packet.route[flit.hop + 1]
+        return self._direction(node, nxt)
+
+    # ------------------------------------------------------------------
+    def inject(self, src: int, dst: int, size_bytes: int) -> Packet:
+        route = compute_route(self.topology, src, dst)
+        packet = Packet(
+            pid=self._next_pid,
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            inject_cycle=self.cycle,
+            route=route,
+        )
+        self._next_pid += 1
+        packet.num_flits = max(1, -(-size_bytes // self.config.flit_bytes))
+        self._pending_tails[packet.pid] = packet.num_flits
+        queue = self._inject_queues.setdefault(src, deque())
+        for i in range(packet.num_flits):
+            queue.append(Flit(packet=packet, index=i, hop=0, ready_cycle=self.cycle))
+        return packet
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        now = self.cycle
+
+        # Deliver in-flight flits whose link latency elapsed.
+        still: list = []
+        for arrival, node, port, vc_index, flit in self._in_flight:
+            if arrival > now:
+                still.append((arrival, node, port, vc_index, flit))
+                continue
+            if not self.routers[node].accept_flit(port, vc_index, flit):
+                # Should not happen under credits; retry next cycle.
+                still.append((arrival + 1, node, port, vc_index, flit))
+        self._in_flight = still
+
+        # Source injection: move flits into LOCAL input VCs.
+        for node, queue in self._inject_queues.items():
+            router = self.routers[node]
+            while queue:
+                flit = queue[0]
+                if flit.is_head:
+                    vc_index = router.free_input_vc(PortDir.LOCAL)
+                    if vc_index is None:
+                        break
+                    queue.popleft()
+                    router.accept_flit(PortDir.LOCAL, vc_index, flit)
+                    flit.packet.notes_vc = vc_index  # type: ignore[attr-defined]
+                else:
+                    vc_index = getattr(flit.packet, "notes_vc", None)
+                    if vc_index is None:
+                        break
+                    vc = router.vcs[PortDir.LOCAL][vc_index]
+                    if not vc.has_space:
+                        break
+                    queue.popleft()
+                    router.accept_flit(PortDir.LOCAL, vc_index, flit)
+                    continue  # body flits stream at one per cycle... per VC
+                break  # at most one new head per cycle per source
+
+        # Router pipelines.
+        for router in self.routers:
+            router.stage_rc(lambda node, f: self._next_hop(node, f))
+            router.stage_va()
+            winners = router.stage_sa()
+            for port, vc_index in winners:
+                flit, out_port, out_vc, turn_lat = router.pop_winner(port, vc_index)
+                if out_port is PortDir.LOCAL:
+                    self._eject(flit, now)
+                    router.return_credit(out_port, out_vc)
+                    continue
+                nxt = flit.packet.route[flit.hop + 1]
+                flit.hop += 1
+                link_lat = (
+                    self.config.bypass_segment_latency
+                    if out_port is PortDir.BYPASS
+                    else self.config.link_latency
+                )
+                in_port = self._reverse_port(out_port, router.node_id, nxt)
+                self._in_flight.append(
+                    (now + 1 + link_lat + turn_lat, nxt, in_port, out_vc, flit)
+                )
+                # Credit returns when the downstream VC drains; simplified:
+                # return after the flit is delivered plus one cycle.
+                self._credit_returns.append(
+                    (now + 2 + link_lat + turn_lat, router.node_id, out_port, out_vc)
+                )
+
+        # Credit return processing.
+        remaining = []
+        for when, node, port, vc_index in self._credit_returns:
+            if when <= now:
+                self.routers[node].return_credit(port, vc_index)
+            else:
+                remaining.append((when, node, port, vc_index))
+        self._credit_returns = remaining
+
+        self.cycle += 1
+
+    def _reverse_port(self, out_port: PortDir, here: int, there: int) -> PortDir:
+        """Input port on the downstream router fed by ``out_port``."""
+        opposite = {
+            PortDir.EAST: PortDir.WEST,
+            PortDir.WEST: PortDir.EAST,
+            PortDir.NORTH: PortDir.SOUTH,
+            PortDir.SOUTH: PortDir.NORTH,
+            PortDir.BYPASS: PortDir.BYPASS,
+        }
+        return opposite.get(out_port, PortDir.LOCAL)
+
+    def _eject(self, flit: Flit, now: int) -> None:
+        pid = flit.packet.pid
+        self._pending_tails[pid] -= 1
+        if self._pending_tails[pid] == 0:
+            flit.packet.done_cycle = now + 1
+            self.delivered.append(flit.packet)
+
+    # ------------------------------------------------------------------
+    def all_delivered(self) -> bool:
+        return all(v == 0 for v in self._pending_tails.values())
+
+    def run(self, *, max_cycles: int = 500_000) -> int:
+        """Run to drain; returns the cycle count."""
+        while not self.all_delivered():
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"VC network did not drain within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle
+
+    # ------------------------------------------------------------------
+    @property
+    def total_va_stalls(self) -> int:
+        return sum(r.va_stalls for r in self.routers)
+
+    @property
+    def total_sa_conflicts(self) -> int:
+        return sum(r.sa_conflicts for r in self.routers)
+
+    @property
+    def avg_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(p.latency for p in self.delivered) / len(self.delivered)

@@ -1,0 +1,175 @@
+"""The unified reconfigurable processing element (paper §III-D, Fig. 5/6).
+
+Each PE contains a distributed bank buffer, a router interface, a reuse
+FIFO, a post-processing unit (PPU), and an array of flexible MAC units
+whose multiplier/adder datapath is reconfigurable:
+
+* **Fig. 6 (a)** — multipliers paired into adders, adders chained for
+  accumulation: supports ``V×V``, ``M×V`` and ``V·V``.
+* **Fig. 6 (b)** — a constant loaded into the multipliers, adders
+  bypassed: supports ``Scalar×V`` and ``V⊙V``.
+* **Fig. 6 (c)** — multipliers bypassed, adders only: supports ``ΣV``.
+
+The cycle model charges ops at the throughput the active datapath
+sustains, plus a pipeline-fill latency and a small datapath-switch
+penalty on configuration changes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..config import AcceleratorConfig
+from ..models.base import OpKind
+from .memory import BankBuffer, ReuseFIFO
+
+__all__ = ["PEDatapath", "datapath_for_op", "PEConfig", "PE", "PECycleModel"]
+
+
+class PEDatapath(enum.Enum):
+    """Datapath configurations of the flexible MAC array."""
+
+    MAC_CHAIN = "mac_chain"  # Fig. 6 (a): V×V, M×V, V·V
+    MUL_ONLY = "mul_only"  # Fig. 6 (b): Scalar×V, V⊙V
+    ADD_ONLY = "add_only"  # Fig. 6 (c): ΣV (and MaxV via the same tree)
+    IDLE = "idle"
+
+
+_OP_TO_DATAPATH: dict[OpKind, PEDatapath] = {
+    OpKind.MATRIX_VECTOR: PEDatapath.MAC_CHAIN,
+    OpKind.VECTOR_VECTOR: PEDatapath.MAC_CHAIN,
+    OpKind.DOT: PEDatapath.MAC_CHAIN,
+    OpKind.SCALAR_VECTOR: PEDatapath.MUL_ONLY,
+    OpKind.ELEMENTWISE: PEDatapath.MUL_ONLY,
+    OpKind.ACCUMULATE: PEDatapath.ADD_ONLY,
+    OpKind.MAX_REDUCE: PEDatapath.ADD_ONLY,
+}
+
+
+def datapath_for_op(kind: OpKind) -> PEDatapath:
+    """The datapath configuration required by a primitive op.
+
+    PPU ops (activation/concat) do not use the MAC array at all and map
+    to ``IDLE`` from the datapath's point of view.
+    """
+    if kind.is_ppu or kind is OpKind.NULL:
+        return PEDatapath.IDLE
+    try:
+        return _OP_TO_DATAPATH[kind]
+    except KeyError:  # pragma: no cover - exhaustive mapping above
+        raise ValueError(f"no datapath for op kind {kind}") from None
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """A full PE configuration the configuration unit installs."""
+
+    datapath: PEDatapath
+    stationary_weight_bytes: int = 0  # weights pinned in the bank buffer
+
+    def __post_init__(self) -> None:
+        if self.stationary_weight_bytes < 0:
+            raise ValueError("stationary_weight_bytes must be >= 0")
+
+
+class PECycleModel:
+    """Throughput/latency model of one PE under each datapath."""
+
+    # Cycles to drain the datapath pipeline after a reconfiguration.
+    PIPELINE_FILL = 4
+    # Cycles to flip the reconfigurable interconnect between datapaths.
+    SWITCH_PENALTY = 2
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+
+    def throughput(self, datapath: PEDatapath) -> int:
+        """Sustained ops/cycle of a datapath."""
+        macs = self.config.macs_per_pe
+        if datapath is PEDatapath.MAC_CHAIN:
+            return 2 * macs  # every multiplier and adder busy
+        if datapath in (PEDatapath.MUL_ONLY, PEDatapath.ADD_ONLY):
+            return macs  # half the units active, the rest bypassed
+        return 0
+
+    def ppu_throughput(self) -> int:
+        return self.config.ppu_lanes
+
+    def cycles_for_ops(self, kind: OpKind, ops: int) -> int:
+        """Cycles to execute ``ops`` primitive operations of one kind."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        if ops == 0:
+            return 0
+        if kind.is_ppu:
+            rate = self.ppu_throughput()
+        else:
+            rate = self.throughput(datapath_for_op(kind))
+        if rate == 0:
+            raise ValueError(f"op kind {kind} has no execution resource")
+        return self.PIPELINE_FILL + -(-ops // rate)
+
+
+class PE:
+    """One processing element: state + counters.
+
+    The flit-accurate simulator instantiates a grid of these; the
+    analytical tier uses only :class:`PECycleModel`.
+    """
+
+    def __init__(self, x: int, y: int, config: AcceleratorConfig) -> None:
+        self.x = x
+        self.y = y
+        self.hw = config
+        self.buffer = BankBuffer(config.pe_buffer_bytes)
+        self.fifo = ReuseFIFO(config.reuse_fifo_bytes)
+        self.cycle_model = PECycleModel(config)
+        self.pe_config = PEConfig(PEDatapath.IDLE)
+        self.busy_cycles = 0
+        self.reconfig_count = 0
+        self.ops_executed: dict[OpKind, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+    def configure(self, new_config: PEConfig) -> int:
+        """Install a configuration; returns the switch penalty in cycles."""
+        penalty = 0
+        if new_config.datapath is not self.pe_config.datapath:
+            penalty = PECycleModel.SWITCH_PENALTY
+            self.reconfig_count += 1
+        self.pe_config = new_config
+        if new_config.stationary_weight_bytes:
+            self.buffer.allocate("weights", new_config.stationary_weight_bytes)
+        return penalty
+
+    def execute(self, kind: OpKind, ops: int) -> int:
+        """Run ``ops`` operations of ``kind``; returns cycles consumed.
+
+        The PE must already be configured with a compatible datapath for
+        MAC-array ops; PPU ops run regardless of datapath.
+        """
+        if ops == 0:
+            return 0
+        if not kind.is_ppu:
+            needed = datapath_for_op(kind)
+            if self.pe_config.datapath is not needed:
+                raise RuntimeError(
+                    f"PE({self.x},{self.y}) configured as "
+                    f"{self.pe_config.datapath.value}, op {kind.value} needs "
+                    f"{needed.value}"
+                )
+        cycles = self.cycle_model.cycles_for_ops(kind, ops)
+        self.busy_cycles += cycles
+        self.ops_executed[kind] = self.ops_executed.get(kind, 0) + ops
+        return cycles
+
+    def supports(self, kind: OpKind) -> bool:
+        """Whether this (unified) PE can execute the op at all.
+
+        Always true for the defined primitives — that is the point of the
+        unified PE — but exposed so baseline PEs can override."""
+        return kind is not OpKind.NULL

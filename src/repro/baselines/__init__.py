@@ -1,0 +1,56 @@
+"""Baseline accelerator models: HyGCN, AWB-GCN, GCNAX, ReGNN, FlowGNN."""
+
+from .awbgcn import AWBGCN, AWBGCN_TRAITS
+from .base import BaselineAccelerator, BaselineTraits, UnsupportedModelError
+from .flowgnn import FLOWGNN_TRAITS, FlowGNN
+from .gcnax import GCNAX, GCNAX_TRAITS
+from .hygcn import HYGCN_TRAITS, HyGCN
+from .regnn import REGNN_TRAITS, ReGNN
+
+#: Baseline classes in the paper's comparison order.
+BASELINE_CLASSES = (HyGCN, AWBGCN, GCNAX, ReGNN, FlowGNN)
+
+#: Trait records in the same order (for the Table I coverage report).
+BASELINE_TRAITS = (
+    HYGCN_TRAITS,
+    AWBGCN_TRAITS,
+    GCNAX_TRAITS,
+    REGNN_TRAITS,
+    FLOWGNN_TRAITS,
+)
+
+
+def make_baseline(name: str, config=None) -> BaselineAccelerator:
+    """Instantiate a baseline by its paper name (case-insensitive)."""
+    lookup = {
+        "hygcn": HyGCN,
+        "awb-gcn": AWBGCN,
+        "awbgcn": AWBGCN,
+        "gcnax": GCNAX,
+        "regnn": ReGNN,
+        "flowgnn": FlowGNN,
+    }
+    key = name.lower()
+    if key not in lookup:
+        raise KeyError(f"unknown baseline {name!r}; available: hygcn, awb-gcn, gcnax, regnn, flowgnn")
+    return lookup[key](config)
+
+
+__all__ = [
+    "BaselineAccelerator",
+    "BaselineTraits",
+    "UnsupportedModelError",
+    "HyGCN",
+    "AWBGCN",
+    "GCNAX",
+    "ReGNN",
+    "FlowGNN",
+    "HYGCN_TRAITS",
+    "AWBGCN_TRAITS",
+    "GCNAX_TRAITS",
+    "REGNN_TRAITS",
+    "FLOWGNN_TRAITS",
+    "BASELINE_CLASSES",
+    "BASELINE_TRAITS",
+    "make_baseline",
+]

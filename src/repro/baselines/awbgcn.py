@@ -1,0 +1,62 @@
+"""AWB-GCN (Geng et al., MICRO 2020) baseline model.
+
+AWB-GCN executes GCN as sparse matrix multiplication on a unified PE pool
+with *runtime workload autotuning* (distribution smoothing, remote
+switching, evil-row remapping).  Published properties this model encodes:
+
+* **Unified pool, sequential matmul phases** — no tandem engines
+  (``engine_split = None``), and the two matmuls (A·X then ·W) serialise
+  (``phase_pipelined = False``).
+* **Runtime rebalancing** (``runtime_rebalancing = True``): the
+  autotuner nearly eliminates degree-skew compute imbalance — its
+  headline contribution.
+* **No edge-update / C-GCN only** (Table I).
+* **Column-wise product dataflow** keeps partial sums local, roughly
+  halving on-chip message volume vs naive gathers
+  (``traffic_factor = 0.5``), and evil-row handling spreads part of the
+  hub ejection traffic (``hub_relief = 0.5``).
+* **Weight duplication**: "the weight matrix needs to be duplicated in
+  all processing elements" (paper §VI-B) — re-streamed per tile
+  (``weight_reload_per_tile = True``).
+* Omega-style multi-stage interconnect: more hops than a crossbar
+  (``comm_hops = 5``), 64 lanes.
+"""
+
+from __future__ import annotations
+
+from .base import BaselineAccelerator, BaselineTraits
+
+__all__ = ["AWBGCN_TRAITS", "AWBGCN"]
+
+AWBGCN_TRAITS = BaselineTraits(
+    name="awb-gcn",
+    supports_c_gnn=True,
+    supports_a_gnn=False,
+    supports_mp_gnn=False,
+    flexible_pe=False,
+    flexible_dataflow=False,
+    flexible_noc=False,
+    message_passing=False,
+    supports_edge_update=False,
+    engine_split=None,
+    runtime_rebalancing=True,
+    redundancy_elimination=0.0,
+    phase_pipelined=False,
+    imbalance_sensitivity=0.05,
+    feature_reuse=0.7,
+    weight_reload_per_tile=True,
+    interphase_spill=True,
+    buffer_traffic_factor=1.1,
+    traffic_factor=1.0,
+    comm_ports=100,
+    comm_hops=5.0,
+    hub_relief=0.5,
+    comm_service_cycles=11.5,
+)
+
+
+class AWBGCN(BaselineAccelerator):
+    """AWB-GCN scaled to Aurora's multiplier/bandwidth/storage budget."""
+
+    def __init__(self, config=None, energy_table=None) -> None:
+        super().__init__(AWBGCN_TRAITS, config, energy_table)

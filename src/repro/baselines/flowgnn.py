@@ -1,0 +1,60 @@
+"""FlowGNN (Sarkar et al., HPCA 2023) baseline model.
+
+FlowGNN is a generic dataflow architecture for message-passing GNNs:
+node-transformation and message-passing engines connected by multi-queues,
+covering arbitrary models with edge embeddings.  Published properties this
+model encodes:
+
+* **Full model coverage** (C/A/MP-GNN, message passing, edge embeddings —
+  Table I's most capable baseline).
+* **Heterogeneous node/edge engines with a fixed ratio**
+  (``engine_split = 0.5``): when a model's phase mix deviates, one engine
+  under-utilises (paper §I: "heterogeneous edge and vertex compute
+  engines ... leading to resource under-utilization and extra data
+  movement").
+* **Multi-queue interconnect** — multiple parallelism levels give decent
+  throughput (``comm_ports = 64``, ``hub_relief = 0.3``) but the queues
+  serialise on hot destinations and the fixed fabric cannot adapt
+  (``flexible_noc = False``); two queue stages per transfer.
+* Weights replicated across node-engine lanes and re-streamed per tile
+  (§VI-B groups FlowGNN with AWB-GCN/GCNAX for weight duplication).
+"""
+
+from __future__ import annotations
+
+from .base import BaselineAccelerator, BaselineTraits
+
+__all__ = ["FLOWGNN_TRAITS", "FlowGNN"]
+
+FLOWGNN_TRAITS = BaselineTraits(
+    name="flowgnn",
+    supports_c_gnn=True,
+    supports_a_gnn=True,
+    supports_mp_gnn=True,
+    flexible_pe=False,
+    flexible_dataflow=True,  # Table I: partial
+    flexible_noc=False,
+    message_passing=True,
+    supports_edge_update=True,
+    engine_split=0.5,
+    runtime_rebalancing=False,
+    redundancy_elimination=0.0,
+    phase_pipelined=True,
+    imbalance_sensitivity=0.3,
+    feature_reuse=0.7,
+    weight_reload_per_tile=True,
+    interphase_spill=False,
+    buffer_traffic_factor=0.8,
+    traffic_factor=0.8,
+    comm_ports=420,
+    comm_hops=2.0,
+    hub_relief=0.5,
+    comm_service_cycles=4.2,
+)
+
+
+class FlowGNN(BaselineAccelerator):
+    """FlowGNN scaled to Aurora's multiplier/bandwidth/storage budget."""
+
+    def __init__(self, config=None, energy_table=None) -> None:
+        super().__init__(FLOWGNN_TRAITS, config, energy_table)

@@ -1,0 +1,59 @@
+"""GCNAX (Li et al., HPCA 2021) baseline model.
+
+GCNAX is a flexible-dataflow GCN accelerator built around loop
+optimisation (reordering, fusion, tiling) of the two-matmul GCN kernel.
+Published properties this model encodes:
+
+* **Flexible tiled dataflow** — the best DRAM behaviour among the
+  baselines: loop fusion and outer-product tiling give high feature reuse
+  (``feature_reuse = 0.9``) and low on-chip traffic
+  (``traffic_factor = 0.25``).  §VI-D: "GCNAX can reduce DRAM access by
+  supporting multiple tiling strategies."
+* **Single unified engine, strictly sequential phases** — no inter-phase
+  pipeline (``phase_pipelined = False``); that serialisation is the
+  headroom Aurora's partition algorithm exploits.
+* **Nonzero-streaming execution** is largely insensitive to degree skew
+  (``imbalance_sensitivity = 0.1``) but has no hub-ejection mitigation.
+* **No edge-update / C-GCN only** (Table I); weights duplicated across
+  the PE groups and re-streamed per tile (§VI-B).
+* Simple bus/switch interconnect (``comm_ports = 64``, one stage).
+"""
+
+from __future__ import annotations
+
+from .base import BaselineAccelerator, BaselineTraits
+
+__all__ = ["GCNAX_TRAITS", "GCNAX"]
+
+GCNAX_TRAITS = BaselineTraits(
+    name="gcnax",
+    supports_c_gnn=True,
+    supports_a_gnn=False,
+    supports_mp_gnn=False,
+    flexible_pe=False,
+    flexible_dataflow=True,
+    flexible_noc=False,
+    message_passing=False,
+    supports_edge_update=False,
+    engine_split=None,
+    runtime_rebalancing=False,
+    redundancy_elimination=0.0,
+    phase_pipelined=False,
+    imbalance_sensitivity=0.1,
+    feature_reuse=0.9,
+    weight_reload_per_tile=True,
+    interphase_spill=False,
+    buffer_traffic_factor=0.35,
+    traffic_factor=0.25,
+    comm_ports=60,
+    comm_hops=1.0,
+    hub_relief=0.2,
+    comm_service_cycles=3.1,
+)
+
+
+class GCNAX(BaselineAccelerator):
+    """GCNAX scaled to Aurora's multiplier/bandwidth/storage budget."""
+
+    def __init__(self, config=None, energy_table=None) -> None:
+        super().__init__(GCNAX_TRAITS, config, energy_table)

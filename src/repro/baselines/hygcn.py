@@ -1,0 +1,63 @@
+"""HyGCN (Yan et al., HPCA 2020) baseline model.
+
+HyGCN is a tandem-engine GCN accelerator: SIMD cores handle aggregation
+and a systolic array handles combination, with multipliers split 1:7
+between the two engines (the ratio the paper preserves when scaling,
+§VI-A).  Published properties this model encodes:
+
+* **Tandem heterogeneous engines** — ``engine_split = 1/8`` for the
+  aggregation SIMD; the engines pipeline coarsely through an inter-engine
+  buffer, and when phase loads mismatch one engine idles (the paper's
+  §VI-D: "disjoint compute engines result in communication overheads
+  between the aggregation and update phases").
+* **No edge-update support, C-GCN only** (Table I) — GCN computations are
+  abstracted as matrix operations.
+* **Window sliding/shrinking** gives partial but incomplete feature reuse
+  (``feature_reuse = 0.4``; §VI-B: "HyGCN ... fail[s] to fully harness
+  on-chip data reuse opportunities").
+* **Static per-vertex SIMD assignment** makes it sensitive to degree skew
+  (``imbalance_sensitivity = 0.6``), with no hub mitigation.
+* **Crossbar interconnect** between engines with limited port count
+  (``comm_ports = 32``, single-stage).
+* Intermediate aggregation results spill through the buffer hierarchy
+  between engines (``interphase_spill``).
+"""
+
+from __future__ import annotations
+
+from .base import BaselineAccelerator, BaselineTraits
+
+__all__ = ["HYGCN_TRAITS", "HyGCN"]
+
+HYGCN_TRAITS = BaselineTraits(
+    name="hygcn",
+    supports_c_gnn=True,
+    supports_a_gnn=False,
+    supports_mp_gnn=False,
+    flexible_pe=False,
+    flexible_dataflow=True,  # Table I: partial (window-based) dataflow
+    flexible_noc=False,
+    message_passing=False,
+    supports_edge_update=False,
+    engine_split=1.0 / 8.0,
+    runtime_rebalancing=False,
+    redundancy_elimination=0.0,
+    phase_pipelined=True,
+    imbalance_sensitivity=0.5,
+    feature_reuse=0.25,
+    weight_reload_per_tile=False,
+    interphase_spill=True,
+    buffer_traffic_factor=2.0,
+    traffic_factor=1.0,
+    comm_ports=48,
+    comm_hops=1.0,
+    hub_relief=0.0,
+    comm_service_cycles=5.8,
+)
+
+
+class HyGCN(BaselineAccelerator):
+    """HyGCN scaled to Aurora's multiplier/bandwidth/storage budget."""
+
+    def __init__(self, config=None, energy_table=None) -> None:
+        super().__init__(HYGCN_TRAITS, config, energy_table)

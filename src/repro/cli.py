@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the dataset registry with published statistics.
+``models``
+    Print the model zoo (the paper's Table II).
+``simulate``
+    Simulate a model × dataset on Aurora (or a named baseline).
+``compare``
+    Run the accelerator comparison and print one normalized figure.
+``experiment``
+    Regenerate a registered paper experiment (E1–E12, or ``all``).
+``info``
+    Show the hardware configuration and derived parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import make_baseline
+from .config import default_config
+from .core.accelerator import layer_plan
+from .core.simulator import AuroraSimulator
+from .graphs.datasets import DATASETS, dataset_profile, load_dataset
+from .models.zoo import get_model, list_models
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aurora GNN accelerator — simulator and paper reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset registry")
+    sub.add_parser("models", help="print the model zoo (Table II)")
+    sub.add_parser("info", help="show the hardware configuration")
+
+    p_sim = sub.add_parser("simulate", help="simulate one model x dataset")
+    p_sim.add_argument("--model", default="gcn", choices=list_models())
+    p_sim.add_argument("--dataset", default="cora", choices=list(DATASETS))
+    p_sim.add_argument("--scale", type=float, default=1.0)
+    p_sim.add_argument("--hidden", type=int, default=64)
+    p_sim.add_argument("--layers", type=int, default=2)
+    p_sim.add_argument(
+        "--device",
+        default="aurora",
+        choices=("aurora", "hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn"),
+    )
+    p_sim.add_argument(
+        "--mapping", default="degree-aware", choices=("degree-aware", "hashing")
+    )
+
+    p_cmp = sub.add_parser("compare", help="accelerator comparison figure")
+    p_cmp.add_argument("--model", default="gcn", choices=list_models())
+    p_cmp.add_argument(
+        "--metric",
+        default="execution_time",
+        choices=("execution_time", "dram_accesses", "onchip_latency", "energy"),
+    )
+    p_cmp.add_argument(
+        "--datasets", nargs="+", default=None, choices=list(DATASETS)
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p_exp.add_argument("experiment_id", help="E1..E12, or 'all'")
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    from .eval.report import format_table
+
+    rows = []
+    for name in DATASETS:
+        p = dataset_profile(name)
+        rows.append(
+            [
+                p.name,
+                f"{p.num_vertices:,}",
+                f"{p.num_edges:,}",
+                str(p.num_features),
+                str(p.num_classes),
+                f"{p.feature_density:.4f}",
+            ]
+        )
+    print(
+        format_table(
+            ["dataset", "|V|", "|E|", "features", "classes", "density"],
+            rows,
+            title="Dataset registry (published statistics)",
+        )
+    )
+    return 0
+
+
+def _cmd_models() -> int:
+    from .eval.report import render_table2_operations
+
+    print(render_table2_operations())
+    return 0
+
+
+def _cmd_info() -> int:
+    cfg = default_config()
+    print("Aurora hardware configuration (paper §VI-A)")
+    print(f"  PE array           : {cfg.array_k}x{cfg.array_k} ({cfg.num_pes} PEs)")
+    print(f"  frequency          : {cfg.frequency_hz / 1e6:.0f} MHz")
+    print(f"  MACs per PE        : {cfg.macs_per_pe}")
+    print(f"  PE buffer          : {cfg.pe_buffer_bytes // 1024} KiB "
+          f"(total {cfg.onchip_bytes / (1 << 20):.0f} MiB)")
+    print(f"  peak throughput    : {cfg.peak_flops / 1e12:.1f} Tops/s")
+    print(f"  DRAM bandwidth     : "
+          f"{cfg.dram.bandwidth_bytes_per_sec / 1e9:.0f} GB/s")
+    print(f"  reconfiguration    : {cfg.reconfiguration_cycles} cycles (2K-1)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    model = get_model(args.model)
+    profile = dataset_profile(args.dataset)
+    dims = layer_plan(graph, args.hidden, args.layers, profile.num_classes)
+    if args.device == "aurora":
+        sim = AuroraSimulator(mapping_policy=args.mapping)
+        result = sim.simulate(model, graph, dims)
+    else:
+        device = make_baseline(args.device)
+        if not device.supports(model):
+            print(
+                f"warning: {args.device} does not support "
+                f"{model.category.value} models; running with the "
+                "scalarisation fallback penalty",
+                file=sys.stderr,
+            )
+        result = device.simulate(model, graph, dims, strict=False)
+    print(f"device          : {result.accelerator}")
+    print(f"model / dataset : {args.model} / {graph.name}")
+    print(f"execution time  : {result.total_seconds * 1e6:,.1f} us "
+          f"({result.total_cycles:,.0f} cycles)")
+    print(f"DRAM traffic    : {result.dram_bytes / 1e6:,.2f} MB")
+    print(f"on-chip comm    : {result.onchip_comm_cycles:,} cycles")
+    print(f"energy          : {result.energy.total * 1e3:,.3f} mJ")
+    for key, value in sorted(result.energy.as_dict().items()):
+        if key != "total":
+            print(f"  - {key:<16}: {value * 1e3:,.3f} mJ")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .eval.harness import run_comparison
+    from .eval.report import render_normalized_figure
+
+    comp = run_comparison(
+        model=args.model,
+        datasets=tuple(args.datasets) if args.datasets else None,
+    )
+    print(
+        render_normalized_figure(
+            comp,
+            args.metric,
+            title=f"{args.metric} normalized to Aurora ({args.model})",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .eval.experiments import EXPERIMENTS, run_experiment
+
+    ids = list(EXPERIMENTS) if args.experiment_id.lower() == "all" else [
+        args.experiment_id
+    ]
+    for eid in ids:
+        try:
+            result = run_experiment(eid)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"\n{result.experiment_id} — {result.title}")
+        print(result.text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

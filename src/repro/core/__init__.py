@@ -1,0 +1,49 @@
+"""Aurora core: controllers, configuration, simulator, public façade."""
+
+from .accelerator import AuroraAccelerator, layer_plan
+from .batch import BatchResult, BatchScheduler, ScheduledRequest
+from .configuration import ConfigurationPlan, ConfigurationUnit
+from .controller import (
+    AdaptiveWorkflowGenerator,
+    GNNRequest,
+    PhaseStep,
+    RequestDispatcher,
+    Workflow,
+    lower_layer_program,
+)
+from .cycle_engine import CycleTileEngine, CycleTileResult
+from .instructions import Instruction, InstructionBuffer, Opcode
+from .machine import ExecutionRecord, IllegalProgram, Machine, MachineState
+from .pipeline import overlapped_time, pipeline_time
+from .results import PhaseBreakdown, SimulationResult
+from .simulator import AuroraSimulator
+
+__all__ = [
+    "AuroraAccelerator",
+    "AuroraSimulator",
+    "layer_plan",
+    "SimulationResult",
+    "PhaseBreakdown",
+    "GNNRequest",
+    "Workflow",
+    "PhaseStep",
+    "AdaptiveWorkflowGenerator",
+    "RequestDispatcher",
+    "lower_layer_program",
+    "Instruction",
+    "InstructionBuffer",
+    "Opcode",
+    "Machine",
+    "MachineState",
+    "IllegalProgram",
+    "ExecutionRecord",
+    "BatchScheduler",
+    "BatchResult",
+    "ScheduledRequest",
+    "CycleTileEngine",
+    "CycleTileResult",
+    "ConfigurationUnit",
+    "ConfigurationPlan",
+    "pipeline_time",
+    "overlapped_time",
+]

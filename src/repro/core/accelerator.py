@@ -1,0 +1,109 @@
+"""The public Aurora accelerator façade.
+
+Ties the front-end controllers (request dispatcher, workflow generator,
+instruction lowering) to the performance simulator, presenting the
+one-call API most users want:
+
+>>> from repro import AuroraAccelerator, load_dataset, get_model, LayerDims
+>>> acc = AuroraAccelerator()
+>>> result = acc.run(get_model("gcn"), load_dataset("cora", scale=0.2),
+...                  hidden=64, num_layers=2)
+>>> result.total_seconds  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AcceleratorConfig, default_config
+from ..graphs.csr import CSRGraph
+from ..graphs.tiling import tile_graph
+from ..models.base import GNNModel
+from ..models.workload import LayerDims
+from .controller import (
+    GNNRequest,
+    RequestDispatcher,
+    Workflow,
+    lower_layer_program,
+)
+from .instructions import Instruction, InstructionBuffer
+from .results import SimulationResult
+from .simulator import AuroraSimulator
+
+__all__ = ["AuroraAccelerator", "layer_plan"]
+
+
+def layer_plan(
+    graph: CSRGraph, hidden: int, num_layers: int, num_classes: int | None = None
+) -> list[LayerDims]:
+    """Standard layer dimensioning: F → hidden → … → classes (or hidden)."""
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    if hidden < 1:
+        raise ValueError("hidden must be >= 1")
+    out_final = num_classes if num_classes is not None else hidden
+    dims = []
+    f_in = graph.num_features
+    for layer in range(num_layers):
+        f_out = out_final if layer == num_layers - 1 else hidden
+        dims.append(LayerDims(in_features=f_in, out_features=f_out))
+        f_in = f_out
+    return dims
+
+
+class AuroraAccelerator:
+    """End-to-end Aurora device: controller front end + simulator back end."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        *,
+        mapping_policy: str = "degree-aware",
+    ) -> None:
+        self.config = config or default_config()
+        self.dispatcher = RequestDispatcher(self.config)
+        self.instruction_buffer = InstructionBuffer()
+        self.simulator = AuroraSimulator(
+            self.config, mapping_policy=mapping_policy
+        )
+
+    # ------------------------------------------------------------------
+    def prepare(self, request: GNNRequest) -> tuple[Workflow, list[Instruction]]:
+        """Front-end path of the walk-through (Fig. 3): dispatch the
+        request, generate the workflow, and lower + buffer the program."""
+        meta, workflow, workload = self.dispatcher.dispatch(request)
+        capacity = int(
+            self.config.onchip_bytes * 0.5  # A-region share, double-buffered
+        )
+        plan = tile_graph(
+            request.graph, capacity, bytes_per_value=self.config.bytes_per_value
+        )
+        needs_weights = (
+            workload.edge_update.weight_bytes + workload.vertex_update.weight_bytes
+        ) > 0
+        program = lower_layer_program(
+            workflow, num_tiles=plan.num_tiles, needs_weights=needs_weights
+        )
+        self.instruction_buffer.reset()
+        self.instruction_buffer.extend(program)
+        return workflow, program
+
+    def run(
+        self,
+        model: GNNModel,
+        graph: CSRGraph,
+        *,
+        hidden: int = 64,
+        num_layers: int = 2,
+        num_classes: int | None = None,
+    ) -> SimulationResult:
+        """Simulate a full multi-layer GNN inference on this device."""
+        dims = layer_plan(graph, hidden, num_layers, num_classes)
+        self.prepare(GNNRequest(model, graph, dims[0], num_layers=num_layers))
+        return self.simulator.simulate(model, graph, dims)
+
+    def run_layer(
+        self, model: GNNModel, graph: CSRGraph, dims: LayerDims, **kw
+    ) -> SimulationResult:
+        """Simulate a single layer (thin wrapper over the simulator)."""
+        return self.simulator.simulate_layer(model, graph, dims, **kw)

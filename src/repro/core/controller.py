@@ -1,0 +1,192 @@
+"""Aurora's front-end controllers (paper Fig. 3a, §III-E).
+
+The host sends requests to the **request dispatcher** (1) and loads
+instructions into the **instruction buffer** (2).  The **adaptive workflow
+generator** (3) derives the running model's workflow — which phases
+execute and with which operation types; the partition algorithm (4) and
+degree-aware mapping (5) consume that plus graph metadata; the NoC/PE
+configuration unit (6) realises the decisions; finally the **instruction
+dispatcher** issues the program (7).
+
+This module implements the dispatcher/buffer/workflow-generator trio and
+the lowering of a layer into the instruction stream.  The mapping,
+partition and configuration units live in their own modules; the
+:class:`AuroraController` sequences all of them the way the walk-through
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import AcceleratorConfig
+from ..graphs.csr import CSRGraph, GraphMeta
+from ..models.base import GNNModel, OpKind, Phase
+from ..models.workload import LayerDims, LayerWorkload, extract_workload
+from .instructions import Instruction, InstructionBuffer, Opcode
+
+__all__ = [
+    "GNNRequest",
+    "PhaseStep",
+    "Workflow",
+    "AdaptiveWorkflowGenerator",
+    "RequestDispatcher",
+    "lower_layer_program",
+]
+
+
+@dataclass(frozen=True)
+class GNNRequest:
+    """A host request: run ``model`` on ``graph`` with ``dims``."""
+
+    model: GNNModel
+    graph: CSRGraph
+    dims: LayerDims
+    num_layers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+
+
+@dataclass(frozen=True)
+class PhaseStep:
+    """One step of a workflow: a phase and its operation mix."""
+
+    phase: Phase
+    op_kinds: tuple[OpKind, ...]
+    sub_accelerator: str  # "A" (edge update/aggregation) or "B" (vertex update)
+    dataflow: str  # "message-passing" or "weight-stationary"
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """The adaptive workflow generator's output for one model."""
+
+    model_name: str
+    steps: tuple[PhaseStep, ...]
+    needs_two_sub_accelerators: bool
+    uses_edge_embeddings: bool
+
+    def phases(self) -> tuple[Phase, ...]:
+        return tuple(s.phase for s in self.steps)
+
+
+class AdaptiveWorkflowGenerator:
+    """Derives execution phases and operation types from the model spec.
+
+    Edge update and aggregation share sub-accelerator A (same irregular,
+    message-passing communication pattern — paper §V); vertex update runs
+    on sub-accelerator B with the weight-stationary dataflow.
+    """
+
+    def generate(self, model: GNNModel) -> Workflow:
+        steps: list[PhaseStep] = []
+        if model.has_edge_update:
+            steps.append(
+                PhaseStep(
+                    phase=Phase.EDGE_UPDATE,
+                    op_kinds=model.edge_update.op_kinds(),
+                    sub_accelerator="A",
+                    dataflow="message-passing",
+                )
+            )
+        steps.append(
+            PhaseStep(
+                phase=Phase.AGGREGATION,
+                op_kinds=model.aggregation.op_kinds(),
+                sub_accelerator="A",
+                dataflow="message-passing",
+            )
+        )
+        if model.has_vertex_update:
+            steps.append(
+                PhaseStep(
+                    phase=Phase.VERTEX_UPDATE,
+                    op_kinds=model.vertex_update.op_kinds(),
+                    sub_accelerator="B",
+                    dataflow="weight-stationary",
+                )
+            )
+        return Workflow(
+            model_name=model.name,
+            steps=tuple(steps),
+            needs_two_sub_accelerators=model.has_vertex_update,
+            uses_edge_embeddings=model.uses_edge_embeddings,
+        )
+
+
+class RequestDispatcher:
+    """Accepts host requests and produces preprocessing inputs.
+
+    The dispatcher extracts the CSR metadata forwarded to the workflow /
+    partition / mapping units and keeps a simple accepted-request log.
+    """
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.accepted: list[GNNRequest] = []
+
+    def dispatch(self, request: GNNRequest) -> tuple[GraphMeta, Workflow, LayerWorkload]:
+        """Process one request: metadata + workflow + first-layer workload."""
+        meta = request.graph.meta()
+        workflow = AdaptiveWorkflowGenerator().generate(request.model)
+        workload = extract_workload(request.model, request.graph, request.dims)
+        self.accepted.append(request)
+        return meta, workflow, workload
+
+
+def lower_layer_program(
+    workflow: Workflow,
+    *,
+    num_tiles: int,
+    needs_weights: bool,
+) -> list[Instruction]:
+    """Lower one layer into the instruction stream the dispatcher issues.
+
+    Per layer: load weights once (region B keeps them stationary across
+    tiles), then per tile: configure NoC + PEs, load the tile, run the A
+    phases, forward A→B (when B exists), run B, and store.  The explicit
+    program is what tests assert against; the performance simulator
+    accounts the same sequence analytically.
+    """
+    if num_tiles < 1:
+        raise ValueError("num_tiles must be >= 1")
+    program: list[Instruction] = []
+    if needs_weights:
+        program.append(Instruction(Opcode.LOAD_WEIGHTS, {"target": "B"}))
+    a_steps = [s for s in workflow.steps if s.sub_accelerator == "A"]
+    b_steps = [s for s in workflow.steps if s.sub_accelerator == "B"]
+    for tile in range(num_tiles):
+        program.append(Instruction(Opcode.CONFIG_NOC, {"tile": tile}))
+        program.append(Instruction(Opcode.CONFIG_PE, {"tile": tile}))
+        program.append(Instruction(Opcode.LOAD_GRAPH, {"tile": tile}))
+        for step in a_steps:
+            program.append(
+                Instruction(
+                    Opcode.EXEC_PHASE,
+                    {
+                        "tile": tile,
+                        "phase": step.phase,
+                        "sub_accelerator": "A",
+                        "ops": step.op_kinds,
+                    },
+                )
+            )
+        if b_steps:
+            program.append(Instruction(Opcode.FORWARD, {"tile": tile}))
+            for step in b_steps:
+                program.append(
+                    Instruction(
+                        Opcode.EXEC_PHASE,
+                        {
+                            "tile": tile,
+                            "phase": step.phase,
+                            "sub_accelerator": "B",
+                            "ops": step.op_kinds,
+                        },
+                    )
+                )
+        program.append(Instruction(Opcode.STORE, {"tile": tile}))
+    program.append(Instruction(Opcode.BARRIER))
+    return program

@@ -1,0 +1,88 @@
+"""Instruction stream for the Aurora controller.
+
+The walk-through in paper §III-E ends with the instruction dispatcher
+issuing instructions "as conventional accelerators".  We model a compact
+ISA covering what the configuration + execution flow needs; the
+controller lowers a layer program into this stream and the dispatcher
+replays it with simple latency accounting.  The instruction stream is also
+what the tests use to check the controller sequences phases correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Opcode", "Instruction", "InstructionBuffer"]
+
+
+class Opcode(enum.Enum):
+    """Aurora controller opcodes."""
+
+    CONFIG_NOC = "config_noc"  # install bypass segments / ring regions
+    CONFIG_PE = "config_pe"  # set PE datapaths for a region
+    LOAD_GRAPH = "load_graph"  # DMA a tile's CSR + features from DRAM
+    LOAD_WEIGHTS = "load_weights"  # DMA stationary weights into a region
+    EXEC_PHASE = "exec_phase"  # run one GNN phase on a sub-accelerator
+    FORWARD = "forward"  # stream sub-accelerator A output into B
+    STORE = "store"  # write output features back to DRAM
+    BARRIER = "barrier"  # wait for outstanding work
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction with free-form operands."""
+
+    opcode: Opcode
+    operands: dict[str, Any] = field(default_factory=dict)
+
+    def operand(self, name: str, default: Any = None) -> Any:
+        return self.operands.get(name, default)
+
+
+class InstructionBuffer:
+    """The on-chip instruction buffer the host fills (Fig. 3, step 2)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: list[Instruction] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, instruction: Instruction) -> None:
+        if self.is_full:
+            raise OverflowError("instruction buffer full")
+        self._entries.append(instruction)
+
+    def extend(self, instructions: list[Instruction]) -> None:
+        for instr in instructions:
+            self.push(instr)
+
+    def fetch(self) -> Instruction | None:
+        """Next instruction in program order, or None at the end."""
+        if self._cursor >= len(self._entries):
+            return None
+        instr = self._entries[self._cursor]
+        self._cursor += 1
+        return instr
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._cursor = 0
+
+    def remaining(self) -> int:
+        return len(self._entries) - self._cursor
+
+    def program(self) -> tuple[Instruction, ...]:
+        """The full buffered program (for inspection/testing)."""
+        return tuple(self._entries)

@@ -1,0 +1,210 @@
+"""Instruction-stream interpreter: executes lowered layer programs.
+
+The controller lowers a layer into the Opcode stream (paper §III-E step
+7: "the instruction dispatcher start issuing instructions as conventional
+accelerators").  This machine gives that stream operational semantics:
+it walks the program against explicit device state, enforcing the
+legality rules the hardware control would (no EXEC before CONFIG, no
+FORWARD without a B region, weights loaded before the phases that use
+them), and annotates each instruction with its timing class.
+
+The performance numbers still come from the analytical simulator — the
+machine's job is *sequencing correctness*: tests drive it with valid and
+deliberately broken programs, and the accelerator facade uses it to
+sanity-check every program it emits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .instructions import Instruction, Opcode
+
+__all__ = ["MachineState", "ExecutionRecord", "IllegalProgram", "Machine"]
+
+
+class IllegalProgram(RuntimeError):
+    """The instruction stream violates the device's sequencing rules."""
+
+
+class MachineState(enum.Enum):
+    """Coarse device state the sequencing rules are written against."""
+
+    IDLE = "idle"
+    CONFIGURED_NOC = "configured_noc"
+    CONFIGURED = "configured"
+    LOADED = "loaded"
+    EXECUTING = "executing"
+    HALTED = "halted"
+
+
+@dataclass
+class ExecutionRecord:
+    """One executed instruction with its timing annotation."""
+
+    index: int
+    instruction: Instruction
+    state_after: MachineState
+    overlappable: bool  # hidden under compute of the previous tile?
+
+
+@dataclass
+class Machine:
+    """Walks an instruction program, enforcing sequencing legality.
+
+    Rules enforced (mirroring the walk-through's ordering):
+
+    * ``CONFIG_NOC`` then ``CONFIG_PE`` precede each tile's work;
+    * ``LOAD_GRAPH`` requires configuration;
+    * ``EXEC_PHASE`` requires a loaded tile, and a ``sub_accelerator``
+      operand of ``"A"`` or ``"B"``;
+    * B-phase execution requires a prior ``FORWARD`` for the same tile;
+    * ``FORWARD`` requires at least one completed A phase for the tile;
+    * ``STORE`` requires at least one executed phase;
+    * ``LOAD_WEIGHTS`` is only legal before the first tile's execution;
+    * nothing may follow ``HALT``.
+    """
+
+    records: list[ExecutionRecord] = field(default_factory=list)
+    state: MachineState = MachineState.IDLE
+    weights_loaded: bool = False
+    current_tile: int | None = None
+    _tile_a_done: bool = False
+    _tile_forwarded: bool = False
+    _tile_exec_count: int = 0
+    _any_exec_happened: bool = False
+
+    # ------------------------------------------------------------------
+    def run(self, program: list[Instruction]) -> list[ExecutionRecord]:
+        """Execute a whole program; raises :class:`IllegalProgram` on the
+        first violation, otherwise returns the execution records."""
+        for index, instr in enumerate(program):
+            self.execute(index, instr)
+        return self.records
+
+    # ------------------------------------------------------------------
+    def execute(self, index: int, instr: Instruction) -> ExecutionRecord:
+        if self.state is MachineState.HALTED:
+            raise IllegalProgram(f"@{index}: instruction after HALT")
+        handler = {
+            Opcode.LOAD_WEIGHTS: self._load_weights,
+            Opcode.CONFIG_NOC: self._config_noc,
+            Opcode.CONFIG_PE: self._config_pe,
+            Opcode.LOAD_GRAPH: self._load_graph,
+            Opcode.EXEC_PHASE: self._exec_phase,
+            Opcode.FORWARD: self._forward,
+            Opcode.STORE: self._store,
+            Opcode.BARRIER: self._barrier,
+            Opcode.HALT: self._halt,
+        }[instr.opcode]
+        overlappable = handler(index, instr)
+        record = ExecutionRecord(
+            index=index,
+            instruction=instr,
+            state_after=self.state,
+            overlappable=overlappable,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Handlers: return True when the step overlaps previous-tile compute.
+    # ------------------------------------------------------------------
+    def _load_weights(self, index: int, instr: Instruction) -> bool:
+        if self._any_exec_happened:
+            raise IllegalProgram(
+                f"@{index}: LOAD_WEIGHTS after execution started — weights "
+                "are stationary for the layer and must load up front"
+            )
+        self.weights_loaded = True
+        return False  # the first weight fill has nothing to hide under
+
+    def _config_noc(self, index: int, instr: Instruction) -> bool:
+        tile = instr.operand("tile")
+        self._begin_tile(tile)
+        self.state = MachineState.CONFIGURED_NOC
+        return self._any_exec_happened  # overlaps previous tile's compute
+
+    def _config_pe(self, index: int, instr: Instruction) -> bool:
+        if self.state is not MachineState.CONFIGURED_NOC:
+            raise IllegalProgram(
+                f"@{index}: CONFIG_PE before CONFIG_NOC for the tile"
+            )
+        self.state = MachineState.CONFIGURED
+        return self._any_exec_happened
+
+    def _load_graph(self, index: int, instr: Instruction) -> bool:
+        if self.state is not MachineState.CONFIGURED:
+            raise IllegalProgram(
+                f"@{index}: LOAD_GRAPH requires a configured tile"
+            )
+        self.state = MachineState.LOADED
+        return self._any_exec_happened  # DRAM prefetch overlap
+
+    def _exec_phase(self, index: int, instr: Instruction) -> bool:
+        if self.state not in (MachineState.LOADED, MachineState.EXECUTING):
+            raise IllegalProgram(
+                f"@{index}: EXEC_PHASE before the tile is loaded"
+            )
+        sub = instr.operand("sub_accelerator")
+        if sub not in ("A", "B"):
+            raise IllegalProgram(
+                f"@{index}: EXEC_PHASE needs sub_accelerator 'A' or 'B', "
+                f"got {sub!r}"
+            )
+        if sub == "B" and not self._tile_forwarded:
+            raise IllegalProgram(
+                f"@{index}: B-phase execution before FORWARD for the tile"
+            )
+        if sub == "A":
+            self._tile_a_done = True
+        self.state = MachineState.EXECUTING
+        self._tile_exec_count += 1
+        self._any_exec_happened = True
+        return False
+
+    def _forward(self, index: int, instr: Instruction) -> bool:
+        if not self._tile_a_done:
+            raise IllegalProgram(
+                f"@{index}: FORWARD before any A-phase completed for the tile"
+            )
+        self._tile_forwarded = True
+        return True  # streaming through reuse FIFOs hides under compute
+
+    def _store(self, index: int, instr: Instruction) -> bool:
+        if self._tile_exec_count == 0:
+            raise IllegalProgram(f"@{index}: STORE with no executed phase")
+        return True  # write-back overlaps the next tile
+
+    def _barrier(self, index: int, instr: Instruction) -> bool:
+        self.state = MachineState.IDLE
+        return False
+
+    def _halt(self, index: int, instr: Instruction) -> bool:
+        self.state = MachineState.HALTED
+        return False
+
+    # ------------------------------------------------------------------
+    def _begin_tile(self, tile: int | None) -> None:
+        self.current_tile = tile
+        self._tile_a_done = False
+        self._tile_forwarded = False
+        self._tile_exec_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def executed_tiles(self) -> list[int]:
+        """Tile ids in the order their configuration was issued."""
+        return [
+            r.instruction.operand("tile")
+            for r in self.records
+            if r.instruction.opcode is Opcode.CONFIG_NOC
+        ]
+
+    @property
+    def overlappable_fraction(self) -> float:
+        """Share of instructions hidden under previous-tile compute."""
+        if not self.records:
+            return 0.0
+        return sum(r.overlappable for r in self.records) / len(self.records)

@@ -1,0 +1,39 @@
+"""Two-stage pipeline timing across subgraph tiles.
+
+Sub-accelerators A and B form a two-stage pipeline: while B runs vertex
+update for tile *i*, A runs edge update + aggregation for tile *i+1*
+(paper §V: "two sub-accelerators are further connected to support the
+pipeline execution without the extra buffers").  DRAM prefetch of the next
+tile overlaps both (§IV: "After mapping a subgraph to the PE array, the
+next subgraph starts being loaded from DRAM").
+"""
+
+from __future__ import annotations
+
+__all__ = ["pipeline_time", "overlapped_time"]
+
+
+def pipeline_time(stage_a: list[float], stage_b: list[float]) -> float:
+    """Makespan of a two-stage pipeline over per-tile stage times.
+
+    Classic flow-shop recurrence: tile *i* cannot start in B before both
+    B finished tile *i−1* and A finished tile *i*.
+    """
+    if len(stage_a) != len(stage_b):
+        raise ValueError("stage lists must be the same length")
+    a_done = 0.0
+    b_done = 0.0
+    for ta, tb in zip(stage_a, stage_b):
+        if ta < 0 or tb < 0:
+            raise ValueError("stage times must be non-negative")
+        a_done += ta
+        b_done = max(b_done, a_done) + tb
+    return b_done
+
+
+def overlapped_time(foreground: float, background: float) -> float:
+    """Time when ``background`` (e.g. a DRAM prefetch) hides under
+    ``foreground`` compute: the slower of the two."""
+    if foreground < 0 or background < 0:
+        raise ValueError("times must be non-negative")
+    return max(foreground, background)

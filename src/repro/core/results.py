@@ -1,0 +1,92 @@
+"""Result types shared by the Aurora simulator and the baseline models.
+
+Every accelerator simulation produces a :class:`SimulationResult` so the
+evaluation harness can compare them uniformly: execution time, its
+component breakdown, DRAM volume, on-chip communication cycles, and the
+energy breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.energy import EnergyBreakdown, EnergyCounters
+
+__all__ = ["PhaseBreakdown", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Seconds attributed to each activity class (pre-overlap)."""
+
+    compute_seconds: float = 0.0
+    noc_seconds: float = 0.0
+    dram_seconds: float = 0.0
+
+    @property
+    def serial_seconds(self) -> float:
+        """Time if nothing overlapped (upper bound)."""
+        return self.compute_seconds + self.noc_seconds + self.dram_seconds
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one layer (or one full model) on a device."""
+
+    accelerator: str
+    model_name: str
+    graph_name: str
+    total_seconds: float
+    breakdown: PhaseBreakdown
+    dram_bytes: int
+    onchip_comm_cycles: int
+    energy: EnergyBreakdown
+    counters: EnergyCounters
+    num_tiles: int = 1
+    frequency_hz: float = 700e6
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.total_seconds * self.frequency_hz
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """How much faster *this* result is than ``other`` (>1 = faster)."""
+        if self.total_seconds == 0:
+            return float("inf")
+        return other.total_seconds / self.total_seconds
+
+    @staticmethod
+    def combine(results: list["SimulationResult"]) -> "SimulationResult":
+        """Sum per-layer results into a whole-model result."""
+        if not results:
+            raise ValueError("need at least one result to combine")
+        first = results[0]
+        counters = EnergyCounters()
+        for r in results:
+            counters = counters.merge(r.counters)
+        from ..arch.energy import EnergyModel  # local import to avoid cycle
+
+        energy = EnergyModel().evaluate(counters)
+        return SimulationResult(
+            accelerator=first.accelerator,
+            model_name=first.model_name,
+            graph_name=first.graph_name,
+            total_seconds=sum(r.total_seconds for r in results),
+            breakdown=PhaseBreakdown(
+                compute_seconds=sum(r.breakdown.compute_seconds for r in results),
+                noc_seconds=sum(r.breakdown.noc_seconds for r in results),
+                dram_seconds=sum(r.breakdown.dram_seconds for r in results),
+            ),
+            dram_bytes=sum(r.dram_bytes for r in results),
+            onchip_comm_cycles=sum(r.onchip_comm_cycles for r in results),
+            energy=energy,
+            counters=counters,
+            num_tiles=sum(r.num_tiles for r in results),
+            frequency_hz=first.frequency_hz,
+            notes={"layers": len(results)},
+        )

@@ -1,0 +1,81 @@
+"""Evaluation: comparison harness, metrics, and paper-figure renderers."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from .harness import (
+    ACCELERATOR_ORDER,
+    DEFAULT_SCALES,
+    ComparisonResults,
+    run_comparison,
+)
+from .sensitivity import (
+    NUMERIC_TRAITS,
+    SensitivityPoint,
+    SensitivityReport,
+    sweep_trait,
+)
+from .export import grid_to_csv, results_to_json, write_csv, write_json
+from .golden import compute_golden_metrics, load_goldens
+from .noc_characterization import LatencyLoadCurve, LoadPoint, latency_load_curve
+from .plotting import bar_chart, render_figure_bars
+from .traces import TraceEvent, build_trace, save_chrome_trace, to_chrome_trace
+from .metrics import (
+    METRICS,
+    average_reduction,
+    geometric_mean,
+    metric_value,
+    normalize_to,
+    reduction_percent,
+)
+from .report import (
+    format_table,
+    render_headline_summary,
+    render_normalized_figure,
+    render_table1_coverage,
+    render_table2_operations,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "list_experiments",
+    "run_comparison",
+    "ComparisonResults",
+    "sweep_trait",
+    "SensitivityReport",
+    "SensitivityPoint",
+    "NUMERIC_TRAITS",
+    "bar_chart",
+    "latency_load_curve",
+    "LatencyLoadCurve",
+    "LoadPoint",
+    "compute_golden_metrics",
+    "load_goldens",
+    "grid_to_csv",
+    "results_to_json",
+    "write_csv",
+    "write_json",
+    "render_figure_bars",
+    "TraceEvent",
+    "build_trace",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "ACCELERATOR_ORDER",
+    "DEFAULT_SCALES",
+    "METRICS",
+    "metric_value",
+    "normalize_to",
+    "reduction_percent",
+    "average_reduction",
+    "geometric_mean",
+    "format_table",
+    "render_normalized_figure",
+    "render_table1_coverage",
+    "render_table2_operations",
+    "render_headline_summary",
+]

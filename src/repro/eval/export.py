@@ -1,0 +1,52 @@
+"""Result export: comparison grids to CSV/JSON for external tooling."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .harness import ComparisonResults
+from .metrics import METRICS
+
+__all__ = ["grid_to_csv", "results_to_json", "write_csv", "write_json"]
+
+
+def grid_to_csv(comparison: ComparisonResults, metric: str) -> str:
+    """One metric's grid as CSV text (datasets × accelerators)."""
+    grid = comparison.metric_grid(metric)
+    import io
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["dataset", *comparison.accelerators])
+    for ds in comparison.datasets:
+        writer.writerow(
+            [ds, *(repr(grid[ds][acc]) for acc in comparison.accelerators)]
+        )
+    return buf.getvalue()
+
+
+def results_to_json(comparison: ComparisonResults) -> dict:
+    """Every metric (raw + normalized) as a JSON-serialisable dict."""
+    out: dict = {
+        "model": comparison.model_name,
+        "datasets": list(comparison.datasets),
+        "accelerators": list(comparison.accelerators),
+        "metrics": {},
+        "normalized": {},
+    }
+    for metric in METRICS:
+        out["metrics"][metric] = comparison.metric_grid(metric)
+        out["normalized"][metric] = comparison.normalized_grid(metric)
+    return out
+
+
+def write_csv(
+    comparison: ComparisonResults, metric: str, path: str | Path
+) -> None:
+    Path(path).write_text(grid_to_csv(comparison, metric))
+
+
+def write_json(comparison: ComparisonResults, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(results_to_json(comparison), indent=1))

@@ -1,0 +1,54 @@
+"""Golden-number regression for the calibrated evaluation.
+
+The comparison results are deterministic (seeded generators, analytical
+models), so key figures can be pinned.  ``compute_golden_metrics``
+produces the pinned dictionary; ``tests/test_golden.py`` compares a fresh
+run against the checked-in ``goldens.json`` within tight tolerances, so
+any change that silently shifts the paper reproduction fails loudly and
+the goldens file update shows up in review.
+
+Regenerate after an intentional model change with::
+
+    python -m repro.eval.golden > src/repro/eval/goldens.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .harness import run_comparison
+
+__all__ = ["GOLDENS_PATH", "compute_golden_metrics", "load_goldens"]
+
+GOLDENS_PATH = Path(__file__).with_name("goldens.json")
+
+_METRICS = ("execution_time", "dram_accesses", "onchip_latency", "energy")
+_BASELINES = ("hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn")
+
+
+def compute_golden_metrics() -> dict:
+    """The pinned view: per-metric average reductions and per-dataset
+    normalized execution-time ratios for the default GCN sweep."""
+    comp = run_comparison(model="gcn")
+    out: dict = {"average_reduction_percent": {}, "normalized_execution_time": {}}
+    for metric in _METRICS:
+        out["average_reduction_percent"][metric] = {
+            base: round(comp.average_reduction_vs(metric, base), 2)
+            for base in _BASELINES
+        }
+    grid = comp.normalized_grid("execution_time")
+    out["normalized_execution_time"] = {
+        ds: {acc: round(v, 3) for acc, v in row.items()}
+        for ds, row in grid.items()
+    }
+    return out
+
+
+def load_goldens() -> dict:
+    with GOLDENS_PATH.open() as fh:
+        return json.load(fh)
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    print(json.dumps(compute_golden_metrics(), indent=1, sort_keys=True))

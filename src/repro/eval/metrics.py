@@ -1,0 +1,78 @@
+"""Metric extraction and normalisation for the evaluation figures.
+
+The paper reports every quantitative figure *normalised to Aurora*
+(Figs. 7, 9, 10) and derives headline percentages as
+``1 − aurora/baseline`` averages.  These helpers implement those
+conventions once, so every benchmark renders identically.
+"""
+
+from __future__ import annotations
+
+from ..core.results import SimulationResult
+
+__all__ = [
+    "METRICS",
+    "metric_value",
+    "normalize_to",
+    "reduction_percent",
+    "average_reduction",
+    "geometric_mean",
+]
+
+#: metric name -> extractor
+METRICS = {
+    "execution_time": lambda r: r.total_seconds,
+    "dram_accesses": lambda r: float(r.dram_bytes),
+    "onchip_latency": lambda r: float(r.onchip_comm_cycles),
+    "energy": lambda r: r.energy.total,
+}
+
+
+def metric_value(result: SimulationResult, metric: str) -> float:
+    """Extract a named metric from a simulation result."""
+    try:
+        return METRICS[metric](result)
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; available: {', '.join(METRICS)}"
+        ) from None
+
+
+def normalize_to(value: float, reference: float) -> float:
+    """``value / reference`` with a zero-reference guard."""
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return value / reference
+
+
+def reduction_percent(aurora: float, baseline: float) -> float:
+    """Percent reduction Aurora achieves vs a baseline (paper convention).
+
+    ``85`` means Aurora needs 85% less than the baseline.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline value must be positive")
+    return 100.0 * (1.0 - aurora / baseline)
+
+
+def average_reduction(aurora: list[float], baseline: list[float]) -> float:
+    """Mean per-point reduction percentage across matched samples."""
+    if len(aurora) != len(baseline) or not aurora:
+        raise ValueError("need equal-length, non-empty sample lists")
+    return sum(
+        reduction_percent(a, b) for a, b in zip(aurora, baseline)
+    ) / len(aurora)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    log_sum = 0.0
+    import math
+
+    for v in values:
+        log_sum += math.log(v)
+    return math.exp(log_sum / len(values))

@@ -1,0 +1,118 @@
+"""NoC characterization: latency-load curves and saturation points.
+
+The standard network-on-chip evaluation the paper's NoC section implies:
+sweep the injection rate under a synthetic traffic pattern, measure the
+average packet latency, and find the saturation throughput.  Used by the
+bypass/topology studies to show where the flexible configuration moves
+the curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.noc.network import NoCSimulator
+from ..arch.noc.topology import FlexibleMeshTopology
+from ..config import NoCConfig
+
+__all__ = ["LoadPoint", "LatencyLoadCurve", "latency_load_curve"]
+
+PATTERNS = ("uniform", "hotspot", "transpose")
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One injection-rate sample."""
+
+    injection_rate: float  # packets / node / cycle offered
+    avg_latency: float
+    delivered: int
+    drain_cycles: int
+
+
+@dataclass(frozen=True)
+class LatencyLoadCurve:
+    """Sweep result with saturation detection."""
+
+    pattern: str
+    points: tuple[LoadPoint, ...]
+
+    @property
+    def zero_load_latency(self) -> float:
+        return self.points[0].avg_latency if self.points else 0.0
+
+    def saturation_rate(self, *, factor: float = 3.0) -> float | None:
+        """First injection rate whose latency exceeds ``factor`` × the
+        zero-load latency; None if the sweep never saturates."""
+        base = self.zero_load_latency
+        for p in self.points[1:]:
+            if p.avg_latency > factor * base:
+                return p.injection_rate
+        return None
+
+
+def _destinations(
+    pattern: str, sources: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = k * k
+    if pattern == "uniform":
+        dst = rng.integers(0, n, size=sources.size)
+    elif pattern == "hotspot":
+        # 30% of traffic converges on one node, the rest uniform.
+        hot = n // 2
+        dst = rng.integers(0, n, size=sources.size)
+        dst[rng.random(sources.size) < 0.3] = hot
+    elif pattern == "transpose":
+        x, y = sources % k, sources // k
+        dst = x * k + y
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}; choose from {PATTERNS}")
+    return dst
+
+
+def latency_load_curve(
+    topology: FlexibleMeshTopology,
+    *,
+    pattern: str = "uniform",
+    rates: tuple[float, ...] = (0.005, 0.01, 0.02, 0.04, 0.08),
+    warm_cycles: int = 200,
+    packet_bytes: int = 32,
+    config: NoCConfig | None = None,
+    seed: int = 0,
+) -> LatencyLoadCurve:
+    """Open-loop injection sweep: Bernoulli arrivals per node per cycle
+    over ``warm_cycles``, then drain and report mean latency."""
+    if warm_cycles < 1:
+        raise ValueError("warm_cycles must be >= 1")
+    points = []
+    n = topology.num_nodes
+    k = topology.k
+    for rate in rates:
+        if not 0 < rate <= 1:
+            raise ValueError("rates must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        sim = NoCSimulator(topology, config)
+        sim.refresh_configuration()
+        for cycle in range(warm_cycles):
+            fire = rng.random(n) < rate
+            sources = np.nonzero(fire)[0]
+            if sources.size == 0:
+                sim.step()
+                continue
+            dsts = _destinations(pattern, sources, k, rng)
+            for src, dst in zip(sources.tolist(), dsts.tolist()):
+                if src != dst:
+                    sim.inject(int(src), int(dst), packet_bytes)
+            sim.step()
+        stats = sim.run(max_cycles=500_000)
+        points.append(
+            LoadPoint(
+                injection_rate=rate,
+                avg_latency=stats.avg_packet_latency,
+                delivered=stats.packets_delivered,
+                drain_cycles=stats.cycles,
+            )
+        )
+    return LatencyLoadCurve(pattern=pattern, points=tuple(points))

@@ -1,0 +1,56 @@
+"""ASCII chart rendering for terminal-native figures.
+
+The benches print tables; these helpers additionally render the grouped
+horizontal bar charts the paper's figures use, so a terminal session can
+eyeball shapes without matplotlib.
+"""
+
+from __future__ import annotations
+
+from .harness import ComparisonResults
+
+__all__ = ["bar_chart", "render_figure_bars"]
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    *,
+    width: int = 48,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal ASCII bar chart, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values) or 1.0
+    label_w = max(len(s) for s in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_figure_bars(
+    comparison: ComparisonResults,
+    metric: str,
+    *,
+    title: str,
+    width: int = 40,
+) -> str:
+    """Grouped bars (per dataset) of a metric normalised to Aurora —
+    the paper's figure layout rendered for a terminal."""
+    grid = comparison.normalized_grid(metric)
+    chunks = [title]
+    for ds in comparison.datasets:
+        labels = list(comparison.accelerators)
+        values = [grid[ds][acc] for acc in labels]
+        chunks.append(
+            bar_chart(labels, values, width=width, unit="x", title=f"[{ds}]")
+        )
+    return "\n\n".join(chunks)

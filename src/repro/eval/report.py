@@ -1,0 +1,124 @@
+"""Text renderers that regenerate the paper's tables and figures.
+
+Each renderer turns harness output into the same rows/series the paper
+plots, as aligned plain-text tables (the benches print these so a run's
+output is directly comparable with the publication).
+"""
+
+from __future__ import annotations
+
+from ..baselines import BASELINE_TRAITS
+from ..models.base import Phase
+from ..models.workload import LayerDims, extract_workload
+from ..models.zoo import MODEL_ZOO
+from .harness import ComparisonResults
+
+__all__ = [
+    "format_table",
+    "render_normalized_figure",
+    "render_table1_coverage",
+    "render_table2_operations",
+    "render_headline_summary",
+]
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], *, title: str | None = None
+) -> str:
+    """Simple aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_normalized_figure(
+    comparison: ComparisonResults, metric: str, *, title: str
+) -> str:
+    """A Fig. 7/9/10-style table: rows = datasets, cols = accelerators,
+    values normalised to Aurora (Aurora column = 1.00)."""
+    grid = comparison.normalized_grid(metric)
+    headers = ["dataset"] + list(comparison.accelerators)
+    rows = []
+    for ds in comparison.datasets:
+        rows.append(
+            [ds] + [f"{grid[ds][acc]:.2f}" for acc in comparison.accelerators]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_table1_coverage() -> str:
+    """Table I: model coverage and architecture features per accelerator."""
+    headers = [
+        "accelerator",
+        "C-GNN",
+        "A-GNN",
+        "MP-GNN",
+        "flex PE",
+        "flex dataflow",
+        "flex NoC",
+        "msg passing",
+    ]
+
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    rows = []
+    for t in BASELINE_TRAITS:
+        rows.append(
+            [
+                t.name,
+                mark(t.supports_c_gnn),
+                mark(t.supports_a_gnn),
+                mark(t.supports_mp_gnn),
+                mark(t.flexible_pe),
+                mark(t.flexible_dataflow),
+                mark(t.flexible_noc),
+                mark(t.message_passing),
+            ]
+        )
+    rows.append(["aurora"] + ["yes"] * 7)
+    return format_table(headers, rows, title="Table I: GNN coverage and features")
+
+
+def render_table2_operations() -> str:
+    """Table II: required operations per execution phase per model."""
+    headers = ["model", "category", "edge update", "aggregation", "vertex update"]
+    rows = []
+    for model in MODEL_ZOO.values():
+        cells = []
+        for phase in (Phase.EDGE_UPDATE, Phase.AGGREGATION, Phase.VERTEX_UPDATE):
+            spec = model.phase_spec(phase)
+            if spec.is_null:
+                cells.append("Null")
+            else:
+                cells.append(", ".join(op.value for op in spec.op_kinds()))
+        rows.append([model.name, model.category.value] + cells)
+    return format_table(headers, rows, title="Table II: operations per phase")
+
+
+def render_headline_summary(comparison: ComparisonResults) -> str:
+    """The abstract's headline: average time/energy reduction per baseline."""
+    headers = ["baseline", "time reduction %", "energy reduction %", "speedup range"]
+    rows = []
+    for base in comparison.accelerators:
+        if base == "aurora":
+            continue
+        t_red = comparison.average_reduction_vs("execution_time", base)
+        e_red = comparison.average_reduction_vs("energy", base)
+        lo, hi = comparison.speedup_range_vs("execution_time", base)
+        rows.append(
+            [base, f"{t_red:.0f}", f"{e_red:.0f}", f"{lo:.1f}x - {hi:.1f}x"]
+        )
+    return format_table(
+        headers, rows, title="Headline: Aurora reduction vs each baseline"
+    )

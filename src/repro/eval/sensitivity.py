@@ -1,0 +1,128 @@
+"""Sensitivity analysis over the calibrated model constants.
+
+The baseline models encode published dataflow properties plus a handful
+of calibrated effective-bandwidth constants (DESIGN.md documents which is
+which).  This module perturbs those constants systematically and reports
+how the headline conclusions respond — the robustness check reviewers ask
+for: *do the paper's qualitative results survive if a calibrated knob is
+off by ±X%?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..baselines import BaselineAccelerator, BaselineTraits
+from ..config import AcceleratorConfig, default_config
+from ..core.accelerator import layer_plan
+from ..core.simulator import AuroraSimulator
+from ..graphs.datasets import dataset_profile, load_dataset
+from ..models.zoo import get_model
+
+__all__ = ["SensitivityPoint", "SensitivityReport", "sweep_trait"]
+
+#: Trait fields it makes sense to perturb multiplicatively.
+NUMERIC_TRAITS = (
+    "traffic_factor",
+    "comm_ports",
+    "comm_service_cycles",
+    "feature_reuse",
+    "imbalance_sensitivity",
+    "redundancy_elimination",
+    "buffer_traffic_factor",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One perturbed run of a baseline against the fixed Aurora result."""
+
+    factor: float
+    trait_value: float
+    speedup_vs_aurora: float  # baseline_time / aurora_time
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Sweep of one trait of one baseline on one dataset."""
+
+    baseline: str
+    trait: str
+    dataset: str
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def aurora_always_wins(self) -> bool:
+        return all(p.speedup_vs_aurora >= 1.0 for p in self.points)
+
+    @property
+    def spread(self) -> float:
+        """Max/min speedup ratio across the sweep (1.0 = insensitive)."""
+        vals = [p.speedup_vs_aurora for p in self.points]
+        return max(vals) / min(vals)
+
+    def monotonic(self) -> bool:
+        vals = [p.speedup_vs_aurora for p in self.points]
+        increasing = all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+        decreasing = all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+        return increasing or decreasing
+
+
+def _clip_trait(trait: str, value: float) -> float:
+    """Keep perturbed values inside their semantic domain."""
+    if trait in ("feature_reuse", "redundancy_elimination", "imbalance_sensitivity"):
+        return min(max(value, 0.0), 0.99)
+    if trait == "comm_ports":
+        return max(1.0, value)
+    return max(value, 1e-6)
+
+
+def sweep_trait(
+    traits: BaselineTraits,
+    trait: str,
+    *,
+    dataset: str = "cora",
+    scale: float = 1.0,
+    factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5),
+    config: AcceleratorConfig | None = None,
+    hidden: int = 64,
+) -> SensitivityReport:
+    """Perturb one numeric trait of a baseline and re-run the comparison.
+
+    Aurora's result is computed once; each factor rescales the trait and
+    re-simulates the baseline.
+    """
+    if trait not in NUMERIC_TRAITS:
+        raise ValueError(
+            f"trait {trait!r} is not sweepable; choose from {NUMERIC_TRAITS}"
+        )
+    cfg = config or default_config()
+    graph = load_dataset(dataset, scale=scale)
+    prof = dataset_profile(dataset)
+    dims = layer_plan(graph, hidden, 2, prof.num_classes)
+    model = get_model("gcn")
+    aurora = AuroraSimulator(cfg).simulate(model, graph, dims)
+
+    base_value = getattr(traits, trait)
+    points = []
+    for factor in factors:
+        raw = base_value * factor
+        value = _clip_trait(trait, raw)
+        if trait == "comm_ports":
+            value = int(round(value))
+        perturbed = replace(traits, **{trait: value})
+        device = BaselineAccelerator(perturbed, cfg)
+        result = device.simulate(model, graph, dims, strict=False)
+        points.append(
+            SensitivityPoint(
+                factor=factor,
+                trait_value=float(value),
+                speedup_vs_aurora=result.total_seconds / aurora.total_seconds,
+            )
+        )
+    return SensitivityReport(
+        baseline=traits.name,
+        trait=trait,
+        dataset=dataset,
+        points=tuple(points),
+    )

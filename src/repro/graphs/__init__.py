@@ -1,0 +1,68 @@
+"""Graph substrate: CSR storage, synthetic datasets, tiling, statistics."""
+
+from .csr import CSRGraph, GraphMeta, from_dense_adjacency, from_edge_list
+from .datasets import (
+    DATASETS,
+    DatasetProfile,
+    dataset_profile,
+    list_datasets,
+    load_dataset,
+)
+from .io import load_npz, read_edge_list_file, save_npz, write_edge_list_file
+from .reorder import bfs_order, edge_locality_score, permute_graph
+from .generators import (
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from .stats import (
+    DegreeSummary,
+    communication_imbalance,
+    degree_histogram,
+    degree_summary,
+    gini_coefficient,
+    power_law_exponent,
+    top_degree_vertices,
+)
+from .tiling import Tile, TilingPlan, tile_footprint_bytes, tile_graph
+
+__all__ = [
+    "CSRGraph",
+    "GraphMeta",
+    "from_edge_list",
+    "from_dense_adjacency",
+    "DatasetProfile",
+    "DATASETS",
+    "dataset_profile",
+    "list_datasets",
+    "load_dataset",
+    "power_law_graph",
+    "rmat_graph",
+    "uniform_random_graph",
+    "grid_graph",
+    "star_graph",
+    "chain_graph",
+    "complete_graph",
+    "bfs_order",
+    "permute_graph",
+    "edge_locality_score",
+    "save_npz",
+    "load_npz",
+    "read_edge_list_file",
+    "write_edge_list_file",
+    "Tile",
+    "TilingPlan",
+    "tile_graph",
+    "tile_footprint_bytes",
+    "DegreeSummary",
+    "degree_histogram",
+    "degree_summary",
+    "power_law_exponent",
+    "gini_coefficient",
+    "top_degree_vertices",
+    "communication_imbalance",
+]

@@ -1,0 +1,327 @@
+"""Compressed Sparse Row (CSR) graph substrate.
+
+The paper stores graph data in CSR format and feeds its metadata (row and
+edge indices) to the mapping and partitioning units.  This module provides
+the CSR container used throughout the simulator: adjacency in CSR (and a
+lazily built CSC transpose), per-vertex degrees, and light-weight metadata
+queries the preprocessing units rely on.
+
+All index arrays are contiguous ``int64`` NumPy arrays so that downstream
+vectorised traffic/op counting never copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph", "GraphMeta", "from_edge_list", "from_dense_adjacency"]
+
+
+@dataclass(frozen=True)
+class GraphMeta:
+    """Structural metadata extracted from CSR indices.
+
+    This is the "auxiliary information" the request dispatcher forwards to
+    the adaptive workflow generator, partition algorithm, and degree-aware
+    mapping algorithm (paper Fig. 3).
+    """
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    min_degree: int
+    mean_degree: float
+    degree_p99: float
+    density: float
+
+    @property
+    def is_power_law_like(self) -> bool:
+        """Heuristic: heavy-tailed if the p99 degree dwarfs the mean."""
+        if self.mean_degree == 0:
+            return False
+        return self.degree_p99 >= 4.0 * self.mean_degree
+
+
+class CSRGraph:
+    """Directed graph in CSR form with dataset attributes.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of shape ``(num_vertices + 1,)``; row pointers.
+    indices:
+        ``int64`` array of shape ``(num_edges,)``; column indices
+        (out-neighbors of each vertex, i.e. edge destinations).
+    num_features:
+        Width of the per-vertex feature vectors (``F``).
+    feature_density:
+        Fraction of nonzero entries in the feature matrix; drives DRAM
+        traffic for feature loads (the paper notes Reddit's >50% density).
+    edge_feature_dim:
+        Width of per-edge embeddings (``E_f``), 0 when the model family
+        does not use edge embeddings.
+    name:
+        Dataset name for reporting.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "num_features",
+        "feature_density",
+        "edge_feature_dim",
+        "name",
+        "_degrees",
+        "_in_degrees",
+        "_csc",
+        "_meta",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        num_features: int = 1,
+        feature_density: float = 1.0,
+        edge_feature_dim: int = 0,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                f"indptr[-1]={indptr[-1]} does not match len(indices)={indices.size}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("edge destinations out of range")
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if not (0.0 < feature_density <= 1.0):
+            raise ValueError("feature_density must be in (0, 1]")
+        if edge_feature_dim < 0:
+            raise ValueError("edge_feature_dim must be >= 0")
+
+        self.indptr = indptr
+        self.indices = indices
+        self.num_features = int(num_features)
+        self.feature_density = float(feature_density)
+        self.edge_feature_dim = int(edge_feature_dim)
+        self.name = name
+        self._degrees: np.ndarray | None = None
+        self._in_degrees: np.ndarray | None = None
+        self._csc: tuple[np.ndarray, np.ndarray] | None = None
+        self._meta: GraphMeta | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.size
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of each vertex (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of each vertex (cached)."""
+        if self._in_degrees is None:
+            self._in_degrees = np.bincount(
+                self.indices, minlength=self.num_vertices
+            ).astype(np.int64)
+        return self._in_degrees
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of vertex ``v`` (a view, not a copy)."""
+        if not 0 <= v < self.num_vertices:
+            raise IndexError(f"vertex {v} out of range")
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise IndexError(f"vertex {v} out of range")
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(src, dst)`` pairs in CSR order."""
+        src = np.repeat(np.arange(self.num_vertices), self.degrees)
+        return zip(src.tolist(), self.indices.tolist())
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array of ``(src, dst)`` rows."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+        return np.column_stack((src, self.indices))
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def csc(self) -> tuple[np.ndarray, np.ndarray]:
+        """Transpose adjacency as ``(indptr, indices)`` over in-edges."""
+        if self._csc is None:
+            order = np.argsort(self.indices, kind="stable")
+            src = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees
+            )
+            col_indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self.indices, minlength=self.num_vertices),
+                out=col_indptr[1:],
+            )
+            self._csc = (col_indptr, np.ascontiguousarray(src[order]))
+        return self._csc
+
+    def reverse(self) -> "CSRGraph":
+        """Graph with every edge reversed."""
+        indptr, indices = self.csc()
+        return CSRGraph(
+            indptr.copy(),
+            indices.copy(),
+            num_features=self.num_features,
+            feature_density=self.feature_density,
+            edge_feature_dim=self.edge_feature_dim,
+            name=f"{self.name}-rev",
+        )
+
+    def meta(self) -> GraphMeta:
+        """Structural metadata (cached); used by mapping/partition units."""
+        if self._meta is None:
+            deg = self.degrees
+            n = self.num_vertices
+            m = self.num_edges
+            self._meta = GraphMeta(
+                num_vertices=n,
+                num_edges=m,
+                max_degree=int(deg.max()) if n else 0,
+                min_degree=int(deg.min()) if n else 0,
+                mean_degree=float(deg.mean()) if n else 0.0,
+                degree_p99=float(np.percentile(deg, 99)) if n else 0.0,
+                density=float(m) / (n * n) if n else 0.0,
+            )
+        return self._meta
+
+    # ------------------------------------------------------------------
+    # Subgraph extraction (used by tiling)
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Sequence[int] | np.ndarray) -> "CSRGraph":
+        """Subgraph induced on ``vertices`` with relabelled, compacted ids.
+
+        Edges whose destination falls outside the vertex set are dropped,
+        matching the paper's tiling scheme where cross-tile edges are
+        handled by boundary feature loads, not on-chip traffic.
+        """
+        verts = np.asarray(vertices, dtype=np.int64)
+        if verts.size != np.unique(verts).size:
+            raise ValueError("vertex list contains duplicates")
+        if verts.size and (verts.min() < 0 or verts.max() >= self.num_vertices):
+            raise ValueError("vertex ids out of range")
+        lookup = np.full(self.num_vertices, -1, dtype=np.int64)
+        lookup[verts] = np.arange(verts.size)
+
+        new_indptr = np.zeros(verts.size + 1, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for new_id, v in enumerate(verts):
+            nbrs = lookup[self.neighbors(int(v))]
+            nbrs = nbrs[nbrs >= 0]
+            chunks.append(nbrs)
+            new_indptr[new_id + 1] = new_indptr[new_id] + nbrs.size
+        new_indices = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        return CSRGraph(
+            new_indptr,
+            new_indices,
+            num_features=self.num_features,
+            feature_density=self.feature_density,
+            edge_feature_dim=self.edge_feature_dim,
+            name=f"{self.name}-sub{verts.size}",
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"CSRGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, F={self.num_features})"
+        )
+
+
+def from_edge_list(
+    num_vertices: int,
+    edges: Sequence[tuple[int, int]] | np.ndarray,
+    *,
+    num_features: int = 1,
+    feature_density: float = 1.0,
+    edge_feature_dim: int = 0,
+    name: str = "graph",
+    dedup: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from ``(src, dst)`` pairs.
+
+    Self-loops are kept (GCN aggregation includes the vertex itself);
+    duplicate edges are removed when ``dedup`` is set.
+    """
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array of (src, dst) pairs")
+    if arr.size and (arr.min() < 0 or arr.max() >= num_vertices):
+        raise ValueError("edge endpoints out of range")
+    if dedup and arr.shape[0]:
+        arr = np.unique(arr, axis=0)
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    arr = arr[order]
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(np.bincount(arr[:, 0], minlength=num_vertices), out=indptr[1:])
+    return CSRGraph(
+        indptr,
+        np.ascontiguousarray(arr[:, 1]),
+        num_features=num_features,
+        feature_density=feature_density,
+        edge_feature_dim=edge_feature_dim,
+        name=name,
+    )
+
+
+def from_dense_adjacency(
+    adj: np.ndarray,
+    *,
+    num_features: int = 1,
+    feature_density: float = 1.0,
+    edge_feature_dim: int = 0,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from a dense 0/1 adjacency matrix."""
+    adj = np.asarray(adj)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise ValueError("adjacency must be square")
+    src, dst = np.nonzero(adj)
+    return from_edge_list(
+        adj.shape[0],
+        np.column_stack((src, dst)),
+        num_features=num_features,
+        feature_density=feature_density,
+        edge_feature_dim=edge_feature_dim,
+        name=name,
+        dedup=False,
+    )

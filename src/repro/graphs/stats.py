@@ -1,0 +1,117 @@
+"""Graph statistics consumed by the mapping and partition units.
+
+These are the quantitative inputs behind the paper's design decisions: the
+power-law degree skew motivates the bypass links and degree-aware mapping,
+and communication-imbalance metrics quantify what hashing-based mapping
+suffers from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "degree_histogram",
+    "power_law_exponent",
+    "gini_coefficient",
+    "top_degree_vertices",
+    "communication_imbalance",
+    "DegreeSummary",
+    "degree_summary",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary of a degree distribution."""
+
+    mean: float
+    std: float
+    maximum: int
+    p50: float
+    p90: float
+    p99: float
+    gini: float
+    fitted_exponent: float
+
+
+def degree_histogram(graph: CSRGraph, *, use_in_degrees: bool = False) -> np.ndarray:
+    """Counts of vertices per degree value (index = degree)."""
+    deg = graph.in_degrees if use_in_degrees else graph.degrees
+    return np.bincount(deg)
+
+
+def power_law_exponent(graph: CSRGraph, *, dmin: int = 2) -> float:
+    """Maximum-likelihood (Hill) estimate of the degree-tail exponent.
+
+    alpha = 1 + n / sum(ln(d_i / (dmin - 0.5))) over degrees >= dmin.
+    Returns ``nan`` when the graph has no tail to fit.
+    """
+    deg = graph.degrees
+    tail = deg[deg >= dmin].astype(np.float64)
+    if tail.size < 2:
+        return float("nan")
+    return float(1.0 + tail.size / np.log(tail / (dmin - 0.5)).sum())
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative array (0 = equal, ->1 = skewed)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0:
+        return 0.0
+    if np.any(v < 0):
+        raise ValueError("values must be non-negative")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    # Standard formula: G = (n + 1 - 2 * sum(cum) / total) / n
+    return float((n + 1 - 2.0 * cum.sum() / total) / n)
+
+
+def top_degree_vertices(graph: CSRGraph, k: int, *, use_in_degrees: bool = False) -> np.ndarray:
+    """Ids of the ``k`` highest-degree vertices, sorted by degree descending.
+
+    Ties are broken by vertex id (ascending) so the result is deterministic —
+    the degree-aware mapper depends on this ordering.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    deg = graph.in_degrees if use_in_degrees else graph.degrees
+    k = min(k, deg.size)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((np.arange(deg.size), -deg))
+    return order[:k].astype(np.int64)
+
+
+def communication_imbalance(loads: np.ndarray) -> float:
+    """Max/mean load ratio across PEs (1.0 = perfectly balanced).
+
+    This is the metric the degree-aware mapping targets: hashing mapping
+    can land several hubs on one row, spiking its row load.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0 or loads.sum() == 0:
+        return 1.0
+    return float(loads.max() / loads.mean())
+
+
+def degree_summary(graph: CSRGraph) -> DegreeSummary:
+    """Convenience bundle of the statistics the controller logs per graph."""
+    deg = graph.degrees.astype(np.float64)
+    return DegreeSummary(
+        mean=float(deg.mean()),
+        std=float(deg.std()),
+        maximum=int(deg.max()) if deg.size else 0,
+        p50=float(np.percentile(deg, 50)) if deg.size else 0.0,
+        p90=float(np.percentile(deg, 90)) if deg.size else 0.0,
+        p99=float(np.percentile(deg, 99)) if deg.size else 0.0,
+        gini=gini_coefficient(deg),
+        fitted_exponent=power_law_exponent(graph),
+    )

@@ -1,0 +1,20 @@
+"""Workload mapping: degree-aware (Algorithm 1) and hashing baseline."""
+
+from .base import MappingResult, PERegion
+from .degree_aware import ALGORITHM_CYCLES, degree_aware_map
+from .hashing import hashing_map
+from .nqueen import can_place, fixed_pattern, solve_n_queens
+from .traffic import aggregate_flows, edge_flows
+
+__all__ = [
+    "MappingResult",
+    "PERegion",
+    "degree_aware_map",
+    "hashing_map",
+    "ALGORITHM_CYCLES",
+    "solve_n_queens",
+    "fixed_pattern",
+    "can_place",
+    "edge_flows",
+    "aggregate_flows",
+]

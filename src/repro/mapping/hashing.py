@@ -1,0 +1,48 @@
+"""Hashing-based mapping — the CGRA-ME-style baseline.
+
+Vertices are assigned to PEs by a modulo hash of the vertex id, with no
+degree awareness.  High-degree vertices land wherever the hash puts them,
+so several hubs regularly share a row or column — the contention the
+degree-aware policy is designed to avoid (paper §IV, §VI-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .base import MappingResult, PERegion
+
+__all__ = ["hashing_map"]
+
+
+def hashing_map(
+    graph: CSRGraph,
+    region: PERegion,
+    *,
+    pe_vertex_capacity: int | None = None,
+    stride: int = 1,
+) -> MappingResult:
+    """Map vertices to PEs by ``pe = (v * stride) mod num_pes``.
+
+    ``pe_vertex_capacity`` is accepted for interface parity; a hash does
+    not respect capacity, which is part of why it loses — but we do
+    validate that the *average* load fits so configurations stay
+    comparable with degree-aware runs.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    n = graph.num_vertices
+    if pe_vertex_capacity is not None and n > region.num_pes * pe_vertex_capacity:
+        raise ValueError("tile exceeds region capacity")
+    nodes = region.node_ids()
+    if n == 0:
+        v2p = np.empty(0, dtype=np.int64)
+    else:
+        v2p = nodes[(np.arange(n, dtype=np.int64) * stride) % region.num_pes]
+    return MappingResult(
+        policy="hashing",
+        region=region,
+        vertex_to_pe=v2p,
+        algorithm_cycles=0,
+    )

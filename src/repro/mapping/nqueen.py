@@ -1,0 +1,79 @@
+"""N-Queen placement of special PEs (S_PEs).
+
+The degree-aware mapping (paper Algorithm 1, lines 1–12) places the PEs
+that will host high-degree vertices such that no two share a row, column,
+or diagonal — because each row and column has exactly one physical bypass
+link, and a diagonal spread keeps the express traffic of different hubs on
+different wires.
+
+``solve_n_queens`` is the classic backtracking solver ("Queen(k)" in the
+paper's pseudocode); ``fixed_pattern`` is the reduced-complexity variant
+the paper actually deploys (one S_PE per row, deterministic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["can_place", "solve_n_queens", "fixed_pattern"]
+
+
+def can_place(columns: list[int], row: int, col: int) -> bool:
+    """N-Queen feasibility: ``columns[r]`` is the queen column of row r."""
+    for r, c in enumerate(columns[:row]):
+        if c == col:
+            return False
+        if abs(c - col) == abs(r - row):
+            return False
+    return True
+
+
+def solve_n_queens(k: int) -> list[tuple[int, int]]:
+    """First N-Queen solution on a k×k board as ``(row, col)`` pairs.
+
+    Deterministic (lexicographically first solution), matching the paper's
+    recursive ``Queen`` procedure.  k in {2, 3} has no solution; those
+    degenerate array sizes fall back to an anti-diagonal-free greedy
+    pattern from :func:`fixed_pattern`.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    columns: list[int] = []
+
+    def backtrack(row: int) -> bool:
+        if row == k:
+            return True
+        for col in range(k):
+            if can_place(columns, row, col):
+                columns.append(col)
+                if backtrack(row + 1):
+                    return True
+                columns.pop()
+        return False
+
+    if not backtrack(0):
+        return fixed_pattern(k)
+    return [(r, c) for r, c in enumerate(columns)]
+
+
+def fixed_pattern(k: int) -> list[tuple[int, int]]:
+    """Reduced-complexity S_PE pattern: one per row, columns staggered.
+
+    Uses the knight-step construction (col = (2·row + 1) mod k), which for
+    most k yields a valid N-Queen layout in O(k) and always guarantees the
+    properties that matter for the bypass wires: distinct rows and — when
+    gcd(2, k) permits — distinct columns.  Falls back to a plain diagonal
+    offset when k is even and small.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    cols = [(2 * r + 1) % k for r in range(k)]
+    if len(set(cols)) != k:
+        # Even k: 2r+1 collides; use a coprime stride instead.
+        stride = 1
+        for cand in range(k - 1, 0, -1):
+            if np.gcd(cand, k) == 1:
+                stride = cand
+                break
+        cols = [(r * stride) % k for r in range(k)]
+    return [(r, c) for r, c in enumerate(cols)]

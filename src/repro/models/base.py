@@ -1,0 +1,166 @@
+"""GNN execution-model abstractions.
+
+The paper abstracts every GNN layer into three message-passing stages
+(§II, Fig. 1):
+
+* **Edge Update** — per-edge function ψ over the adjacent vertex features
+  and the previous edge feature;
+* **Aggregation** — per-vertex reduction ⊕ of neighbor/edge messages;
+* **Vertex Update** — per-vertex function φ of the aggregated message and
+  the weight matrix.
+
+Each stage decomposes into the primitive operations of Table II
+(``Scalar×V``, ``V·V``, ``M×V``, ``V⊙V``, ``ΣV``, activation ``α``,
+concatenation ``||``), which are exactly the configurations the unified PE
+supports (Fig. 6).  A :class:`GNNModel` is a declarative description of a
+model's stages in terms of these primitives; the workload extractor turns
+it into per-layer operation counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "OpKind",
+    "Phase",
+    "ModelCategory",
+    "PhaseOp",
+    "PhaseSpec",
+    "GNNModel",
+]
+
+
+class OpKind(enum.Enum):
+    """Primitive operations of Table II / Fig. 6."""
+
+    MATRIX_VECTOR = "MxV"  # weight-matrix × feature-vector
+    VECTOR_VECTOR = "VxV"  # element-wise vector multiply (V×V)
+    DOT = "V.V"  # vector dot product
+    SCALAR_VECTOR = "SxV"  # scalar coefficient × vector
+    ELEMENTWISE = "V(.)V"  # element-wise (Hadamard) product V⊙V
+    ACCUMULATE = "SumV"  # ΣV reduction
+    MAX_REDUCE = "MaxV"  # element-wise max reduction (pooling aggregators)
+    ACTIVATION = "alpha"  # non-linear activation in the PPU
+    CONCAT = "concat"  # vector concatenation in the PPU
+    NULL = "null"  # phase not present for this model
+
+    @property
+    def is_ppu(self) -> bool:
+        """Whether the op runs in the post-processing unit, not the MACs."""
+        return self in (OpKind.ACTIVATION, OpKind.CONCAT)
+
+    @property
+    def is_reduction(self) -> bool:
+        return self in (OpKind.ACCUMULATE, OpKind.MAX_REDUCE)
+
+
+class Phase(enum.Enum):
+    """The three GNN execution stages."""
+
+    EDGE_UPDATE = "edge_update"
+    AGGREGATION = "aggregation"
+    VERTEX_UPDATE = "vertex_update"
+
+
+class ModelCategory(enum.Enum):
+    """Taxonomy of §II: fixed-scalar, learned-scalar, learned-vector ψ."""
+
+    C_GNN = "C-GNN"
+    A_GNN = "A-GNN"
+    MP_GNN = "MP-GNN"
+
+
+@dataclass(frozen=True)
+class PhaseOp:
+    """One primitive op inside a phase.
+
+    ``per`` states the iteration domain: ``"edge"`` ops run once per edge,
+    ``"vertex"`` ops once per destination vertex.  ``weight_cols`` scales
+    matrix ops (an ``M×V`` with an ``F_out × F_in`` weight does
+    ``F_out * F_in`` multiplies per application; vector ops touch ``F_in``
+    lanes).  ``repeat`` covers models applying the same primitive more than
+    once per element (e.g. G-GCN's two weight transforms).
+    """
+
+    kind: OpKind
+    per: str = "edge"  # "edge" | "vertex"
+    repeat: int = 1
+    uses_output_dim: bool = False  # vector ops over F_out instead of F_in
+
+    def __post_init__(self) -> None:
+        if self.per not in ("edge", "vertex"):
+            raise ValueError("per must be 'edge' or 'vertex'")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """A phase as a sequence of primitive ops (empty = Null in Table II)."""
+
+    phase: Phase
+    ops: tuple[PhaseOp, ...] = ()
+
+    @property
+    def is_null(self) -> bool:
+        return len(self.ops) == 0
+
+    def op_kinds(self) -> tuple[OpKind, ...]:
+        return tuple(op.kind for op in self.ops)
+
+
+@dataclass(frozen=True)
+class GNNModel:
+    """Declarative description of one GNN model (one row of Table II)."""
+
+    name: str
+    category: ModelCategory
+    edge_update: PhaseSpec
+    aggregation: PhaseSpec
+    vertex_update: PhaseSpec
+    uses_edge_embeddings: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.edge_update.phase is not Phase.EDGE_UPDATE:
+            raise ValueError("edge_update spec must carry Phase.EDGE_UPDATE")
+        if self.aggregation.phase is not Phase.AGGREGATION:
+            raise ValueError("aggregation spec must carry Phase.AGGREGATION")
+        if self.vertex_update.phase is not Phase.VERTEX_UPDATE:
+            raise ValueError("vertex_update spec must carry Phase.VERTEX_UPDATE")
+        if self.aggregation.is_null:
+            raise ValueError("every message-passing model aggregates")
+
+    @property
+    def has_edge_update(self) -> bool:
+        return not self.edge_update.is_null
+
+    @property
+    def has_vertex_update(self) -> bool:
+        return not self.vertex_update.is_null
+
+    def phase_spec(self, phase: Phase) -> PhaseSpec:
+        return {
+            Phase.EDGE_UPDATE: self.edge_update,
+            Phase.AGGREGATION: self.aggregation,
+            Phase.VERTEX_UPDATE: self.vertex_update,
+        }[phase]
+
+    def active_phases(self) -> tuple[Phase, ...]:
+        """Phases with work, in execution order."""
+        out = []
+        if self.has_edge_update:
+            out.append(Phase.EDGE_UPDATE)
+        out.append(Phase.AGGREGATION)
+        if self.has_vertex_update:
+            out.append(Phase.VERTEX_UPDATE)
+        return tuple(out)
+
+    def required_op_kinds(self) -> frozenset[OpKind]:
+        """Union of primitive ops across phases — what a PE must support."""
+        kinds: set[OpKind] = set()
+        for spec in (self.edge_update, self.aggregation, self.vertex_update):
+            kinds.update(spec.op_kinds())
+        return frozenset(kinds)

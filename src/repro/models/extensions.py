@@ -1,0 +1,100 @@
+"""Extension models beyond the paper's Table II.
+
+The paper's abstraction ("GAN, GCN, and GIN, among others") is open: any
+model expressible as edge update / aggregation / vertex update over the
+primitive ops runs on the unified PE.  These three extensions exercise
+corners Table II doesn't:
+
+* **GAT (multi-head)** — per-edge learned attention with H heads: the
+  edge update carries H dot products + scalings per edge, the vertex
+  update concatenates head outputs.
+* **APPNP** — propagation-only layers (personalised PageRank): scalar
+  edge weights, no vertex transform at all after the first hop — the
+  mirror image of EdgeConv's missing phase.
+* **GCNII** — GCN with initial-residual and identity mapping: two
+  vector-scale ops in the vertex update on top of the dense transform.
+
+Registering them is one dict update; the simulators, partition
+algorithm, and configuration unit need no changes — which is the point.
+"""
+
+from __future__ import annotations
+
+from .base import GNNModel, ModelCategory, OpKind, Phase, PhaseOp, PhaseSpec
+from .zoo import MODEL_ZOO
+
+__all__ = ["GAT_2HEAD", "APPNP", "GCNII", "EXTENSION_ZOO", "register_extensions"]
+
+
+def _edge(*ops: PhaseOp) -> PhaseSpec:
+    return PhaseSpec(Phase.EDGE_UPDATE, tuple(ops))
+
+
+def _agg(*ops: PhaseOp) -> PhaseSpec:
+    return PhaseSpec(Phase.AGGREGATION, tuple(ops))
+
+
+def _vert(*ops: PhaseOp) -> PhaseSpec:
+    return PhaseSpec(Phase.VERTEX_UPDATE, tuple(ops))
+
+
+GAT_2HEAD = GNNModel(
+    name="gat-2head",
+    category=ModelCategory.A_GNN,
+    edge_update=_edge(
+        # Per head: attention score (dot of transformed endpoints) and
+        # the score-scaled neighbor feature.
+        PhaseOp(OpKind.DOT, per="edge", repeat=2),
+        PhaseOp(OpKind.SCALAR_VECTOR, per="edge", repeat=2),
+        PhaseOp(OpKind.ACTIVATION, per="edge"),  # LeakyReLU on the scores
+    ),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge", repeat=2)),
+    vertex_update=_vert(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex", repeat=2),  # per-head W
+        PhaseOp(OpKind.CONCAT, per="vertex"),
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),
+    ),
+    uses_edge_embeddings=True,
+    description="Graph attention with 2 heads: per-edge scores per head, "
+    "head-concatenated vertex update.",
+)
+
+APPNP = GNNModel(
+    name="appnp",
+    category=ModelCategory.C_GNN,
+    edge_update=_edge(PhaseOp(OpKind.SCALAR_VECTOR, per="edge")),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        # Residual blend with the initial features: two scalings + add,
+        # all vector-wide; no dense transform.
+        PhaseOp(OpKind.SCALAR_VECTOR, per="vertex", repeat=2),
+        PhaseOp(OpKind.VECTOR_VECTOR, per="vertex"),
+    ),
+    description="APPNP propagation layer: PageRank-style scalar-weighted "
+    "aggregation with an initial-residual blend, no weight matrix.",
+)
+
+GCNII = GNNModel(
+    name="gcnii",
+    category=ModelCategory.C_GNN,
+    edge_update=_edge(PhaseOp(OpKind.SCALAR_VECTOR, per="edge")),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),
+        PhaseOp(OpKind.SCALAR_VECTOR, per="vertex", repeat=2),  # alpha/beta
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),
+    ),
+    description="GCNII layer: GCN aggregation + identity-mapped dense "
+    "update with initial residual.",
+)
+
+
+EXTENSION_ZOO: dict[str, GNNModel] = {
+    m.name: m for m in (GAT_2HEAD, APPNP, GCNII)
+}
+
+
+def register_extensions() -> None:
+    """Add the extension models to the global zoo (idempotent)."""
+    for name, model in EXTENSION_ZOO.items():
+        MODEL_ZOO.setdefault(name, model)

@@ -1,0 +1,275 @@
+"""Executable NumPy reference implementations of the model zoo.
+
+These are the correctness oracle for the simulator's workload accounting
+and the substance of the example applications: each function computes one
+layer of the corresponding model exactly as written in the paper's
+equations (Eq. 1–5).  They are deliberately simple, vectorised NumPy — the
+"make it work, make it right" reference the performance models are checked
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import CSRGraph
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "softmax",
+    "adjacency",
+    "gcn_layer",
+    "gin_layer",
+    "sage_mean_layer",
+    "commnet_layer",
+    "attention_layer",
+    "ggcn_layer",
+    "sage_pool_layer",
+    "edgeconv_layer",
+    "run_layer",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    e = np.exp(x[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Row-wise softmax."""
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def adjacency(graph: CSRGraph) -> sp.csr_matrix:
+    """SciPy CSR adjacency ``A[v, u] = 1`` for each edge ``v -> u``.
+
+    Rows are sources; ``A @ X`` gathers *out*-neighbor features, which is
+    the aggregation direction used throughout (the synthetic citation
+    graphs are treated as symmetric message graphs).
+    """
+    n = graph.num_vertices
+    data = np.ones(graph.num_edges, dtype=np.float64)
+    return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
+
+
+def _check_features(graph: CSRGraph, x: np.ndarray) -> None:
+    if x.ndim != 2 or x.shape[0] != graph.num_vertices:
+        raise ValueError(
+            f"features must be (|V|, F); got {x.shape} for |V|={graph.num_vertices}"
+        )
+
+
+def gcn_layer(
+    graph: CSRGraph,
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """One GCN layer (Eq. 1): symmetric-normalised sum + ReLU(W m + b).
+
+    ``weight`` has shape ``(F_in, F_out)``.
+    """
+    _check_features(graph, x)
+    adj = adjacency(graph)
+    # N(v) ∪ {v}: add self loops.
+    n = graph.num_vertices
+    adj = adj + sp.eye(n, format="csr")
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(deg), 0.0)
+    norm = sp.diags(inv_sqrt) @ adj @ sp.diags(inv_sqrt)
+    message = norm @ x
+    out = message @ weight
+    if bias is not None:
+        out = out + bias
+    return relu(out)
+
+
+def gin_layer(
+    graph: CSRGraph,
+    x: np.ndarray,
+    w1: np.ndarray,
+    w2: np.ndarray,
+    *,
+    eps: float = 0.0,
+) -> np.ndarray:
+    """One GIN layer (Eq. 2): (1+eps)·x + Σ neighbors, then a 2-layer MLP."""
+    _check_features(graph, x)
+    adj = adjacency(graph)
+    message = (1.0 + eps) * x + adj @ x
+    return relu(relu(message @ w1) @ w2)
+
+
+def sage_mean_layer(graph: CSRGraph, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """GraphSAGE-Mean: neighborhood mean + dense update (no activation row)."""
+    _check_features(graph, x)
+    adj = adjacency(graph)
+    deg = np.maximum(graph.degrees, 1).astype(np.float64)
+    message = (adj @ x) / deg[:, None]
+    return message @ weight
+
+
+def commnet_layer(graph: CSRGraph, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """CommNet-style layer: plain neighbor sum + dense update."""
+    _check_features(graph, x)
+    adj = adjacency(graph)
+    return (adj @ x) @ weight
+
+
+def attention_layer(graph: CSRGraph, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Dot-product attention layer (Eq. 3).
+
+    m_v = Σ_u (x_v · x_u) x_u over out-neighbors, then SoftMax(W m).
+    """
+    _check_features(graph, x)
+    src = np.repeat(np.arange(graph.num_vertices), graph.degrees)
+    dst = graph.indices
+    scores = np.einsum("ef,ef->e", x[src], x[dst])  # (x_v . x_u) per edge
+    weighted = scores[:, None] * x[dst]
+    message = np.zeros_like(x)
+    np.add.at(message, src, weighted)
+    return softmax(message @ weight, axis=1)
+
+
+def ggcn_layer(
+    graph: CSRGraph,
+    x: np.ndarray,
+    w_u: np.ndarray,
+    w_v: np.ndarray,
+    weight: np.ndarray,
+) -> np.ndarray:
+    """Gated GCN layer (Eq. 4): Σ sigma(Wu xu + Wv xv) ⊙ xu, then ReLU(W m).
+
+    ``w_u``/``w_v`` are square gate weights ``(F_in, F_in)``; ``weight`` is
+    the output transform ``(F_in, F_out)``.
+    """
+    _check_features(graph, x)
+    src = np.repeat(np.arange(graph.num_vertices), graph.degrees)
+    dst = graph.indices
+    xu = x @ w_u  # per-vertex transforms, reused per edge
+    xv = x @ w_v
+    gate = sigmoid(xu[dst] + xv[src])
+    weighted = gate * x[dst]
+    message = np.zeros_like(x)
+    np.add.at(message, src, weighted)
+    return relu(message @ weight)
+
+
+def sage_pool_layer(
+    graph: CSRGraph,
+    x: np.ndarray,
+    w_pool: np.ndarray,
+    bias: np.ndarray,
+    weight: np.ndarray,
+    bias_out: np.ndarray | None = None,
+) -> np.ndarray:
+    """GraphSAGE-Pool layer (Eq. 5).
+
+    m_v = Concat(max_u sigma(W_pl x_u + b), x_v);  x'_v = ReLU(W m_v + b').
+    ``w_pool``: (F_in, F_pool); ``weight``: (F_pool + F_in, F_out).
+    """
+    _check_features(graph, x)
+    n = graph.num_vertices
+    pooled_src = sigmoid(x @ w_pool + bias)
+    f_pool = pooled_src.shape[1]
+    pooled = np.full((n, f_pool), -np.inf)
+    src = np.repeat(np.arange(n), graph.degrees)
+    dst = graph.indices
+    np.maximum.at(pooled, src, pooled_src[dst])
+    pooled[~np.isfinite(pooled).all(axis=1)] = 0.0  # isolated vertices
+    message = np.concatenate([pooled, x], axis=1)
+    out = message @ weight
+    if bias_out is not None:
+        out = out + bias_out
+    return relu(out)
+
+
+def edgeconv_layer(
+    graph: CSRGraph,
+    x: np.ndarray,
+    weights: list[np.ndarray],
+    *,
+    activation: bool = False,
+) -> np.ndarray:
+    """EdgeConv layer: per-edge MLP over [x_u] then max aggregation.
+
+    ``weights`` is the MLP chain (1 matrix for EdgeConv-1, 5 for
+    EdgeConv-5).  No vertex update follows (Table II).
+    """
+    _check_features(graph, x)
+    if not weights:
+        raise ValueError("EdgeConv needs at least one weight matrix")
+    src = np.repeat(np.arange(graph.num_vertices), graph.degrees)
+    dst = graph.indices
+    h = x[dst]
+    for i, w in enumerate(weights):
+        h = h @ w
+        if activation and i < len(weights) - 1:
+            h = relu(h)
+    if activation:
+        h = relu(h)
+    out = np.full((graph.num_vertices, h.shape[1]), -np.inf)
+    np.maximum.at(out, src, h)
+    out[~np.isfinite(out).all(axis=1)] = 0.0
+    return out
+
+
+def run_layer(
+    model_name: str,
+    graph: CSRGraph,
+    x: np.ndarray,
+    rng: np.random.Generator | None = None,
+    out_features: int | None = None,
+) -> np.ndarray:
+    """Run one layer of any zoo model with randomly initialised weights.
+
+    A convenience driver for examples and tests; weights are drawn from a
+    seeded generator so outputs are reproducible.
+    """
+    rng = rng or np.random.default_rng(0)
+    f_in = x.shape[1]
+    f_out = out_features or f_in
+    scale = 1.0 / np.sqrt(f_in)
+    w = rng.normal(0.0, scale, size=(f_in, f_out))
+    name = model_name.lower()
+    if name == "gcn":
+        return gcn_layer(graph, x, w, rng.normal(0, 0.1, size=f_out))
+    if name == "gin":
+        w2 = rng.normal(0.0, scale, size=(f_out, f_out))
+        return gin_layer(graph, x, w, w2, eps=0.1)
+    if name == "graphsage-mean":
+        return sage_mean_layer(graph, x, w)
+    if name == "commnet":
+        return commnet_layer(graph, x, w)
+    if name in ("vanilla-attention", "agnn"):
+        return attention_layer(graph, x, w)
+    if name == "ggcn":
+        wu = rng.normal(0.0, scale, size=(f_in, f_in))
+        wv = rng.normal(0.0, scale, size=(f_in, f_in))
+        return ggcn_layer(graph, x, wu, wv, w)
+    if name == "graphsage-pool":
+        wp = rng.normal(0.0, scale, size=(f_in, f_out))
+        b = rng.normal(0, 0.1, size=f_out)
+        w2 = rng.normal(0.0, scale, size=(f_out + f_in, f_out))
+        return sage_pool_layer(graph, x, wp, b, w2)
+    if name == "edgeconv-1":
+        return edgeconv_layer(graph, x, [w])
+    if name == "edgeconv-5":
+        chain = [w] + [
+            rng.normal(0.0, scale, size=(f_out, f_out)) for _ in range(4)
+        ]
+        return edgeconv_layer(graph, x, chain, activation=True)
+    raise KeyError(f"unknown model {model_name!r}")

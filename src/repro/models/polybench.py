@@ -1,0 +1,124 @@
+"""PolyBench kernel models used as the paper's phase workloads.
+
+§VI-A maps each GNN execution phase onto PolyBench operators:
+
+* Edge update — ``gramschmidt`` (orthogonalisation), ``mvt``
+  (matrix-vector product), ``gemver`` (vector addition), ``gesummv``
+  (vector-vector multiplication), plus ReLU;
+* Aggregation — ``gemver`` (vector addition);
+* Vertex update — ``mvt`` + ReLU.
+
+Each kernel is provided twice: as an analytical op/traffic count (what the
+simulator charges) and as an executable NumPy kernel (what tests validate
+the counts against by instrumented element counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "KernelCost",
+    "gramschmidt_cost",
+    "mvt_cost",
+    "gemver_cost",
+    "gesummv_cost",
+    "gramschmidt",
+    "mvt",
+    "gemver_add",
+    "gesummv_mul",
+    "PHASE_KERNELS",
+]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """FLOPs and memory element-touches of one kernel invocation."""
+
+    name: str
+    flops: int
+    reads: int
+    writes: int
+
+    @property
+    def elements_touched(self) -> int:
+        return self.reads + self.writes
+
+
+def gramschmidt_cost(n: int, k: int) -> KernelCost:
+    """Gram-Schmidt orthogonalisation of ``k`` vectors of length ``n``.
+
+    For each vector j: project against the j previous vectors (dot 2n +
+    axpy 2n each) and normalise (2n + n).  Total ≈ sum_j (4n·j + 3n).
+    """
+    if n < 1 or k < 1:
+        raise ValueError("dimensions must be >= 1")
+    flops = sum(4 * n * j + 3 * n for j in range(k))
+    reads = sum(2 * n * j + n for j in range(k))
+    writes = n * k
+    return KernelCost("gramschmidt", flops, reads, writes)
+
+
+def mvt_cost(rows: int, cols: int) -> KernelCost:
+    """Matrix-vector product ``y = A x``: 2·rows·cols FLOPs."""
+    if rows < 1 or cols < 1:
+        raise ValueError("dimensions must be >= 1")
+    return KernelCost("mvt", 2 * rows * cols, rows * cols + cols, rows)
+
+
+def gemver_cost(n: int) -> KernelCost:
+    """Vector addition ``z = x + y``: n FLOPs."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return KernelCost("gemver", n, 2 * n, n)
+
+
+def gesummv_cost(n: int) -> KernelCost:
+    """Element-wise vector multiply ``z = x * y``: n FLOPs."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return KernelCost("gesummv", n, 2 * n, n)
+
+
+# ---------------------------------------------------------------------------
+# Executable kernels (validation oracles for the costs above)
+# ---------------------------------------------------------------------------
+
+def gramschmidt(vectors: np.ndarray) -> np.ndarray:
+    """Orthonormalise the rows of ``vectors`` (k, n) via modified G-S."""
+    v = np.array(vectors, dtype=np.float64, copy=True)
+    if v.ndim != 2:
+        raise ValueError("vectors must be 2-D (k, n)")
+    k = v.shape[0]
+    for j in range(k):
+        for i in range(j):
+            v[j] -= (v[i] @ v[j]) * v[i]
+        norm = np.linalg.norm(v[j])
+        if norm > 1e-12:
+            v[j] /= norm
+    return v
+
+
+def mvt(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix-vector product."""
+    return np.asarray(a) @ np.asarray(x)
+
+
+def gemver_add(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vector addition."""
+    return np.asarray(x) + np.asarray(y)
+
+
+def gesummv_mul(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Element-wise vector multiply."""
+    return np.asarray(x) * np.asarray(y)
+
+
+# Phase → kernel names, as listed in §VI-A.
+PHASE_KERNELS: dict[str, tuple[str, ...]] = {
+    "edge_update": ("gramschmidt", "mvt", "gemver", "gesummv", "relu"),
+    "aggregation": ("gemver",),
+    "vertex_update": ("mvt", "relu"),
+}

@@ -1,0 +1,282 @@
+"""Workload extraction: GNN model × graph → per-phase operation counts.
+
+This implements the quantities the partition algorithm (Algorithm 2)
+consumes: ``O_ue`` (edge-update ops), ``O_a`` (aggregation ops), ``O_uv``
+(vertex-update ops) and ``E_f`` (edge-feature width), plus the memory
+traffic volumes the DRAM/NoC models need.
+
+Counting conventions
+--------------------
+* A multiply-accumulate counts as 2 operations (multiply + add), matching
+  the paper's "amount of multiplication and accumulation computations
+  (MACs) of each layer is the same" observation — every simulated
+  accelerator sees identical op totals.
+* ``M×V`` with an ``F_out × F_in`` weight costs ``2·F_in·F_out`` ops per
+  application; vector primitives cost one op per lane (``F`` lanes), dot
+  products ``2F``.
+* PPU ops (activation, concat) cost one op per output lane; they run on
+  the post-processing unit, so they are tracked separately and excluded
+  from the MAC-array op counts used for partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.csr import CSRGraph
+from .base import GNNModel, OpKind, Phase, PhaseOp, PhaseSpec
+
+__all__ = [
+    "LayerDims",
+    "PhaseWorkload",
+    "LayerWorkload",
+    "extract_workload",
+    "combination_first_eligible",
+    "source_reducible",
+]
+
+
+def source_reducible(model: GNNModel) -> bool:
+    """Whether messages to one destination can be pre-reduced at the source.
+
+    True when the aggregation is associative-commutative (ΣV or MaxV) and
+    any edge update is at most a scalar coefficient — then a source PE can
+    combine all its contributions to a destination vertex into one partial
+    message, which is the standard fan-in mitigation for high-degree
+    vertices.  Models with vector-valued per-edge messages (dot-product
+    attention, gated edges, per-edge MLPs) must deliver each message.
+    """
+    agg_ok = all(
+        op.kind in (OpKind.ACCUMULATE, OpKind.MAX_REDUCE)
+        for op in model.aggregation.ops
+    )
+    edge_ok = all(
+        op.kind is OpKind.SCALAR_VECTOR for op in model.edge_update.ops
+    )
+    return agg_ok and edge_ok
+
+
+def combination_first_eligible(model: GNNModel) -> bool:
+    """Whether the layer may be reordered to combination-first.
+
+    When the vertex update is a single linear transform and the edge
+    update is at most a scalar coefficient, ``W · Σ_u c_u x_u`` equals
+    ``Σ_u c_u (W x_u)``, so the dense transform can run *before*
+    aggregation, shrinking every aggregated/communicated vector from
+    ``F_in`` to ``F_out`` lanes.  AWB-GCN and GCNAX build their dataflows
+    around exactly this reordering; Aurora's adaptive workflow generator
+    applies it to the same eligible (C-GNN) layers.
+    """
+    from .base import ModelCategory  # local to avoid import noise at top
+
+    if model.category is not ModelCategory.C_GNN:
+        return False
+    edge_ok = all(
+        op.kind in (OpKind.SCALAR_VECTOR,) for op in model.edge_update.ops
+    )
+    agg_ok = all(
+        op.kind is OpKind.ACCUMULATE for op in model.aggregation.ops
+    )
+    mv = [
+        op
+        for op in model.vertex_update.ops
+        if op.kind is OpKind.MATRIX_VECTOR
+    ]
+    others_ok = all(
+        op.kind in (OpKind.MATRIX_VECTOR, OpKind.ACTIVATION)
+        for op in model.vertex_update.ops
+    )
+    vertex_ok = len(mv) == 1 and mv[0].repeat == 1 and others_ok
+    return edge_ok and agg_ok and vertex_ok
+
+BYTES_PER_VALUE = 8  # uniform double precision (paper §VI-A)
+
+
+@dataclass(frozen=True)
+class LayerDims:
+    """Feature dimensions of one GNN layer."""
+
+    in_features: int
+    out_features: int
+    hidden: int | None = None  # MLP hidden width (defaults to out_features)
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature dims must be >= 1")
+        if self.hidden is not None and self.hidden < 1:
+            raise ValueError("hidden must be >= 1")
+
+    @property
+    def hidden_width(self) -> int:
+        return self.hidden if self.hidden is not None else self.out_features
+
+
+@dataclass(frozen=True)
+class PhaseWorkload:
+    """Operation and traffic counts of one phase."""
+
+    phase: Phase
+    mac_ops: int  # ops on the MAC array (partitioning input)
+    ppu_ops: int  # activation/concat ops on the PPU
+    messages: int  # on-chip messages generated (edge-grain sends)
+    message_bytes: int  # payload volume of those messages
+    weight_bytes: int  # weights the phase must hold (stationary data)
+
+    @property
+    def total_ops(self) -> int:
+        return self.mac_ops + self.ppu_ops
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Full per-layer workload (Algorithm 2's inputs + traffic)."""
+
+    model_name: str
+    num_vertices: int
+    num_edges: int
+    dims: LayerDims
+    edge_update: PhaseWorkload
+    aggregation: PhaseWorkload
+    vertex_update: PhaseWorkload
+    edge_feature_dim: int  # E_f
+
+    # -- Algorithm 2 aliases ------------------------------------------------
+    @property
+    def O_ue(self) -> int:
+        return self.edge_update.mac_ops
+
+    @property
+    def O_a(self) -> int:
+        return self.aggregation.mac_ops
+
+    @property
+    def O_uv(self) -> int:
+        return self.vertex_update.mac_ops
+
+    @property
+    def E_f(self) -> int:
+        return self.edge_feature_dim
+
+    @property
+    def total_mac_ops(self) -> int:
+        return self.O_ue + self.O_a + self.O_uv
+
+    @property
+    def total_ops(self) -> int:
+        return (
+            self.edge_update.total_ops
+            + self.aggregation.total_ops
+            + self.vertex_update.total_ops
+        )
+
+    def phase(self, phase: Phase) -> PhaseWorkload:
+        return {
+            Phase.EDGE_UPDATE: self.edge_update,
+            Phase.AGGREGATION: self.aggregation,
+            Phase.VERTEX_UPDATE: self.vertex_update,
+        }[phase]
+
+
+def _op_cost(op: PhaseOp, dims: LayerDims, n: int, m: int) -> tuple[int, int]:
+    """(mac_ops, ppu_ops) contributed by one :class:`PhaseOp`."""
+    count = m if op.per == "edge" else n
+    f_in = dims.in_features
+    f_out = dims.out_features
+    lanes = f_out if op.uses_output_dim else f_in
+
+    if op.kind is OpKind.MATRIX_VECTOR:
+        if op.repeat == 1:
+            per_app = 2 * f_in * f_out
+        else:
+            # Chained dense layers: in->hidden->...->out through `repeat`
+            # transforms, hidden width between them.
+            h = dims.hidden_width
+            per_app = 2 * f_in * h + 2 * h * f_out
+            per_app += 2 * h * h * max(op.repeat - 2, 0)
+        return per_app * count, 0
+    if op.kind is OpKind.DOT:
+        return 2 * f_in * count * op.repeat, 0
+    if op.kind in (OpKind.SCALAR_VECTOR, OpKind.VECTOR_VECTOR, OpKind.ELEMENTWISE):
+        return lanes * count * op.repeat, 0
+    if op.kind in (OpKind.ACCUMULATE, OpKind.MAX_REDUCE):
+        return lanes * count * op.repeat, 0
+    if op.kind is OpKind.ACTIVATION:
+        return 0, lanes * count * op.repeat
+    if op.kind is OpKind.CONCAT:
+        return 0, (f_in + f_out) * count * op.repeat
+    if op.kind is OpKind.NULL:
+        return 0, 0
+    raise ValueError(f"unhandled op kind {op.kind}")  # pragma: no cover
+
+
+def _phase_messages(
+    spec: PhaseSpec, phase: Phase, dims: LayerDims, n: int, m: int, edge_dim: int
+) -> tuple[int, int]:
+    """(messages, message_bytes) a phase injects into the NoC.
+
+    Edge update and aggregation move one message per edge (a neighbor
+    feature or updated edge feature); vertex update streams partial sums
+    along the weight-stationary ring, one message per vertex per ring hop
+    (charged here as one logical message per vertex).
+    """
+    if spec.is_null:
+        return 0, 0
+    if phase in (Phase.EDGE_UPDATE, Phase.AGGREGATION):
+        payload = (edge_dim if edge_dim else dims.in_features) * BYTES_PER_VALUE
+        return m, m * payload
+    return n, n * dims.out_features * BYTES_PER_VALUE
+
+
+def _phase_weight_bytes(spec: PhaseSpec, dims: LayerDims) -> int:
+    """Stationary weight footprint a phase needs resident."""
+    total = 0
+    for op in spec.ops:
+        if op.kind is OpKind.MATRIX_VECTOR:
+            if op.repeat == 1:
+                total += dims.in_features * dims.out_features
+            else:
+                h = dims.hidden_width
+                total += dims.in_features * h + h * dims.out_features
+                total += h * h * max(op.repeat - 2, 0)
+    return total * BYTES_PER_VALUE
+
+
+def extract_workload(
+    model: GNNModel,
+    graph: CSRGraph,
+    dims: LayerDims,
+) -> LayerWorkload:
+    """Compute the per-phase workload of one layer of ``model`` on ``graph``."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    edge_dim = dims.in_features if model.uses_edge_embeddings else 0
+
+    phases: dict[Phase, PhaseWorkload] = {}
+    for phase in Phase:
+        spec = model.phase_spec(phase)
+        mac = 0
+        ppu = 0
+        for op in spec.ops:
+            a, b = _op_cost(op, dims, n, m)
+            mac += a
+            ppu += b
+        messages, message_bytes = _phase_messages(spec, phase, dims, n, m, edge_dim)
+        phases[phase] = PhaseWorkload(
+            phase=phase,
+            mac_ops=mac,
+            ppu_ops=ppu,
+            messages=messages if not spec.is_null else 0,
+            message_bytes=message_bytes if not spec.is_null else 0,
+            weight_bytes=_phase_weight_bytes(spec, dims),
+        )
+
+    return LayerWorkload(
+        model_name=model.name,
+        num_vertices=n,
+        num_edges=m,
+        dims=dims,
+        edge_update=phases[Phase.EDGE_UPDATE],
+        aggregation=phases[Phase.AGGREGATION],
+        vertex_update=phases[Phase.VERTEX_UPDATE],
+        edge_feature_dim=edge_dim,
+    )

@@ -1,0 +1,223 @@
+"""The GNN model zoo — every row of the paper's Table II.
+
+Each model is expressed as the primitive ops its three phases perform, so
+the adaptive workflow generator can derive its workflow and the workload
+extractor its op counts.  Models and their Table-II rows:
+
+==================  ========  =====================================  ===========  ==================
+Model               Category  Edge Update                            Aggregation  Vertex Update
+==================  ========  =====================================  ===========  ==================
+GCN                 C-GNN     Scalar×V                               ΣV           M×V, α
+GraphSAGE-Mean      C-GNN     Null                                   ΣV           M×V
+GIN                 C-GNN     Null                                   ΣV           M×V
+CommNet             C-GNN     Null                                   ΣV           M×V
+Vanilla-Attention   A-GNN     Scalar×V, V·V                          ΣV           M×V, α
+AGNN                A-GNN     Scalar×V, V·V                          ΣV           M×V, α
+G-GCN               MP-GNN    M×V, V⊙V, α                            ΣV           M×V, α
+GraphSAGE-Pool      MP-GNN    M×V, α                                 MaxV         M×V, ||, α
+EdgeConv-1          MP-GNN    M×V                                    MaxV         Null
+EdgeConv-5          MP-GNN    M×V, α                                 MaxV         Null
+==================  ========  =====================================  ===========  ==================
+"""
+
+from __future__ import annotations
+
+from .base import (
+    GNNModel,
+    ModelCategory,
+    OpKind,
+    Phase,
+    PhaseOp,
+    PhaseSpec,
+)
+
+__all__ = [
+    "GCN",
+    "GRAPHSAGE_MEAN",
+    "GIN",
+    "COMMNET",
+    "VANILLA_ATTENTION",
+    "AGNN",
+    "GGCN",
+    "GRAPHSAGE_POOL",
+    "EDGECONV_1",
+    "EDGECONV_5",
+    "MODEL_ZOO",
+    "get_model",
+    "list_models",
+]
+
+
+def _edge(*ops: PhaseOp) -> PhaseSpec:
+    return PhaseSpec(Phase.EDGE_UPDATE, tuple(ops))
+
+
+def _agg(*ops: PhaseOp) -> PhaseSpec:
+    return PhaseSpec(Phase.AGGREGATION, tuple(ops))
+
+
+def _vert(*ops: PhaseOp) -> PhaseSpec:
+    return PhaseSpec(Phase.VERTEX_UPDATE, tuple(ops))
+
+
+GCN = GNNModel(
+    name="gcn",
+    category=ModelCategory.C_GNN,
+    edge_update=_edge(PhaseOp(OpKind.SCALAR_VECTOR, per="edge")),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),
+    ),
+    description="Kipf & Welling GCN: degree-normalised sum + dense update + ReLU (Eq. 1).",
+)
+
+GRAPHSAGE_MEAN = GNNModel(
+    name="graphsage-mean",
+    category=ModelCategory.C_GNN,
+    edge_update=_edge(),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(PhaseOp(OpKind.MATRIX_VECTOR, per="vertex")),
+    description="GraphSAGE with mean aggregator: plain neighborhood mean + dense update.",
+)
+
+GIN = GNNModel(
+    name="gin",
+    category=ModelCategory.C_GNN,
+    edge_update=_edge(),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        # MLP = two chained dense layers (Eq. 2); modelled as repeat=2.
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex", repeat=2),
+    ),
+    description="Graph Isomorphism Network: (1+eps)x + sum, then a 2-layer MLP (Eq. 2).",
+)
+
+COMMNET = GNNModel(
+    name="commnet",
+    category=ModelCategory.C_GNN,
+    edge_update=_edge(),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(PhaseOp(OpKind.MATRIX_VECTOR, per="vertex")),
+    description="CommNet-style mean-field communication: sum + dense update.",
+)
+
+VANILLA_ATTENTION = GNNModel(
+    name="vanilla-attention",
+    category=ModelCategory.A_GNN,
+    edge_update=_edge(
+        PhaseOp(OpKind.DOT, per="edge"),  # (x_v^T . x_u) attention score
+        PhaseOp(OpKind.SCALAR_VECTOR, per="edge"),  # score * x_u
+    ),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),  # SoftMax
+    ),
+    uses_edge_embeddings=True,
+    description="Dot-product attention aggregation + dense update + SoftMax (Eq. 3).",
+)
+
+AGNN = GNNModel(
+    name="agnn",
+    category=ModelCategory.A_GNN,
+    edge_update=_edge(
+        PhaseOp(OpKind.DOT, per="edge"),
+        PhaseOp(OpKind.SCALAR_VECTOR, per="edge"),
+    ),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),
+    ),
+    uses_edge_embeddings=True,
+    description="Attention-based GNN (Thekumparampil et al.): learned-scalar attention.",
+)
+
+GGCN = GNNModel(
+    name="ggcn",
+    category=ModelCategory.MP_GNN,
+    edge_update=_edge(
+        # sigma(W_u x_u + W_v x_v): two weight transforms per edge endpoint
+        PhaseOp(OpKind.MATRIX_VECTOR, per="edge", repeat=2),
+        PhaseOp(OpKind.ACTIVATION, per="edge"),
+        PhaseOp(OpKind.ELEMENTWISE, per="edge"),  # gate ⊙ x_u
+    ),
+    aggregation=_agg(PhaseOp(OpKind.ACCUMULATE, per="edge")),
+    vertex_update=_vert(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),
+    ),
+    uses_edge_embeddings=True,
+    description="Gated GCN: per-edge gating sigma(Wu xu + Wv xv) ⊙ xu (Eq. 4).",
+)
+
+GRAPHSAGE_POOL = GNNModel(
+    name="graphsage-pool",
+    category=ModelCategory.MP_GNN,
+    edge_update=_edge(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="edge"),  # W_pl x_u per neighbor
+        PhaseOp(OpKind.ACTIVATION, per="edge"),
+    ),
+    aggregation=_agg(PhaseOp(OpKind.MAX_REDUCE, per="edge")),
+    vertex_update=_vert(
+        PhaseOp(OpKind.CONCAT, per="vertex"),  # Concat(max-pool, x_v)
+        PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),
+        PhaseOp(OpKind.ACTIVATION, per="vertex", uses_output_dim=True),
+    ),
+    uses_edge_embeddings=True,
+    description="GraphSAGE with max-pool aggregator (Eq. 5).",
+)
+
+EDGECONV_1 = GNNModel(
+    name="edgeconv-1",
+    category=ModelCategory.MP_GNN,
+    edge_update=_edge(PhaseOp(OpKind.MATRIX_VECTOR, per="edge")),
+    aggregation=_agg(PhaseOp(OpKind.MAX_REDUCE, per="edge")),
+    vertex_update=_vert(),
+    uses_edge_embeddings=True,
+    description="EdgeConv (single transform): per-edge MLP + max aggregation, no vertex update.",
+)
+
+EDGECONV_5 = GNNModel(
+    name="edgeconv-5",
+    category=ModelCategory.MP_GNN,
+    edge_update=_edge(
+        PhaseOp(OpKind.MATRIX_VECTOR, per="edge", repeat=5),
+        PhaseOp(OpKind.ACTIVATION, per="edge"),
+    ),
+    aggregation=_agg(PhaseOp(OpKind.MAX_REDUCE, per="edge")),
+    vertex_update=_vert(),
+    uses_edge_embeddings=True,
+    description="EdgeConv with a 5-layer per-edge MLP, no vertex update.",
+)
+
+
+MODEL_ZOO: dict[str, GNNModel] = {
+    m.name: m
+    for m in (
+        GCN,
+        GRAPHSAGE_MEAN,
+        GIN,
+        COMMNET,
+        VANILLA_ATTENTION,
+        AGNN,
+        GGCN,
+        GRAPHSAGE_POOL,
+        EDGECONV_1,
+        EDGECONV_5,
+    )
+}
+
+
+def list_models() -> list[str]:
+    """Names of every registered model, in Table II order."""
+    return list(MODEL_ZOO)
+
+
+def get_model(name: str) -> GNNModel:
+    """Look up a model by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; available: {', '.join(MODEL_ZOO)}")
+    return MODEL_ZOO[key]

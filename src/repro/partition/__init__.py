@@ -1,0 +1,5 @@
+"""Resource partitioning across GNN execution phases (Algorithm 2)."""
+
+from .algorithm import PARTITION_CYCLES, PartitionStrategy, partition, split_regions
+
+__all__ = ["PartitionStrategy", "partition", "split_regions", "PARTITION_CYCLES"]

@@ -1,0 +1,57 @@
+"""Area model tests against the paper's §VI-F breakdown."""
+
+import pytest
+
+from repro.arch import AreaModel
+from repro.config import default_config, small_config
+
+
+class TestPEBreakdown:
+    def test_mac_fraction_near_paper(self):
+        pe = AreaModel().pe_breakdown(default_config())
+        assert pe.fraction("mac_array") == pytest.approx(0.071, abs=0.02)
+
+    def test_memory_dominates(self):
+        pe = AreaModel().pe_breakdown(default_config())
+        assert pe.fraction("memory") == pytest.approx(0.829, abs=0.06)
+
+    def test_control_small(self):
+        pe = AreaModel().pe_breakdown(default_config())
+        assert pe.fraction("control_and_switches") < 0.06
+
+    def test_total_is_sum(self):
+        pe = AreaModel().pe_breakdown(default_config())
+        total = (
+            pe.mac_array
+            + pe.memory
+            + pe.control_and_switches
+            + pe.ppu
+            + pe.reuse_fifo
+            + pe.router_interface
+        )
+        assert pe.total == pytest.approx(total)
+
+
+class TestChipBreakdown:
+    def test_pe_array_fraction_near_paper(self):
+        chip = AreaModel().chip_breakdown(default_config())
+        assert chip.fraction("pe_array") == pytest.approx(0.6274, abs=0.05)
+
+    def test_flexible_interconnect_fraction(self):
+        chip = AreaModel().chip_breakdown(default_config())
+        assert chip.fraction("flexible_interconnect") == pytest.approx(
+            0.052, abs=0.015
+        )
+
+    def test_controller_negligible(self):
+        chip = AreaModel().chip_breakdown(default_config())
+        assert chip.fraction("controller") == pytest.approx(0.009, abs=0.006)
+
+    def test_scales_with_array(self):
+        big = AreaModel().chip_breakdown(default_config())
+        small = AreaModel().chip_breakdown(small_config(8))
+        assert big.total > 10 * small.total
+
+    def test_as_dict(self):
+        d = AreaModel().chip_breakdown(default_config()).as_dict()
+        assert d["total"] == pytest.approx(sum(v for k, v in d.items() if k != "total"))

@@ -1,0 +1,171 @@
+"""Branch-coverage tests for the baseline performance model's formulas."""
+
+import pytest
+
+from repro import LayerDims, get_model
+from repro.baselines import BaselineAccelerator, BaselineTraits
+from repro.config import AcceleratorConfig
+from repro.graphs import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(
+        400, 2000, num_features=128, feature_density=0.2, locality=0.5, seed=8
+    )
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    """Working set far beyond a 1 KiB/PE chip: exercises tiling/spill."""
+    return power_law_graph(
+        3000, 12000, num_features=512, feature_density=1.0, locality=0.5, seed=9
+    )
+
+
+DIMS = LayerDims(128, 32)
+
+
+def _run(traits, graph, cfg=None, model="gcn", dims=DIMS):
+    dev = BaselineAccelerator(traits, cfg)
+    return dev.simulate_layer(get_model(model), graph, dims, strict=False)
+
+
+class TestComputeBranches:
+    def test_engine_split_partitions_multipliers(self, graph):
+        pooled = _run(BaselineTraits(name="pool", engine_split=None), graph)
+        split = _run(BaselineTraits(name="split", engine_split=0.5), graph)
+        # Splitting halves the combination engine; compute cannot speed up.
+        assert split.breakdown.compute_seconds >= pooled.breakdown.compute_seconds
+
+    def test_phase_pipelining_helps_split_designs(self, graph):
+        serial = _run(
+            BaselineTraits(name="s", engine_split=0.5, phase_pipelined=False),
+            graph,
+        )
+        piped = _run(
+            BaselineTraits(name="p", engine_split=0.5, phase_pipelined=True),
+            graph,
+        )
+        assert piped.breakdown.compute_seconds <= serial.breakdown.compute_seconds
+
+    def test_rebalancing_overrides_sensitivity(self, graph):
+        skewed = _run(
+            BaselineTraits(name="x", imbalance_sensitivity=1.0), graph
+        )
+        balanced = _run(
+            BaselineTraits(
+                name="y", imbalance_sensitivity=1.0, runtime_rebalancing=True
+            ),
+            graph,
+        )
+        assert (
+            balanced.notes["compute_imbalance"]
+            < skewed.notes["compute_imbalance"]
+        )
+
+    def test_redundancy_elimination_cuts_add_ops(self, graph):
+        plain = _run(BaselineTraits(name="x"), graph)
+        reduced = _run(
+            BaselineTraits(name="y", redundancy_elimination=0.5), graph
+        )
+        assert reduced.counters.add_ops < plain.counters.add_ops
+
+    def test_edge_penalty_only_for_non_scalar_edges(self, graph):
+        traits = BaselineTraits(name="x", supports_edge_update=False)
+        gcn = _run(traits, graph, model="gcn")  # Scalar×V edge: no penalty
+        forced = _run(traits, graph, model="edgeconv-1")  # M×V edge: 4x
+        assert forced.breakdown.compute_seconds > gcn.breakdown.compute_seconds
+
+    def test_native_edge_support_avoids_penalty(self, graph):
+        no_support = _run(
+            BaselineTraits(name="x", supports_edge_update=False),
+            graph,
+            model="edgeconv-1",
+        )
+        native = _run(
+            BaselineTraits(name="y", supports_edge_update=True),
+            graph,
+            model="edgeconv-1",
+        )
+        assert native.breakdown.compute_seconds < no_support.breakdown.compute_seconds
+
+
+class TestMemoryBranches:
+    def test_weight_reload_scales_with_tiles(self, big_graph):
+        tight = AcceleratorConfig(pe_buffer_bytes=1024)
+        dims = LayerDims(512, 64)
+        once = _run(
+            BaselineTraits(name="x", weight_reload_per_tile=False),
+            big_graph, tight, dims=dims,
+        )
+        reload = _run(
+            BaselineTraits(name="y", weight_reload_per_tile=True),
+            big_graph, tight, dims=dims,
+        )
+        assert reload.dram_bytes > once.dram_bytes
+
+    def test_interphase_spill_only_on_overflow(self, graph):
+        roomy = AcceleratorConfig(pe_buffer_bytes=100 * 1024)
+        spilling = _run(
+            BaselineTraits(name="x", interphase_spill=True), graph, roomy
+        )
+        not_spilling = _run(
+            BaselineTraits(name="y", interphase_spill=False), graph, roomy
+        )
+        # Intermediates fit on chip: the flag must not change DRAM volume.
+        assert spilling.dram_bytes == not_spilling.dram_bytes
+
+    def test_interphase_spill_on_small_chips(self, big_graph):
+        tiny = AcceleratorConfig(pe_buffer_bytes=1024)
+        dims = LayerDims(512, 64)
+        spilling = _run(
+            BaselineTraits(name="x", interphase_spill=True),
+            big_graph, tiny, dims=dims,
+        )
+        not_spilling = _run(
+            BaselineTraits(name="y", interphase_spill=False),
+            big_graph, tiny, dims=dims,
+        )
+        assert spilling.dram_bytes > not_spilling.dram_bytes
+
+    def test_feature_reuse_cuts_gathers(self, graph):
+        poor = _run(BaselineTraits(name="x", feature_reuse=0.1), graph)
+        good = _run(BaselineTraits(name="y", feature_reuse=0.95), graph)
+        assert good.dram_bytes < poor.dram_bytes
+
+    def test_resident_fraction_shrinks_onchip_traffic(self, big_graph):
+        dims = LayerDims(512, 64)
+        roomy = AcceleratorConfig(pe_buffer_bytes=100 * 1024)
+        small = AcceleratorConfig(pe_buffer_bytes=1024)
+        resident = _run(BaselineTraits(name="x"), big_graph, roomy, dims=dims)
+        spilled = _run(BaselineTraits(name="y"), big_graph, small, dims=dims)
+        assert spilled.onchip_comm_cycles < resident.onchip_comm_cycles
+
+
+class TestCommBranches:
+    def test_ports_bound_comm_time(self, graph):
+        narrow = _run(BaselineTraits(name="x", comm_ports=8), graph)
+        wide = _run(BaselineTraits(name="y", comm_ports=512), graph)
+        assert wide.breakdown.noc_seconds < narrow.breakdown.noc_seconds
+
+    def test_hub_relief_caps_ejection_term(self, graph):
+        raw = _run(
+            BaselineTraits(name="x", comm_ports=4096, hub_relief=0.0), graph
+        )
+        relieved = _run(
+            BaselineTraits(name="y", comm_ports=4096, hub_relief=1.0), graph
+        )
+        assert relieved.breakdown.noc_seconds <= raw.breakdown.noc_seconds
+
+    def test_service_cycles_scale_volume_metric(self, graph):
+        slow = _run(BaselineTraits(name="x", comm_service_cycles=20.0), graph)
+        fast = _run(BaselineTraits(name="y", comm_service_cycles=5.0), graph)
+        assert slow.onchip_comm_cycles == pytest.approx(
+            4 * fast.onchip_comm_cycles, rel=0.01
+        )
+
+    def test_buffer_traffic_factor_scales_energy(self, graph):
+        light = _run(BaselineTraits(name="x", buffer_traffic_factor=0.2), graph)
+        heavy = _run(BaselineTraits(name="y", buffer_traffic_factor=2.0), graph)
+        assert heavy.energy.sram > light.energy.sram

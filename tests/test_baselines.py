@@ -1,0 +1,199 @@
+"""Tests for the baseline accelerator models."""
+
+import pytest
+
+from repro import (
+    AuroraSimulator,
+    BASELINE_CLASSES,
+    LayerDims,
+    UnsupportedModelError,
+    get_model,
+    make_baseline,
+)
+from repro.baselines import BASELINE_TRAITS, BaselineTraits
+from repro.graphs import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(
+        500, 2500, exponent=2.0, locality=0.6, num_features=128,
+        feature_density=0.1, seed=11,
+    )
+
+
+DIMS = LayerDims(128, 32)
+
+
+class TestTraits:
+    def test_five_baselines(self):
+        assert len(BASELINE_CLASSES) == 5
+        assert len(BASELINE_TRAITS) == 5
+
+    def test_names_in_paper_order(self):
+        assert [t.name for t in BASELINE_TRAITS] == [
+            "hygcn",
+            "awb-gcn",
+            "gcnax",
+            "regnn",
+            "flowgnn",
+        ]
+
+    def test_table1_coverage_matrix(self):
+        by_name = {t.name: t for t in BASELINE_TRAITS}
+        # C-GNN only: HyGCN, AWB-GCN, GCNAX.
+        for name in ("hygcn", "awb-gcn", "gcnax"):
+            t = by_name[name]
+            assert t.supports_c_gnn and not t.supports_a_gnn and not t.supports_mp_gnn
+        # ReGNN: message passing without full MP-GNN coverage.
+        assert by_name["regnn"].supports_a_gnn
+        assert not by_name["regnn"].supports_mp_gnn
+        # FlowGNN covers everything.
+        assert by_name["flowgnn"].supports_mp_gnn
+        # None of them has a flexible NoC (Aurora's distinguishing column).
+        assert all(not t.flexible_noc for t in BASELINE_TRAITS)
+        assert all(not t.flexible_pe for t in BASELINE_TRAITS)
+
+    def test_hygcn_engine_split(self):
+        hygcn = next(t for t in BASELINE_TRAITS if t.name == "hygcn")
+        assert hygcn.engine_split == pytest.approx(1 / 8)  # paper's 1:7 ratio
+
+    def test_awb_rebalancing(self):
+        awb = next(t for t in BASELINE_TRAITS if t.name == "awb-gcn")
+        assert awb.runtime_rebalancing
+
+    def test_regnn_redundancy(self):
+        regnn = next(t for t in BASELINE_TRAITS if t.name == "regnn")
+        assert 0 < regnn.redundancy_elimination < 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn"])
+    def test_make_baseline(self, name):
+        assert make_baseline(name).name == name
+
+    def test_alias(self):
+        assert make_baseline("awbgcn").name == "awb-gcn"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_baseline("tpu")
+
+
+class TestSupport:
+    def test_strict_raises_for_unsupported(self, graph):
+        hygcn = make_baseline("hygcn")
+        with pytest.raises(UnsupportedModelError):
+            hygcn.simulate_layer(get_model("ggcn"), graph, DIMS)
+
+    def test_non_strict_runs_with_penalty(self, graph):
+        hygcn = make_baseline("hygcn")
+        gcn = hygcn.simulate_layer(get_model("gcn"), graph, DIMS)
+        forced = hygcn.simulate_layer(
+            get_model("ggcn"), graph, DIMS, strict=False
+        )
+        assert forced.total_seconds > 0
+
+    def test_flowgnn_supports_mp(self, graph):
+        r = make_baseline("flowgnn").simulate_layer(get_model("ggcn"), graph, DIMS)
+        assert r.total_seconds > 0
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("cls", BASELINE_CLASSES)
+    def test_sanity(self, cls, graph):
+        r = cls().simulate_layer(get_model("gcn"), graph, DIMS)
+        assert r.total_seconds > 0
+        assert r.dram_bytes > 0
+        assert r.onchip_comm_cycles > 0
+        assert r.energy.total > 0
+
+    def test_notes_include_imbalance(self, graph):
+        r = make_baseline("hygcn").simulate_layer(get_model("gcn"), graph, DIMS)
+        assert r.notes["compute_imbalance"] >= 1.0
+        assert r.notes["ejection_imbalance"] >= 1.0
+
+    def test_rebalancing_lowers_imbalance(self, graph):
+        hygcn = make_baseline("hygcn").simulate_layer(get_model("gcn"), graph, DIMS)
+        awb = make_baseline("awb-gcn").simulate_layer(get_model("gcn"), graph, DIMS)
+        assert awb.notes["compute_imbalance"] < hygcn.notes["compute_imbalance"]
+
+    def test_multilayer(self, graph):
+        r = make_baseline("gcnax").simulate(
+            get_model("gcn"), graph, [DIMS, LayerDims(32, 8)]
+        )
+        assert r.notes["layers"] == 2
+
+    def test_deterministic(self, graph):
+        a = make_baseline("regnn").simulate_layer(get_model("gcn"), graph, DIMS)
+        b = make_baseline("regnn").simulate_layer(get_model("gcn"), graph, DIMS)
+        assert a.total_seconds == b.total_seconds
+
+
+class TestRelativeOrdering:
+    """The paper's qualitative ordering must hold on a GCN dataset workload.
+
+    The comparison uses a paper dataset (Cora) at full scale: the models
+    are calibrated for dataset-sized workloads where the phase volumes
+    dominate; on micro-graphs Aurora's fixed startup costs (weight fill,
+    reconfiguration) can invert the ordering, which the paper never
+    evaluates.
+    """
+
+    @pytest.fixture(scope="class")
+    def cora_results(self):
+        from repro import load_dataset
+        from repro.core.accelerator import layer_plan
+
+        g = load_dataset("cora")
+        dims = layer_plan(g, 64, 2, 7)  # the paper's 2-layer GCN inference
+        out = {"aurora": AuroraSimulator().simulate(get_model("gcn"), g, dims)}
+        for cls in BASELINE_CLASSES:
+            dev = cls()
+            out[dev.name] = dev.simulate(get_model("gcn"), g, dims, strict=False)
+        return out
+
+    def test_aurora_fastest(self, cora_results):
+        aurora_t = cora_results["aurora"].total_seconds
+        for name, r in cora_results.items():
+            if name != "aurora":
+                assert r.total_seconds > aurora_t, name
+
+    def test_hygcn_slowest_baseline(self, cora_results):
+        hygcn_t = cora_results["hygcn"].total_seconds
+        for name, r in cora_results.items():
+            if name not in ("hygcn",):
+                assert r.total_seconds < hygcn_t, name
+
+    def test_aurora_lowest_energy(self, cora_results):
+        aurora_e = cora_results["aurora"].energy.total
+        for name, r in cora_results.items():
+            if name != "aurora":
+                assert r.energy.total > aurora_e, name
+
+    def test_aurora_lowest_dram(self, cora_results):
+        aurora_d = cora_results["aurora"].dram_bytes
+        for name in ("hygcn", "awb-gcn", "regnn"):
+            assert cora_results[name].dram_bytes >= aurora_d, name
+
+
+class TestTraitValidation:
+    def test_custom_traits(self, graph):
+        from repro.baselines import BaselineAccelerator
+
+        traits = BaselineTraits(name="custom", comm_ports=32)
+        dev = BaselineAccelerator(traits)
+        r = dev.simulate_layer(get_model("gcn"), graph, DIMS)
+        assert r.accelerator == "custom"
+
+    def test_combination_first_trait(self, graph):
+        from repro.baselines import BaselineAccelerator
+
+        base = BaselineAccelerator(BaselineTraits(name="plain"))
+        cf = BaselineAccelerator(
+            BaselineTraits(name="cf", combination_first=True)
+        )
+        r_base = base.simulate_layer(get_model("gcn"), graph, DIMS)
+        r_cf = cf.simulate_layer(get_model("gcn"), graph, DIMS)
+        assert r_cf.notes["combination_first"] is True
+        assert r_cf.total_seconds < r_base.total_seconds

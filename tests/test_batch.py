@@ -1,0 +1,85 @@
+"""Tests for multi-request batch scheduling."""
+
+import pytest
+
+from repro import LayerDims, get_model
+from repro.core import GNNRequest
+from repro.core.batch import BatchScheduler
+from repro.graphs import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(
+        200, 900, num_features=64, feature_density=0.3, locality=0.5, seed=2
+    )
+
+
+def _req(graph, model="gcn", layers=1):
+    return GNNRequest(
+        get_model(model), graph, LayerDims(64, 16), num_layers=layers
+    )
+
+
+class TestScheduler:
+    def test_empty_queue(self):
+        out = BatchScheduler().run([])
+        assert out.makespan_seconds == 0.0
+        assert out.reconfig_fraction == 0.0
+
+    def test_sequential_placement(self, graph):
+        out = BatchScheduler().run([_req(graph), _req(graph)])
+        a, b = out.scheduled
+        assert a.start_seconds == 0.0
+        assert b.start_seconds == pytest.approx(a.end_seconds)
+
+    def test_same_model_no_reconfig(self, graph):
+        out = BatchScheduler().run([_req(graph), _req(graph)])
+        assert out.total_reconfig_seconds == 0.0
+
+    def test_model_change_charges_reconfig(self, graph):
+        out = BatchScheduler().run(
+            [_req(graph, "gcn"), _req(graph, "ggcn"), _req(graph, "gcn")]
+        )
+        expected = 2 * 63 / 700e6  # two model switches at 2K-1 cycles
+        assert out.total_reconfig_seconds == pytest.approx(expected)
+
+    def test_reconfig_fraction_small(self):
+        """Paper §VI-E: reconfiguration is a negligible share (<3%) on
+        dataset-scale requests (micro-graphs exaggerate the fixed cost)."""
+        from repro import load_dataset
+
+        cora = load_dataset("cora", scale=0.5)
+        queue = [
+            GNNRequest(get_model(m), cora, LayerDims(cora.num_features, 64))
+            for m in ("gcn", "gin", "agnn", "ggcn", "edgeconv-1", "gcn")
+        ]
+        out = BatchScheduler().run(queue)
+        assert out.reconfig_fraction < 0.03
+
+    def test_makespan_is_sum(self, graph):
+        out = BatchScheduler().run([_req(graph, "gcn"), _req(graph, "agnn")])
+        total = sum(
+            s.reconfig_seconds + s.result.total_seconds for s in out.scheduled
+        )
+        assert out.makespan_seconds == pytest.approx(total)
+
+    def test_energy_accumulates(self, graph):
+        one = BatchScheduler().run([_req(graph)])
+        two = BatchScheduler().run([_req(graph), _req(graph)])
+        assert two.total_energy_joules == pytest.approx(
+            2 * one.total_energy_joules, rel=1e-6
+        )
+
+    def test_multilayer_request(self, graph):
+        out = BatchScheduler().run([_req(graph, layers=2)])
+        assert out.scheduled[0].result.notes["layers"] == 2
+
+    def test_mixed_models_all_complete(self, graph):
+        queue = [_req(graph, m) for m in ("gcn", "graphsage-pool", "edgeconv-5")]
+        out = BatchScheduler().run(queue)
+        assert [s.model_name for s in out.scheduled] == [
+            "gcn",
+            "graphsage-pool",
+            "edgeconv-5",
+        ]

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.model == "gcn"
+        assert args.dataset == "cora"
+        assert args.device == "aurora"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--model", "bert"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--dataset", "ogbn"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "citeseer", "pubmed", "nell", "reddit"):
+            assert name in out
+        assert "2,708" in out  # Cora's published vertex count
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gcn" in out and "edgeconv-5" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "32x32" in out
+        assert "700 MHz" in out
+        assert "63 cycles" in out
+
+    def test_simulate_aurora(self, capsys):
+        rc = main(["simulate", "--dataset", "cora", "--scale", "0.2",
+                   "--hidden", "16", "--layers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "device          : aurora" in out
+        assert "execution time" in out
+
+    def test_simulate_baseline(self, capsys):
+        rc = main(["simulate", "--dataset", "cora", "--scale", "0.2",
+                   "--device", "gcnax", "--hidden", "16", "--layers", "1"])
+        assert rc == 0
+        assert "gcnax" in capsys.readouterr().out
+
+    def test_simulate_unsupported_warns(self, capsys):
+        rc = main(["simulate", "--dataset", "cora", "--scale", "0.2",
+                   "--device", "hygcn", "--model", "ggcn",
+                   "--hidden", "8", "--layers", "1"])
+        assert rc == 0
+        assert "does not support" in capsys.readouterr().err
+
+    def test_simulate_hashing_mapping(self, capsys):
+        rc = main(["simulate", "--dataset", "cora", "--scale", "0.2",
+                   "--mapping", "hashing", "--hidden", "8", "--layers", "1"])
+        assert rc == 0
+        assert "aurora-hashing" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--datasets", "cora", "--metric", "energy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aurora" in out and "hygcn" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "error" in capsys.readouterr().err

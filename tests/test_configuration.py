@@ -1,0 +1,79 @@
+"""Tests for the NoC/PE configuration unit."""
+
+import pytest
+
+from repro.arch.pe import PEDatapath
+from repro.config import small_config
+from repro.core import AdaptiveWorkflowGenerator, ConfigurationUnit
+from repro.mapping import PERegion, degree_aware_map
+from repro.models import get_model
+
+
+@pytest.fixture
+def setup(medium_graph, cfg8):
+    region_a = PERegion(0, 0, 8, 4, 8)
+    region_b = PERegion(0, 4, 8, 8, 8)
+    cap = -(-medium_graph.num_vertices // region_a.num_pes)
+    mapping = degree_aware_map(medium_graph, region_a, pe_vertex_capacity=cap)
+    return cfg8, mapping, region_a, region_b
+
+
+class TestConfigure:
+    def test_bypass_segments_installed(self, setup):
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("gcn"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        assert len(plan.topology.bypass_segments) > 0
+
+    def test_rings_for_region_b(self, setup):
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("gcn"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        assert plan.ring_rows in (0, rb.height)
+        if plan.ring_rows:
+            assert len(plan.topology.ring_regions) == 1
+
+    def test_no_region_b_no_rings(self, setup):
+        cfg, mapping, ra, _ = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("edgeconv-1"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, None)
+        assert plan.ring_rows == 0
+        assert plan.region_b is None
+
+    def test_reconfiguration_cycles(self, setup):
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("gcn"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        assert plan.reconfiguration_cycles == 2 * cfg.array_k - 1
+
+    def test_gcn_datapath_sequences(self, setup):
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("gcn"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        # A: Scalar×V (MUL_ONLY) then ΣV (ADD_ONLY); B: M×V (MAC_CHAIN).
+        assert [c.datapath for c in plan.pe_configs_a] == [
+            PEDatapath.MUL_ONLY,
+            PEDatapath.ADD_ONLY,
+        ]
+        assert [c.datapath for c in plan.pe_configs_b] == [PEDatapath.MAC_CHAIN]
+
+    def test_ppu_ops_need_no_datapath(self, setup):
+        """Activation-only phases add no MAC-array configuration."""
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("graphsage-mean"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        # B ops = single M×V, no activation row for sage-mean.
+        assert len(plan.pe_configs_b) == 1
+
+    def test_switch_count(self, setup):
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("gcn"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        assert plan.num_datapath_switches == 1  # MUL->ADD within A
+
+    def test_consecutive_same_datapath_collapsed(self, setup):
+        cfg, mapping, ra, rb = setup
+        wf = AdaptiveWorkflowGenerator().generate(get_model("gin"))
+        plan = ConfigurationUnit(cfg).configure(wf, mapping, ra, rb)
+        # GIN aggregation only on A: one ADD_ONLY config.
+        assert [c.datapath for c in plan.pe_configs_a] == [PEDatapath.ADD_ONLY]

@@ -1,0 +1,147 @@
+"""Tests for the controller front end (Fig. 3 walk-through units)."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveWorkflowGenerator,
+    GNNRequest,
+    InstructionBuffer,
+    Opcode,
+    RequestDispatcher,
+    lower_layer_program,
+)
+from repro.config import default_config
+from repro.models import LayerDims, Phase, get_model
+
+
+@pytest.fixture
+def gen():
+    return AdaptiveWorkflowGenerator()
+
+
+class TestWorkflowGenerator:
+    def test_gcn_three_steps(self, gen):
+        wf = gen.generate(get_model("gcn"))
+        assert wf.phases() == (
+            Phase.EDGE_UPDATE,
+            Phase.AGGREGATION,
+            Phase.VERTEX_UPDATE,
+        )
+        assert wf.needs_two_sub_accelerators
+
+    def test_gin_skips_edge_update(self, gen):
+        wf = gen.generate(get_model("gin"))
+        assert wf.phases() == (Phase.AGGREGATION, Phase.VERTEX_UPDATE)
+
+    def test_edgeconv_single_sub_accelerator(self, gen):
+        wf = gen.generate(get_model("edgeconv-1"))
+        assert wf.phases() == (Phase.EDGE_UPDATE, Phase.AGGREGATION)
+        assert not wf.needs_two_sub_accelerators
+
+    def test_sub_accelerator_assignment(self, gen):
+        wf = gen.generate(get_model("gcn"))
+        assign = {s.phase: s.sub_accelerator for s in wf.steps}
+        assert assign[Phase.EDGE_UPDATE] == "A"
+        assert assign[Phase.AGGREGATION] == "A"
+        assert assign[Phase.VERTEX_UPDATE] == "B"
+
+    def test_dataflows(self, gen):
+        wf = gen.generate(get_model("gcn"))
+        flows = {s.phase: s.dataflow for s in wf.steps}
+        assert flows[Phase.AGGREGATION] == "message-passing"
+        assert flows[Phase.VERTEX_UPDATE] == "weight-stationary"
+
+    def test_edge_embedding_flag(self, gen):
+        assert gen.generate(get_model("ggcn")).uses_edge_embeddings
+        assert not gen.generate(get_model("gcn")).uses_edge_embeddings
+
+
+class TestRequestDispatcher:
+    def test_dispatch_returns_triple(self, medium_graph):
+        disp = RequestDispatcher(default_config())
+        req = GNNRequest(get_model("gcn"), medium_graph, LayerDims(32, 16))
+        meta, workflow, workload = disp.dispatch(req)
+        assert meta.num_vertices == medium_graph.num_vertices
+        assert workflow.model_name == "gcn"
+        assert workload.O_uv > 0
+        assert disp.accepted == [req]
+
+    def test_invalid_layers(self, medium_graph):
+        with pytest.raises(ValueError):
+            GNNRequest(get_model("gcn"), medium_graph, LayerDims(4, 2), num_layers=0)
+
+
+class TestLowering:
+    def _program(self, model="gcn", tiles=2, weights=True):
+        wf = AdaptiveWorkflowGenerator().generate(get_model(model))
+        return lower_layer_program(wf, num_tiles=tiles, needs_weights=weights)
+
+    def test_weights_loaded_once(self):
+        prog = self._program(tiles=3)
+        loads = [i for i in prog if i.opcode is Opcode.LOAD_WEIGHTS]
+        assert len(loads) == 1
+        assert prog[0].opcode is Opcode.LOAD_WEIGHTS
+
+    def test_per_tile_sequence(self):
+        prog = self._program(tiles=1)
+        ops = [i.opcode for i in prog]
+        assert ops == [
+            Opcode.LOAD_WEIGHTS,
+            Opcode.CONFIG_NOC,
+            Opcode.CONFIG_PE,
+            Opcode.LOAD_GRAPH,
+            Opcode.EXEC_PHASE,  # edge update on A
+            Opcode.EXEC_PHASE,  # aggregation on A
+            Opcode.FORWARD,
+            Opcode.EXEC_PHASE,  # vertex update on B
+            Opcode.STORE,
+            Opcode.BARRIER,
+        ]
+
+    def test_no_forward_without_b(self):
+        prog = self._program(model="edgeconv-1", weights=True)
+        assert all(i.opcode is not Opcode.FORWARD for i in prog)
+
+    def test_tile_count_scales_program(self):
+        p1 = self._program(tiles=1)
+        p3 = self._program(tiles=3)
+        assert len(p3) > len(p1)
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            self._program(tiles=0)
+
+
+class TestInstructionBuffer:
+    def test_fetch_order(self):
+        from repro.core import Instruction
+
+        buf = InstructionBuffer()
+        buf.extend([Instruction(Opcode.BARRIER), Instruction(Opcode.HALT)])
+        assert buf.fetch().opcode is Opcode.BARRIER
+        assert buf.fetch().opcode is Opcode.HALT
+        assert buf.fetch() is None
+
+    def test_capacity(self):
+        from repro.core import Instruction
+
+        buf = InstructionBuffer(capacity=1)
+        buf.push(Instruction(Opcode.HALT))
+        with pytest.raises(OverflowError):
+            buf.push(Instruction(Opcode.HALT))
+
+    def test_reset(self):
+        from repro.core import Instruction
+
+        buf = InstructionBuffer()
+        buf.push(Instruction(Opcode.HALT))
+        buf.reset()
+        assert len(buf) == 0
+        assert buf.remaining() == 0
+
+    def test_operand_access(self):
+        from repro.core import Instruction
+
+        i = Instruction(Opcode.EXEC_PHASE, {"tile": 3})
+        assert i.operand("tile") == 3
+        assert i.operand("missing", "dflt") == "dflt"

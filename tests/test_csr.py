@@ -1,0 +1,180 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, from_dense_adjacency, from_edge_list
+
+
+class TestConstruction:
+    def test_from_edge_list_basic(self, tiny_graph):
+        assert tiny_graph.num_vertices == 5
+        assert tiny_graph.num_edges == 5
+
+    def test_indptr_monotone(self, tiny_graph):
+        assert np.all(np.diff(tiny_graph.indptr) >= 0)
+
+    def test_indices_dtype(self, tiny_graph):
+        assert tiny_graph.indptr.dtype == np.int64
+        assert tiny_graph.indices.dtype == np.int64
+
+    def test_empty_graph(self):
+        g = from_edge_list(3, [])
+        assert g.num_edges == 0
+        assert g.num_vertices == 3
+        assert g.degrees.tolist() == [0, 0, 0]
+
+    def test_dedup(self):
+        g = from_edge_list(3, [(0, 1), (0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_no_dedup_keeps_duplicates(self):
+        g = from_edge_list(3, [(0, 1), (0, 1)], dedup=False)
+        assert g.num_edges == 2
+
+    def test_self_loops_kept(self):
+        g = from_edge_list(2, [(0, 0), (0, 1)])
+        assert g.num_edges == 2
+        assert 0 in g.neighbors(0)
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list(2, [(0, 5)])
+
+    def test_rejects_bad_indptr_start(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_rejects_indptr_indices_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_rejects_bad_feature_density(self):
+        with pytest.raises(ValueError, match="feature_density"):
+            from_edge_list(2, [(0, 1)], feature_density=0.0)
+
+    def test_rejects_bad_num_features(self):
+        with pytest.raises(ValueError, match="num_features"):
+            from_edge_list(2, [(0, 1)], num_features=0)
+
+    def test_from_dense_adjacency(self):
+        adj = np.array([[0, 1, 1], [0, 0, 1], [1, 0, 0]])
+        g = from_dense_adjacency(adj)
+        assert g.num_edges == 4
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_from_dense_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            from_dense_adjacency(np.zeros((2, 3)))
+
+
+class TestAccessors:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degrees.tolist() == [2, 1, 1, 1, 0]
+
+    def test_in_degrees(self, tiny_graph):
+        # in: 0<-2; 1<-0; 2<-0,1; 4<-3
+        assert tiny_graph.in_degrees.tolist() == [1, 1, 2, 0, 1]
+
+    def test_degree_scalar(self, tiny_graph):
+        assert tiny_graph.degree(0) == 2
+        assert tiny_graph.degree(4) == 0
+
+    def test_degree_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.degree(99)
+
+    def test_neighbors_sorted(self, tiny_graph):
+        assert tiny_graph.neighbors(0).tolist() == [1, 2]
+
+    def test_neighbors_is_view(self, tiny_graph):
+        nbrs = tiny_graph.neighbors(0)
+        assert nbrs.base is tiny_graph.indices
+
+    def test_neighbors_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.neighbors(-1)
+
+    def test_edges_iteration(self, tiny_graph):
+        assert sorted(tiny_graph.edges()) == [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+        ]
+
+    def test_edge_array(self, tiny_graph):
+        arr = tiny_graph.edge_array()
+        assert arr.shape == (5, 2)
+        assert arr[0].tolist() == [0, 1]
+
+
+class TestDerived:
+    def test_csc_roundtrip(self, tiny_graph):
+        indptr, indices = tiny_graph.csc()
+        # In-neighbors of 2 are {0, 1}.
+        assert sorted(indices[indptr[2] : indptr[3]].tolist()) == [0, 1]
+
+    def test_reverse_degrees(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert rev.degrees.tolist() == tiny_graph.in_degrees.tolist()
+
+    def test_reverse_twice_is_identity(self, medium_graph):
+        back = medium_graph.reverse().reverse()
+        assert np.array_equal(back.indptr, medium_graph.indptr)
+        got = {tuple(e) for e in back.edge_array().tolist()}
+        want = {tuple(e) for e in medium_graph.edge_array().tolist()}
+        assert got == want
+
+    def test_meta(self, tiny_graph):
+        meta = tiny_graph.meta()
+        assert meta.num_vertices == 5
+        assert meta.num_edges == 5
+        assert meta.max_degree == 2
+        assert meta.min_degree == 0
+        assert meta.mean_degree == pytest.approx(1.0)
+
+    def test_meta_cached(self, tiny_graph):
+        assert tiny_graph.meta() is tiny_graph.meta()
+
+    def test_power_law_like_flag(self, hub_graph):
+        # Star graph: hub degree 12, mean ~1 -> heavy tailed.
+        assert hub_graph.meta().is_power_law_like
+
+
+class TestInducedSubgraph:
+    def test_subset_keeps_internal_edges(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 4  # 0->1, 0->2, 1->2, 2->0
+
+    def test_drops_external_edges(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph([3, 4])
+        assert sub.num_edges == 1  # 3->4 survives
+
+    def test_relabels_vertices(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph([2, 3, 4])
+        # 3->4 becomes 1->2 under the new labels.
+        assert (1, 2) in set(sub.edges())
+
+    def test_rejects_duplicates(self, tiny_graph):
+        with pytest.raises(ValueError, match="duplicates"):
+            tiny_graph.induced_subgraph([0, 0])
+
+    def test_rejects_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            tiny_graph.induced_subgraph([0, 9])
+
+    def test_whole_graph_subset(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph(range(5))
+        assert sub.num_edges == tiny_graph.num_edges
+
+    def test_preserves_attributes(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph([0, 1])
+        assert sub.num_features == tiny_graph.num_features
+        assert sub.feature_density == tiny_graph.feature_density

@@ -1,0 +1,85 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.graphs import (
+    DATASETS,
+    dataset_profile,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_paper_datasets_present(self):
+        assert list_datasets() == ["cora", "citeseer", "pubmed", "nell", "reddit"]
+
+    def test_profile_lookup_case_insensitive(self):
+        assert dataset_profile("CORA").name == "cora"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_profile("ogbn-arxiv")
+
+    def test_published_statistics(self):
+        cora = dataset_profile("cora")
+        assert cora.num_vertices == 2708
+        assert cora.num_features == 1433
+        assert cora.num_classes == 7
+        reddit = dataset_profile("reddit")
+        assert reddit.num_vertices == 232965
+        assert reddit.feature_density > 0.5  # paper: density > 50%
+
+    def test_mean_degree(self):
+        prof = dataset_profile("reddit")
+        assert prof.mean_degree == pytest.approx(
+            prof.num_edges / prof.num_vertices
+        )
+
+    def test_all_profiles_valid(self):
+        for prof in DATASETS.values():
+            assert prof.num_vertices > 0
+            assert prof.num_edges > 0
+            assert 0 < prof.feature_density <= 1
+            assert prof.degree_exponent > 1
+            assert 0 <= prof.locality < 1
+
+
+class TestLoading:
+    def test_full_scale_counts(self):
+        g = load_dataset("cora")
+        assert g.num_vertices == 2708
+        assert g.num_edges == 10556
+        assert g.num_features == 1433
+
+    def test_scaled_counts(self):
+        g = load_dataset("pubmed", scale=0.1)
+        prof = dataset_profile("pubmed")
+        assert g.num_vertices == pytest.approx(prof.num_vertices * 0.1, rel=0.05)
+        assert g.num_edges == pytest.approx(prof.num_edges * 0.1, rel=0.05)
+        assert g.num_features == prof.num_features  # width preserved
+
+    def test_scale_preserves_density(self):
+        g = load_dataset("reddit", scale=0.005)
+        assert g.feature_density == dataset_profile("reddit").feature_density
+
+    def test_deterministic(self):
+        import numpy as np
+
+        a = load_dataset("citeseer", scale=0.2)
+        b = load_dataset("citeseer", scale=0.2)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_name_encodes_scale(self):
+        assert load_dataset("cora", scale=0.5).name == "cora@0.5"
+        assert load_dataset("cora").name == "cora"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("cora", scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("cora", scale=1.5)
+
+    def test_minimum_size_floor(self):
+        g = load_dataset("cora", scale=0.001)
+        assert g.num_vertices >= 16

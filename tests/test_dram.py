@@ -1,0 +1,82 @@
+"""Unit tests for the DRAM timing model."""
+
+import pytest
+
+from repro.arch import AccessPattern, DRAMModel
+from repro.config import DRAMConfig
+
+
+class TestTiming:
+    def test_large_sequential_is_bandwidth_bound(self):
+        dram = DRAMModel()
+        nbytes = 1 << 28  # 256 MiB
+        t = dram.access(nbytes, pattern=AccessPattern.SEQUENTIAL)
+        assert t == pytest.approx(
+            nbytes / dram.config.bandwidth_bytes_per_sec, rel=0.01
+        )
+
+    def test_random_slower_than_sequential(self):
+        dram = DRAMModel()
+        nbytes = 1 << 20
+        seq = dram.access(nbytes, pattern=AccessPattern.SEQUENTIAL)
+        rand = dram.access(nbytes, pattern=AccessPattern.RANDOM)
+        assert rand > seq
+
+    def test_zero_bytes_zero_time(self):
+        assert DRAMModel().access(0) == 0.0
+
+    def test_burst_padding(self):
+        dram = DRAMModel()
+        dram.access(1)  # one byte still moves a whole burst
+        assert dram.stats.reads_bytes == dram.config.burst_bytes
+
+    def test_invalid_bytes(self):
+        with pytest.raises(ValueError):
+            DRAMModel().access(-1)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            DRAMModel().access(64, pattern="strided")
+
+    def test_bandwidth_scaling(self):
+        slow = DRAMModel(DRAMConfig(bandwidth_bytes_per_sec=64e9))
+        fast = DRAMModel(DRAMConfig(bandwidth_bytes_per_sec=256e9))
+        nbytes = 1 << 26
+        assert slow.access(nbytes) == pytest.approx(4 * fast.access(nbytes), rel=0.05)
+
+
+class TestStats:
+    def test_read_write_separated(self):
+        dram = DRAMModel()
+        dram.access(128, write=False)
+        dram.access(256, write=True)
+        assert dram.stats.reads_bytes == 128
+        assert dram.stats.writes_bytes == 256
+        assert dram.stats.total_bytes == 384
+
+    def test_row_hit_rate_sequential_high(self):
+        dram = DRAMModel()
+        dram.access(1 << 20, pattern=AccessPattern.SEQUENTIAL)
+        assert dram.stats.row_hit_rate > 0.9
+
+    def test_row_hit_rate_random_low(self):
+        dram = DRAMModel()
+        dram.access(1 << 20, pattern=AccessPattern.RANDOM)
+        assert dram.stats.row_hit_rate < 0.2
+
+    def test_busy_time_accumulates(self):
+        dram = DRAMModel()
+        t1 = dram.access(1 << 20)
+        t2 = dram.access(1 << 20)
+        assert dram.stats.busy_seconds == pytest.approx(t1 + t2)
+
+    def test_reset(self):
+        dram = DRAMModel()
+        dram.access(1024)
+        dram.reset()
+        assert dram.stats.total_bytes == 0
+
+    def test_stream_time_no_side_effects(self):
+        dram = DRAMModel()
+        dram.stream_time(1 << 20)
+        assert dram.stats.total_bytes == 0

@@ -1,0 +1,134 @@
+"""Tests for the evaluation harness, metrics, and reports."""
+
+import pytest
+
+from repro.eval import (
+    ACCELERATOR_ORDER,
+    average_reduction,
+    format_table,
+    geometric_mean,
+    list_experiments,
+    metric_value,
+    normalize_to,
+    reduction_percent,
+    render_headline_summary,
+    render_normalized_figure,
+    render_table1_coverage,
+    render_table2_operations,
+    run_comparison,
+    run_experiment,
+)
+
+
+class TestMetrics:
+    def test_reduction_percent(self):
+        assert reduction_percent(15, 100) == pytest.approx(85.0)
+        assert reduction_percent(100, 100) == pytest.approx(0.0)
+
+    def test_reduction_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            reduction_percent(1.0, 0.0)
+
+    def test_average_reduction(self):
+        assert average_reduction([50, 25], [100, 100]) == pytest.approx(62.5)
+
+    def test_average_reduction_validation(self):
+        with pytest.raises(ValueError):
+            average_reduction([1.0], [1.0, 2.0])
+
+    def test_normalize(self):
+        assert normalize_to(4.0, 2.0) == 2.0
+        with pytest.raises(ValueError):
+            normalize_to(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            metric_value(None, "latency_of_dreams")
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        out = format_table(["x"], [["1"]], title="T")
+        assert out.startswith("T\n")
+
+    def test_table1_contains_all(self):
+        out = render_table1_coverage()
+        for name in ("hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn", "aurora"):
+            assert name in out
+
+    def test_table2_contains_all_models(self):
+        out = render_table2_operations()
+        for name in ("gcn", "gin", "ggcn", "edgeconv-5"):
+            assert name in out
+        assert "Null" in out  # GIN's empty edge update
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_comparison(
+            model="gcn",
+            datasets=("cora", "citeseer"),
+            scales={"cora": 0.4, "citeseer": 0.4},
+        )
+
+    def test_grid_complete(self, comparison):
+        assert set(comparison.accelerators) == set(ACCELERATOR_ORDER)
+        for ds in comparison.datasets:
+            for acc in comparison.accelerators:
+                assert (ds, acc) in comparison.results
+
+    def test_normalized_grid_aurora_unity(self, comparison):
+        grid = comparison.normalized_grid("execution_time")
+        for ds in comparison.datasets:
+            assert grid[ds]["aurora"] == pytest.approx(1.0)
+
+    def test_metric_grid_positive(self, comparison):
+        for metric in ("execution_time", "dram_accesses", "onchip_latency", "energy"):
+            grid = comparison.metric_grid(metric)
+            for row in grid.values():
+                assert all(v > 0 for v in row.values())
+
+    def test_renders(self, comparison):
+        out = render_normalized_figure(comparison, "execution_time", title="T")
+        assert "aurora" in out
+        out2 = render_headline_summary(comparison)
+        assert "speedup range" in out2
+
+    def test_speedup_range(self, comparison):
+        lo, hi = comparison.speedup_range_vs("execution_time", "hygcn")
+        assert 0 < lo <= hi
+
+
+class TestExperimentRegistry:
+    def test_registry_complete(self):
+        # Twelve paper artifacts + two extension experiments (E13, E14).
+        assert len(list_experiments()) == 14
+        assert list_experiments()[0] == "E1"
+        assert "E13" in list_experiments() and "E14" in list_experiments()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    @pytest.mark.parametrize("eid", ["E1", "E2", "E7", "E8"])
+    def test_fast_experiments_run(self, eid):
+        res = run_experiment(eid)
+        assert res.experiment_id == eid
+        assert res.text
+        assert res.data
+
+    def test_case_insensitive(self):
+        assert run_experiment("e1").experiment_id == "E1"

@@ -1,0 +1,62 @@
+"""Tests for result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval import run_comparison
+from repro.eval.export import (
+    grid_to_csv,
+    results_to_json,
+    write_csv,
+    write_json,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison(
+        model="gcn", datasets=("cora",), scales={"cora": 0.3}
+    )
+
+
+class TestCSV:
+    def test_header_and_rows(self, comparison):
+        text = grid_to_csv(comparison, "execution_time")
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["dataset", *comparison.accelerators]
+        assert rows[1][0] == "cora"
+        assert len(rows) == 1 + len(comparison.datasets)
+
+    def test_values_parse_back(self, comparison):
+        text = grid_to_csv(comparison, "energy")
+        rows = list(csv.reader(io.StringIO(text)))
+        for cell in rows[1][1:]:
+            assert float(cell) > 0
+
+    def test_write_csv(self, comparison, tmp_path):
+        path = tmp_path / "grid.csv"
+        write_csv(comparison, "dram_accesses", path)
+        assert path.read_text().startswith("dataset,")
+
+
+class TestJSON:
+    def test_structure(self, comparison):
+        obj = results_to_json(comparison)
+        assert obj["model"] == "gcn"
+        assert set(obj["metrics"]) == {
+            "execution_time",
+            "dram_accesses",
+            "onchip_latency",
+            "energy",
+        }
+        assert obj["normalized"]["execution_time"]["cora"]["aurora"] == 1.0
+
+    def test_round_trips_through_json(self, comparison, tmp_path):
+        path = tmp_path / "results.json"
+        write_json(comparison, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["datasets"] == ["cora"]
+        assert loaded["metrics"]["energy"]["cora"]["hygcn"] > 0

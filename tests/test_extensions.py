@@ -1,0 +1,103 @@
+"""Tests for the extension models and the zoo's extensibility."""
+
+import pytest
+
+from repro import AuroraSimulator, LayerDims, get_model
+from repro.graphs import power_law_graph
+from repro.models import ModelCategory, OpKind
+from repro.models.extensions import (
+    APPNP,
+    EXTENSION_ZOO,
+    GAT_2HEAD,
+    GCNII,
+    register_extensions,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clean_registry():
+    """Registering extensions mutates the global zoo; undo afterwards so
+    other test modules see the pristine Table-II registry."""
+    from repro.models.zoo import MODEL_ZOO
+
+    yield
+    for name in ("gat-2head", "appnp", "gcnii"):
+        MODEL_ZOO.pop(name, None)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(
+        150, 700, num_features=32, locality=0.5, seed=5
+    )
+
+
+class TestSpecs:
+    def test_gat_heads(self):
+        dots = [op for op in GAT_2HEAD.edge_update.ops if op.kind is OpKind.DOT]
+        assert dots[0].repeat == 2
+        assert OpKind.CONCAT in GAT_2HEAD.vertex_update.op_kinds()
+        assert GAT_2HEAD.category is ModelCategory.A_GNN
+
+    def test_appnp_no_weight_matrix(self):
+        assert OpKind.MATRIX_VECTOR not in APPNP.required_op_kinds()
+        assert APPNP.has_vertex_update  # but it is all vector ops
+
+    def test_gcnii_residual_ops(self):
+        kinds = GCNII.vertex_update.op_kinds()
+        assert OpKind.MATRIX_VECTOR in kinds
+        assert OpKind.SCALAR_VECTOR in kinds
+
+    def test_three_extensions(self):
+        assert set(EXTENSION_ZOO) == {"gat-2head", "appnp", "gcnii"}
+
+
+class TestRegistration:
+    def test_register_makes_models_loadable(self):
+        register_extensions()
+        assert get_model("gat-2head").name == "gat-2head"
+        assert get_model("appnp") is APPNP
+
+    def test_idempotent(self):
+        register_extensions()
+        register_extensions()
+        assert get_model("gcnii") is GCNII
+
+
+class TestSimulation:
+    """Extension models must run through the whole stack unchanged."""
+
+    @pytest.mark.parametrize("model", [GAT_2HEAD, APPNP, GCNII])
+    def test_simulates(self, model, graph):
+        r = AuroraSimulator().simulate_layer(model, graph, LayerDims(32, 16))
+        assert r.total_seconds > 0
+        assert r.energy.total > 0
+
+    def test_gat_heavier_than_gcn(self, graph):
+        """Two attention heads cost more edge work than GCN's scalar norm."""
+        from repro.models import extract_workload
+
+        gat = extract_workload(GAT_2HEAD, graph, LayerDims(32, 16))
+        gcn = extract_workload(get_model("gcn"), graph, LayerDims(32, 16))
+        assert gat.O_ue > 2 * gcn.O_ue
+
+    def test_appnp_partition_is_aggregation_heavy(self, graph):
+        """Without a dense vertex transform, sub-accelerator A gets most
+        of the array."""
+        r = AuroraSimulator().simulate_layer(APPNP, graph, LayerDims(32, 32))
+        assert r.notes["partition_a"] > r.notes["partition_b"]
+
+    def test_workflow_generation(self):
+        from repro.core import AdaptiveWorkflowGenerator
+
+        wf = AdaptiveWorkflowGenerator().generate(GAT_2HEAD)
+        assert wf.needs_two_sub_accelerators
+        assert wf.uses_edge_embeddings
+
+    def test_machine_accepts_extension_programs(self):
+        from repro.core import AdaptiveWorkflowGenerator, lower_layer_program
+        from repro.core.machine import Machine
+
+        wf = AdaptiveWorkflowGenerator().generate(GCNII)
+        program = lower_layer_program(wf, num_tiles=2, needs_weights=True)
+        Machine().run(program)

@@ -1,0 +1,209 @@
+"""Unit tests for the NumPy reference layer implementations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import from_edge_list, star_graph
+from repro.models import (
+    adjacency,
+    attention_layer,
+    commnet_layer,
+    edgeconv_layer,
+    gcn_layer,
+    ggcn_layer,
+    gin_layer,
+    list_models,
+    relu,
+    run_layer,
+    sage_mean_layer,
+    sage_pool_layer,
+    sigmoid,
+    softmax,
+)
+
+
+@pytest.fixture
+def g4():
+    return from_edge_list(
+        4, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)], num_features=6
+    )
+
+
+@pytest.fixture
+def x4(rng):
+    return rng.normal(size=(4, 6))
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert relu(x).tolist() == [0.0, 0.0, 2.0]
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(scale=10, size=100)
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        assert np.allclose(sigmoid(-x), 1 - s)
+
+    def test_sigmoid_extreme_stability(self):
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7))
+        assert np.allclose(softmax(x, axis=1).sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariant(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestAdjacency:
+    def test_shape_and_count(self, g4):
+        a = adjacency(g4)
+        assert a.shape == (4, 4)
+        assert a.nnz == 5
+
+    def test_gather_direction(self, g4):
+        """A @ x sums out-neighbor features per source vertex."""
+        x = np.eye(4)
+        gathered = adjacency(g4) @ x
+        # Vertex 0's out-neighbors are 1 and 2.
+        assert gathered[0].tolist() == [0, 1, 1, 0]
+
+
+class TestGCN:
+    def test_output_shape(self, g4, x4, rng):
+        w = rng.normal(size=(6, 3))
+        out = gcn_layer(g4, x4, w)
+        assert out.shape == (4, 3)
+
+    def test_nonnegative(self, g4, x4, rng):
+        out = gcn_layer(g4, x4, rng.normal(size=(6, 3)))
+        assert np.all(out >= 0)
+
+    def test_self_loop_included(self, rng):
+        """An isolated vertex still keeps its own (normalised) feature."""
+        g = from_edge_list(2, [(0, 1)], num_features=3)
+        x = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        out = gcn_layer(g, x, np.eye(3))
+        assert out[1, 1] > 0  # vertex 1 has no out-edges but has itself
+
+    def test_bias(self, g4, x4):
+        w = np.zeros((6, 2))
+        out = gcn_layer(g4, x4, w, bias=np.array([3.0, -1.0]))
+        assert np.allclose(out[:, 0], 3.0)
+        assert np.allclose(out[:, 1], 0.0)  # ReLU clips the negative bias
+
+    def test_shape_mismatch(self, g4, rng):
+        with pytest.raises(ValueError, match="features"):
+            gcn_layer(g4, rng.normal(size=(3, 6)), np.eye(6))
+
+
+class TestGIN:
+    def test_eps_scales_self(self, g4, x4):
+        w = np.eye(6)
+        base = gin_layer(g4, x4, w, w, eps=0.0)
+        scaled = gin_layer(g4, x4, w, w, eps=1.0)
+        assert not np.allclose(base, scaled)
+
+    def test_output_shape(self, g4, x4, rng):
+        out = gin_layer(g4, x4, rng.normal(size=(6, 5)), rng.normal(size=(5, 2)))
+        assert out.shape == (4, 2)
+
+
+class TestAggregators:
+    def test_sage_mean_averages(self):
+        g = star_graph(3, num_features=1)  # hub 0 -> leaves 1..3
+        x = np.array([[0.0], [3.0], [6.0], [9.0]])
+        out = sage_mean_layer(g, x, np.eye(1))
+        assert out[0, 0] == pytest.approx(6.0)  # mean of 3, 6, 9
+
+    def test_commnet_sums(self):
+        g = star_graph(3, num_features=1)
+        x = np.array([[0.0], [3.0], [6.0], [9.0]])
+        out = commnet_layer(g, x, np.eye(1))
+        assert out[0, 0] == pytest.approx(18.0)
+
+    def test_attention_weights_by_similarity(self):
+        g = from_edge_list(3, [(0, 1), (0, 2)], num_features=2)
+        x = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        out = attention_layer(g, x, np.eye(2))
+        # Neighbor 1 aligns with vertex 0 (dot=1), neighbor 2 doesn't (dot=0):
+        # message = 1·x1 + 0·x2 = [1, 0] -> softmax favours lane 0.
+        assert out[0, 0] > out[0, 1]
+
+
+class TestGGCN:
+    def test_shape(self, g4, x4, rng):
+        out = ggcn_layer(
+            g4,
+            x4,
+            rng.normal(size=(6, 6)),
+            rng.normal(size=(6, 6)),
+            rng.normal(size=(6, 3)),
+        )
+        assert out.shape == (4, 3)
+        assert np.all(out >= 0)
+
+    def test_gate_bounds_contribution(self, g4, x4):
+        """With huge negative gate weights the gate shuts messages off."""
+        wu = np.full((6, 6), -100.0)
+        wv = np.full((6, 6), -100.0)
+        out = ggcn_layer(g4, np.abs(x4), wu, wv, np.eye(6))
+        assert np.allclose(out, 0.0, atol=1e-6)
+
+
+class TestSagePoolAndEdgeConv:
+    def test_sage_pool_shape(self, g4, x4, rng):
+        out = sage_pool_layer(
+            g4,
+            x4,
+            rng.normal(size=(6, 5)),
+            rng.normal(size=5),
+            rng.normal(size=(11, 3)),
+        )
+        assert out.shape == (4, 3)
+
+    def test_sage_pool_isolated_vertex(self, rng):
+        g = from_edge_list(2, [(0, 1)], num_features=3)
+        x = rng.normal(size=(2, 3))
+        out = sage_pool_layer(
+            g, x, rng.normal(size=(3, 2)), np.zeros(2), rng.normal(size=(5, 2))
+        )
+        assert np.all(np.isfinite(out))
+
+    def test_edgeconv_max_pools(self):
+        g = star_graph(2, num_features=1)
+        x = np.array([[0.0], [5.0], [2.0]])
+        out = edgeconv_layer(g, x, [np.eye(1)])
+        assert out[0, 0] == pytest.approx(5.0)
+
+    def test_edgeconv_needs_weights(self, g4, x4):
+        with pytest.raises(ValueError, match="weight"):
+            edgeconv_layer(g4, x4, [])
+
+    def test_edgeconv_chain(self, g4, x4, rng):
+        chain = [rng.normal(size=(6, 6)) for _ in range(3)]
+        out = edgeconv_layer(g4, x4, chain, activation=True)
+        assert out.shape == (4, 6)
+        assert np.all(out >= 0)
+
+
+class TestRunLayer:
+    @pytest.mark.parametrize("name", list_models())
+    def test_every_model_runs(self, name, g4, rng):
+        x = rng.normal(size=(4, 6))
+        out = run_layer(name, g4, x, rng=np.random.default_rng(0), out_features=5)
+        assert out.shape[0] == 4
+        assert np.all(np.isfinite(out))
+
+    def test_deterministic(self, g4, rng):
+        x = rng.normal(size=(4, 6))
+        a = run_layer("gcn", g4, x, rng=np.random.default_rng(1))
+        b = run_layer("gcn", g4, x, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_unknown_model(self, g4, x4):
+        with pytest.raises(KeyError):
+            run_layer("mlp", g4, x4)

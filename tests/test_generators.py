@@ -1,0 +1,158 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+
+
+class TestPowerLaw:
+    def test_exact_edge_count(self):
+        g = power_law_graph(100, 450, seed=1)
+        assert g.num_edges == 450
+
+    def test_exact_vertex_count(self):
+        g = power_law_graph(77, 300, seed=1)
+        assert g.num_vertices == 77
+
+    def test_deterministic(self):
+        a = power_law_graph(60, 240, seed=5)
+        b = power_law_graph(60, 240, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_seed_changes_graph(self):
+        a = power_law_graph(60, 240, seed=5)
+        b = power_law_graph(60, 240, seed=6)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_degree_cap(self):
+        g = power_law_graph(400, 4000, exponent=1.6, seed=2)
+        cap = max(16, int(3.5 * np.sqrt(400)))
+        assert g.degrees.max() <= cap
+
+    def test_heavy_tail(self):
+        g = power_law_graph(500, 2500, exponent=2.0, seed=3)
+        assert g.degrees.max() > 4 * g.degrees.mean()
+
+    def test_no_duplicate_neighbors(self):
+        g = power_law_graph(80, 600, seed=4)
+        for v in range(80):
+            nbrs = g.neighbors(v)
+            assert len(np.unique(nbrs)) == nbrs.size
+
+    def test_locality_increases_near_edges(self):
+        near_frac = []
+        for loc in (0.0, 0.8):
+            g = power_law_graph(
+                500, 2500, locality=loc, locality_window=20, seed=7
+            )
+            src = np.repeat(np.arange(500), g.degrees)
+            near_frac.append((np.abs(src - g.indices) <= 20).mean())
+        assert near_frac[1] > near_frac[0] + 0.3
+
+    def test_invalid_locality(self):
+        with pytest.raises(ValueError, match="locality"):
+            power_law_graph(10, 20, locality=1.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            power_law_graph(10, 20, exponent=1.0)
+
+    def test_invalid_edge_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            power_law_graph(3, 100)
+
+    def test_attributes_forwarded(self):
+        g = power_law_graph(
+            20, 40, num_features=7, feature_density=0.5, edge_feature_dim=3, seed=0
+        )
+        assert g.num_features == 7
+        assert g.feature_density == 0.5
+        assert g.edge_feature_dim == 3
+
+
+class TestRMAT:
+    def test_vertex_count(self):
+        g = rmat_graph(6, 4, seed=1)
+        assert g.num_vertices == 64
+
+    def test_edges_not_exceeding_budget(self):
+        g = rmat_graph(6, 4, seed=1)
+        assert 0 < g.num_edges <= 4 * 64
+
+    def test_deterministic(self):
+        a = rmat_graph(5, 8, seed=2)
+        b = rmat_graph(5, 8, seed=2)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_skewed(self):
+        g = rmat_graph(9, 16, seed=3)
+        assert g.degrees.max() > 3 * max(g.degrees.mean(), 1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            rmat_graph(0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            rmat_graph(4, a=0.9, b=0.4, c=0.2)
+
+
+class TestUniform:
+    def test_exact_edges(self):
+        g = uniform_random_graph(50, 300, seed=1)
+        assert g.num_edges == 300
+
+    def test_no_duplicate_edges(self):
+        g = uniform_random_graph(30, 200, seed=2)
+        arr = g.edge_array()
+        assert np.unique(arr, axis=0).shape[0] == arr.shape[0]
+
+    def test_low_skew(self):
+        g = uniform_random_graph(400, 4000, seed=3)
+        assert g.degrees.max() < 4 * g.degrees.mean()
+
+
+class TestStructured:
+    def test_grid_edge_count(self):
+        g = grid_graph(3, 4)
+        # 2*(rows*(cols-1) + (rows-1)*cols) directed edges.
+        assert g.num_edges == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_corner_degree(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2  # corner has two neighbors
+
+    def test_star_shape(self):
+        g = star_graph(5)
+        assert g.num_vertices == 6
+        assert g.degree(0) == 5
+        assert g.in_degrees[0] == 5
+
+    def test_chain(self):
+        g = chain_graph(4)
+        assert g.num_edges == 3
+        assert g.neighbors(0).tolist() == [1]
+        assert g.degree(3) == 0
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 20
+        assert np.all(g.degrees == 4)
+
+    @pytest.mark.parametrize("fn", [grid_graph, star_graph, chain_graph])
+    def test_invalid_sizes(self, fn):
+        with pytest.raises(ValueError):
+            if fn is grid_graph:
+                fn(0, 3)
+            else:
+                fn(0)

@@ -1,0 +1,47 @@
+"""Golden-number regression: the calibrated reproduction must not drift."""
+
+import pytest
+
+from repro.eval.golden import compute_golden_metrics, load_goldens
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return compute_golden_metrics()
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return load_goldens()
+
+
+class TestGoldenRegression:
+    def test_average_reductions_pinned(self, fresh, pinned):
+        for metric, rows in pinned["average_reduction_percent"].items():
+            for base, expected in rows.items():
+                measured = fresh["average_reduction_percent"][metric][base]
+                assert measured == pytest.approx(expected, abs=1.0), (
+                    metric,
+                    base,
+                )
+
+    def test_normalized_time_grid_pinned(self, fresh, pinned):
+        for ds, row in pinned["normalized_execution_time"].items():
+            for acc, expected in row.items():
+                measured = fresh["normalized_execution_time"][ds][acc]
+                assert measured == pytest.approx(expected, rel=0.02), (ds, acc)
+
+    def test_goldens_cover_every_cell(self, pinned):
+        assert set(pinned["average_reduction_percent"]) == {
+            "execution_time",
+            "dram_accesses",
+            "onchip_latency",
+            "energy",
+        }
+        assert set(pinned["normalized_execution_time"]) == {
+            "cora",
+            "citeseer",
+            "pubmed",
+            "nell",
+            "reddit",
+        }

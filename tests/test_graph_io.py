@@ -1,0 +1,90 @@
+"""Tests for graph persistence and interchange."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    load_npz,
+    read_edge_list_file,
+    save_npz,
+    write_edge_list_file,
+)
+
+
+class TestNpzRoundTrip:
+    def test_structure_preserved(self, medium_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(medium_graph, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.indptr, medium_graph.indptr)
+        assert np.array_equal(loaded.indices, medium_graph.indices)
+
+    def test_attributes_preserved(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(tiny_graph, path)
+        loaded = load_npz(path)
+        assert loaded.num_features == tiny_graph.num_features
+        assert loaded.feature_density == tiny_graph.feature_density
+        assert loaded.name == tiny_graph.name
+
+    def test_version_check(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(tiny_graph, path)
+        # Corrupt the version field.
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.int64(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_npz(path)
+
+
+class TestEdgeListFiles:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "edges.txt"
+        write_edge_list_file(tiny_graph, path)
+        loaded = read_edge_list_file(path, num_vertices=5)
+        assert sorted(loaded.edges()) == sorted(tiny_graph.edges())
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n# mid comment\n1 2\n")
+        g = read_edge_list_file(path)
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_infers_vertex_count(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 7\n")
+        assert read_edge_list_file(path).num_vertices == 8
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list_file(path).name == "mygraph"
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list_file(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            read_edge_list_file(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = read_edge_list_file(path)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_attributes_forwarded(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list_file(path, num_features=7, feature_density=0.5)
+        assert g.num_features == 7
+        assert g.feature_density == 0.5

@@ -1,0 +1,74 @@
+"""Tests for harness configuration options."""
+
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.eval import DEFAULT_SCALES, run_comparison
+
+
+class TestOptions:
+    def test_dataset_subset(self):
+        comp = run_comparison(
+            model="gcn", datasets=("citeseer",), scales={"citeseer": 0.3}
+        )
+        assert comp.datasets == ("citeseer",)
+        assert len(comp.results) == 6
+
+    def test_scale_override_merges_with_defaults(self):
+        assert DEFAULT_SCALES["cora"] == 1.0
+        comp = run_comparison(
+            model="gcn", datasets=("cora",), scales={"cora": 0.25}
+        )
+        g = comp.get("cora", "aurora")
+        assert "0.25" in g.graph_name
+
+    def test_custom_config_threads_through(self):
+        small = run_comparison(
+            model="gcn",
+            datasets=("cora",),
+            scales={"cora": 0.3},
+            config=AcceleratorConfig(array_k=16),
+        )
+        big = run_comparison(
+            model="gcn",
+            datasets=("cora",),
+            scales={"cora": 0.3},
+            config=AcceleratorConfig(array_k=32),
+        )
+        assert (
+            small.get("cora", "aurora").total_seconds
+            > big.get("cora", "aurora").total_seconds
+        )
+
+    def test_other_models_run_non_strict(self):
+        """The harness forces non-strict baselines so e.g. GIN sweeps work
+        even though half the baselines only support GCN natively."""
+        comp = run_comparison(
+            model="gin", datasets=("cora",), scales={"cora": 0.3}
+        )
+        grid = comp.normalized_grid("execution_time")["cora"]
+        assert all(v > 0 for v in grid.values())
+
+    def test_hidden_and_layers(self):
+        shallow = run_comparison(
+            model="gcn", datasets=("cora",), scales={"cora": 0.3}, num_layers=1
+        )
+        deep = run_comparison(
+            model="gcn", datasets=("cora",), scales={"cora": 0.3}, num_layers=3
+        )
+        assert (
+            deep.get("cora", "aurora").total_seconds
+            > shallow.get("cora", "aurora").total_seconds
+        )
+
+    def test_seed_changes_graph_not_shape(self):
+        a = run_comparison(
+            model="gcn", datasets=("cora",), scales={"cora": 0.3}, seed=1
+        )
+        b = run_comparison(
+            model="gcn", datasets=("cora",), scales={"cora": 0.3}, seed=2
+        )
+        ga = a.normalized_grid("execution_time")["cora"]
+        gb = b.normalized_grid("execution_time")["cora"]
+        # Different graphs, same qualitative ordering extremes.
+        assert max(ga, key=ga.get) == max(gb, key=gb.get) == "hygcn"

@@ -1,0 +1,135 @@
+"""Tests for the instruction-stream interpreter."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveWorkflowGenerator,
+    Instruction,
+    Opcode,
+    lower_layer_program,
+)
+from repro.core.machine import IllegalProgram, Machine, MachineState
+from repro.models import get_model
+
+
+def _program(model="gcn", tiles=2, weights=True):
+    wf = AdaptiveWorkflowGenerator().generate(get_model(model))
+    return lower_layer_program(wf, num_tiles=tiles, needs_weights=weights)
+
+
+class TestValidPrograms:
+    @pytest.mark.parametrize("model", ["gcn", "gin", "ggcn", "edgeconv-1"])
+    @pytest.mark.parametrize("tiles", [1, 3])
+    def test_lowered_programs_are_legal(self, model, tiles):
+        records = Machine().run(_program(model, tiles))
+        assert len(records) > 0
+
+    def test_final_state_idle(self):
+        m = Machine()
+        m.run(_program())
+        assert m.state is MachineState.IDLE  # BARRIER closes the layer
+
+    def test_tile_order(self):
+        m = Machine()
+        m.run(_program(tiles=3))
+        assert m.executed_tiles == [0, 1, 2]
+
+    def test_overlap_annotation(self):
+        """Tile 0 overlaps nothing; later tiles' config/load do."""
+        m = Machine()
+        m.run(_program(tiles=2))
+        by_tile: dict[int, list] = {}
+        for r in m.records:
+            tile = r.instruction.operand("tile")
+            if r.instruction.opcode is Opcode.LOAD_GRAPH:
+                by_tile[tile] = r.overlappable
+        assert by_tile[0] is False
+        assert by_tile[1] is True
+        assert 0 < m.overlappable_fraction < 1
+
+    def test_edgeconv_program_has_no_forward(self):
+        m = Machine()
+        m.run(_program("edgeconv-1"))
+        opcodes = [r.instruction.opcode for r in m.records]
+        assert Opcode.FORWARD not in opcodes
+
+
+class TestIllegalPrograms:
+    def test_exec_before_config(self):
+        with pytest.raises(IllegalProgram, match="loaded"):
+            Machine().run(
+                [Instruction(Opcode.EXEC_PHASE, {"sub_accelerator": "A"})]
+            )
+
+    def test_config_pe_before_noc(self):
+        with pytest.raises(IllegalProgram, match="CONFIG_NOC"):
+            Machine().run([Instruction(Opcode.CONFIG_PE, {"tile": 0})])
+
+    def test_load_graph_unconfigured(self):
+        with pytest.raises(IllegalProgram, match="configured"):
+            Machine().run([Instruction(Opcode.LOAD_GRAPH, {"tile": 0})])
+
+    def test_b_phase_without_forward(self):
+        prog = [
+            Instruction(Opcode.CONFIG_NOC, {"tile": 0}),
+            Instruction(Opcode.CONFIG_PE, {"tile": 0}),
+            Instruction(Opcode.LOAD_GRAPH, {"tile": 0}),
+            Instruction(Opcode.EXEC_PHASE, {"sub_accelerator": "B"}),
+        ]
+        with pytest.raises(IllegalProgram, match="FORWARD"):
+            Machine().run(prog)
+
+    def test_forward_without_a_phase(self):
+        prog = [
+            Instruction(Opcode.CONFIG_NOC, {"tile": 0}),
+            Instruction(Opcode.CONFIG_PE, {"tile": 0}),
+            Instruction(Opcode.LOAD_GRAPH, {"tile": 0}),
+            Instruction(Opcode.FORWARD, {"tile": 0}),
+        ]
+        with pytest.raises(IllegalProgram, match="A-phase"):
+            Machine().run(prog)
+
+    def test_store_without_exec(self):
+        prog = [
+            Instruction(Opcode.CONFIG_NOC, {"tile": 0}),
+            Instruction(Opcode.CONFIG_PE, {"tile": 0}),
+            Instruction(Opcode.LOAD_GRAPH, {"tile": 0}),
+            Instruction(Opcode.STORE, {"tile": 0}),
+        ]
+        with pytest.raises(IllegalProgram, match="STORE"):
+            Machine().run(prog)
+
+    def test_late_weight_load(self):
+        prog = _program(tiles=1, weights=False)
+        prog.insert(len(prog) - 1, Instruction(Opcode.LOAD_WEIGHTS, {}))
+        with pytest.raises(IllegalProgram, match="stationary"):
+            Machine().run(prog)
+
+    def test_bad_sub_accelerator_operand(self):
+        prog = [
+            Instruction(Opcode.CONFIG_NOC, {"tile": 0}),
+            Instruction(Opcode.CONFIG_PE, {"tile": 0}),
+            Instruction(Opcode.LOAD_GRAPH, {"tile": 0}),
+            Instruction(Opcode.EXEC_PHASE, {"sub_accelerator": "C"}),
+        ]
+        with pytest.raises(IllegalProgram, match="'A' or 'B'"):
+            Machine().run(prog)
+
+    def test_nothing_after_halt(self):
+        with pytest.raises(IllegalProgram, match="after HALT"):
+            Machine().run(
+                [Instruction(Opcode.HALT), Instruction(Opcode.BARRIER)]
+            )
+
+
+class TestFacadeIntegration:
+    def test_prepared_program_executes(self, medium_graph):
+        """Every program the facade emits must pass the machine."""
+        from repro import AuroraAccelerator, LayerDims, get_model
+        from repro.core import GNNRequest
+
+        acc = AuroraAccelerator()
+        _, program = acc.prepare(
+            GNNRequest(get_model("gcn"), medium_graph, LayerDims(32, 8))
+        )
+        Machine().run(program)

@@ -1,0 +1,101 @@
+"""Unit tests for the on-chip memory models."""
+
+import pytest
+
+from repro.arch import BankBuffer, GlobalBuffer, ReuseFIFO
+
+
+class TestBankBuffer:
+    def test_allocation(self):
+        buf = BankBuffer(1000)
+        spill = buf.allocate("weights", 600)
+        assert spill == 0
+        assert buf.used_bytes == 600
+        assert buf.free_bytes == 400
+
+    def test_spill_on_overflow(self):
+        buf = BankBuffer(1000)
+        spill = buf.allocate("features", 1500)
+        assert spill == 500
+        assert buf.used_bytes == 1000
+        assert buf.stats.overflow_bytes == 500
+
+    def test_reallocate_replaces(self):
+        buf = BankBuffer(1000)
+        buf.allocate("w", 600)
+        buf.allocate("w", 300)
+        assert buf.region_bytes("w") == 300
+        assert buf.used_bytes == 300
+
+    def test_release(self):
+        buf = BankBuffer(1000)
+        buf.allocate("w", 600)
+        buf.release("w")
+        assert buf.free_bytes == 1000
+
+    def test_release_missing_is_noop(self):
+        BankBuffer(100).release("nope")
+
+    def test_access_counting(self):
+        buf = BankBuffer(1000)
+        buf.read(100)
+        buf.write(50)
+        assert buf.stats.reads_bytes == 100
+        assert buf.stats.writes_bytes == 50
+        assert buf.stats.total_bytes == 150
+
+    def test_bank_conflicts(self):
+        buf = BankBuffer(1000, banks=4)
+        assert buf.bank_conflict_factor(2) == 1.0
+        assert buf.bank_conflict_factor(8) == 2.0
+        assert buf.bank_conflict_factor(0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankBuffer(0)
+        with pytest.raises(ValueError):
+            BankBuffer(100, banks=0)
+        with pytest.raises(ValueError):
+            BankBuffer(100).allocate("x", -1)
+        with pytest.raises(ValueError):
+            BankBuffer(100).read(-1)
+
+
+class TestReuseFIFO:
+    def test_double_buffer_fit(self):
+        fifo = ReuseFIFO(1024)
+        assert fifo.half_capacity == 512
+        assert fifo.push(512) is True
+        assert fifo.push(513) is False  # overflows one half: producer stalls
+
+    def test_pop_counts(self):
+        fifo = ReuseFIFO(100)
+        fifo.push(40)
+        fifo.pop(40)
+        assert fifo.stats.reads_bytes == 40
+        assert fifo.stats.writes_bytes == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReuseFIFO(1)
+        with pytest.raises(ValueError):
+            ReuseFIFO(64).push(-1)
+
+
+class TestGlobalBuffer:
+    def test_fits(self):
+        g = GlobalBuffer(100)
+        assert g.fits(100)
+        assert not g.fits(101)
+
+    def test_access_counting(self):
+        g = GlobalBuffer(100)
+        g.read(10)
+        g.write(20)
+        assert g.stats.total_bytes == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalBuffer(0)
+        with pytest.raises(ValueError):
+            GlobalBuffer(10).read(-1)

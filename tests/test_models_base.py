@@ -1,0 +1,109 @@
+"""Unit tests for the GNN model abstractions."""
+
+import pytest
+
+from repro.models import GNNModel, ModelCategory, OpKind, Phase, PhaseOp, PhaseSpec
+
+
+class TestOpKind:
+    def test_ppu_ops(self):
+        assert OpKind.ACTIVATION.is_ppu
+        assert OpKind.CONCAT.is_ppu
+        assert not OpKind.MATRIX_VECTOR.is_ppu
+
+    def test_reductions(self):
+        assert OpKind.ACCUMULATE.is_reduction
+        assert OpKind.MAX_REDUCE.is_reduction
+        assert not OpKind.DOT.is_reduction
+
+    def test_values_match_table_notation(self):
+        assert OpKind.MATRIX_VECTOR.value == "MxV"
+        assert OpKind.SCALAR_VECTOR.value == "SxV"
+        assert OpKind.ACCUMULATE.value == "SumV"
+
+
+class TestPhaseOp:
+    def test_defaults(self):
+        op = PhaseOp(OpKind.DOT)
+        assert op.per == "edge"
+        assert op.repeat == 1
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError, match="per"):
+            PhaseOp(OpKind.DOT, per="graph")
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ValueError, match="repeat"):
+            PhaseOp(OpKind.DOT, repeat=0)
+
+
+class TestPhaseSpec:
+    def test_null_phase(self):
+        spec = PhaseSpec(Phase.EDGE_UPDATE)
+        assert spec.is_null
+        assert spec.op_kinds() == ()
+
+    def test_op_kinds_order(self):
+        spec = PhaseSpec(
+            Phase.VERTEX_UPDATE,
+            (PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"), PhaseOp(OpKind.ACTIVATION, per="vertex")),
+        )
+        assert spec.op_kinds() == (OpKind.MATRIX_VECTOR, OpKind.ACTIVATION)
+
+
+class TestGNNModel:
+    def _mk(self, edge_ops=(), agg_ops=None, vert_ops=()):
+        if agg_ops is None:
+            agg_ops = (PhaseOp(OpKind.ACCUMULATE),)
+        return GNNModel(
+            name="test",
+            category=ModelCategory.C_GNN,
+            edge_update=PhaseSpec(Phase.EDGE_UPDATE, tuple(edge_ops)),
+            aggregation=PhaseSpec(Phase.AGGREGATION, tuple(agg_ops)),
+            vertex_update=PhaseSpec(Phase.VERTEX_UPDATE, tuple(vert_ops)),
+        )
+
+    def test_phase_tags_enforced(self):
+        with pytest.raises(ValueError, match="edge_update"):
+            GNNModel(
+                name="bad",
+                category=ModelCategory.C_GNN,
+                edge_update=PhaseSpec(Phase.AGGREGATION),
+                aggregation=PhaseSpec(Phase.AGGREGATION, (PhaseOp(OpKind.ACCUMULATE),)),
+                vertex_update=PhaseSpec(Phase.VERTEX_UPDATE),
+            )
+
+    def test_aggregation_required(self):
+        with pytest.raises(ValueError, match="aggregates"):
+            self._mk(agg_ops=())
+
+    def test_active_phases_all(self):
+        m = self._mk(
+            edge_ops=(PhaseOp(OpKind.SCALAR_VECTOR),),
+            vert_ops=(PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),),
+        )
+        assert m.active_phases() == (
+            Phase.EDGE_UPDATE,
+            Phase.AGGREGATION,
+            Phase.VERTEX_UPDATE,
+        )
+
+    def test_active_phases_aggregation_only(self):
+        m = self._mk()
+        assert m.active_phases() == (Phase.AGGREGATION,)
+        assert not m.has_edge_update
+        assert not m.has_vertex_update
+
+    def test_required_op_kinds_union(self):
+        m = self._mk(
+            edge_ops=(PhaseOp(OpKind.DOT),),
+            vert_ops=(PhaseOp(OpKind.MATRIX_VECTOR, per="vertex"),),
+        )
+        kinds = m.required_op_kinds()
+        assert OpKind.DOT in kinds
+        assert OpKind.ACCUMULATE in kinds
+        assert OpKind.MATRIX_VECTOR in kinds
+
+    def test_phase_spec_lookup(self):
+        m = self._mk()
+        assert m.phase_spec(Phase.AGGREGATION) is m.aggregation

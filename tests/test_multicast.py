@@ -1,0 +1,126 @@
+"""Tests for flit-level tree multicast."""
+
+import pytest
+
+from repro.arch.noc import FlexibleMeshTopology, NoCSimulator
+from repro.arch.noc.multicast import MulticastSimulator, build_tree
+
+
+@pytest.fixture
+def topo():
+    return FlexibleMeshTopology(8)
+
+
+class TestTree:
+    def test_union_of_xy_routes_is_tree(self, topo):
+        """Every non-root node has exactly one parent."""
+        tree = build_tree(topo, 0, list(range(1, 64)))
+        parents: dict[int, int] = {}
+        for parent, kids in tree.children.items():
+            for kid in kids:
+                assert kid not in parents, "node has two parents"
+                parents[kid] = parent
+        assert set(parents) == set(range(1, 64))
+
+    def test_edges_cover_consumers(self, topo):
+        tree = build_tree(topo, 10, [3, 45, 63])
+        assert tree.consumers == frozenset({3, 45, 63})
+        assert tree.consumers <= tree.nodes()
+
+    def test_source_excluded_from_consumers(self, topo):
+        tree = build_tree(topo, 5, [5, 6])
+        assert 5 not in tree.consumers
+
+    def test_single_destination_is_a_path(self, topo):
+        tree = build_tree(topo, 0, [63])
+        assert tree.num_edges == topo.manhattan(0, 63)
+
+
+class TestSimulation:
+    def test_all_consumers_receive_all_flits(self, topo):
+        sim = MulticastSimulator(topo)
+        sim.inject(0, [7, 56, 63], 64)  # 4 flits
+        stats = sim.run()
+        assert stats.ejected_flits == 3 * 4
+
+    def test_link_traversals_equal_tree_edges_times_flits(self, topo):
+        sim = MulticastSimulator(topo)
+        tree = sim.inject(0, list(range(1, 64)), 64)
+        stats = sim.run()
+        assert stats.link_traversals == tree.num_edges * 4
+
+    def test_multicast_beats_unicast_on_fanout(self, topo):
+        """Broadcasting a 4-flit payload: the tree injects once, unicast
+        serialises 63 packets through the source's injection port."""
+        mc = MulticastSimulator(topo)
+        mc.inject(0, list(range(1, 64)), 64)
+        t_mc = mc.run().cycles
+
+        uc = NoCSimulator(topo)
+        for dst in range(1, 64):
+            uc.inject(0, dst, 64)
+        t_uc = uc.run().cycles
+        assert t_mc < t_uc / 2
+
+    def test_fork_serialisation_counted(self, topo):
+        sim = MulticastSimulator(topo)
+        sim.inject(0, [1, 8], 16)  # fork right at the source
+        stats = sim.run()
+        assert stats.fork_serialisation_events >= 1
+
+    def test_multiple_trees(self, topo):
+        sim = MulticastSimulator(topo)
+        sim.inject(0, [7, 63], 32)
+        sim.inject(63, [0, 7], 32)
+        stats = sim.run()
+        assert stats.ejected_flits == 4 * 2  # 2 flits x 2 consumers x 2 trees
+
+    def test_validation(self, topo):
+        with pytest.raises(ValueError):
+            MulticastSimulator(topo).inject(0, [1], 0)
+
+    def test_max_cycles_guard(self, topo):
+        sim = MulticastSimulator(topo)
+        sim.inject(0, list(range(1, 64)), 1 << 20)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            sim.run(max_cycles=5)
+
+
+class TestAnalyticalShareFactor:
+    def test_share_model_semantics(self, topo):
+        """``multicast_flows`` splits the payload across destinations so
+        that a source vertex's flow bytes sum to ~one payload — exact for
+        the links near the source where tree paths overlap (and where the
+        bottleneck sits).  The measured tree replicates the full payload
+        on every tree edge; the ratio between the two is exactly the tree
+        edge count over the average path length, which this test pins."""
+        import numpy as np
+
+        from repro.mapping import MappingResult, PERegion
+        from repro.mapping.traffic import multicast_flows
+        from repro.graphs import star_graph
+
+        payload = 64
+        g = star_graph(20, num_features=8)  # hub 0 -> 20 leaves
+        region = PERegion(0, 0, 8, 8, 8)
+        v2p = np.arange(21, dtype=np.int64) * 3 % 64
+        mapping = MappingResult(policy="x", region=region, vertex_to_pe=v2p)
+        mc = multicast_flows(g, mapping, payload)
+
+        # (1) The hub's shared flow bytes sum to ~one payload.
+        hub_flows = mc.flows[mc.flows[:, 0] == v2p[0]]
+        assert hub_flows[:, 2].sum() == pytest.approx(payload, rel=0.15)
+
+        # (2) The flit-level tree replicates the payload per tree edge.
+        dsts = sorted(set(v2p[1:].tolist()) - {int(v2p[0])})
+        sim = MulticastSimulator(topo)
+        tree = sim.inject(int(v2p[0]), dsts, payload)
+        stats = sim.run()
+        flits_per_payload = -(-payload // sim.config.flit_bytes)
+        assert stats.link_traversals == tree.num_edges * flits_per_payload
+
+        # (3) Ejection is full-payload per consumer in both models.
+        # (The star has edges in both directions: 20 hub->leaf messages
+        # plus 20 leaf->hub messages = 40 payloads ejected overall.)
+        assert stats.ejected_flits == len(dsts) * flits_per_payload
+        assert int(mc.eject_bytes.sum()) == 40 * payload

@@ -1,0 +1,92 @@
+"""Tests for NoC latency-load characterization."""
+
+import pytest
+
+from repro.arch.noc import BypassSegment, FlexibleMeshTopology
+from repro.eval.noc_characterization import LatencyLoadCurve, latency_load_curve
+
+
+@pytest.fixture(scope="module")
+def uniform_curve():
+    return latency_load_curve(
+        FlexibleMeshTopology(4),
+        pattern="uniform",
+        rates=(0.01, 0.05, 0.2),
+        warm_cycles=150,
+    )
+
+
+class TestCurve:
+    def test_one_point_per_rate(self, uniform_curve):
+        assert len(uniform_curve.points) == 3
+
+    def test_latency_nondecreasing_with_load(self, uniform_curve):
+        lats = [p.avg_latency for p in uniform_curve.points]
+        assert lats[-1] >= lats[0]
+
+    def test_all_delivered(self, uniform_curve):
+        for p in uniform_curve.points:
+            assert p.delivered > 0
+
+    def test_zero_load_latency(self, uniform_curve):
+        assert uniform_curve.zero_load_latency == pytest.approx(
+            uniform_curve.points[0].avg_latency
+        )
+
+    def test_deterministic(self):
+        a = latency_load_curve(
+            FlexibleMeshTopology(4), rates=(0.02,), warm_cycles=80
+        )
+        b = latency_load_curve(
+            FlexibleMeshTopology(4), rates=(0.02,), warm_cycles=80
+        )
+        assert a.points[0].avg_latency == b.points[0].avg_latency
+
+
+class TestPatterns:
+    def test_hotspot_saturates_before_uniform(self):
+        rates = (0.01, 0.05, 0.1, 0.2, 0.4)
+        uni = latency_load_curve(
+            FlexibleMeshTopology(4), pattern="uniform", rates=rates, warm_cycles=150
+        )
+        hot = latency_load_curve(
+            FlexibleMeshTopology(4), pattern="hotspot", rates=rates, warm_cycles=150
+        )
+        s_uni = uni.saturation_rate() or 1.0
+        s_hot = hot.saturation_rate() or 1.0
+        assert s_hot <= s_uni
+
+    def test_transpose_pattern(self):
+        curve = latency_load_curve(
+            FlexibleMeshTopology(4), pattern="transpose", rates=(0.05,), warm_cycles=100
+        )
+        assert curve.points[0].delivered > 0
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            latency_load_curve(
+                FlexibleMeshTopology(4), pattern="tornado", rates=(0.01,)
+            )
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="rates"):
+            latency_load_curve(FlexibleMeshTopology(4), rates=(0.0,))
+
+
+class TestBypassEffect:
+    def test_bypass_lowers_hotspot_latency(self):
+        """Express segments toward the hotspot cut its average latency."""
+        k = 8
+        plain = FlexibleMeshTopology(k)
+        boosted = FlexibleMeshTopology(k)
+        hot = (k * k) // 2  # node (4, 4): row 4, col 4
+        boosted.add_bypass_segment(BypassSegment("row", 4, 0, k - 1))
+        boosted.add_bypass_segment(BypassSegment("col", 4, 0, k - 1))
+        rates = (0.02,)
+        base = latency_load_curve(
+            plain, pattern="hotspot", rates=rates, warm_cycles=150
+        )
+        fast = latency_load_curve(
+            boosted, pattern="hotspot", rates=rates, warm_cycles=150
+        )
+        assert fast.points[0].avg_latency <= base.points[0].avg_latency * 1.05

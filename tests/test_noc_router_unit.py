@@ -1,0 +1,97 @@
+"""Unit tests for the lumped router primitives (arch/noc/router.py)."""
+
+import pytest
+
+from repro.arch.noc import INJECT_PORT, FlexibleMeshTopology, Router
+from repro.arch.noc.packet import Flit, Packet
+from repro.config import NoCConfig
+
+
+def _flit(src=0, dst=3, hop=0, index=0, num_flits=1, route=(0, 1, 2, 3)):
+    pkt = Packet(
+        pid=0, src=src, dst=dst, size_bytes=16, inject_cycle=0, route=route
+    )
+    pkt.num_flits = num_flits
+    return Flit(packet=pkt, index=index, hop=hop, ready_cycle=0)
+
+
+class TestPacketFlit:
+    def test_packet_validation(self):
+        with pytest.raises(ValueError, match="byte"):
+            Packet(pid=0, src=0, dst=1, size_bytes=0, inject_cycle=0, route=(0, 1))
+        with pytest.raises(ValueError, match="endpoints"):
+            Packet(pid=0, src=0, dst=1, size_bytes=4, inject_cycle=0, route=(1, 0))
+
+    def test_latency_none_until_done(self):
+        pkt = Packet(pid=0, src=0, dst=1, size_bytes=4, inject_cycle=5, route=(0, 1))
+        assert pkt.latency is None
+        pkt.done_cycle = 9
+        assert pkt.latency == 4
+
+    def test_hops(self):
+        pkt = Packet(pid=0, src=0, dst=2, size_bytes=4, inject_cycle=0, route=(0, 1, 2))
+        assert pkt.hops == 2
+
+    def test_flit_roles(self):
+        head = _flit(index=0, num_flits=3)
+        tail = _flit(index=2, num_flits=3)
+        assert head.is_head and not head.is_tail
+        assert tail.is_tail and not tail.is_head
+
+    def test_at_destination(self):
+        f = _flit(hop=3)
+        assert f.at_destination
+        assert not _flit(hop=1).at_destination
+
+
+class TestRouter:
+    def test_injection_port_is_deep(self):
+        r = Router(0, NoCConfig(vcs_per_port=1, vc_depth=2))
+        inject = r.input_port(INJECT_PORT)
+        network = r.input_port(5)
+        assert inject.capacity > network.capacity
+        assert network.capacity == 2
+
+    def test_accept_respects_capacity(self):
+        r = Router(0, NoCConfig(vcs_per_port=1, vc_depth=1))
+        assert r.accept(5, _flit())
+        assert not r.accept(5, _flit())  # VC full
+
+    def test_heads_by_output_groups(self):
+        r = Router(1, NoCConfig())
+        f = _flit(hop=1)  # at node 1, next hop 2
+        r.accept(0, f)
+        wants = r.heads_by_output(now=0)
+        assert wants == {2: [0]}
+
+    def test_heads_respect_ready_cycle(self):
+        r = Router(1, NoCConfig())
+        f = _flit(hop=1)
+        f.ready_cycle = 10
+        r.accept(0, f)
+        assert r.heads_by_output(now=0) == {}
+        assert r.heads_by_output(now=10) == {2: [0]}
+
+    def test_ejection_target_is_self(self):
+        r = Router(3, NoCConfig())
+        f = _flit(hop=3)  # arrived
+        r.accept(2, f)
+        assert r.heads_by_output(now=0) == {3: [2]}
+
+    def test_round_robin_rotates(self):
+        r = Router(1, NoCConfig())
+        first = r.arbitrate(2, [0, 5])
+        second = r.arbitrate(2, [0, 5])
+        assert {first, second} == {0, 5}
+
+    def test_single_contender_fast_path(self):
+        r = Router(1, NoCConfig())
+        assert r.arbitrate(2, [7]) == 7
+
+    def test_occupancy(self):
+        r = Router(0, NoCConfig())
+        r.accept(5, _flit())
+        r.accept(6, _flit())
+        assert r.total_occupancy == 2
+        r.pop_head(5)
+        assert r.total_occupancy == 1

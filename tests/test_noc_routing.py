@@ -1,0 +1,137 @@
+"""Unit tests for NoC route computation."""
+
+import pytest
+
+from repro.arch.noc import (
+    BypassSegment,
+    FlexibleMeshTopology,
+    RingConfig,
+    bypass_route,
+    compute_route,
+    ring_route,
+    xy_route,
+)
+
+
+@pytest.fixture
+def mesh8():
+    return FlexibleMeshTopology(8)
+
+
+def _route_is_connected(topo, route):
+    """Every consecutive pair must be a mesh neighbor or bypass endpoint."""
+    pairs = {
+        frozenset(topo.segment_endpoints(s)) for s in topo.bypass_segments
+    }
+    for a, b in zip(route, route[1:]):
+        ok = b in topo.mesh_neighbors(a) or frozenset((a, b)) in pairs
+        if not ok:
+            return False
+    return True
+
+
+class TestXY:
+    def test_endpoints(self, mesh8):
+        r = xy_route(mesh8, 0, 63)
+        assert r[0] == 0 and r[-1] == 63
+
+    def test_length_is_manhattan(self, mesh8):
+        r = xy_route(mesh8, 0, 63)
+        assert len(r) - 1 == mesh8.manhattan(0, 63)
+
+    def test_x_first(self, mesh8):
+        r = xy_route(mesh8, 0, mesh8.node_id(3, 2))
+        # First moves change x while y stays 0.
+        xs = [mesh8.coords(n)[0] for n in r[:4]]
+        ys = [mesh8.coords(n)[1] for n in r[:4]]
+        assert xs == [0, 1, 2, 3]
+        assert ys == [0, 0, 0, 0]
+
+    def test_self_route(self, mesh8):
+        assert xy_route(mesh8, 5, 5) == (5,)
+
+    def test_connected(self, mesh8):
+        for src, dst in [(0, 63), (7, 56), (12, 34)]:
+            assert _route_is_connected(mesh8, xy_route(mesh8, src, dst))
+
+    def test_negative_directions(self, mesh8):
+        r = xy_route(mesh8, 63, 0)
+        assert r[0] == 63 and r[-1] == 0
+        assert len(r) - 1 == 14
+
+
+class TestBypass:
+    def test_bypass_shortens_long_row_route(self, mesh8):
+        mesh8.add_bypass_segment(BypassSegment("row", 0, 0, 7))
+        src, dst = mesh8.node_id(0, 0), mesh8.node_id(7, 0)
+        r = bypass_route(mesh8, src, dst)
+        assert len(r) - 1 == 1  # one express hop
+        assert _route_is_connected(mesh8, r)
+
+    def test_bypass_not_taken_when_longer(self, mesh8):
+        mesh8.add_bypass_segment(BypassSegment("row", 7, 0, 7))
+        src, dst = mesh8.node_id(0, 0), mesh8.node_id(1, 0)
+        r = bypass_route(mesh8, src, dst)
+        assert len(r) - 1 == 1  # plain XY wins
+
+    def test_bypass_from_middle(self, mesh8):
+        mesh8.add_bypass_segment(BypassSegment("row", 2, 1, 6))
+        src = mesh8.node_id(1, 2)
+        dst = mesh8.node_id(6, 4)
+        r = bypass_route(mesh8, src, dst)
+        assert len(r) - 1 == 3  # bypass hop + 2 down
+        assert _route_is_connected(mesh8, r)
+
+    def test_column_bypass(self, mesh8):
+        mesh8.add_bypass_segment(BypassSegment("col", 0, 0, 7))
+        r = bypass_route(mesh8, mesh8.node_id(0, 0), mesh8.node_id(0, 7))
+        assert len(r) - 1 == 1
+
+    def test_no_segments_equals_xy(self, mesh8):
+        assert bypass_route(mesh8, 0, 63) == xy_route(mesh8, 0, 63)
+
+
+class TestRing:
+    def test_forward_route(self, mesh8):
+        mesh8.add_ring_region(RingConfig(0, 0, 8, 2))
+        src, dst = mesh8.node_id(1, 0), mesh8.node_id(5, 0)
+        r = ring_route(mesh8, src, dst)
+        assert len(r) - 1 == 4
+
+    def test_wraparound(self, mesh8):
+        mesh8.add_ring_region(RingConfig(0, 0, 8, 2))
+        src, dst = mesh8.node_id(6, 0), mesh8.node_id(1, 0)
+        r = ring_route(mesh8, src, dst)
+        # 6 -> 7 -> wrap to 0 -> 1: three hops, never backwards.
+        assert len(r) - 1 == 3
+
+    def test_cross_row_within_ring(self, mesh8):
+        mesh8.add_ring_region(RingConfig(0, 0, 8, 2))
+        src, dst = mesh8.node_id(3, 0), mesh8.node_id(2, 1)
+        r = ring_route(mesh8, src, dst)
+        assert r[0] == src and r[-1] == dst
+
+    def test_requires_shared_ring(self, mesh8):
+        mesh8.add_ring_region(RingConfig(0, 0, 8, 2))
+        with pytest.raises(ValueError, match="ring"):
+            ring_route(mesh8, mesh8.node_id(0, 0), mesh8.node_id(0, 5))
+
+
+class TestComputeRoute:
+    def test_dispatches_to_ring(self, mesh8):
+        mesh8.add_ring_region(RingConfig(0, 0, 8, 2))
+        src, dst = mesh8.node_id(6, 0), mesh8.node_id(1, 0)
+        assert len(compute_route(mesh8, src, dst)) - 1 == 3
+
+    def test_dispatches_to_bypass(self, mesh8):
+        mesh8.add_bypass_segment(BypassSegment("row", 0, 0, 7))
+        r = compute_route(mesh8, 0, 7)
+        assert len(r) - 1 == 1
+
+    def test_allow_bypass_false(self, mesh8):
+        mesh8.add_bypass_segment(BypassSegment("row", 0, 0, 7))
+        r = compute_route(mesh8, 0, 7, allow_bypass=False)
+        assert len(r) - 1 == 7
+
+    def test_self(self, mesh8):
+        assert compute_route(mesh8, 3, 3) == (3,)

@@ -1,0 +1,66 @@
+"""Tests for N-Queen S_PE placement."""
+
+import pytest
+
+from repro.mapping import can_place, fixed_pattern, solve_n_queens
+
+
+def _valid_nqueen(positions):
+    rows = [r for r, _ in positions]
+    cols = [c for _, c in positions]
+    if len(set(rows)) != len(rows) or len(set(cols)) != len(cols):
+        return False
+    for i, (r1, c1) in enumerate(positions):
+        for r2, c2 in positions[i + 1 :]:
+            if abs(r1 - r2) == abs(c1 - c2):
+                return False
+    return True
+
+
+class TestSolver:
+    @pytest.mark.parametrize("k", [1, 4, 5, 6, 8, 12, 16])
+    def test_valid_solutions(self, k):
+        positions = solve_n_queens(k)
+        assert len(positions) == k
+        assert _valid_nqueen(positions)
+
+    def test_deterministic(self):
+        assert solve_n_queens(8) == solve_n_queens(8)
+
+    def test_unsolvable_sizes_fall_back(self):
+        # k=2,3 have no N-Queen solution; fallback still gives one per row.
+        for k in (2, 3):
+            positions = solve_n_queens(k)
+            assert len(positions) == k
+            assert len({r for r, _ in positions}) == k
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            solve_n_queens(0)
+
+
+class TestCanPlace:
+    def test_same_column_rejected(self):
+        assert not can_place([0], 1, 0)
+
+    def test_diagonal_rejected(self):
+        assert not can_place([0], 1, 1)
+
+    def test_safe_square(self):
+        assert can_place([0], 1, 2)
+
+
+class TestFixedPattern:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 8, 16, 32])
+    def test_one_per_row_distinct_columns(self, k):
+        positions = fixed_pattern(k)
+        assert len(positions) == k
+        assert len({r for r, _ in positions}) == k
+        assert len({c for _, c in positions}) == k
+
+    def test_deterministic(self):
+        assert fixed_pattern(32) == fixed_pattern(32)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fixed_pattern(0)

@@ -1,0 +1,116 @@
+"""Tests for the partition algorithm (Algorithm 2)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.graphs import from_edge_list, power_law_graph
+from repro.models import LayerDims, extract_workload, get_model
+from repro.partition import PartitionStrategy, partition, split_regions
+
+CFG = default_config()
+FLOPS = CFG.flops_per_pe_per_cycle * CFG.frequency_hz
+
+
+@pytest.fixture
+def graph():
+    return power_law_graph(300, 1500, num_features=64, seed=1)
+
+
+class TestPartition:
+    def test_full_model_splits(self, graph):
+        wl = extract_workload(get_model("gcn"), graph, LayerDims(64, 32))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        assert s.a + s.b == CFG.num_pes
+        assert s.a >= 1 and s.b >= 1
+        assert not s.single_accelerator
+
+    def test_balance_minimised(self, graph):
+        """No neighbouring split should balance better than the chosen one."""
+        wl = extract_workload(get_model("gcn"), graph, LayerDims(64, 32))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        from repro.partition.algorithm import _t_a, _t_b
+
+        chosen = abs(
+            _t_a(wl, s.a, FLOPS) - _t_b(wl, CFG.num_pes - s.a, FLOPS)
+        )
+        for a in (s.a - 1, s.a + 1):
+            if 1 <= a < CFG.num_pes:
+                other = abs(
+                    _t_a(wl, a, FLOPS) - _t_b(wl, CFG.num_pes - a, FLOPS)
+                )
+                assert chosen <= other + 1e-12
+
+    def test_no_vertex_update_single_accelerator(self, graph):
+        """EdgeConv has no vertex update: only one accelerator is formed."""
+        wl = extract_workload(get_model("edgeconv-1"), graph, LayerDims(64, 32))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        assert s.single_accelerator
+        assert s.a == CFG.num_pes
+        assert s.b == 0
+        assert s.t_b_seconds == 0.0
+
+    def test_no_edge_update_acomp1_zero(self, graph):
+        """GIN starts at aggregation; AComp1 contributes nothing."""
+        wl = extract_workload(get_model("gin"), graph, LayerDims(64, 32))
+        assert wl.O_ue == 0
+        s = partition(wl, CFG.num_pes, FLOPS)
+        assert s.a >= 1  # aggregation still needs resources
+
+    def test_heavier_vertex_update_gets_more_pes(self, graph):
+        wl_small = extract_workload(get_model("gcn"), graph, LayerDims(64, 8))
+        wl_big = extract_workload(get_model("gcn"), graph, LayerDims(64, 256))
+        s_small = partition(wl_small, CFG.num_pes, FLOPS)
+        s_big = partition(wl_big, CFG.num_pes, FLOPS)
+        assert s_big.b > s_small.b
+
+    def test_pipeline_interval(self, graph):
+        wl = extract_workload(get_model("gcn"), graph, LayerDims(64, 32))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        assert s.pipeline_interval == max(s.t_a_seconds, s.t_b_seconds)
+        assert 0 <= s.imbalance < 1
+
+    def test_validation(self, graph):
+        wl = extract_workload(get_model("gcn"), graph, LayerDims(8, 4))
+        with pytest.raises(ValueError):
+            partition(wl, 0, FLOPS)
+        with pytest.raises(ValueError):
+            partition(wl, 16, 0)
+
+    def test_ef_in_t_a(self):
+        """Edge-feature models include the AComp3 term (E_f·m traffic)."""
+        g = from_edge_list(6, [(i, (i + 1) % 6) for i in range(6)], num_features=16)
+        wl = extract_workload(get_model("agnn"), g, LayerDims(16, 8))
+        assert wl.E_f == 16
+        s = partition(wl, 64, FLOPS)
+        assert s.t_a_seconds > 0
+
+
+class TestSplitRegions:
+    def test_two_bands(self, graph):
+        wl = extract_workload(get_model("gcn"), graph, LayerDims(64, 32))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        ra, rb = split_regions(CFG.array_k, s)
+        assert rb is not None
+        assert ra.num_pes + rb.num_pes == CFG.num_pes
+        assert ra.y1 == rb.y0  # adjacent bands
+
+    def test_single_accelerator_whole_array(self, graph):
+        wl = extract_workload(get_model("edgeconv-1"), graph, LayerDims(64, 32))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        ra, rb = split_regions(CFG.array_k, s)
+        assert rb is None
+        assert ra.num_pes == CFG.num_pes
+
+    def test_wrong_total_rejected(self):
+        s = PartitionStrategy(a=10, b=10, t_a_seconds=1, t_b_seconds=1, single_accelerator=False)
+        with pytest.raises(ValueError, match="covers"):
+            split_regions(32, s)
+
+    def test_minimum_one_row_each(self, graph):
+        """Even extreme splits keep at least one row per band."""
+        wl = extract_workload(get_model("gcn"), graph, LayerDims(8, 512))
+        s = partition(wl, CFG.num_pes, FLOPS)
+        ra, rb = split_regions(CFG.array_k, s)
+        assert ra.height >= 1
+        if rb is not None:
+            assert rb.height >= 1

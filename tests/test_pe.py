@@ -1,0 +1,118 @@
+"""Unit tests for the reconfigurable PE model."""
+
+import pytest
+
+from repro.arch import PE, PEConfig, PECycleModel, PEDatapath, datapath_for_op
+from repro.config import small_config
+from repro.models import OpKind
+
+
+@pytest.fixture
+def pe(cfg8):
+    return PE(0, 0, cfg8)
+
+
+class TestDatapathMapping:
+    @pytest.mark.parametrize(
+        "kind,dp",
+        [
+            (OpKind.MATRIX_VECTOR, PEDatapath.MAC_CHAIN),
+            (OpKind.VECTOR_VECTOR, PEDatapath.MAC_CHAIN),
+            (OpKind.DOT, PEDatapath.MAC_CHAIN),
+            (OpKind.SCALAR_VECTOR, PEDatapath.MUL_ONLY),
+            (OpKind.ELEMENTWISE, PEDatapath.MUL_ONLY),
+            (OpKind.ACCUMULATE, PEDatapath.ADD_ONLY),
+            (OpKind.MAX_REDUCE, PEDatapath.ADD_ONLY),
+            (OpKind.ACTIVATION, PEDatapath.IDLE),
+            (OpKind.CONCAT, PEDatapath.IDLE),
+        ],
+    )
+    def test_fig6_configurations(self, kind, dp):
+        assert datapath_for_op(kind) is dp
+
+
+class TestCycleModel:
+    def test_mac_chain_full_throughput(self, cfg8):
+        m = PECycleModel(cfg8)
+        assert m.throughput(PEDatapath.MAC_CHAIN) == 2 * cfg8.macs_per_pe
+
+    def test_partial_datapaths_half_throughput(self, cfg8):
+        m = PECycleModel(cfg8)
+        assert m.throughput(PEDatapath.MUL_ONLY) == cfg8.macs_per_pe
+        assert m.throughput(PEDatapath.ADD_ONLY) == cfg8.macs_per_pe
+
+    def test_idle_no_throughput(self, cfg8):
+        assert PECycleModel(cfg8).throughput(PEDatapath.IDLE) == 0
+
+    def test_cycles_include_pipeline_fill(self, cfg8):
+        m = PECycleModel(cfg8)
+        rate = 2 * cfg8.macs_per_pe
+        assert m.cycles_for_ops(OpKind.MATRIX_VECTOR, rate) == (
+            PECycleModel.PIPELINE_FILL + 1
+        )
+
+    def test_cycles_ceil_division(self, cfg8):
+        m = PECycleModel(cfg8)
+        rate = 2 * cfg8.macs_per_pe
+        assert m.cycles_for_ops(OpKind.MATRIX_VECTOR, rate + 1) == (
+            PECycleModel.PIPELINE_FILL + 2
+        )
+
+    def test_zero_ops_zero_cycles(self, cfg8):
+        assert PECycleModel(cfg8).cycles_for_ops(OpKind.DOT, 0) == 0
+
+    def test_ppu_rate(self, cfg8):
+        m = PECycleModel(cfg8)
+        cycles = m.cycles_for_ops(OpKind.ACTIVATION, cfg8.ppu_lanes * 3)
+        assert cycles == PECycleModel.PIPELINE_FILL + 3
+
+    def test_negative_ops(self, cfg8):
+        with pytest.raises(ValueError):
+            PECycleModel(cfg8).cycles_for_ops(OpKind.DOT, -1)
+
+
+class TestPE:
+    def test_initial_idle(self, pe):
+        assert pe.pe_config.datapath is PEDatapath.IDLE
+
+    def test_configure_switch_penalty(self, pe):
+        penalty = pe.configure(PEConfig(PEDatapath.MAC_CHAIN))
+        assert penalty == PECycleModel.SWITCH_PENALTY
+        assert pe.reconfig_count == 1
+
+    def test_reconfigure_same_datapath_free(self, pe):
+        pe.configure(PEConfig(PEDatapath.MAC_CHAIN))
+        assert pe.configure(PEConfig(PEDatapath.MAC_CHAIN)) == 0
+        assert pe.reconfig_count == 1
+
+    def test_execute_requires_matching_datapath(self, pe):
+        pe.configure(PEConfig(PEDatapath.ADD_ONLY))
+        with pytest.raises(RuntimeError, match="configured"):
+            pe.execute(OpKind.MATRIX_VECTOR, 10)
+
+    def test_execute_counts(self, pe):
+        pe.configure(PEConfig(PEDatapath.MAC_CHAIN))
+        cycles = pe.execute(OpKind.MATRIX_VECTOR, 100)
+        assert cycles > 0
+        assert pe.busy_cycles == cycles
+        assert pe.ops_executed[OpKind.MATRIX_VECTOR] == 100
+
+    def test_ppu_runs_regardless_of_datapath(self, pe):
+        pe.configure(PEConfig(PEDatapath.ADD_ONLY))
+        assert pe.execute(OpKind.ACTIVATION, 8) > 0
+
+    def test_weight_allocation(self, pe, cfg8):
+        pe.configure(
+            PEConfig(PEDatapath.MAC_CHAIN, stationary_weight_bytes=4096)
+        )
+        assert pe.buffer.region_bytes("weights") == 4096
+
+    def test_supports_everything(self, pe):
+        for kind in OpKind:
+            if kind is not OpKind.NULL:
+                assert pe.supports(kind)
+        assert not pe.supports(OpKind.NULL)
+
+    def test_invalid_weight_bytes(self):
+        with pytest.raises(ValueError):
+            PEConfig(PEDatapath.MAC_CHAIN, stationary_weight_bytes=-1)

@@ -1,0 +1,58 @@
+"""Tests for the two-stage pipeline timing helpers."""
+
+import pytest
+
+from repro.core import overlapped_time, pipeline_time
+
+
+class TestPipelineTime:
+    def test_single_tile(self):
+        assert pipeline_time([3.0], [2.0]) == 5.0
+
+    def test_perfect_overlap(self):
+        """Equal stages: makespan = fill + n * interval."""
+        assert pipeline_time([2.0] * 4, [2.0] * 4) == 2.0 + 4 * 2.0
+
+    def test_bottleneck_stage_dominates(self):
+        # B is the bottleneck at 5s per tile.
+        t = pipeline_time([1.0] * 3, [5.0] * 3)
+        assert t == 1.0 + 3 * 5.0
+
+    def test_flow_shop_dependency(self):
+        """B cannot start a tile before A finishes it.
+
+        A finishes tile 1 at t=10, B at 11; A finishes tile 2 at 11, so B
+        runs it 11→12.
+        """
+        assert pipeline_time([10.0, 1.0], [1.0, 1.0]) == 12.0
+
+    def test_empty(self):
+        assert pipeline_time([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pipeline_time([1.0], [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_time([-1.0], [1.0])
+
+    def test_at_least_serial_of_slowest_chain(self):
+        a = [2.0, 3.0, 1.0]
+        b = [1.0, 4.0, 2.0]
+        t = pipeline_time(a, b)
+        assert t >= max(sum(a) + b[-1], a[0] + sum(b))
+        assert t <= sum(a) + sum(b)
+
+
+class TestOverlappedTime:
+    def test_max_semantics(self):
+        assert overlapped_time(3.0, 5.0) == 5.0
+        assert overlapped_time(5.0, 3.0) == 5.0
+
+    def test_zero(self):
+        assert overlapped_time(0.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            overlapped_time(-1.0, 1.0)

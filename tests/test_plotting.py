@@ -1,0 +1,49 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.eval.plotting import bar_chart, render_figure_bars
+
+
+class TestBarChart:
+    def test_scaled_to_max(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10  # the max fills the width
+        assert lines[0].count("█") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart(["x", "longer"], [1, 1])
+        a, b = out.splitlines()
+        assert a.index("|") == b.index("|")
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="T")
+        assert out.startswith("T\n")
+
+    def test_zero_values(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="T") == "T"
+
+
+class TestFigureBars:
+    def test_renders_all_groups(self):
+        from repro.eval import run_comparison
+
+        comp = run_comparison(
+            model="gcn", datasets=("cora",), scales={"cora": 0.3}
+        )
+        out = render_figure_bars(comp, "execution_time", title="Fig")
+        assert "[cora]" in out
+        for acc in comp.accelerators:
+            assert acc in out
+        assert "█" in out

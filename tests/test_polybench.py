@@ -1,0 +1,78 @@
+"""Unit tests for the PolyBench kernel models."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    PHASE_KERNELS,
+    gemver_cost,
+    gesummv_cost,
+    gramschmidt_cost,
+    mvt_cost,
+)
+from repro.models.polybench import gemver_add, gesummv_mul, gramschmidt, mvt
+
+
+class TestCosts:
+    def test_mvt_flops(self):
+        assert mvt_cost(4, 8).flops == 64
+
+    def test_gemver_flops(self):
+        assert gemver_cost(10).flops == 10
+
+    def test_gesummv_flops(self):
+        assert gesummv_cost(10).flops == 10
+
+    def test_gramschmidt_grows_quadratically(self):
+        small = gramschmidt_cost(16, 4).flops
+        big = gramschmidt_cost(16, 8).flops
+        assert big > 2 * small  # projections scale with k^2
+
+    def test_elements_touched(self):
+        c = mvt_cost(3, 5)
+        assert c.elements_touched == c.reads + c.writes
+
+    @pytest.mark.parametrize(
+        "fn", [lambda: mvt_cost(0, 1), lambda: gemver_cost(0), lambda: gramschmidt_cost(1, 0)]
+    )
+    def test_invalid_dims(self, fn):
+        with pytest.raises(ValueError):
+            fn()
+
+
+class TestKernels:
+    def test_mvt_matches_numpy(self, rng):
+        a = rng.normal(size=(4, 6))
+        x = rng.normal(size=6)
+        assert np.allclose(mvt(a, x), a @ x)
+
+    def test_gemver_add(self):
+        assert gemver_add([1, 2], [3, 4]).tolist() == [4, 6]
+
+    def test_gesummv_mul(self):
+        assert gesummv_mul([2, 3], [4, 5]).tolist() == [8, 15]
+
+    def test_gramschmidt_orthonormal(self, rng):
+        v = rng.normal(size=(4, 8))
+        q = gramschmidt(v)
+        gram = q @ q.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_gramschmidt_preserves_span(self, rng):
+        v = rng.normal(size=(3, 5))
+        q = gramschmidt(v)
+        # Each original vector is representable in the orthonormal basis.
+        coeffs = v @ q.T
+        assert np.allclose(coeffs @ q, v, atol=1e-8)
+
+    def test_gramschmidt_rejects_1d(self):
+        with pytest.raises(ValueError):
+            gramschmidt(np.ones(4))
+
+
+class TestPhaseMapping:
+    def test_paper_assignment(self):
+        assert "gramschmidt" in PHASE_KERNELS["edge_update"]
+        assert PHASE_KERNELS["aggregation"] == ("gemver",)
+        assert "mvt" in PHASE_KERNELS["vertex_update"]
+        assert "relu" in PHASE_KERNELS["vertex_update"]

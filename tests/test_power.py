@@ -1,0 +1,53 @@
+"""Tests for the power reporting model."""
+
+import numpy as np
+import pytest
+
+from repro import AuroraSimulator, LayerDims, get_model
+from repro.arch.power import PowerModel
+from repro.graphs import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    g = power_law_graph(
+        300, 1500, num_features=64, feature_density=0.2, locality=0.5, seed=2
+    )
+    return AuroraSimulator().simulate_layer(get_model("gcn"), g, LayerDims(64, 16))
+
+
+class TestPowerReport:
+    def test_energy_conservation(self, result):
+        """Integrated trace power equals total energy (incl. static)."""
+        rep = PowerModel().report(result, bins=128)
+        integrated = rep.trace_watts.sum() * rep.bin_seconds
+        expected = result.energy.total * (1 + PowerModel.STATIC_FRACTION)
+        assert integrated == pytest.approx(expected, rel=0.02)
+
+    def test_peak_at_least_average(self, result):
+        rep = PowerModel().report(result)
+        assert rep.peak_watts >= rep.average_watts * 0.99
+
+    def test_component_sum(self, result):
+        rep = PowerModel().report(result)
+        assert sum(rep.component_watts.values()) == pytest.approx(
+            result.energy.total / result.total_seconds, rel=1e-6
+        )
+
+    def test_trace_shape_and_positivity(self, result):
+        rep = PowerModel().report(result, bins=32)
+        assert rep.trace_watts.shape == (32,)
+        assert np.all(rep.trace_watts > 0)  # static floor everywhere
+
+    def test_duration(self, result):
+        rep = PowerModel().report(result, bins=10)
+        assert rep.duration_seconds == pytest.approx(result.total_seconds)
+
+    def test_bins_validation(self, result):
+        with pytest.raises(ValueError):
+            PowerModel().report(result, bins=0)
+
+    def test_average_power_plausible(self, result):
+        """Average power should land in accelerator-class range (< 1 kW)."""
+        rep = PowerModel().report(result)
+        assert 0 < rep.average_watts < 1000

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.noc import FlexibleMeshTopology, compute_route, xy_route
+from repro.graphs import from_edge_list, gini_coefficient, tile_graph
+from repro.mapping import PERegion, degree_aware_map, hashing_map
+from repro.mapping.nqueen import fixed_pattern
+from repro.models import LayerDims, extract_workload, get_model, list_models
+from repro.partition import partition
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def edge_lists(draw, max_n=40, max_m=120):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, edges
+
+
+class TestCSRProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degrees_sum_to_edges(self, ne):
+        n, edges = ne
+        g = from_edge_list(n, edges)
+        assert int(g.degrees.sum()) == g.num_edges
+        assert int(g.in_degrees.sum()) == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_preserves_edge_count(self, ne):
+        n, edges = ne
+        g = from_edge_list(n, edges)
+        assert g.reverse().num_edges == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_csc_is_consistent_transpose(self, ne):
+        n, edges = ne
+        g = from_edge_list(n, edges)
+        indptr, indices = g.csc()
+        assert indptr[-1] == g.num_edges
+        # Rebuilding (dst, src) pairs from CSC matches the edge set.
+        dst = np.repeat(np.arange(n), np.diff(indptr))
+        got = {(int(s), int(d)) for s, d in zip(indices, dst)}
+        want = {tuple(e) for e in g.edge_array().tolist()}
+        assert got == want
+
+    @given(edge_lists(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_induced_subgraph_edge_subset(self, ne, take):
+        n, edges = ne
+        g = from_edge_list(n, edges)
+        verts = list(range(min(take, n)))
+        sub = g.induced_subgraph(verts)
+        assert sub.num_edges <= g.num_edges
+        assert sub.num_vertices == len(verts)
+
+
+class TestTilingProperties:
+    @given(edge_lists(max_n=60, max_m=200), st.integers(min_value=200, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_tiles_partition_vertices_and_edges(self, ne, capacity):
+        n, edges = ne
+        g = from_edge_list(n, edges, num_features=4)
+        plan = tile_graph(g, capacity)
+        covered = np.concatenate([t.vertices for t in plan])
+        assert np.array_equal(covered, np.arange(n))
+        internal = sum(t.num_edges for t in plan)
+        assert internal + plan.total_boundary_edges == g.num_edges
+
+
+class TestGiniProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds(self, values):
+        gini = gini_coefficient(np.array(values))
+        assert -1e-9 <= gini <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=2, max_size=40),
+        st.floats(min_value=0.1, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, values, scale):
+        v = np.array(values)
+        assert gini_coefficient(v) == pytest.approx(
+            gini_coefficient(scale * v), abs=1e-9
+        )
+
+
+class TestRoutingProperties:
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=143),
+        st.integers(min_value=0, max_value=143),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_xy_route_valid(self, k, src, dst):
+        src %= k * k
+        dst %= k * k
+        topo = FlexibleMeshTopology(k)
+        route = xy_route(topo, src, dst)
+        assert route[0] == src and route[-1] == dst
+        assert len(route) - 1 == topo.manhattan(src, dst)
+        for a, b in zip(route, route[1:]):
+            assert b in topo.mesh_neighbors(a)
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compute_route_never_longer_than_xy(self, k, src, dst):
+        src %= k * k
+        dst %= k * k
+        topo = FlexibleMeshTopology(k)
+        from repro.arch.noc import BypassSegment
+
+        topo.add_bypass_segment(BypassSegment("row", 0, 0, k - 1))
+        route = compute_route(topo, src, dst)
+        assert len(route) - 1 <= topo.manhattan(src, dst)
+
+
+class TestNQueenProperties:
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_pattern_is_permutation(self, k):
+        positions = fixed_pattern(k)
+        rows = [r for r, _ in positions]
+        cols = [c for _, c in positions]
+        assert sorted(rows) == list(range(k))
+        assert sorted(cols) == list(range(k))
+
+
+class TestMappingProperties:
+    @given(edge_lists(max_n=50, max_m=150), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_degree_aware_total_function(self, ne, rows):
+        n, edges = ne
+        g = from_edge_list(n, edges)
+        region = PERegion(0, 0, 8, rows, 8)
+        cap = max(1, -(-n // region.num_pes))
+        m = degree_aware_map(g, region, pe_vertex_capacity=cap)
+        assert m.vertex_to_pe.size == n
+        assert m.pe_loads().sum() == n
+        assert m.pe_loads().max() <= cap
+
+    @given(edge_lists(max_n=50, max_m=150))
+    @settings(max_examples=30, deadline=None)
+    def test_hashing_covers_region(self, ne):
+        n, edges = ne
+        g = from_edge_list(n, edges)
+        region = PERegion(0, 0, 8, 4, 8)
+        m = hashing_map(g, region)
+        nodes = set(region.node_ids().tolist())
+        if n:
+            assert set(np.unique(m.vertex_to_pe).tolist()) <= nodes
+
+
+class TestWorkloadProperties:
+    @given(
+        edge_lists(max_n=30, max_m=80),
+        st.sampled_from(list_models()),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_non_negative_and_scale(self, ne, model_name, f_in, f_out):
+        n, edges = ne
+        g = from_edge_list(n, edges, num_features=f_in)
+        wl = extract_workload(get_model(model_name), g, LayerDims(f_in, f_out))
+        assert wl.O_ue >= 0 and wl.O_a >= 0 and wl.O_uv >= 0
+        assert wl.total_ops >= wl.total_mac_ops
+
+    @given(edge_lists(max_n=30, max_m=80), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_more_edges_more_aggregation(self, ne, f):
+        n, edges = ne
+        g = from_edge_list(n, edges, num_features=f)
+        doubled = from_edge_list(
+            n, list(edges) + [((a + 1) % n, (b + 1) % n) for a, b in edges],
+            num_features=f,
+        )
+        wl1 = extract_workload(get_model("gin"), g, LayerDims(f, f))
+        wl2 = extract_workload(get_model("gin"), doubled, LayerDims(f, f))
+        assert wl2.O_a >= wl1.O_a
+
+
+class TestPartitionProperties:
+    @given(
+        edge_lists(max_n=40, max_m=120),
+        st.sampled_from(["gcn", "gin", "ggcn", "agnn"]),
+        st.integers(min_value=4, max_value=256),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_covers_all_pes(self, ne, model_name, num_pes):
+        n, edges = ne
+        g = from_edge_list(n, edges, num_features=8)
+        wl = extract_workload(get_model(model_name), g, LayerDims(8, 4))
+        s = partition(wl, num_pes, 1e9)
+        assert s.a + s.b == num_pes
+        assert s.a >= 0 and s.b >= 0
+        assert s.pipeline_interval >= 0

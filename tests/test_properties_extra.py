@@ -1,0 +1,101 @@
+"""Additional property-based tests over the newer subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dataflow import plan_ring_dataflow
+from repro.arch.noc import FlexibleMeshTopology
+from repro.arch.noc.multicast import build_tree
+from repro.config import default_config
+from repro.core.pipeline import pipeline_time
+
+CFG = default_config()
+
+
+class TestPipelineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_flow_shop_bounds(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        t = pipeline_time(a, b)
+        # Lower bounds: each machine's serial work plus the other's
+        # boundary stage; upper bound: fully serial execution.
+        assert t >= max(sum(a) + b[-1], a[0] + sum(b)) - 1e-9
+        assert t <= sum(a) + sum(b) + 1e-9
+
+    @given(
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_constant_stages_exact_makespan(self, stage, n):
+        """Constant equal A/B stages: makespan = fill + n·interval exactly."""
+        t = pipeline_time([stage] * n, [stage] * n)
+        assert t == pytest.approx(stage + n * stage)
+
+
+class TestMulticastTreeProperties:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=1_000_000),
+        st.sets(st.integers(min_value=0, max_value=99), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tree_invariants(self, k, src_seed, dst_seed):
+        topo = FlexibleMeshTopology(k)
+        n = k * k
+        src = src_seed % n
+        dsts = sorted({d % n for d in dst_seed})
+        tree = build_tree(topo, src, dsts)
+        # Parent uniqueness (tree property).
+        parents: dict[int, int] = {}
+        for parent, kids in tree.children.items():
+            for kid in kids:
+                assert kid not in parents
+                parents[kid] = parent
+        # Every consumer is reachable from the source.
+        for dst in tree.consumers:
+            node, hops = dst, 0
+            while node != src:
+                node = parents[node]
+                hops += 1
+                assert hops <= 2 * k  # no cycles, bounded depth
+        # Tree never larger than the union of path lengths.
+        assert tree.num_edges <= sum(
+            topo.manhattan(src, d) for d in tree.consumers
+        )
+
+
+class TestRingScheduleProperties:
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=2048),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_invariants(self, width, f_in, f_out, n):
+        s = plan_ring_dataflow(CFG, width, f_in, f_out)
+        assert s.slice_in * width >= f_in
+        assert s.stage_interval >= 1
+        assert s.total_cycles(n) >= n * s.stage_interval - s.stage_interval + (
+            s.vertex_latency if n else 0
+        ) - 1e-9
+        assert 0.0 <= s.utilization(n) <= 1.0
+        # Makespan is monotone in the vertex count.
+        if n > 0:
+            assert s.total_cycles(n) > s.total_cycles(n - 1) or n == 1

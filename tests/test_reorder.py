@@ -1,0 +1,108 @@
+"""Tests for vertex reordering and locality restoration."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chain_graph,
+    from_edge_list,
+    power_law_graph,
+    tile_graph,
+    uniform_random_graph,
+)
+from repro.graphs.reorder import bfs_order, edge_locality_score, permute_graph
+
+
+class TestBFSOrder:
+    def test_is_permutation(self, medium_graph):
+        order = bfs_order(medium_graph)
+        assert np.array_equal(np.sort(order), np.arange(medium_graph.num_vertices))
+
+    def test_covers_disconnected_components(self):
+        g = from_edge_list(6, [(0, 1), (3, 4)])
+        order = bfs_order(g)
+        assert np.sort(order).tolist() == list(range(6))
+
+    def test_chain_is_sequential(self):
+        g = chain_graph(10)
+        assert bfs_order(g).tolist() == list(range(10))
+
+    def test_seed_vertex(self):
+        g = chain_graph(5)
+        order = bfs_order(g, seed_vertex=2)
+        assert order[0] == 2
+
+    def test_seed_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            bfs_order(tiny_graph, seed_vertex=99)
+
+    def test_degree_bucketed_variant(self, medium_graph):
+        order = bfs_order(medium_graph, degree_bucketed=True)
+        assert np.array_equal(np.sort(order), np.arange(medium_graph.num_vertices))
+
+    def test_empty(self):
+        assert bfs_order(from_edge_list(0, [])).size == 0
+
+
+class TestPermute:
+    def test_preserves_edge_count_and_degrees(self, medium_graph):
+        order = bfs_order(medium_graph)
+        out = permute_graph(medium_graph, order)
+        assert out.num_edges == medium_graph.num_edges
+        assert sorted(out.degrees.tolist()) == sorted(
+            medium_graph.degrees.tolist()
+        )
+
+    def test_edges_relabelled_consistently(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)])
+        out = permute_graph(g, np.array([2, 1, 0]))  # reverse ids
+        # old 0->1 becomes 2->1; old 1->2 becomes 1->0.
+        assert sorted(out.edges()) == [(1, 0), (2, 1)]
+
+    def test_identity(self, tiny_graph):
+        out = permute_graph(tiny_graph, np.arange(5))
+        assert np.array_equal(out.indices, tiny_graph.indices)
+
+    def test_rejects_non_permutation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            permute_graph(tiny_graph, np.array([0, 0, 1, 2, 3]))
+
+    def test_attributes_preserved(self, tiny_graph):
+        out = permute_graph(tiny_graph, np.arange(5)[::-1])
+        assert out.num_features == tiny_graph.num_features
+
+
+class TestLocalityRestoration:
+    def test_score_range(self, medium_graph):
+        score = edge_locality_score(medium_graph)
+        assert 0.0 <= score <= 1.0
+
+    def test_bfs_improves_locality_of_shuffled_graph(self):
+        """Destroy a local graph's numbering, then restore it with BFS."""
+        rng = np.random.default_rng(0)
+        local = power_law_graph(
+            400, 2000, locality=0.7, locality_window=12, num_features=8, seed=3
+        )
+        shuffled = permute_graph(local, rng.permutation(400))
+        restored = permute_graph(shuffled, bfs_order(shuffled))
+        assert edge_locality_score(restored) > edge_locality_score(shuffled) * 1.5
+
+    def test_bfs_reduces_tile_boundary_edges(self):
+        """Reordering a scattered graph cuts cross-tile edges."""
+        rng = np.random.default_rng(1)
+        local = power_law_graph(
+            600, 3000, locality=0.8, locality_window=10, num_features=8, seed=4
+        )
+        shuffled = permute_graph(local, rng.permutation(600))
+        restored = permute_graph(shuffled, bfs_order(shuffled))
+        cap = 40 * 1024
+        b_shuffled = tile_graph(shuffled, cap).total_boundary_edges
+        b_restored = tile_graph(restored, cap).total_boundary_edges
+        assert b_restored < b_shuffled
+
+    def test_uniform_graph_unaffected_much(self):
+        """With no community structure, reordering cannot manufacture
+        locality beyond the BFS frontier effect."""
+        g = uniform_random_graph(400, 2000, seed=2)
+        restored = permute_graph(g, bfs_order(g))
+        assert edge_locality_score(restored) < 0.6

@@ -1,0 +1,62 @@
+"""Tests for the shared simulation result types."""
+
+import pytest
+
+from repro.arch.energy import EnergyCounters, EnergyModel
+from repro.core.results import PhaseBreakdown, SimulationResult
+
+
+def _result(seconds: float, mac_ops: int = 10) -> SimulationResult:
+    counters = EnergyCounters(mac_ops=mac_ops, dram_bytes=100)
+    return SimulationResult(
+        accelerator="aurora",
+        model_name="gcn",
+        graph_name="g",
+        total_seconds=seconds,
+        breakdown=PhaseBreakdown(seconds / 2, seconds / 4, seconds / 4),
+        dram_bytes=100,
+        onchip_comm_cycles=50,
+        energy=EnergyModel().evaluate(counters),
+        counters=counters,
+    )
+
+
+class TestPhaseBreakdown:
+    def test_serial_sum(self):
+        b = PhaseBreakdown(1.0, 2.0, 3.0)
+        assert b.serial_seconds == 6.0
+
+
+class TestSimulationResult:
+    def test_cycles(self):
+        r = _result(1e-3)
+        assert r.total_cycles == pytest.approx(1e-3 * 700e6)
+
+    def test_speedup_over(self):
+        fast, slow = _result(1.0), _result(2.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_combine_sums_time_and_bytes(self):
+        c = SimulationResult.combine([_result(1.0), _result(2.0)])
+        assert c.total_seconds == pytest.approx(3.0)
+        assert c.dram_bytes == 200
+        assert c.onchip_comm_cycles == 100
+        assert c.num_tiles == 2
+
+    def test_combine_merges_energy(self):
+        c = SimulationResult.combine([_result(1.0, mac_ops=10), _result(1.0, mac_ops=20)])
+        assert c.counters.mac_ops == 30
+        assert c.energy.total > _result(1.0, mac_ops=10).energy.total
+
+    def test_combine_breakdown(self):
+        c = SimulationResult.combine([_result(1.0), _result(3.0)])
+        assert c.breakdown.compute_seconds == pytest.approx(2.0)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationResult.combine([])
+
+    def test_energy_joules_alias(self):
+        r = _result(1.0)
+        assert r.energy_joules == r.energy.total

@@ -1,0 +1,65 @@
+"""Tests for the sensitivity-analysis sweeps."""
+
+import pytest
+
+from repro.baselines import GCNAX_TRAITS, HYGCN_TRAITS
+from repro.eval.sensitivity import NUMERIC_TRAITS, sweep_trait
+
+
+@pytest.fixture(scope="module")
+def hygcn_ports_sweep():
+    return sweep_trait(
+        HYGCN_TRAITS, "comm_ports", dataset="cora", scale=0.5, hidden=32
+    )
+
+
+class TestSweep:
+    def test_point_per_factor(self, hygcn_ports_sweep):
+        assert len(hygcn_ports_sweep.points) == 5
+        assert [p.factor for p in hygcn_ports_sweep.points] == [
+            0.5,
+            0.75,
+            1.0,
+            1.25,
+            1.5,
+        ]
+
+    def test_more_ports_faster_baseline(self, hygcn_ports_sweep):
+        """comm_ports is bandwidth: scaling it up must not slow HyGCN."""
+        vals = [p.speedup_vs_aurora for p in hygcn_ports_sweep.points]
+        assert vals[0] >= vals[-1]
+        assert hygcn_ports_sweep.monotonic()
+
+    def test_aurora_wins_across_halving_and_doubling(self, hygcn_ports_sweep):
+        """The headline conclusion survives a 2x calibration error."""
+        assert hygcn_ports_sweep.aurora_always_wins
+
+    def test_spread_positive(self, hygcn_ports_sweep):
+        assert hygcn_ports_sweep.spread >= 1.0
+
+    def test_service_cycles_affect_nothing_but_volume(self):
+        """comm_service_cycles feeds the Fig. 8 metric, not execution time:
+        exec-time speedups must be flat across the sweep."""
+        rep = sweep_trait(
+            HYGCN_TRAITS, "comm_service_cycles", dataset="cora", scale=0.5, hidden=32
+        )
+        assert rep.spread == pytest.approx(1.0, abs=1e-9)
+
+    def test_bounded_traits_clipped(self):
+        rep = sweep_trait(
+            GCNAX_TRAITS,
+            "feature_reuse",
+            dataset="cora",
+            scale=0.5,
+            hidden=32,
+            factors=(0.1, 1.0, 2.0),
+        )
+        assert all(p.trait_value <= 0.99 for p in rep.points)
+
+    def test_unknown_trait_rejected(self):
+        with pytest.raises(ValueError, match="sweepable"):
+            sweep_trait(HYGCN_TRAITS, "name")
+
+    def test_numeric_traits_are_fields(self):
+        for trait in NUMERIC_TRAITS:
+            assert hasattr(HYGCN_TRAITS, trait)

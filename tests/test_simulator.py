@@ -1,0 +1,175 @@
+"""Tests for the Aurora analytical simulator."""
+
+import pytest
+
+from repro import AuroraSimulator, LayerDims, get_model, list_models, load_dataset
+from repro.config import AcceleratorConfig
+from repro.graphs import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(
+        400, 2000, exponent=2.1, locality=0.6, num_features=128,
+        feature_density=0.1, seed=9,
+    )
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return AuroraSimulator()
+
+
+class TestSimulateLayer:
+    def test_result_sanity(self, sim, graph):
+        r = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        assert r.total_seconds > 0
+        assert r.dram_bytes > 0
+        assert r.energy.total > 0
+        assert r.accelerator == "aurora"
+        assert r.num_tiles >= 1
+
+    def test_breakdown_components_positive(self, sim, graph):
+        r = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        assert r.breakdown.compute_seconds > 0
+        assert r.breakdown.noc_seconds > 0
+        assert r.breakdown.dram_seconds > 0
+
+    def test_total_at_least_bottleneck(self, sim, graph):
+        r = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        assert r.total_seconds <= r.breakdown.serial_seconds * 1.5
+        assert r.total_seconds >= r.breakdown.dram_seconds * 0.3
+
+    def test_partition_recorded(self, sim, graph):
+        r = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        assert r.notes["partition_a"] + r.notes["partition_b"] == 1024
+        assert 1 <= r.notes["a_rows"] <= 32
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_every_model_simulates(self, sim, graph, name):
+        r = sim.simulate_layer(get_model(name), graph, LayerDims(128, 32))
+        assert r.total_seconds > 0
+
+    def test_edgeconv_uses_whole_array(self, sim, graph):
+        r = sim.simulate_layer(get_model("edgeconv-1"), graph, LayerDims(128, 32))
+        assert r.notes["partition_b"] == 0
+
+    def test_density_reduces_dram(self, sim, graph):
+        dense = sim.simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32), input_density=1.0
+        )
+        sparse = sim.simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32), input_density=0.01
+        )
+        assert sparse.dram_bytes < dense.dram_bytes
+
+    def test_bigger_layer_more_time(self, sim, graph):
+        small = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 8))
+        big = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 256))
+        assert big.total_seconds > small.total_seconds
+
+    def test_deterministic(self, sim, graph):
+        a = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        b = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        assert a.total_seconds == b.total_seconds
+        assert a.dram_bytes == b.dram_bytes
+
+
+class TestMappingPolicies:
+    def test_degree_aware_beats_hashing(self, graph):
+        aware = AuroraSimulator(mapping_policy="degree-aware").simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32)
+        )
+        hashed = AuroraSimulator(mapping_policy="hashing").simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32)
+        )
+        assert aware.total_seconds < hashed.total_seconds
+
+    def test_policy_label(self, graph):
+        r = AuroraSimulator(mapping_policy="hashing").simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32)
+        )
+        assert r.accelerator == "aurora-hashing"
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            AuroraSimulator(mapping_policy="random")
+
+    def test_per_call_override(self, sim, graph):
+        r = sim.simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32), mapping_policy="hashing"
+        )
+        assert r.notes["mapping_policy"] == "hashing"
+
+
+class TestCombinationFirst:
+    def test_disabled_by_default(self, sim, graph):
+        r = sim.simulate_layer(get_model("gcn"), graph, LayerDims(128, 32))
+        assert r.notes["combination_first"] is False
+
+    def test_enabled_reduces_time_for_gcn(self, graph):
+        base = AuroraSimulator().simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 16)
+        )
+        cf = AuroraSimulator(enable_combination_first=True).simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 16)
+        )
+        assert cf.notes["combination_first"] is True
+        assert cf.total_seconds <= base.total_seconds
+
+    def test_not_applied_when_widening(self, graph):
+        cf = AuroraSimulator(enable_combination_first=True).simulate_layer(
+            get_model("gcn"), graph, LayerDims(16, 128)
+        )
+        assert cf.notes["combination_first"] is False
+
+    def test_not_applied_to_ineligible_model(self, graph):
+        cf = AuroraSimulator(enable_combination_first=True).simulate_layer(
+            get_model("ggcn"), graph, LayerDims(128, 16)
+        )
+        assert cf.notes["combination_first"] is False
+
+
+class TestMultiLayer:
+    def test_combine_sums(self, sim, graph):
+        l0 = sim.simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 32),
+            input_density=graph.feature_density,
+        )
+        l1 = sim.simulate_layer(
+            get_model("gcn"), graph, LayerDims(32, 8), input_density=1.0
+        )
+        combined = sim.simulate(
+            get_model("gcn"), graph, [LayerDims(128, 32), LayerDims(32, 8)]
+        )
+        assert combined.total_seconds == pytest.approx(
+            l0.total_seconds + l1.total_seconds
+        )
+        assert combined.dram_bytes == l0.dram_bytes + l1.dram_bytes
+
+    def test_needs_layers(self, sim, graph):
+        with pytest.raises(ValueError):
+            sim.simulate(get_model("gcn"), graph, [])
+
+
+class TestScaling:
+    def test_more_pes_faster(self, graph):
+        small = AuroraSimulator(AcceleratorConfig(array_k=8)).simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 64)
+        )
+        big = AuroraSimulator(AcceleratorConfig(array_k=32)).simulate_layer(
+            get_model("gcn"), graph, LayerDims(128, 64)
+        )
+        assert big.total_seconds < small.total_seconds
+
+    def test_smaller_buffers_more_tiles(self):
+        dense = power_law_graph(
+            2000, 8000, num_features=256, feature_density=1.0, seed=4
+        )
+        roomy = AuroraSimulator(
+            AcceleratorConfig(pe_buffer_bytes=100 * 1024)
+        ).simulate_layer(get_model("gcn"), dense, LayerDims(256, 32))
+        tight = AuroraSimulator(
+            AcceleratorConfig(pe_buffer_bytes=1024)
+        ).simulate_layer(get_model("gcn"), dense, LayerDims(256, 32))
+        assert tight.num_tiles > roomy.num_tiles

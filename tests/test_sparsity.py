@@ -1,0 +1,89 @@
+"""Tests for sparse feature matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import power_law_graph
+from repro.models.sparsity import (
+    SparseFeatures,
+    densify,
+    random_sparse_features,
+    sparse_dense_matmul,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(
+        200, 800, num_features=500, feature_density=0.02, seed=4
+    )
+
+
+@pytest.fixture(scope="module")
+def feats(graph):
+    return random_sparse_features(graph, seed=1)
+
+
+class TestSparseFeatures:
+    def test_shape(self, feats, graph):
+        assert feats.num_vertices == graph.num_vertices
+        assert feats.num_features == graph.num_features
+
+    def test_density_near_target(self, feats, graph):
+        assert feats.density == pytest.approx(graph.feature_density, rel=0.35)
+
+    def test_every_vertex_has_features(self, feats):
+        assert feats.nnz_per_vertex().min() >= 1
+
+    def test_storage_smaller_than_dense(self, feats):
+        assert feats.storage_bytes() < feats.dense_bytes()
+        assert feats.compression_ratio() > 10  # 2% density compresses well
+
+    def test_rows_subset(self, feats):
+        sub = feats.rows(np.arange(10))
+        assert sub.num_vertices == 10
+        assert sub.num_features == feats.num_features
+
+    def test_deterministic(self, graph):
+        a = random_sparse_features(graph, seed=7)
+        b = random_sparse_features(graph, seed=7)
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            SparseFeatures(np.zeros((2, 2)))
+
+    def test_density_override(self, graph):
+        dense = random_sparse_features(graph, seed=1, density=0.5)
+        assert dense.density > 0.3
+
+    def test_invalid_density(self, graph):
+        with pytest.raises(ValueError):
+            random_sparse_features(graph, density=0.0)
+
+
+class TestOps:
+    def test_densify_matches(self, feats):
+        dense = densify(feats)
+        assert dense.shape == (feats.num_vertices, feats.num_features)
+        assert np.allclose(dense, feats.matrix.toarray())
+
+    def test_matmul_matches_dense(self, feats, rng):
+        w = rng.normal(size=(feats.num_features, 16))
+        sparse_out = sparse_dense_matmul(feats, w)
+        dense_out = densify(feats) @ w
+        assert np.allclose(sparse_out, dense_out)
+
+    def test_matmul_shape_check(self, feats, rng):
+        with pytest.raises(ValueError):
+            sparse_dense_matmul(feats, rng.normal(size=(3, 4)))
+
+    def test_functional_layer_on_sparse_input(self, graph, feats, rng):
+        """The GCN reference runs on densified sparse features end to end."""
+        from repro.models import gcn_layer
+
+        w = rng.normal(0, 0.1, size=(graph.num_features, 8))
+        out = gcn_layer(graph, densify(feats), w)
+        assert out.shape == (graph.num_vertices, 8)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,122 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    communication_imbalance,
+    degree_histogram,
+    degree_summary,
+    gini_coefficient,
+    power_law_exponent,
+    power_law_graph,
+    top_degree_vertices,
+    uniform_random_graph,
+)
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini_coefficient(np.full(10, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_near_one(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert gini_coefficient(v) > 0.95
+
+    def test_empty(self):
+        assert gini_coefficient(np.array([])) == 0.0
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gini_coefficient(np.array([1.0, -1.0]))
+
+    def test_scale_invariant(self, rng):
+        v = rng.random(50)
+        assert gini_coefficient(v) == pytest.approx(gini_coefficient(10 * v))
+
+
+class TestPowerLawFit:
+    def test_power_law_graph_has_tail(self):
+        g = power_law_graph(2000, 10000, exponent=2.2, seed=1)
+        alpha = power_law_exponent(g)
+        assert 1.5 < alpha < 4.0
+
+    def test_power_law_more_skewed_than_uniform(self):
+        pl = power_law_graph(2000, 10000, exponent=2.0, seed=1)
+        uni = uniform_random_graph(2000, 10000, seed=1)
+        assert gini_coefficient(pl.degrees.astype(float)) > gini_coefficient(
+            uni.degrees.astype(float)
+        )
+
+    def test_degenerate_returns_nan(self):
+        from repro.graphs import chain_graph
+
+        g = chain_graph(3)
+        assert np.isnan(power_law_exponent(g, dmin=5))
+
+
+class TestTopDegree:
+    def test_selects_hub(self, hub_graph):
+        top = top_degree_vertices(hub_graph, 1)
+        assert top.tolist() == [0]
+
+    def test_sorted_descending(self, medium_graph):
+        top = top_degree_vertices(medium_graph, 10)
+        degs = medium_graph.degrees[top]
+        assert np.all(np.diff(degs) <= 0)
+
+    def test_ties_broken_by_id(self):
+        from repro.graphs import from_edge_list
+
+        g = from_edge_list(4, [(0, 1), (2, 3)])  # vertices 0 and 2 tie
+        top = top_degree_vertices(g, 2)
+        assert top.tolist() == [0, 2]
+
+    def test_k_larger_than_n(self, tiny_graph):
+        top = top_degree_vertices(tiny_graph, 100)
+        assert top.size == 5
+
+    def test_k_zero(self, tiny_graph):
+        assert top_degree_vertices(tiny_graph, 0).size == 0
+
+    def test_negative_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            top_degree_vertices(tiny_graph, -1)
+
+    def test_in_degree_mode(self, tiny_graph):
+        top = top_degree_vertices(tiny_graph, 1, use_in_degrees=True)
+        assert top.tolist() == [2]  # in-degree 2
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert communication_imbalance(np.full(8, 3.0)) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        loads = np.ones(8)
+        loads[0] = 8
+        assert communication_imbalance(loads) > 4
+
+    def test_empty_and_zero(self):
+        assert communication_imbalance(np.array([])) == 1.0
+        assert communication_imbalance(np.zeros(4)) == 1.0
+
+
+class TestSummary:
+    def test_histogram_sums_to_n(self, medium_graph):
+        hist = degree_histogram(medium_graph)
+        assert hist.sum() == medium_graph.num_vertices
+
+    def test_histogram_in_degrees(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, use_in_degrees=True)
+        assert hist.sum() == 5
+
+    def test_summary_fields(self, medium_graph):
+        s = degree_summary(medium_graph)
+        assert s.maximum >= s.p99 >= s.p90 >= s.p50
+        assert s.mean == pytest.approx(medium_graph.degrees.mean())
+        assert 0 <= s.gini <= 1

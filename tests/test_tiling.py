@@ -1,0 +1,112 @@
+"""Unit tests for graph tiling."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chain_graph,
+    power_law_graph,
+    tile_footprint_bytes,
+    tile_graph,
+)
+
+
+class TestFootprint:
+    def test_feature_dominated(self):
+        fp = tile_footprint_bytes(10, 0, 100)
+        assert fp == 10 * 100 * 8 + 11 * 8
+
+    def test_edges_add_structure(self):
+        with_edges = tile_footprint_bytes(10, 50, 100)
+        without = tile_footprint_bytes(10, 0, 100)
+        assert with_edges == without + 50 * 8
+
+    def test_edge_embeddings(self):
+        fp = tile_footprint_bytes(4, 6, 8, edge_feature_dim=3)
+        assert fp == 4 * 8 * 8 + 11 * 8 + 6 * 3 * 8
+
+    def test_fp32_halves_features(self):
+        fp64 = tile_footprint_bytes(10, 0, 100, bytes_per_value=8)
+        fp32 = tile_footprint_bytes(10, 0, 100, bytes_per_value=4)
+        assert fp32 < fp64
+
+
+class TestTileGraph:
+    def test_single_tile_when_fits(self, medium_graph):
+        plan = tile_graph(medium_graph, 1 << 30)
+        assert plan.num_tiles == 1
+        assert plan.tiles[0].num_vertices == medium_graph.num_vertices
+
+    def test_tiles_cover_all_vertices(self, medium_graph):
+        plan = tile_graph(medium_graph, 20_000)
+        covered = np.concatenate([t.vertices for t in plan])
+        assert np.array_equal(covered, np.arange(medium_graph.num_vertices))
+
+    def test_tiles_are_contiguous_ranges(self, medium_graph):
+        plan = tile_graph(medium_graph, 20_000)
+        for t in plan:
+            assert np.array_equal(
+                t.vertices, np.arange(t.vertices[0], t.vertices[-1] + 1)
+            )
+
+    def test_edges_partition(self, medium_graph):
+        """Internal + boundary edges across tiles equals total edges."""
+        plan = tile_graph(medium_graph, 20_000)
+        internal = sum(t.num_edges for t in plan)
+        assert internal + plan.total_boundary_edges == medium_graph.num_edges
+
+    def test_external_vertices_bounded_by_boundary(self, medium_graph):
+        plan = tile_graph(medium_graph, 20_000)
+        for t in plan:
+            assert t.external_vertices <= t.boundary_edges
+            if t.boundary_edges:
+                assert t.external_vertices >= 1
+
+    def test_smaller_capacity_more_tiles(self, medium_graph):
+        big = tile_graph(medium_graph, 100_000)
+        small = tile_graph(medium_graph, 10_000)
+        assert small.num_tiles >= big.num_tiles
+
+    def test_chain_no_internal_loss(self):
+        g = chain_graph(100, num_features=1)
+        plan = tile_graph(g, 700)
+        # Each cut loses exactly one chain edge to the boundary.
+        assert plan.total_boundary_edges == plan.num_tiles - 1
+
+    def test_min_tile_vertices(self, medium_graph):
+        plan = tile_graph(medium_graph, 1, min_tile_vertices=4)
+        for t in plan.tiles[:-1]:
+            assert t.num_vertices >= 4
+
+    def test_invalid_capacity(self, medium_graph):
+        with pytest.raises(ValueError, match="capacity"):
+            tile_graph(medium_graph, 0)
+
+    def test_density_aware_capacity(self):
+        """Sparse features let far more vertices fit per tile."""
+        dense = power_law_graph(
+            300, 900, num_features=256, feature_density=1.0, seed=1
+        )
+        sparse = power_law_graph(
+            300, 900, num_features=256, feature_density=0.01, seed=1
+        )
+        cap = 64 * 1024
+        assert tile_graph(sparse, cap).num_tiles < tile_graph(dense, cap).num_tiles
+
+    def test_tile_subgraph_consistency(self, medium_graph):
+        plan = tile_graph(medium_graph, 20_000)
+        t = plan.tiles[0]
+        lo, hi = int(t.vertices[0]), int(t.vertices[-1]) + 1
+        ref = medium_graph.induced_subgraph(np.arange(lo, hi))
+        assert t.subgraph.num_edges == ref.num_edges
+        assert np.array_equal(t.subgraph.indptr, ref.indptr)
+
+    def test_plan_iteration(self, medium_graph):
+        plan = tile_graph(medium_graph, 50_000)
+        assert len(list(plan)) == plan.num_tiles
+
+    def test_total_external(self, medium_graph):
+        plan = tile_graph(medium_graph, 20_000)
+        assert plan.total_external_vertices == sum(
+            t.external_vertices for t in plan
+        )

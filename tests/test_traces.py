@@ -1,0 +1,76 @@
+"""Tests for execution-trace reconstruction and export."""
+
+import json
+
+import pytest
+
+from repro import AuroraSimulator, LayerDims, get_model
+from repro.config import AcceleratorConfig
+from repro.eval.traces import build_trace, save_chrome_trace, to_chrome_trace
+from repro.graphs import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def layer_result():
+    g = power_law_graph(
+        1200, 6000, num_features=256, feature_density=1.0, locality=0.5, seed=6
+    )
+    cfg = AcceleratorConfig(pe_buffer_bytes=2048)  # force several tiles
+    return AuroraSimulator(cfg).simulate_layer(
+        get_model("gcn"), g, LayerDims(256, 32)
+    )
+
+
+class TestBuildTrace:
+    def test_events_per_tile(self, layer_result):
+        events = build_trace(layer_result)
+        tiles = layer_result.num_tiles
+        lanes = {e.lane for e in events}
+        assert lanes == {"sub-accelerator A", "sub-accelerator B"}
+        assert sum(e.lane == "sub-accelerator A" for e in events) == tiles
+
+    def test_flow_shop_ordering(self, layer_result):
+        """B events never start before their tile's A event finishes, and
+        each lane is serially occupied."""
+        events = build_trace(layer_result)
+        a = {e.tile: e for e in events if e.lane == "sub-accelerator A"}
+        b = {e.tile: e for e in events if e.lane == "sub-accelerator B"}
+        for tile, be in b.items():
+            assert be.start_seconds >= a[tile].end_seconds - 1e-12
+        for lane_events in (list(a.values()), list(b.values())):
+            lane_events.sort(key=lambda e: e.start_seconds)
+            for e1, e2 in zip(lane_events, lane_events[1:]):
+                assert e2.start_seconds >= e1.end_seconds - 1e-12
+
+    def test_makespan_below_total(self, layer_result):
+        events = build_trace(layer_result)
+        makespan = max(e.end_seconds for e in events)
+        # The result's total adds startup overheads on top of the pipeline.
+        assert makespan <= layer_result.total_seconds + 1e-12
+
+    def test_baseline_results_rejected(self):
+        from repro import make_baseline
+        from repro.graphs import power_law_graph
+
+        g = power_law_graph(100, 400, num_features=16, seed=1)
+        r = make_baseline("gcnax").simulate_layer(
+            get_model("gcn"), g, LayerDims(16, 8)
+        )
+        with pytest.raises(ValueError, match="per-tile stage"):
+            build_trace(r)
+
+
+class TestChromeExport:
+    def test_structure(self, layer_result):
+        obj = to_chrome_trace(build_trace(layer_result))
+        assert "traceEvents" in obj
+        kinds = {e["ph"] for e in obj["traceEvents"]}
+        assert kinds == {"M", "X"}
+
+    def test_round_trips_through_json(self, layer_result, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(build_trace(layer_result), path)
+        loaded = json.loads(path.read_text())
+        xs = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(build_trace(layer_result))
+        assert all(e["dur"] >= 0 for e in xs)

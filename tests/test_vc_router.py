@@ -1,0 +1,177 @@
+"""Tests for the detailed VC router microarchitecture."""
+
+import pytest
+
+from repro.arch.noc import BypassSegment, FlexibleMeshTopology, NoCSimulator
+from repro.arch.noc.vc_router import (
+    PortDir,
+    VCNetworkSimulator,
+    VCRouter,
+    VirtualChannel,
+)
+from repro.config import NoCConfig
+
+
+@pytest.fixture
+def sim4():
+    return VCNetworkSimulator(FlexibleMeshTopology(4))
+
+
+class TestPortDir:
+    def test_horizontal(self):
+        assert PortDir.EAST.is_horizontal
+        assert PortDir.WEST.is_horizontal
+        assert not PortDir.NORTH.is_horizontal
+        assert not PortDir.LOCAL.is_horizontal
+
+
+class TestVirtualChannel:
+    def test_capacity(self):
+        vc = VirtualChannel(capacity=2)
+        assert vc.has_space
+        vc.flits.append("a")
+        vc.flits.append("b")
+        assert not vc.has_space
+        assert vc.occupancy == 2
+
+    def test_release(self):
+        vc = VirtualChannel(capacity=2)
+        vc.out_port = PortDir.EAST
+        vc.out_vc = 1
+        vc.route_ready = True
+        vc.release()
+        assert vc.out_port is None
+        assert vc.out_vc is None
+        assert not vc.route_ready
+
+
+class TestVCRouterState:
+    def test_free_vc_allocation(self):
+        r = VCRouter(0, NoCConfig(vcs_per_port=2))
+        assert r.free_input_vc(PortDir.LOCAL) == 0
+        r.vcs[PortDir.LOCAL][0].out_port = PortDir.EAST
+        assert r.free_input_vc(PortDir.LOCAL) == 1
+
+    def test_credit_bookkeeping(self):
+        cfg = NoCConfig(vc_depth=4)
+        r = VCRouter(0, cfg)
+        key = (PortDir.EAST, 0)
+        assert r.credits[key] == 4
+        r.credits[key] -= 1
+        r.return_credit(PortDir.EAST, 0)
+        assert r.credits[key] == 4
+
+
+class TestDelivery:
+    def test_single_packet(self, sim4):
+        sim4.inject(0, 15, 64)
+        cycles = sim4.run()
+        assert len(sim4.delivered) == 1
+        assert cycles > 6  # at least the manhattan distance
+
+    def test_local_packet(self, sim4):
+        sim4.inject(5, 5, 16)
+        sim4.run()
+        assert len(sim4.delivered) == 1
+
+    def test_multiple_packets(self, sim4):
+        for src, dst in [(0, 15), (3, 12), (5, 10), (15, 0)]:
+            sim4.inject(src, dst, 48)
+        sim4.run()
+        assert len(sim4.delivered) == 4
+
+    def test_multi_flit_wormhole_order(self, sim4):
+        """Flits of one packet must eject in order (wormhole invariant)."""
+        pkt = sim4.inject(0, 3, 16 * 6)
+        sim4.run()
+        assert pkt.done_cycle is not None
+        assert pkt.num_flits == 6
+
+    def test_latency_grows_with_distance(self):
+        near = VCNetworkSimulator(FlexibleMeshTopology(8))
+        near.inject(0, 1, 16)
+        t_near = near.run()
+        far = VCNetworkSimulator(FlexibleMeshTopology(8))
+        far.inject(0, 63, 16)
+        t_far = far.run()
+        assert t_far > t_near
+
+    def test_turn_costs_extra(self):
+        """A route with a turn pays the second switch stage."""
+        straight = VCNetworkSimulator(FlexibleMeshTopology(8))
+        straight.inject(0, 3, 16)  # pure horizontal
+        t_straight = straight.run()
+        turned = VCNetworkSimulator(FlexibleMeshTopology(8))
+        turned.inject(0, 8 * 2 + 1, 16)  # 1 east + 2 south: one turn
+        t_turned = turned.run()
+        assert t_turned >= t_straight
+
+    def test_bypass_segment_used(self):
+        topo = FlexibleMeshTopology(8)
+        topo.add_bypass_segment(BypassSegment("row", 0, 0, 7))
+        sim = VCNetworkSimulator(topo)
+        sim.inject(0, 7, 16)
+        cycles = sim.run()
+        plain = VCNetworkSimulator(FlexibleMeshTopology(8))
+        plain.inject(0, 7, 16)
+        assert cycles < plain.run()
+
+    def test_max_cycles_guard(self, sim4):
+        sim4.inject(0, 15, 1 << 22)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            sim4.run(max_cycles=20)
+
+
+class TestContention:
+    def test_va_or_sa_pressure_recorded(self):
+        """Many packets contending for one destination stress the
+        allocators; the stats must reflect it."""
+        sim = VCNetworkSimulator(
+            FlexibleMeshTopology(4), NoCConfig(vcs_per_port=1, vc_depth=2)
+        )
+        for src in (0, 3, 12, 15, 1, 2):
+            sim.inject(src, 5, 96)
+        sim.run()
+        assert len(sim.delivered) == 6
+        assert sim.total_va_stalls + sim.total_sa_conflicts > 0
+
+    def test_more_vcs_not_slower(self):
+        def drain(vcs):
+            sim = VCNetworkSimulator(
+                FlexibleMeshTopology(4), NoCConfig(vcs_per_port=vcs, vc_depth=2)
+            )
+            for src in (0, 3, 12, 15):
+                sim.inject(src, 5, 64)
+            return sim.run()
+
+        assert drain(4) <= drain(1) * 1.5
+
+
+class TestAgreementWithLumpedModel:
+    """The detailed router should broadly agree with the lumped network
+    simulator — same topology, same traffic, within ~3x on drain time."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_drain_agreement(self, seed, rng):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        flows = []
+        for _ in range(20):
+            src = int(rng.integers(0, 16))
+            dst = int(rng.integers(0, 16))
+            if src != dst:
+                flows.append((src, dst, int(rng.integers(16, 96))))
+
+        detailed = VCNetworkSimulator(FlexibleMeshTopology(4))
+        for src, dst, nbytes in flows:
+            detailed.inject(src, dst, nbytes)
+        t_detailed = detailed.run()
+
+        lumped = NoCSimulator(FlexibleMeshTopology(4))
+        for src, dst, nbytes in flows:
+            lumped.inject(src, dst, nbytes)
+        t_lumped = lumped.run().cycles
+
+        assert t_detailed < 3 * t_lumped
+        assert t_lumped < 3 * t_detailed

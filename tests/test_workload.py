@@ -1,0 +1,150 @@
+"""Unit tests for workload extraction (Algorithm 2 inputs)."""
+
+import pytest
+
+from repro.graphs import from_edge_list
+from repro.models import LayerDims, extract_workload, get_model
+from repro.models.workload import combination_first_eligible, source_reducible
+
+
+@pytest.fixture
+def square_graph():
+    """4 vertices, 6 edges — small enough to hand-count."""
+    return from_edge_list(
+        4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 0)], num_features=8
+    )
+
+
+class TestLayerDims:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerDims(0, 4)
+        with pytest.raises(ValueError):
+            LayerDims(4, 4, hidden=0)
+
+    def test_hidden_default(self):
+        assert LayerDims(8, 4).hidden_width == 4
+        assert LayerDims(8, 4, hidden=16).hidden_width == 16
+
+
+class TestGCNCounts:
+    """Hand-computed op counts for GCN on the square graph.
+
+    n=4, m=6, F_in=8, F_out=4.
+    Edge update (Scalar×V per edge): 6·8 = 48 ops.
+    Aggregation (ΣV per edge): 6·8 = 48 ops.
+    Vertex update (M×V per vertex): 4·(2·8·4) = 256 ops; ReLU 4·4=16 PPU.
+    """
+
+    def test_counts(self, square_graph):
+        wl = extract_workload(get_model("gcn"), square_graph, LayerDims(8, 4))
+        assert wl.O_ue == 48
+        assert wl.O_a == 48
+        assert wl.O_uv == 256
+        assert wl.vertex_update.ppu_ops == 16
+
+    def test_aliases(self, square_graph):
+        wl = extract_workload(get_model("gcn"), square_graph, LayerDims(8, 4))
+        assert wl.total_mac_ops == 48 + 48 + 256
+        assert wl.total_ops == wl.total_mac_ops + 16
+
+    def test_no_edge_embeddings(self, square_graph):
+        wl = extract_workload(get_model("gcn"), square_graph, LayerDims(8, 4))
+        assert wl.E_f == 0
+
+
+class TestOtherModels:
+    def test_gin_null_edge(self, square_graph):
+        wl = extract_workload(get_model("gin"), square_graph, LayerDims(8, 4))
+        assert wl.O_ue == 0
+        # 2-layer MLP: 2·8·4 + 2·4·4 per vertex = 96 → 384 total.
+        assert wl.O_uv == 4 * (2 * 8 * 4 + 2 * 4 * 4)
+
+    def test_edgeconv_no_vertex_update(self, square_graph):
+        wl = extract_workload(get_model("edgeconv-1"), square_graph, LayerDims(8, 4))
+        assert wl.O_uv == 0
+        # M×V per edge: 6·(2·8·4) = 384.
+        assert wl.O_ue == 384
+
+    def test_attention_dot_products(self, square_graph):
+        wl = extract_workload(
+            get_model("vanilla-attention"), square_graph, LayerDims(8, 4)
+        )
+        # Dot per edge 2·8 + Scalar×V per edge 8 → 6·24 = 144.
+        assert wl.O_ue == 144
+        assert wl.E_f == 8  # edge embeddings carry F_in
+
+    def test_ggcn_edge_transforms(self, square_graph):
+        wl = extract_workload(get_model("ggcn"), square_graph, LayerDims(8, 4))
+        # repeat=2 M×V chain per edge: 2·8·4 + 2·4·4 = 96, ⊙ adds 8.
+        assert wl.O_ue == 6 * (96 + 8)
+
+    def test_sage_pool_concat_ppu(self, square_graph):
+        wl = extract_workload(
+            get_model("graphsage-pool"), square_graph, LayerDims(8, 4)
+        )
+        # Concat per vertex costs F_in+F_out = 12 PPU ops + ReLU 4.
+        assert wl.vertex_update.ppu_ops == 4 * (12 + 4)
+
+    def test_edgeconv5_deeper(self, square_graph):
+        e1 = extract_workload(get_model("edgeconv-1"), square_graph, LayerDims(8, 8))
+        e5 = extract_workload(get_model("edgeconv-5"), square_graph, LayerDims(8, 8))
+        assert e5.O_ue > 3 * e1.O_ue
+
+
+class TestTrafficCounts:
+    def test_messages_per_edge(self, square_graph):
+        wl = extract_workload(get_model("gcn"), square_graph, LayerDims(8, 4))
+        assert wl.aggregation.messages == 6
+        assert wl.aggregation.message_bytes == 6 * 8 * 8
+
+    def test_vertex_update_messages(self, square_graph):
+        wl = extract_workload(get_model("gcn"), square_graph, LayerDims(8, 4))
+        assert wl.vertex_update.messages == 4
+        assert wl.vertex_update.message_bytes == 4 * 4 * 8
+
+    def test_weight_bytes(self, square_graph):
+        wl = extract_workload(get_model("gcn"), square_graph, LayerDims(8, 4))
+        assert wl.vertex_update.weight_bytes == 8 * 4 * 8
+        assert wl.edge_update.weight_bytes == 0
+
+    def test_ggcn_edge_weights(self, square_graph):
+        wl = extract_workload(get_model("ggcn"), square_graph, LayerDims(8, 4))
+        assert wl.edge_update.weight_bytes > 0
+
+    def test_null_phase_zero(self, square_graph):
+        wl = extract_workload(get_model("gin"), square_graph, LayerDims(8, 4))
+        assert wl.edge_update.messages == 0
+        assert wl.edge_update.message_bytes == 0
+
+
+class TestPredicates:
+    @pytest.mark.parametrize(
+        "name,eligible",
+        [
+            ("gcn", True),
+            ("graphsage-mean", True),
+            ("commnet", True),
+            ("gin", False),  # MLP does not commute with the sum
+            ("vanilla-attention", False),
+            ("ggcn", False),
+            ("graphsage-pool", False),
+            ("edgeconv-1", False),
+        ],
+    )
+    def test_combination_first(self, name, eligible):
+        assert combination_first_eligible(get_model(name)) is eligible
+
+    @pytest.mark.parametrize(
+        "name,reducible",
+        [
+            ("gcn", True),  # scalar coefficient commutes with the sum
+            ("gin", True),
+            ("graphsage-mean", True),
+            ("vanilla-attention", False),  # per-edge dot products
+            ("ggcn", False),  # vector-valued gates
+            ("edgeconv-1", False),  # per-edge MLP messages
+        ],
+    )
+    def test_source_reducible(self, name, reducible):
+        assert source_reducible(get_model(name)) is reducible

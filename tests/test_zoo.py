@@ -1,0 +1,126 @@
+"""Tests that the model zoo matches the paper's Table II exactly."""
+
+import pytest
+
+from repro.models import (
+    MODEL_ZOO,
+    ModelCategory,
+    OpKind,
+    Phase,
+    get_model,
+    list_models,
+)
+
+
+class TestRegistry:
+    TABLE_II = (
+        "gcn",
+        "graphsage-mean",
+        "gin",
+        "commnet",
+        "vanilla-attention",
+        "agnn",
+        "ggcn",
+        "graphsage-pool",
+        "edgeconv-1",
+        "edgeconv-5",
+    )
+
+    def test_table_ii_models_registered(self):
+        for name in self.TABLE_II:
+            assert name in MODEL_ZOO
+        assert list(MODEL_ZOO)[:10] == list(self.TABLE_II)
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("GCN").name == "gcn"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("transformer")
+
+    def test_list_order_matches_table(self):
+        assert list_models()[:4] == ["gcn", "graphsage-mean", "gin", "commnet"]
+
+
+class TestCategories:
+    @pytest.mark.parametrize(
+        "name,cat",
+        [
+            ("gcn", ModelCategory.C_GNN),
+            ("graphsage-mean", ModelCategory.C_GNN),
+            ("gin", ModelCategory.C_GNN),
+            ("commnet", ModelCategory.C_GNN),
+            ("vanilla-attention", ModelCategory.A_GNN),
+            ("agnn", ModelCategory.A_GNN),
+            ("ggcn", ModelCategory.MP_GNN),
+            ("graphsage-pool", ModelCategory.MP_GNN),
+            ("edgeconv-1", ModelCategory.MP_GNN),
+            ("edgeconv-5", ModelCategory.MP_GNN),
+        ],
+    )
+    def test_category(self, name, cat):
+        assert get_model(name).category is cat
+
+
+class TestTableII:
+    """Row-by-row checks against the paper's Table II."""
+
+    def test_gcn(self):
+        m = get_model("gcn")
+        assert m.edge_update.op_kinds() == (OpKind.SCALAR_VECTOR,)
+        assert m.aggregation.op_kinds() == (OpKind.ACCUMULATE,)
+        assert OpKind.MATRIX_VECTOR in m.vertex_update.op_kinds()
+        assert OpKind.ACTIVATION in m.vertex_update.op_kinds()
+
+    @pytest.mark.parametrize("name", ["graphsage-mean", "gin", "commnet"])
+    def test_null_edge_update_rows(self, name):
+        m = get_model(name)
+        assert m.edge_update.is_null
+        assert m.aggregation.op_kinds() == (OpKind.ACCUMULATE,)
+        assert OpKind.MATRIX_VECTOR in m.vertex_update.op_kinds()
+
+    @pytest.mark.parametrize("name", ["vanilla-attention", "agnn"])
+    def test_attention_rows(self, name):
+        m = get_model(name)
+        kinds = set(m.edge_update.op_kinds())
+        assert kinds == {OpKind.DOT, OpKind.SCALAR_VECTOR}
+        assert OpKind.ACTIVATION in m.vertex_update.op_kinds()
+
+    def test_ggcn(self):
+        m = get_model("ggcn")
+        kinds = set(m.edge_update.op_kinds())
+        assert OpKind.MATRIX_VECTOR in kinds
+        assert OpKind.ELEMENTWISE in kinds
+        assert OpKind.ACTIVATION in kinds
+
+    def test_graphsage_pool(self):
+        m = get_model("graphsage-pool")
+        assert m.aggregation.op_kinds() == (OpKind.MAX_REDUCE,)
+        assert OpKind.CONCAT in m.vertex_update.op_kinds()
+
+    @pytest.mark.parametrize("name", ["edgeconv-1", "edgeconv-5"])
+    def test_edgeconv_no_vertex_update(self, name):
+        m = get_model(name)
+        assert m.vertex_update.is_null
+        assert OpKind.MATRIX_VECTOR in m.edge_update.op_kinds()
+        assert m.aggregation.op_kinds() == (OpKind.MAX_REDUCE,)
+
+    def test_edgeconv5_deeper_than_edgeconv1(self):
+        e1 = get_model("edgeconv-1").edge_update.ops[0]
+        e5 = get_model("edgeconv-5").edge_update.ops[0]
+        assert e5.repeat == 5
+        assert e1.repeat == 1
+
+    def test_gin_mlp(self):
+        mv = get_model("gin").vertex_update.ops[0]
+        assert mv.repeat == 2  # two-layer MLP
+
+    def test_edge_embedding_flags(self):
+        assert not get_model("gcn").uses_edge_embeddings
+        assert get_model("ggcn").uses_edge_embeddings
+        assert get_model("agnn").uses_edge_embeddings
+
+    def test_all_models_valid_phases(self):
+        for m in MODEL_ZOO.values():
+            assert m.aggregation.phase is Phase.AGGREGATION
+            assert not m.aggregation.is_null
