@@ -5,74 +5,105 @@ Sweeps the Aurora configuration knobs the paper fixes (32×32 PEs, 100 KB
 per-PE buffers, degree-aware mapping) and reports how execution time and
 energy respond — the kind of what-if study the simulator exists for.
 
-Run:  python examples/design_space_exploration.py
+All nine design points go through ``repro.runtime.run_jobs`` as one
+batch: re-running the script hits the on-disk result cache and prints
+instantly, and ``--jobs N`` fans the cold run out over N processes.
+
+Run:  python examples/design_space_exploration.py [--jobs N] [--no-cache]
 """
 
-from repro import AuroraSimulator, get_model, load_dataset
+import argparse
+
 from repro.config import AcceleratorConfig
-from repro.core.accelerator import layer_plan
 from repro.eval import format_table
+from repro.runtime import SimJob, run_jobs
+
+ARRAY_KS = (8, 16, 32)
+BUFFER_KIB = (2, 8, 25, 50)
+POLICIES = ("degree-aware", "hashing")
+
+
+def build_jobs() -> list[SimJob]:
+    """Every design point of the study, as pure data."""
+    jobs = [
+        SimJob(config=AcceleratorConfig(array_k=k), hidden=64, num_layers=2)
+        for k in ARRAY_KS
+    ]
+    # Pubmed for the buffer sweep: its denser features make on-chip
+    # capacity bind, so the tile count (and with it the boundary DRAM
+    # traffic) responds.
+    jobs += [
+        SimJob(
+            dataset="pubmed",
+            scale=0.5,
+            config=AcceleratorConfig(pe_buffer_bytes=kib * 1024),
+            hidden=64,
+            num_layers=2,
+        )
+        for kib in BUFFER_KIB
+    ]
+    jobs += [
+        SimJob(mapping=policy, hidden=64, num_layers=2) for policy in POLICIES
+    ]
+    return jobs
 
 
 def main() -> None:
-    graph = load_dataset("cora")
-    model = get_model("gcn")
-    dims = layer_plan(graph, 64, 2, 7)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True
+    )
+    args = parser.parse_args()
 
-    # --- Sweep 1: PE array dimension -----------------------------------
-    rows = []
-    for k in (8, 16, 32):
-        cfg = AcceleratorConfig(array_k=k)
-        r = AuroraSimulator(cfg).simulate(model, graph, dims)
-        rows.append(
+    report = run_jobs(build_jobs(), jobs_n=args.jobs, cache=args.cache or None)
+    report.raise_on_error()
+    results = report.results()
+    by_array = results[: len(ARRAY_KS)]
+    by_buffer = results[len(ARRAY_KS) : len(ARRAY_KS) + len(BUFFER_KIB)]
+    by_policy = results[len(ARRAY_KS) + len(BUFFER_KIB) :]
+
+    print(format_table(
+        ["array", "cycles", "energy mJ", "tiles"],
+        [
             [
                 f"{k}x{k}",
                 f"{r.total_cycles:,.0f}",
                 f"{r.energy.total * 1e3:.2f}",
                 str(r.num_tiles),
             ]
-        )
-    print(format_table(
-        ["array", "cycles", "energy mJ", "tiles"],
-        rows,
+            for k, r in zip(ARRAY_KS, by_array)
+        ],
         title="Sweep: PE array dimension (Cora, 2-layer GCN)",
     ))
 
-    # --- Sweep 2: per-PE buffer capacity --------------------------------
-    # Uses Pubmed: its denser features make on-chip capacity bind, so the
-    # tile count (and with it the boundary DRAM traffic) responds.
-    pubmed = load_dataset("pubmed", scale=0.5)
-    pubmed_dims = layer_plan(pubmed, 64, 2, 3)
-    rows = []
-    for kib in (2, 8, 25, 50):
-        cfg = AcceleratorConfig(pe_buffer_bytes=kib * 1024)
-        r = AuroraSimulator(cfg).simulate(model, pubmed, pubmed_dims)
-        rows.append(
+    print()
+    print(format_table(
+        ["PE buffer", "cycles", "tiles", "DRAM MB"],
+        [
             [
                 f"{kib} KiB",
                 f"{r.total_cycles:,.0f}",
                 str(r.num_tiles),
                 f"{r.dram_bytes / 1e6:.1f}",
             ]
-        )
-    print()
-    print(format_table(
-        ["PE buffer", "cycles", "tiles", "DRAM MB"],
-        rows,
+            for kib, r in zip(BUFFER_KIB, by_buffer)
+        ],
         title="Sweep: distributed buffer capacity (Pubmed@0.5)",
     ))
 
-    # --- Sweep 3: mapping policy (the CGRA-ME comparison) ---------------
-    rows = []
-    for policy in ("degree-aware", "hashing"):
-        r = AuroraSimulator(mapping_policy=policy).simulate(model, graph, dims)
-        rows.append([policy, f"{r.total_cycles:,.0f}", f"{r.onchip_comm_cycles:,}"])
     print()
     print(format_table(
         ["mapping", "cycles", "on-chip comm cycles"],
-        rows,
+        [
+            [policy, f"{r.total_cycles:,.0f}", f"{r.onchip_comm_cycles:,}"]
+            for policy, r in zip(POLICIES, by_policy)
+        ],
         title="Sweep: mapping policy",
     ))
+
+    print()
+    print(report.metrics.summary())
 
 
 if __name__ == "__main__":

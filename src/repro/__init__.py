@@ -61,6 +61,16 @@ from .models import (
     list_models,
     run_layer,
 )
+from .runtime import (
+    FakeExecutor,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    SimJob,
+    job_key,
+    run_job,
+    run_jobs,
+)
 
 __version__ = "1.0.0"
 
@@ -106,4 +116,13 @@ __all__ = [
     "FlowGNN",
     "BASELINE_CLASSES",
     "make_baseline",
+    # runtime (parallel sweeps + result caching)
+    "SimJob",
+    "job_key",
+    "run_job",
+    "run_jobs",
+    "ResultCache",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "FakeExecutor",
 ]

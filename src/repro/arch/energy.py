@@ -66,6 +66,14 @@ class EnergyCounters:
             setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
         return out
 
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(EnergyCounters)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "EnergyCounters":
+        known = {f.name for f in fields(EnergyCounters)}
+        return EnergyCounters(**{k: v for k, v in data.items() if k in known})
+
 
 @dataclass(frozen=True)
 class EnergyBreakdown:
@@ -99,6 +107,13 @@ class EnergyBreakdown:
             "reconfiguration": self.reconfiguration,
             "total": self.total,
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EnergyBreakdown":
+        """Inverse of :meth:`as_dict` (``total`` is derived, so ignored)."""
+        return EnergyBreakdown(
+            **{f.name: data[f.name] for f in fields(EnergyBreakdown)}
+        )
 
 
 class EnergyModel:

@@ -10,10 +10,18 @@ Commands
     Simulate a model × dataset on Aurora (or a named baseline).
 ``compare``
     Run the accelerator comparison and print one normalized figure.
+``sweep``
+    The comparison grid through the parallel/cached job runner, with a
+    sweep summary (jobs executed, cache hits/misses, wall time).
 ``experiment``
     Regenerate a registered paper experiment (E1–E12, or ``all``).
 ``info``
     Show the hardware configuration and derived parameters.
+
+``compare``/``sweep``/``experiment`` accept ``--jobs N`` (process-pool
+fan-out) and ``--cache/--no-cache`` (content-addressed result cache in
+``$REPRO_CACHE_DIR`` or ``.repro_cache``); both only change execution,
+never results.
 """
 
 from __future__ import annotations
@@ -58,6 +66,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--mapping", default="degree-aware", choices=("degree-aware", "hashing")
     )
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_runtime_flags(p: argparse.ArgumentParser, *, cache_default: bool) -> None:
+        p.add_argument(
+            "--jobs",
+            type=positive_int,
+            default=1,
+            metavar="N",
+            help="parallel worker processes (1 = serial)",
+        )
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=cache_default,
+            help="reuse simulation results from the on-disk cache",
+        )
+
     p_cmp = sub.add_parser("compare", help="accelerator comparison figure")
     p_cmp.add_argument("--model", default="gcn", choices=list_models())
     p_cmp.add_argument(
@@ -68,9 +97,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument(
         "--datasets", nargs="+", default=None, choices=list(DATASETS)
     )
+    add_runtime_flags(p_cmp, cache_default=False)
+
+    p_swp = sub.add_parser(
+        "sweep", help="comparison grid via the parallel/cached job runner"
+    )
+    p_swp.add_argument("--model", default="gcn", choices=list_models())
+    p_swp.add_argument(
+        "--metric",
+        default="execution_time",
+        choices=("execution_time", "dram_accesses", "onchip_latency", "energy"),
+    )
+    p_swp.add_argument(
+        "--datasets", nargs="+", default=None, choices=list(DATASETS)
+    )
+    add_runtime_flags(p_swp, cache_default=True)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("experiment_id", help="E1..E12, or 'all'")
+    add_runtime_flags(p_exp, cache_default=False)
 
     return parser
 
@@ -154,13 +199,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
+def _cmd_compare(args: argparse.Namespace, *, show_summary: bool = False) -> int:
     from .eval.harness import run_comparison
     from .eval.report import render_normalized_figure
 
     comp = run_comparison(
         model=args.model,
         datasets=tuple(args.datasets) if args.datasets else None,
+        jobs=args.jobs,
+        cache=args.cache or None,
     )
     print(
         render_normalized_figure(
@@ -169,11 +216,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.metric} normalized to Aurora ({args.model})",
         )
     )
+    if show_summary and comp.metrics is not None:
+        print(comp.metrics.summary())
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from .eval.experiments import EXPERIMENTS, run_experiment
+    from .eval.experiments import EXPERIMENTS, run_experiment, set_sweep_options
+
+    set_sweep_options(jobs=args.jobs, cache=args.cache or None)
 
     ids = list(EXPERIMENTS) if args.experiment_id.lower() == "all" else [
         args.experiment_id
@@ -202,6 +253,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_compare(args, show_summary=True)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

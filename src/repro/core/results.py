@@ -15,6 +15,20 @@ from ..arch.energy import EnergyBreakdown, EnergyCounters
 __all__ = ["PhaseBreakdown", "SimulationResult"]
 
 
+def _plain(value):
+    """Recursively coerce numpy scalars/arrays to JSON-encodable builtins."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            return [_plain(v) for v in value.tolist()]
+    return value
+
+
 @dataclass(frozen=True)
 class PhaseBreakdown:
     """Seconds attributed to each activity class (pre-overlap)."""
@@ -27,6 +41,21 @@ class PhaseBreakdown:
     def serial_seconds(self) -> float:
         """Time if nothing overlapped (upper bound)."""
         return self.compute_seconds + self.noc_seconds + self.dram_seconds
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "compute_seconds": self.compute_seconds,
+            "noc_seconds": self.noc_seconds,
+            "dram_seconds": self.dram_seconds,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            compute_seconds=data["compute_seconds"],
+            noc_seconds=data["noc_seconds"],
+            dram_seconds=data["dram_seconds"],
+        )
 
 
 @dataclass
@@ -53,6 +82,47 @@ class SimulationResult:
     @property
     def energy_joules(self) -> float:
         return self.energy.total
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-compatible form (the result-cache storage format).
+
+        Floats survive a ``json.dumps``/``loads`` round trip bit-exactly,
+        so ``from_dict(json.loads(json.dumps(r.to_dict())))`` reproduces
+        every field.  ``notes`` must therefore only hold JSON-encodable
+        values (the simulators keep to str/int/float/bool/lists).
+        """
+        return {
+            "accelerator": self.accelerator,
+            "model_name": self.model_name,
+            "graph_name": self.graph_name,
+            "total_seconds": float(self.total_seconds),
+            "breakdown": _plain(self.breakdown.to_dict()),
+            "dram_bytes": int(self.dram_bytes),
+            "onchip_comm_cycles": int(self.onchip_comm_cycles),
+            "energy": _plain(self.energy.as_dict()),
+            "counters": _plain(self.counters.as_dict()),
+            "num_tiles": int(self.num_tiles),
+            "frequency_hz": float(self.frequency_hz),
+            "notes": _plain(self.notes),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        return SimulationResult(
+            accelerator=data["accelerator"],
+            model_name=data["model_name"],
+            graph_name=data["graph_name"],
+            total_seconds=data["total_seconds"],
+            breakdown=PhaseBreakdown.from_dict(data["breakdown"]),
+            dram_bytes=data["dram_bytes"],
+            onchip_comm_cycles=data["onchip_comm_cycles"],
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            counters=EnergyCounters.from_dict(data["counters"]),
+            num_tiles=data["num_tiles"],
+            frequency_hz=data["frequency_hz"],
+            notes=dict(data["notes"]),
+        )
 
     def speedup_over(self, other: "SimulationResult") -> float:
         """How much faster *this* result is than ``other`` (>1 = faster)."""

@@ -5,11 +5,13 @@ from .experiments import (
     ExperimentResult,
     list_experiments,
     run_experiment,
+    set_sweep_options,
 )
 from .harness import (
     ACCELERATOR_ORDER,
     DEFAULT_SCALES,
     ComparisonResults,
+    comparison_jobs,
     run_comparison,
 )
 from .sensitivity import (
@@ -45,6 +47,8 @@ __all__ = [
     "run_experiment",
     "list_experiments",
     "run_comparison",
+    "comparison_jobs",
+    "set_sweep_options",
     "ComparisonResults",
     "sweep_trait",
     "SensitivityReport",

@@ -29,7 +29,13 @@ from .report import (
     render_table2_operations,
 )
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "list_experiments",
+    "set_sweep_options",
+]
 
 
 @dataclass
@@ -45,11 +51,33 @@ class ExperimentResult:
 # Cache the expensive five-dataset sweep across experiments in one run.
 _SWEEP_CACHE: dict[tuple, ComparisonResults] = {}
 
+# Execution-layer options for the shared sweep (set from the CLI's
+# ``--jobs``/``--cache`` flags); pure performance knobs — results are
+# identical whichever executor/cache drains the grid.
+_SWEEP_OPTIONS: dict[str, Any] = {"jobs": 1, "cache": None}
+
+
+def set_sweep_options(*, jobs: int | None = None, cache: Any = None) -> None:
+    """Configure how experiment sweeps execute (parallelism + caching).
+
+    ``jobs`` is a worker count (1 = serial); ``cache`` accepts anything
+    :func:`repro.runtime.as_cache` does (``True``, ``None``, or a
+    :class:`repro.runtime.ResultCache`).
+    """
+    if jobs is not None:
+        _SWEEP_OPTIONS["jobs"] = jobs
+    if cache is not None:
+        _SWEEP_OPTIONS["cache"] = cache
+
 
 def _sweep(model: str = "gcn") -> ComparisonResults:
     key = (model,)
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = run_comparison(model=model)
+        _SWEEP_CACHE[key] = run_comparison(
+            model=model,
+            jobs=_SWEEP_OPTIONS["jobs"],
+            cache=_SWEEP_OPTIONS["cache"],
+        )
     return _SWEEP_CACHE[key]
 
 

@@ -4,25 +4,33 @@
 pair — Aurora plus the five baselines — and returns a
 :class:`ComparisonResults` that the figure benchmarks normalise and
 render.  Dataset scale factors keep full sweeps tractable; because every
-accelerator sees the *same* generated graph, normalised results are
-scale-consistent.
+accelerator sees the *same* generated graph (dataset generation is a
+deterministic function of ``(name, scale, seed)``), normalised results
+are scale-consistent.
+
+The grid is expressed as :class:`repro.runtime.SimJob` specs and drained
+through :func:`repro.runtime.run_jobs`, so sweeps parallelise
+(``jobs=N``) and memoise (``cache=True`` or a :class:`ResultCache`)
+without changing a single result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..baselines import BASELINE_CLASSES
-from ..config import AcceleratorConfig, default_config
-from ..core.accelerator import layer_plan
+from ..config import AcceleratorConfig
 from ..core.results import SimulationResult
-from ..core.simulator import AuroraSimulator
-from ..graphs.csr import CSRGraph
-from ..graphs.datasets import dataset_profile, list_datasets, load_dataset
-from ..models.zoo import get_model
+from ..graphs.datasets import list_datasets
+from ..runtime import ResultCache, SimJob, SweepMetrics, run_jobs
 from .metrics import metric_value, reduction_percent
 
-__all__ = ["ComparisonResults", "run_comparison", "DEFAULT_SCALES", "ACCELERATOR_ORDER"]
+__all__ = [
+    "ComparisonResults",
+    "run_comparison",
+    "comparison_jobs",
+    "DEFAULT_SCALES",
+    "ACCELERATOR_ORDER",
+]
 
 #: Paper comparison order: baselines first, Aurora last.
 ACCELERATOR_ORDER = ("hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn", "aurora")
@@ -47,6 +55,8 @@ class ComparisonResults:
     datasets: tuple[str, ...]
     accelerators: tuple[str, ...]
     results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+    #: Sweep accounting (cache hits, wall time, …) when run via the runtime.
+    metrics: SweepMetrics | None = None
 
     def get(self, dataset: str, accelerator: str) -> SimulationResult:
         return self.results[(dataset, accelerator)]
@@ -97,14 +107,43 @@ class ComparisonResults:
         return min(ratios), max(ratios)
 
 
-def _graphs_for(
-    datasets: tuple[str, ...], scales: dict[str, float] | None, seed: int
-) -> dict[str, CSRGraph]:
-    scales = {**DEFAULT_SCALES, **(scales or {})}
-    return {
-        name: load_dataset(name, scale=scales.get(name, 1.0), seed=seed)
-        for name in datasets
-    }
+def comparison_jobs(
+    *,
+    model: str = "gcn",
+    datasets: tuple[str, ...] | None = None,
+    hidden: int = 64,
+    num_layers: int = 2,
+    scales: dict[str, float] | None = None,
+    config: AcceleratorConfig | None = None,
+    seed: int = 7,
+) -> list[SimJob]:
+    """The comparison grid as job specs, one per (dataset, accelerator).
+
+    ``scale_buffers`` is set so scaled-down datasets also scale the
+    on-chip buffers, keeping tiling pressure (tiles per layer, boundary
+    traffic, capacity fraction) representative of the full-size dataset;
+    every accelerator sees the same scaled device.  Baselines run
+    non-strict so models outside their Table-I coverage execute with the
+    documented fallback penalty rather than aborting the sweep.
+    """
+    datasets = tuple(datasets or list_datasets())
+    merged_scales = {**DEFAULT_SCALES, **(scales or {})}
+    return [
+        SimJob(
+            model=model,
+            dataset=ds,
+            accelerator=acc,
+            scale=merged_scales.get(ds, 1.0),
+            hidden=hidden,
+            num_layers=num_layers,
+            seed=seed,
+            strict=False,
+            scale_buffers=True,
+            config=config,
+        )
+        for ds in datasets
+        for acc in ACCELERATOR_ORDER
+    ]
 
 
 def run_comparison(
@@ -116,45 +155,36 @@ def run_comparison(
     scales: dict[str, float] | None = None,
     config: AcceleratorConfig | None = None,
     seed: int = 7,
+    jobs: int = 1,
+    cache: ResultCache | bool | None = None,
+    executor=None,
 ) -> ComparisonResults:
     """Run the full accelerator comparison for one GNN model.
 
-    Baselines run in non-strict mode so models outside their Table-I
-    coverage execute with the documented fallback penalty rather than
-    aborting the sweep (matching how the paper still reports numbers for
-    every accelerator on every dataset).
+    ``jobs`` > 1 fans the grid out over a process pool; ``cache=True``
+    (or an explicit :class:`ResultCache`) serves previously simulated
+    points from disk.  Both are pure execution-layer choices — the
+    returned results are identical to a serial, uncached run.
     """
     datasets = tuple(datasets or list_datasets())
-    cfg = config or default_config()
-    gnn = get_model(model)
-    merged_scales = {**DEFAULT_SCALES, **(scales or {})}
-    graphs = _graphs_for(datasets, scales, seed)
+    job_list = comparison_jobs(
+        model=model,
+        datasets=datasets,
+        hidden=hidden,
+        num_layers=num_layers,
+        scales=scales,
+        config=config,
+        seed=seed,
+    )
+    report = run_jobs(job_list, executor=executor, cache=cache, jobs_n=jobs)
+    report.raise_on_error()
 
     out = ComparisonResults(
         model_name=model,
         datasets=datasets,
         accelerators=ACCELERATOR_ORDER,
+        metrics=report.metrics,
     )
-    for ds, graph in graphs.items():
-        profile = dataset_profile(ds)
-        dims = layer_plan(graph, hidden, num_layers, profile.num_classes)
-        # When a dataset is scaled down, scale the on-chip buffers with it
-        # so the tiling pressure (tiles per layer, boundary traffic,
-        # capacity fraction) matches the full-size dataset.  Every
-        # accelerator sees the same scaled device, so normalised results
-        # stay representative.
-        scale = merged_scales.get(ds, 1.0)
-        ds_cfg = cfg
-        if scale < 1.0:
-            ds_cfg = cfg.scaled(
-                pe_buffer_bytes=max(1024, int(cfg.pe_buffer_bytes * scale))
-            )
-        out.results[(ds, "aurora")] = AuroraSimulator(ds_cfg).simulate(
-            gnn, graph, dims
-        )
-        for cls in BASELINE_CLASSES:
-            device = cls(ds_cfg)
-            out.results[(ds, device.name)] = device.simulate(
-                gnn, graph, dims, strict=False
-            )
+    for job, outcome in zip(job_list, report.outcomes):
+        out.results[(job.dataset, job.accelerator)] = outcome.result
     return out

@@ -12,12 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..baselines import BaselineAccelerator, BaselineTraits
-from ..config import AcceleratorConfig, default_config
-from ..core.accelerator import layer_plan
-from ..core.simulator import AuroraSimulator
-from ..graphs.datasets import dataset_profile, load_dataset
-from ..models.zoo import get_model
+from ..baselines import BaselineTraits
+from ..config import AcceleratorConfig
+from ..runtime import ResultCache, SimJob, run_jobs
 
 __all__ = ["SensitivityPoint", "SensitivityReport", "sweep_trait"]
 
@@ -86,40 +83,62 @@ def sweep_trait(
     factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5),
     config: AcceleratorConfig | None = None,
     hidden: int = 64,
+    jobs: int = 1,
+    cache: ResultCache | bool | None = None,
+    executor=None,
 ) -> SensitivityReport:
     """Perturb one numeric trait of a baseline and re-run the comparison.
 
     Aurora's result is computed once; each factor rescales the trait and
-    re-simulates the baseline.
+    re-simulates the baseline.  The whole sweep is one
+    :func:`repro.runtime.run_jobs` batch: factors whose clipped value
+    coincides are simulated once, ``jobs``/``cache``/``executor`` choose
+    how the batch executes without changing any number.
     """
     if trait not in NUMERIC_TRAITS:
         raise ValueError(
             f"trait {trait!r} is not sweepable; choose from {NUMERIC_TRAITS}"
         )
-    cfg = config or default_config()
-    graph = load_dataset(dataset, scale=scale)
-    prof = dataset_profile(dataset)
-    dims = layer_plan(graph, hidden, 2, prof.num_classes)
-    model = get_model("gcn")
-    aurora = AuroraSimulator(cfg).simulate(model, graph, dims)
+    common = dict(
+        model="gcn",
+        dataset=dataset,
+        scale=scale,
+        hidden=hidden,
+        num_layers=2,
+        config=config,
+    )
+    aurora_job = SimJob(accelerator="aurora", **common)
 
     base_value = getattr(traits, trait)
-    points = []
+    values: list[float | int] = []
     for factor in factors:
-        raw = base_value * factor
-        value = _clip_trait(trait, raw)
+        value = _clip_trait(trait, base_value * factor)
         if trait == "comm_ports":
             value = int(round(value))
-        perturbed = replace(traits, **{trait: value})
-        device = BaselineAccelerator(perturbed, cfg)
-        result = device.simulate(model, graph, dims, strict=False)
-        points.append(
-            SensitivityPoint(
-                factor=factor,
-                trait_value=float(value),
-                speedup_vs_aurora=result.total_seconds / aurora.total_seconds,
-            )
+        values.append(value)
+    baseline_jobs = [
+        SimJob(
+            accelerator=traits.name,
+            strict=False,
+            baseline_traits=replace(traits, **{trait: value}),
+            **common,
         )
+        for value in values
+    ]
+
+    report = run_jobs(
+        [aurora_job, *baseline_jobs], executor=executor, cache=cache, jobs_n=jobs
+    )
+    report.raise_on_error()
+    aurora, *perturbed = report.results()
+    points = [
+        SensitivityPoint(
+            factor=factor,
+            trait_value=float(value),
+            speedup_vs_aurora=result.total_seconds / aurora.total_seconds,
+        )
+        for factor, value, result in zip(factors, values, perturbed)
+    ]
     return SensitivityReport(
         baseline=traits.name,
         trait=trait,

@@ -1,0 +1,177 @@
+"""Content-addressed, on-disk result cache for simulation jobs.
+
+Blobs are JSON files keyed by the job's content hash and guarded by a
+*fingerprint* of the simulator source tree: editing any ``repro`` module
+invalidates every cached result, because an analytical model change can
+shift any number.  Layout::
+
+    <root>/<key[:2]>/<key>.json    # {"fingerprint", "key", "job", "result"}
+
+The root comes from (in priority order) the constructor argument, the
+``REPRO_CACHE_DIR`` environment variable, or ``.repro_cache`` under the
+current directory.  Corrupt or stale blobs are deleted and reported as
+misses — the runner then simply re-simulates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .jobs import SimJob
+
+__all__ = ["ResultCache", "CacheStats", "code_fingerprint", "as_cache"]
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` file in the ``repro`` package (memoized).
+
+    Cheap enough to compute once per process (~100 small files) and
+    exactly as strong as needed: any source edit — model constants,
+    simulator logic, the job schema itself — yields a new fingerprint
+    and therefore a cold cache.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        pkg = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(pkg.rglob("*.py")):
+            digest.update(path.relative_to(pkg).as_posix().encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0  # fingerprint mismatches evicted
+    corrupt: int = 0  # undecodable blobs evicted
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of ``SimulationResult.to_dict()`` blobs."""
+
+    root: Path = field(default_factory=lambda: Path(
+        os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+    ))
+    fingerprint: str = field(default_factory=code_fingerprint)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The cached result dict for ``key``, or ``None`` on miss.
+
+        Every failure mode — absent, unreadable, undecodable, stale
+        fingerprint — degrades to a miss so a damaged cache can never
+        break a sweep, only slow it down.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            blob = json.loads(raw)
+            if blob["fingerprint"] != self.fingerprint:
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                self._evict(path)
+                return None
+            result = blob["result"]
+            if not isinstance(result, dict):
+                raise TypeError("result blob is not a dict")
+        except (json.JSONDecodeError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, key: str, result: dict, job: SimJob | None = None) -> None:
+        """Atomically write one result blob (tempfile + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = {
+            "fingerprint": self.fingerprint,
+            "key": key,
+            "job": job.as_dict() if job is not None else None,
+            "result": result,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(blob, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete all blobs; returns how many were removed."""
+        removed = 0
+        for blob in list(self.root.glob("*/*.json")):
+            self._evict(blob)
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def as_cache(cache: "ResultCache | bool | None") -> ResultCache | None:
+    """Normalise the user-facing ``cache`` argument.
+
+    ``True`` means "the default cache location", ``None``/``False`` mean
+    "no caching", and an explicit :class:`ResultCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    return cache

@@ -1,0 +1,168 @@
+"""Pluggable job executors: serial, process-pool, and a scripted fake.
+
+All executors share one contract: ``run(jobs, fn)`` applies ``fn`` (by
+default :func:`repro.runtime.jobs.execute_job`) to every job and returns
+one :class:`ExecutionRecord` per job, *in input order*, never raising for
+a failing job — a crash, an unknown dataset, or a timeout becomes an
+error record so one bad point cannot kill a thousand-point sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .jobs import SimJob, execute_job
+
+__all__ = [
+    "ExecutionRecord",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "FakeExecutor",
+    "get_executor",
+]
+
+JobFn = Callable[[SimJob], dict]
+
+
+@dataclass
+class ExecutionRecord:
+    """Outcome of executing one job: a result payload or an error."""
+
+    job: SimJob
+    payload: dict | None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _invoke(fn: JobFn, job: SimJob) -> ExecutionRecord:
+    """Run one job under failure isolation (also the pool worker)."""
+    start = time.perf_counter()
+    try:
+        payload = fn(job)
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        return ExecutionRecord(
+            job, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+        )
+    return ExecutionRecord(job, payload, None, time.perf_counter() - start)
+
+
+class SerialExecutor:
+    """Run jobs one after another in this process (the default)."""
+
+    name = "serial"
+
+    def run(
+        self, jobs: Sequence[SimJob], fn: JobFn = execute_job
+    ) -> list[ExecutionRecord]:
+        return [_invoke(fn, job) for job in jobs]
+
+
+class ProcessExecutor:
+    """Fan jobs out over a bounded ``ProcessPoolExecutor``.
+
+    ``timeout`` bounds the wait for each job *from the moment collection
+    reaches it* — earlier jobs' waits overlap later jobs' execution, so
+    it is a per-job bound on observed latency, not CPU time.  A job that
+    exceeds it is reported as an error record and the remaining queue is
+    cancelled lazily; already-running workers are left to finish in the
+    background rather than killed mid-simulation.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, max_workers: int | None = None, *, timeout: float | None = None
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.timeout = timeout
+
+    def run(
+        self, jobs: Sequence[SimJob], fn: JobFn = execute_job
+    ) -> list[ExecutionRecord]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        pool = ProcessPoolExecutor(max_workers=min(self.max_workers, len(jobs)))
+        records: list[ExecutionRecord] = []
+        timed_out = False
+        try:
+            futures = [pool.submit(_invoke, fn, job) for job in jobs]
+            for job, future in zip(jobs, futures):
+                try:
+                    records.append(future.result(timeout=self.timeout))
+                except FutureTimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    records.append(
+                        ExecutionRecord(
+                            job,
+                            None,
+                            f"timeout: exceeded {self.timeout:g}s",
+                            self.timeout or 0.0,
+                        )
+                    )
+                except Exception as exc:  # broken pool, pickling failure, …
+                    records.append(
+                        ExecutionRecord(job, None, f"{type(exc).__name__}: {exc}")
+                    )
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        return records
+
+
+class FakeExecutor:
+    """Deterministic in-process executor for tests.
+
+    Runs everything serially with ``seconds`` pinned to 0.0, records the
+    jobs it was asked to run, and fails any job matching ``fail_when`` —
+    letting tests script failure isolation without a real crash.
+    """
+
+    name = "fake"
+
+    def __init__(
+        self,
+        fn: JobFn = execute_job,
+        *,
+        fail_when: Callable[[SimJob], bool] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.fail_when = fail_when
+        self.calls: list[SimJob] = []
+
+    def run(
+        self, jobs: Sequence[SimJob], fn: JobFn | None = None
+    ) -> list[ExecutionRecord]:
+        fn = fn or self.fn
+        records = []
+        for job in jobs:
+            self.calls.append(job)
+            if self.fail_when is not None and self.fail_when(job):
+                records.append(ExecutionRecord(job, None, "injected failure"))
+                continue
+            record = _invoke(fn, job)
+            record.seconds = 0.0
+            records.append(record)
+        return records
+
+
+def get_executor(
+    jobs: int = 1, *, timeout: float | None = None
+) -> SerialExecutor | ProcessExecutor:
+    """Executor for a ``--jobs N`` style request (1 → serial)."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs, timeout=timeout)

@@ -1,0 +1,173 @@
+"""Simulation job specs: frozen, hashable, content-addressable.
+
+A :class:`SimJob` captures *everything* that determines a simulation's
+outcome — model, dataset, scale, seed, layer dimensioning, accelerator,
+mapping policy, hardware configuration, and (for sensitivity sweeps) a
+fully perturbed baseline-traits record.  Because the simulators are
+deterministic functions of that spec, a job's canonical content hash
+(:func:`job_key`) addresses its result: two equal hashes mean equal
+results, which is what the on-disk cache and the sweep deduplication in
+:mod:`repro.runtime.runner` rely on.
+
+``run_job``/``execute_job`` are module-level so ``ProcessPoolExecutor``
+workers can pickle them by reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from ..baselines import BaselineAccelerator, BaselineTraits, make_baseline
+from ..config import AcceleratorConfig, DRAMConfig, NoCConfig, default_config
+from ..core.accelerator import layer_plan
+from ..core.results import SimulationResult
+from ..core.simulator import AuroraSimulator
+from ..graphs.datasets import dataset_profile, load_dataset
+from ..models.zoo import get_model
+
+__all__ = ["SimJob", "job_key", "run_job", "execute_job"]
+
+#: Bump when the job schema or its execution semantics change in a way
+#: that must invalidate previously cached results.
+JOB_SCHEMA_VERSION = 1
+
+MAPPING_POLICIES = ("degree-aware", "hashing")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation point of a sweep, as pure data.
+
+    ``accelerator`` is ``"aurora"`` or a baseline name accepted by
+    :func:`repro.baselines.make_baseline`; ``baseline_traits`` overrides
+    the registry with an explicit (possibly perturbed) traits record, as
+    the sensitivity sweeps need.  ``scale_buffers`` reproduces the
+    comparison harness's convention of shrinking the per-PE buffer with
+    the dataset so tiling pressure matches the full-size run.
+    """
+
+    model: str = "gcn"
+    dataset: str = "cora"
+    accelerator: str = "aurora"
+    scale: float = 1.0
+    hidden: int = 64
+    num_layers: int = 2
+    seed: int = 7
+    mapping: str = "degree-aware"
+    strict: bool = False
+    scale_buffers: bool = False
+    config: AcceleratorConfig | None = None
+    baseline_traits: BaselineTraits | None = None
+
+    def __post_init__(self) -> None:
+        if self.mapping not in MAPPING_POLICIES:
+            raise ValueError(f"mapping must be one of {MAPPING_POLICIES}")
+        if not (0.0 < self.scale <= 1.0):
+            raise ValueError("scale must be in (0, 1]")
+        if self.hidden < 1 or self.num_layers < 1:
+            raise ValueError("hidden and num_layers must be >= 1")
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Canonical JSON-encodable form (basis of :func:`job_key`)."""
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "accelerator": self.accelerator,
+            "scale": self.scale,
+            "hidden": self.hidden,
+            "num_layers": self.num_layers,
+            "seed": self.seed,
+            "mapping": self.mapping,
+            "strict": self.strict,
+            "scale_buffers": self.scale_buffers,
+            "config": asdict(self.config) if self.config is not None else None,
+            "baseline_traits": (
+                asdict(self.baseline_traits)
+                if self.baseline_traits is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimJob":
+        """Inverse of :meth:`as_dict`."""
+        config = data.get("config")
+        if config is not None:
+            config = AcceleratorConfig(
+                **{
+                    **{k: v for k, v in config.items() if k not in ("noc", "dram")},
+                    "noc": NoCConfig(**config["noc"]),
+                    "dram": DRAMConfig(**config["dram"]),
+                }
+            )
+        traits = data.get("baseline_traits")
+        if traits is not None:
+            traits = BaselineTraits(**traits)
+        known = (
+            "model", "dataset", "accelerator", "scale", "hidden",
+            "num_layers", "seed", "mapping", "strict", "scale_buffers",
+        )
+        return SimJob(
+            **{k: data[k] for k in known if k in data},
+            config=config,
+            baseline_traits=traits,
+        )
+
+    # ------------------------------------------------------------------
+    def resolved_config(self) -> AcceleratorConfig:
+        """The hardware config this job simulates on."""
+        cfg = self.config or default_config()
+        if self.scale_buffers and self.scale < 1.0:
+            cfg = cfg.scaled(
+                pe_buffer_bytes=max(1024, int(cfg.pe_buffer_bytes * self.scale))
+            )
+        return cfg
+
+    @property
+    def key(self) -> str:
+        return job_key(self)
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        return f"{self.model}/{self.dataset}@{self.scale:g}/{self.accelerator}"
+
+
+def job_key(job: SimJob) -> str:
+    """Canonical content hash of a job spec (hex sha256).
+
+    Stable across processes and sessions: the hash covers the canonical
+    JSON form with sorted keys plus a schema version, never object ids.
+    """
+    payload = {"version": JOB_SCHEMA_VERSION, **job.as_dict()}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_job(job: SimJob) -> SimulationResult:
+    """Execute one job with fresh simulator/device instances."""
+    cfg = job.resolved_config()
+    graph = load_dataset(job.dataset, scale=job.scale, seed=job.seed)
+    profile = dataset_profile(job.dataset)
+    dims = layer_plan(graph, job.hidden, job.num_layers, profile.num_classes)
+    model = get_model(job.model)
+    if job.baseline_traits is not None:
+        device = BaselineAccelerator(job.baseline_traits, cfg)
+        return device.simulate(model, graph, dims, strict=job.strict)
+    if job.accelerator == "aurora":
+        sim = AuroraSimulator(cfg, mapping_policy=job.mapping)
+        return sim.simulate(model, graph, dims)
+    device = make_baseline(job.accelerator, cfg)
+    return device.simulate(model, graph, dims, strict=job.strict)
+
+
+def execute_job(job: SimJob) -> dict:
+    """``run_job`` in the wire/cache format (the worker entry point).
+
+    Returning the dict form rather than the object keeps the serial,
+    process-pool, and warm-cache paths on one representation, so all
+    three produce bit-identical results.
+    """
+    return run_job(job).to_dict()

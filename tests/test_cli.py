@@ -24,6 +24,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--dataset", "ogbn"])
 
+    def test_compare_runtime_flags_default_off(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 1
+        assert args.cache is False
+
+    def test_sweep_cache_defaults_on(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.cache is True
+        args = build_parser().parse_args(["sweep", "--no-cache", "--jobs", "4"])
+        assert args.cache is False
+        assert args.jobs == 4
+
+    def test_experiment_accepts_jobs_flag(self):
+        args = build_parser().parse_args(["experiment", "E1", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_rejects_nonpositive_jobs(self):
+        for bad in ("0", "-1"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--jobs", bad])
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -78,8 +99,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "aurora" in out and "hygcn" in out
 
+    def test_sweep_cold_then_warm(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "--datasets", "cora", "--metric", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "aurora" in out
+        assert "6 executed" in out
+        assert "cache 0 hit / 6 miss" in out
+        # Warm rerun: every grid point served from the cache.
+        assert main(["sweep", "--datasets", "cora", "--metric", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        assert "cache 6 hit / 0 miss" in out
+
+    def test_sweep_no_cache(self, capsys):
+        rc = main(["sweep", "--datasets", "cora", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "6 executed" in out
+        assert "cache 0 hit / 0 miss" in out
+
+    def test_compare_with_jobs_flag(self, capsys):
+        rc = main(["compare", "--datasets", "cora", "--jobs", "2",
+                   "--metric", "energy"])
+        assert rc == 0
+        assert "aurora" in capsys.readouterr().out
+
     def test_experiment(self, capsys):
         assert main(["experiment", "E1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_with_runtime_flags(self, capsys):
+        assert main(["experiment", "E1", "--jobs", "1"]) == 0
         assert "Table I" in capsys.readouterr().out
 
     def test_experiment_unknown(self, capsys):

@@ -60,3 +60,45 @@ class TestSimulationResult:
     def test_energy_joules_alias(self):
         r = _result(1.0)
         assert r.energy_joules == r.energy.total
+
+
+class TestDictRoundTrip:
+    """to_dict/from_dict must be lossless — the cache stores this form."""
+
+    def test_round_trip_preserves_every_field(self):
+        r = _result(1.2345)
+        r.notes["stage_a_seconds"] = [0.1, 0.2]
+        back = SimulationResult.from_dict(r.to_dict())
+        assert back.to_dict() == r.to_dict()
+        assert back.accelerator == r.accelerator
+        assert back.total_seconds == r.total_seconds
+        assert back.breakdown == r.breakdown
+        assert back.energy == r.energy
+        assert back.counters == r.counters
+        assert back.notes == r.notes
+
+    def test_survives_json_encoding(self):
+        import json
+
+        r = _result(1e-3)
+        encoded = json.loads(json.dumps(r.to_dict()))
+        assert SimulationResult.from_dict(encoded).to_dict() == r.to_dict()
+
+    def test_numpy_scalars_are_coerced(self):
+        import json
+
+        import numpy as np
+
+        r = _result(1.0)
+        r.notes["hops"] = np.float64(2.5)
+        r.notes["ids"] = [np.int64(3), np.int64(4)]
+        d = r.to_dict()
+        json.dumps(d)
+        assert d["notes"]["hops"] == 2.5
+        assert d["notes"]["ids"] == [3, 4]
+
+    def test_derived_properties_survive(self):
+        r = _result(2e-3)
+        back = SimulationResult.from_dict(r.to_dict())
+        assert back.total_cycles == r.total_cycles
+        assert back.energy_joules == r.energy_joules

@@ -1,0 +1,105 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import json
+
+from repro.runtime import ResultCache, SimJob, as_cache, code_fingerprint, job_key
+
+PAYLOAD = {"accelerator": "aurora", "total_seconds": 1.25}
+KEY = "ab" + "0" * 62
+
+
+class TestAccounting:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(KEY) is None
+        cache.store(KEY, PAYLOAD)
+        assert cache.load(KEY) == PAYLOAD
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "invalidations": 0,
+            "corrupt": 0,
+        }
+
+    def test_store_records_the_job(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SimJob(dataset="pubmed", scale=0.5)
+        cache.store(job_key(job), PAYLOAD, job=job)
+        blob = json.loads(cache.path_for(job_key(job)).read_text())
+        assert blob["job"]["dataset"] == "pubmed"
+        assert blob["fingerprint"] == cache.fingerprint
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        cache.store("cd" + "0" * 62, PAYLOAD)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="aaaa")
+        old.store(KEY, PAYLOAD)
+        new = ResultCache(tmp_path, fingerprint="bbbb")
+        assert new.load(KEY) is None
+        assert new.stats.invalidations == 1
+        assert new.stats.misses == 1
+        # The stale blob is evicted, so a matching store can replace it.
+        assert not new.path_for(KEY).exists()
+
+    def test_same_fingerprint_survives(self, tmp_path):
+        a = ResultCache(tmp_path, fingerprint="aaaa")
+        a.store(KEY, PAYLOAD)
+        b = ResultCache(tmp_path, fingerprint="aaaa")
+        assert b.load(KEY) == PAYLOAD
+
+    def test_code_fingerprint_is_stable_in_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestCorruption:
+    def test_undecodable_blob_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        cache.path_for(KEY).write_text("{not json")
+        assert cache.load(KEY) is None
+        assert cache.stats.corrupt == 1
+        assert not cache.path_for(KEY).exists()
+
+    def test_wrong_shape_blob_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for(KEY).parent.mkdir(parents=True)
+        cache.path_for(KEY).write_text(json.dumps({"fingerprint": cache.fingerprint}))
+        assert cache.load(KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_recovers_after_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        cache.path_for(KEY).write_text("garbage")
+        assert cache.load(KEY) is None
+        cache.store(KEY, PAYLOAD)
+        assert cache.load(KEY) == PAYLOAD
+
+
+class TestConfiguration:
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        cache.store(KEY, PAYLOAD)
+        assert (tmp_path / "envcache").is_dir()
+
+    def test_default_root_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert ResultCache().root.name == ".repro_cache"
+
+    def test_as_cache_normalisation(self, tmp_path):
+        assert as_cache(None) is None
+        assert as_cache(False) is None
+        explicit = ResultCache(tmp_path)
+        assert as_cache(explicit) is explicit
+        assert isinstance(as_cache(True), ResultCache)

@@ -1,0 +1,107 @@
+"""Tests for the pluggable job executors."""
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    FakeExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    SimJob,
+    get_executor,
+)
+
+SMALL = dict(scale=0.1, hidden=8, num_layers=1)
+
+
+def _grid():
+    return [
+        SimJob(accelerator=acc, **SMALL)
+        for acc in ("aurora", "hygcn", "gcnax", "awb-gcn")
+    ]
+
+
+def _echo(job):
+    return {"dataset": job.dataset}
+
+
+def _sleepy(job):
+    time.sleep(2.0)
+    return {}
+
+
+class TestSerial:
+    def test_records_in_input_order(self):
+        jobs = _grid()
+        records = SerialExecutor().run(jobs, fn=_echo)
+        assert [r.job for r in records] == jobs
+        assert all(r.ok and r.payload == {"dataset": "cora"} for r in records)
+
+    def test_failure_isolation(self):
+        bad = SimJob(dataset="cora", accelerator="nonesuch", **SMALL)
+        records = SerialExecutor().run([bad, SimJob(**SMALL)])
+        assert not records[0].ok
+        assert "KeyError" in records[0].error
+        assert records[1].ok
+
+    def test_empty_batch(self):
+        assert SerialExecutor().run([]) == []
+
+
+class TestProcessPool:
+    def test_matches_serial_results(self):
+        jobs = _grid()
+        serial = SerialExecutor().run(jobs)
+        parallel = ProcessExecutor(2).run(jobs)
+        assert [r.payload for r in parallel] == [r.payload for r in serial]
+
+    def test_failure_isolation_across_processes(self):
+        bad = SimJob(dataset="cora", accelerator="nonesuch", **SMALL)
+        records = ProcessExecutor(2).run([bad, SimJob(**SMALL)])
+        assert not records[0].ok and records[1].ok
+
+    def test_timeout_becomes_error_record(self):
+        records = ProcessExecutor(1, timeout=0.2).run([SimJob(**SMALL)], fn=_sleepy)
+        assert not records[0].ok
+        assert "timeout" in records[0].error
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
+
+    def test_empty_batch(self):
+        assert ProcessExecutor(2).run([]) == []
+
+
+class TestFake:
+    def test_deterministic_and_recording(self):
+        fake = FakeExecutor(fn=_echo)
+        jobs = _grid()
+        records = fake.run(jobs)
+        assert fake.calls == jobs
+        assert all(r.seconds == 0.0 for r in records)
+
+    def test_scripted_failures(self):
+        fake = FakeExecutor(
+            fn=_echo, fail_when=lambda j: j.accelerator == "gcnax"
+        )
+        records = fake.run(_grid())
+        failed = [r for r in records if not r.ok]
+        assert len(failed) == 1
+        assert failed[0].error == "injected failure"
+        assert failed[0].job.accelerator == "gcnax"
+
+
+class TestSelection:
+    def test_one_job_is_serial(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+
+    def test_many_jobs_is_process_pool(self):
+        ex = get_executor(4)
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.max_workers == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            get_executor(0)

@@ -1,0 +1,157 @@
+"""Tests for SimJob specs and their canonical content hashes."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.baselines import GCNAX_TRAITS, make_baseline
+from repro.config import AcceleratorConfig, default_config
+from repro.runtime import SimJob, job_key, run_job
+
+
+class TestSpec:
+    def test_frozen_and_hashable(self):
+        job = SimJob()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            job.model = "gin"
+        assert len({SimJob(), SimJob(), SimJob(model="gin")}) == 2
+
+    def test_rejects_bad_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            SimJob(mapping="random")
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            SimJob(scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            SimJob(scale=1.5)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            SimJob(hidden=0)
+        with pytest.raises(ValueError):
+            SimJob(num_layers=0)
+
+    def test_label_mentions_the_point(self):
+        label = SimJob(model="gin", dataset="pubmed", scale=0.5).label()
+        assert "gin" in label and "pubmed" in label and "0.5" in label
+
+
+class TestRoundTrip:
+    def test_as_dict_is_json_encodable(self):
+        job = SimJob(config=AcceleratorConfig(array_k=8), baseline_traits=GCNAX_TRAITS)
+        json.dumps(job.as_dict())
+
+    def test_from_dict_inverts_as_dict(self):
+        job = SimJob(
+            model="gin",
+            dataset="pubmed",
+            accelerator="gcnax",
+            scale=0.5,
+            hidden=32,
+            seed=3,
+            strict=True,
+            scale_buffers=True,
+            config=AcceleratorConfig(array_k=8, pe_buffer_bytes=16 * 1024),
+            baseline_traits=GCNAX_TRAITS,
+        )
+        restored = SimJob.from_dict(json.loads(json.dumps(job.as_dict())))
+        assert restored == job
+
+
+class TestKey:
+    def test_stable_across_instances(self):
+        assert job_key(SimJob(dataset="pubmed")) == job_key(SimJob(dataset="pubmed"))
+
+    def test_every_field_feeds_the_hash(self):
+        base = SimJob()
+        variants = [
+            SimJob(model="gin"),
+            SimJob(dataset="pubmed"),
+            SimJob(accelerator="hygcn"),
+            SimJob(scale=0.5),
+            SimJob(hidden=32),
+            SimJob(num_layers=3),
+            SimJob(seed=8),
+            SimJob(mapping="hashing"),
+            SimJob(strict=True),
+            SimJob(scale_buffers=True),
+            SimJob(config=AcceleratorConfig(array_k=16)),
+            SimJob(baseline_traits=GCNAX_TRAITS),
+        ]
+        keys = {job_key(v) for v in variants} | {job_key(base)}
+        assert len(keys) == len(variants) + 1
+
+    def test_key_is_hex_sha256(self):
+        key = job_key(SimJob())
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestResolvedConfig:
+    def test_buffer_scaling_matches_harness_convention(self):
+        cfg = default_config()
+        job = SimJob(scale=0.25, scale_buffers=True)
+        assert job.resolved_config().pe_buffer_bytes == max(
+            1024, int(cfg.pe_buffer_bytes * 0.25)
+        )
+
+    def test_no_scaling_without_flag(self):
+        assert SimJob(scale=0.25).resolved_config() == default_config()
+
+    def test_explicit_config_passes_through(self):
+        cfg = AcceleratorConfig(array_k=8)
+        assert SimJob(config=cfg).resolved_config() is cfg
+
+
+class TestRunJob:
+    def test_aurora_job(self):
+        result = run_job(SimJob(scale=0.2, hidden=16, num_layers=1))
+        assert result.accelerator == "aurora"
+        assert result.total_seconds > 0
+
+    def test_hashing_mapping_changes_device_name(self):
+        result = run_job(
+            SimJob(scale=0.2, hidden=8, num_layers=1, mapping="hashing")
+        )
+        assert result.accelerator == "aurora-hashing"
+
+    def test_baseline_job(self):
+        result = run_job(
+            SimJob(accelerator="gcnax", scale=0.2, hidden=16, num_layers=1)
+        )
+        assert result.accelerator == "gcnax"
+
+    def test_explicit_traits_override_the_registry(self):
+        slow = dataclasses.replace(GCNAX_TRAITS, traffic_factor=50.0)
+        fast = run_job(
+            SimJob(accelerator="gcnax", scale=0.2, hidden=16, num_layers=1)
+        )
+        perturbed = run_job(
+            SimJob(
+                accelerator="gcnax",
+                baseline_traits=slow,
+                scale=0.2,
+                hidden=16,
+                num_layers=1,
+            )
+        )
+        assert perturbed.total_seconds > fast.total_seconds
+
+    def test_matches_direct_device_call(self):
+        from repro.core.accelerator import layer_plan
+        from repro.graphs.datasets import dataset_profile, load_dataset
+        from repro.models.zoo import get_model
+
+        job = SimJob(accelerator="hygcn", scale=0.2, hidden=16, num_layers=1)
+        graph = load_dataset("cora", scale=0.2, seed=7)
+        dims = layer_plan(graph, 16, 1, dataset_profile("cora").num_classes)
+        direct = make_baseline("hygcn", default_config()).simulate(
+            get_model("gcn"), graph, dims, strict=False
+        )
+        assert run_job(job).to_dict() == direct.to_dict()
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            run_job(SimJob(dataset="ogbn"))

@@ -1,0 +1,130 @@
+"""Tests for run_jobs orchestration: dedup, caching, metrics."""
+
+import pytest
+
+from repro.runtime import (
+    FakeExecutor,
+    ResultCache,
+    SimJob,
+    execute_job,
+    run_jobs,
+)
+
+SMALL = dict(scale=0.1, hidden=8, num_layers=1)
+
+
+class TestOrchestration:
+    def test_outcomes_in_request_order(self):
+        jobs = [SimJob(accelerator=a, **SMALL) for a in ("hygcn", "aurora")]
+        report = run_jobs(jobs, executor=FakeExecutor())
+        assert [o.job for o in report.outcomes] == jobs
+        assert [o.result.accelerator for o in report.outcomes] == [
+            "hygcn",
+            "aurora",
+        ]
+
+    def test_duplicates_simulated_once(self):
+        fake = FakeExecutor()
+        job = SimJob(**SMALL)
+        report = run_jobs([job, job, job], executor=fake)
+        assert len(fake.calls) == 1
+        assert report.metrics.total_jobs == 3
+        assert report.metrics.unique_jobs == 1
+        dicts = [o.result.to_dict() for o in report.outcomes]
+        assert dicts[0] == dicts[1] == dicts[2]
+
+    def test_error_isolation_and_accounting(self):
+        fake = FakeExecutor(fail_when=lambda j: j.accelerator == "hygcn")
+        jobs = [SimJob(accelerator=a, **SMALL) for a in ("aurora", "hygcn")]
+        report = run_jobs(jobs, executor=fake)
+        assert report.outcomes[0].ok
+        assert not report.outcomes[1].ok
+        assert report.metrics.errors == 1
+        assert len(report.errors()) == 1
+        with pytest.raises(RuntimeError, match="hygcn"):
+            report.raise_on_error()
+
+    def test_progress_callback_sees_every_outcome(self):
+        seen = []
+        jobs = [SimJob(accelerator=a, **SMALL) for a in ("aurora", "hygcn")]
+        run_jobs(jobs, executor=FakeExecutor(), progress=seen.append)
+        assert len(seen) == 2
+
+    def test_jobs_n_builds_an_executor(self):
+        report = run_jobs([SimJob(**SMALL)], jobs_n=1)
+        assert report.outcomes[0].ok
+
+
+class TestCaching:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        jobs = [SimJob(accelerator=a, **SMALL) for a in ("aurora", "hygcn")]
+        cold = run_jobs(jobs, executor=FakeExecutor(), cache=ResultCache(tmp_path))
+        assert cold.metrics.executed == 2
+        assert cold.metrics.cache_misses == 2
+
+        fake = FakeExecutor()
+        warm = run_jobs(jobs, executor=fake, cache=ResultCache(tmp_path))
+        assert warm.metrics.executed == 0
+        assert warm.metrics.cache_hits == 2
+        assert fake.calls == []
+        assert [o.cached for o in warm.outcomes] == [True, True]
+        assert [o.result.to_dict() for o in warm.outcomes] == [
+            o.result.to_dict() for o in cold.outcomes
+        ]
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fake = FakeExecutor(fail_when=lambda j: True)
+        job = SimJob(**SMALL)
+        run_jobs([job], executor=fake, cache=cache)
+        assert len(cache) == 0
+        retry = run_jobs([job], executor=FakeExecutor(), cache=cache)
+        assert retry.outcomes[0].ok
+        assert retry.metrics.executed == 1
+
+    def test_stale_fingerprint_triggers_resimulation(self, tmp_path):
+        job = SimJob(**SMALL)
+        run_jobs(
+            [job],
+            executor=FakeExecutor(),
+            cache=ResultCache(tmp_path, fingerprint="old"),
+        )
+        fake = FakeExecutor()
+        fresh = run_jobs(
+            [job], executor=fake, cache=ResultCache(tmp_path, fingerprint="new")
+        )
+        assert fresh.metrics.executed == 1
+        assert len(fake.calls) == 1
+
+    def test_cache_true_uses_default_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        run_jobs([SimJob(**SMALL)], executor=FakeExecutor(), cache=True)
+        assert any((tmp_path / "c").rglob("*.json"))
+
+
+class TestMetrics:
+    def test_summary_reports_the_counts(self, tmp_path):
+        jobs = [SimJob(**SMALL), SimJob(**SMALL)]
+        report = run_jobs(jobs, executor=FakeExecutor(), cache=ResultCache(tmp_path))
+        text = report.metrics.summary()
+        assert "2 jobs" in text and "(1 unique)" in text
+        assert "1 executed" in text
+        assert "cache 0 hit / 1 miss" in text
+        assert "wall" in text
+
+    def test_per_job_seconds_recorded(self):
+        job = SimJob(**SMALL)
+        report = run_jobs([job], executor=FakeExecutor())
+        assert set(report.metrics.job_seconds) == {report.outcomes[0].key}
+
+    def test_results_accessor(self):
+        report = run_jobs([SimJob(**SMALL)], executor=FakeExecutor())
+        assert report.results()[0].total_seconds > 0
+
+
+class TestRealExecutionPath:
+    def test_execute_job_payload_round_trips(self):
+        job = SimJob(**SMALL)
+        payload = execute_job(job)
+        report = run_jobs([job])
+        assert report.outcomes[0].result.to_dict() == payload
