@@ -5,11 +5,22 @@ sweep dataset-scale workloads in milliseconds (vectorised NumPy counting,
 no per-edge Python), or the harness-level experiments would not be
 tractable.  Regressions in the hot paths (tiling, mapping, traffic
 extraction, link-load accumulation) show up here.
+
+Wall-time assertions are scaled by ``$REPRO_BENCH_SLACK`` (default 1.0;
+CI sets a larger factor) because shared runners are noisy — the asserts
+exist to catch order-of-magnitude regressions, not to gate on machine
+speed.  ``repro bench`` / ``BENCH_*.json`` is the instrument for real
+numbers.
 """
+
+import os
 
 import pytest
 
 from repro import AuroraSimulator, LayerDims, get_model, load_dataset
+
+#: Multiplier on every wall-time bound; CI sets e.g. REPRO_BENCH_SLACK=4.
+SLACK = float(os.environ.get("REPRO_BENCH_SLACK", "1.0"))
 
 
 @pytest.fixture(scope="module")
@@ -30,7 +41,7 @@ def test_simulate_layer_cora(benchmark, cora):
     assert result.total_seconds > 0
     # Full-Cora layer simulation stays interactive (< 0.5 s per call).
     if benchmark.enabled:
-        assert benchmark.stats["mean"] < 0.5
+        assert benchmark.stats["mean"] < 0.5 * SLACK
 
 
 def test_simulate_layer_pubmed(benchmark, pubmed):
@@ -40,7 +51,7 @@ def test_simulate_layer_pubmed(benchmark, pubmed):
     result = benchmark(sim.simulate_layer, model, pubmed, dims)
     assert result.total_seconds > 0
     if benchmark.enabled:
-        assert benchmark.stats["mean"] < 1.0
+        assert benchmark.stats["mean"] < 1.0 * SLACK
 
 
 def test_mapping_throughput(benchmark, cora):
@@ -54,4 +65,4 @@ def test_mapping_throughput(benchmark, cora):
     )
     assert mapping.num_vertices == cora.num_vertices
     if benchmark.enabled:
-        assert benchmark.stats["mean"] < 0.25
+        assert benchmark.stats["mean"] < 0.25 * SLACK

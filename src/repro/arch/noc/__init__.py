@@ -1,6 +1,11 @@
 """Flexible NoC: topology, routers, cycle simulator, analytical model."""
 
-from .analytical import AnalyticalNoCModel, AnalyticalNoCResult, TrafficMatrix
+from .analytical import (
+    AnalyticalNoCModel,
+    AnalyticalNoCResult,
+    TrafficMatrix,
+    ceil_flits,
+)
 from .deadlock import DeadlockReport, build_channel_dependency_graph, check_deadlock_freedom
 from .multicast import MulticastSimulator, MulticastTree, build_tree
 from .network import NoCSimulator, NoCStats
@@ -28,6 +33,7 @@ __all__ = [
     "TrafficMatrix",
     "AnalyticalNoCModel",
     "AnalyticalNoCResult",
+    "ceil_flits",
     "PortDir",
     "VCRouter",
     "VirtualChannel",

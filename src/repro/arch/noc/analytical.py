@@ -18,14 +18,34 @@ everything is NumPy array math.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from ...config import NoCConfig
+from ...perf import PERF
 from .topology import FlexibleMeshTopology
 
-__all__ = ["TrafficMatrix", "AnalyticalNoCResult", "AnalyticalNoCModel"]
+__all__ = [
+    "TrafficMatrix",
+    "AnalyticalNoCResult",
+    "AnalyticalNoCModel",
+    "ceil_flits",
+]
+
+
+def ceil_flits(nbytes, flit_bytes: int):
+    """Bytes → flits with ceiling division.
+
+    A partial flit still occupies a link/port slot for a full cycle, so
+    sub-flit payload remainders must round *up* — floor division would
+    silently drop them (e.g. Cora's 1433-feature messages are not a
+    multiple of the 16-byte flit width).
+    """
+    if flit_bytes < 1:
+        raise ValueError("flit_bytes must be >= 1")
+    return -(-np.asarray(nbytes) // flit_bytes)
 
 
 @dataclass(frozen=True)
@@ -114,7 +134,17 @@ class AnalyticalNoCResult:
 
 
 class AnalyticalNoCModel:
-    """Counting model over a :class:`FlexibleMeshTopology` configuration."""
+    """Counting model over a :class:`FlexibleMeshTopology` configuration.
+
+    Instances precompute per-line bypass-segment tables once (the
+    topology is immutable for the model's lifetime); reuse across tiles
+    goes through :meth:`cached`, keyed by the topology's routing
+    :meth:`~repro.arch.noc.topology.FlexibleMeshTopology.signature`.
+    """
+
+    #: Bounded LRU of models keyed by (topology signature, NoC config).
+    _CACHE_MAX = 128
+    _cache: "OrderedDict[tuple, AnalyticalNoCModel]" = OrderedDict()
 
     def __init__(
         self,
@@ -123,6 +153,43 @@ class AnalyticalNoCModel:
     ) -> None:
         self.topology = topology
         self.config = config or NoCConfig()
+        # Per-line segment tables: row segments grouped by their row,
+        # column segments by their column — the express-channel
+        # discipline only admits flows sourced in the segment's row
+        # (resp. destined to its column), so each flow consults at most
+        # the few segments on its own line.
+        self._row_segments_by_line: dict[int, list[tuple[int, int]]] = {}
+        self._col_segments_by_line: dict[int, list[tuple[int, int]]] = {}
+        for seg in topology.bypass_segments:
+            table = (
+                self._row_segments_by_line
+                if seg.axis == "row"
+                else self._col_segments_by_line
+            )
+            table.setdefault(seg.line, []).append((seg.start, seg.end))
+
+    @classmethod
+    def cached(
+        cls, topology: FlexibleMeshTopology, config: NoCConfig | None = None
+    ) -> "AnalyticalNoCModel":
+        """Memoized constructor: one model per routing-equivalent topology.
+
+        Safe because the model never mutates its topology and two equal
+        signatures route identically; the win is skipping the
+        segment-table rebuild for every tile of every layer.
+        """
+        key = (topology.signature(), config)
+        model = cls._cache.get(key)
+        if model is not None:
+            cls._cache.move_to_end(key)
+            PERF.incr("noc.model_cache_hit")
+            return model
+        PERF.incr("noc.model_cache_miss")
+        model = cls(topology, config)
+        cls._cache[key] = model
+        if len(cls._cache) > cls._CACHE_MAX:
+            cls._cache.popitem(last=False)
+        return model
 
     # ------------------------------------------------------------------
     def _hops_with_bypass(
@@ -134,45 +201,66 @@ class AnalyticalNoCModel:
         src → entry (XY) → exit (one bypass hop) → dst (XY); a flow takes
         the best single-segment improvement, under ``bypass_route``'s
         monotonic express-channel discipline (deadlock-safe usage only).
+
+        Vectorised by line: a row segment only admits flows sourced in
+        its own row and a column segment only flows destined to its own
+        column, so flows are bucketed by source row / destination column
+        once and each segment evaluates only its bucket with plain
+        comparisons (the former per-segment full-array ``np.isin`` scans
+        dominated the simulator profile).
         """
         sx, sy = traffic.src_x, traffic.src_y
         dx, dy = traffic.dst_x, traffic.dst_y
-        base = np.abs(sx - dx) + np.abs(sy - dy)
-        best = base.astype(np.int64)
-        used_bypass = np.zeros(base.size, dtype=bool)
-        for seg in self.topology.bypass_segments:
-            a, b = self.topology.segment_endpoints(seg)
-            for entry, exit_ in ((a, b), (b, a)):
-                ex, ey = self.topology.coords(entry)
-                xx, xy_ = self.topology.coords(exit_)
-                cand = (
-                    np.abs(sx - ex)
-                    + np.abs(sy - ey)
-                    + 1  # the bypass hop itself
-                    + np.abs(xx - dx)
-                    + np.abs(xy_ - dy)
-                )
-                # Deadlock-safe express-channel discipline (mirrors
-                # routing.bypass_route): monotonic direction, row usage
-                # from the segment's own row, column usage only toward
-                # same-column destinations.
-                if seg.axis == "row":
-                    direction = int(np.sign(xx - ex))
-                    allowed = (
-                        (sy == ey)
-                        & np.isin(np.sign(ex - sx), (0, direction))
-                        & np.isin(np.sign(dx - xx), (0, direction))
-                    )
-                else:
-                    direction = int(np.sign(xy_ - ey))
-                    allowed = (
-                        (dx == ex)
-                        & np.isin(np.sign(ey - sy), (0, direction))
-                        & np.isin(np.sign(dy - xy_), (0, direction))
-                    )
-                better = allowed & (cand < best)
-                best = np.where(better, cand, best)
-                used_bypass |= better
+        base = (np.abs(sx - dx) + np.abs(sy - dy)).astype(np.int64)
+        best = base.copy()
+
+        if self._row_segments_by_line:
+            order = np.argsort(sy, kind="stable")
+            lines = sy[order]
+            for line, segs in self._row_segments_by_line.items():
+                lo = np.searchsorted(lines, line, side="left")
+                hi = np.searchsorted(lines, line, side="right")
+                if lo == hi:
+                    continue
+                idx = order[lo:hi]
+                bsx, bdx, bdy = sx[idx], dx[idx], dy[idx]
+                cur = best[idx]
+                dyterm = np.abs(line - bdy)
+                for start, end in segs:
+                    # entry=start → exit=end (direction +1)
+                    cand = (start - bsx) + 1 + (bdx - end) + dyterm
+                    ok = (bsx <= start) & (bdx >= end) & (cand < cur)
+                    cur = np.where(ok, cand, cur)
+                    # entry=end → exit=start (direction -1)
+                    cand = (bsx - end) + 1 + (start - bdx) + dyterm
+                    ok = (bsx >= end) & (bdx <= start) & (cand < cur)
+                    cur = np.where(ok, cand, cur)
+                best[idx] = cur
+
+        if self._col_segments_by_line:
+            order = np.argsort(dx, kind="stable")
+            lines = dx[order]
+            for line, segs in self._col_segments_by_line.items():
+                lo = np.searchsorted(lines, line, side="left")
+                hi = np.searchsorted(lines, line, side="right")
+                if lo == hi:
+                    continue
+                idx = order[lo:hi]
+                bsx, bsy, bdy = sx[idx], sy[idx], dy[idx]
+                cur = best[idx]
+                dxterm = np.abs(bsx - line)
+                for start, end in segs:
+                    # entry=start → exit=end (direction +1)
+                    cand = dxterm + (start - bsy) + 1 + (bdy - end)
+                    ok = (bsy <= start) & (bdy >= end) & (cand < cur)
+                    cur = np.where(ok, cand, cur)
+                    # entry=end → exit=start (direction -1)
+                    cand = dxterm + (bsy - end) + 1 + (start - bdy)
+                    ok = (bsy >= end) & (bdy <= start) & (cand < cur)
+                    cur = np.where(ok, cand, cur)
+                best[idx] = cur
+
+        used_bypass = best < base
         return best, used_bypass
 
     def _link_loads(
@@ -261,6 +349,24 @@ class AnalyticalNoCModel:
         """
         if traffic.num_flows == 0:
             return AnalyticalNoCResult(0, 0, 0, 0.0, 0, 0, 0)
+        with PERF.timer("noc"):
+            return self._evaluate(
+                traffic,
+                boost_nodes=boost_nodes,
+                boost_factor=boost_factor,
+                eject_flits=eject_flits,
+                inject_flits=inject_flits,
+            )
+
+    def _evaluate(
+        self,
+        traffic: TrafficMatrix,
+        *,
+        boost_nodes: tuple[int, ...],
+        boost_factor: float,
+        eject_flits: np.ndarray | None,
+        inject_flits: np.ndarray | None,
+    ) -> AnalyticalNoCResult:
         hops, used_bypass = self._hops_with_bypass(traffic)
         flit_hops = int((hops * traffic.flits).sum())
         bypass_hops = int(traffic.flits[used_bypass].sum())

@@ -17,6 +17,9 @@ Commands
     Regenerate a registered paper experiment (E1–E12, or ``all``).
 ``info``
     Show the hardware configuration and derived parameters.
+``bench``
+    Run the standard layer benchmarks (cold + warm) and write a
+    ``BENCH_*.json`` snapshot with per-stage timings and cache counters.
 
 ``compare``/``sweep``/``experiment`` accept ``--jobs N`` (process-pool
 fan-out) and ``--cache/--no-cache`` (content-addressed result cache in
@@ -116,6 +119,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("experiment_id", help="E1..E12, or 'all'")
     add_runtime_flags(p_exp, cache_default=False)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the standard layer benches; write a BENCH json"
+    )
+    p_bench.add_argument(
+        "--repeat",
+        type=positive_int,
+        default=5,
+        metavar="N",
+        help="warm repetitions per bench (after one cold call)",
+    )
+    p_bench.add_argument(
+        "--output",
+        default="BENCH_2.json",
+        metavar="PATH",
+        help="snapshot destination (default: BENCH_2.json)",
+    )
 
     return parser
 
@@ -240,6 +260,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import write_bench_json
+
+    snapshot = write_bench_json(args.output, repeat=args.repeat)
+    print(f"bench: wrote {args.output} ({snapshot['wall_seconds']:.2f}s wall)")
+    for name, bench in snapshot["benches"].items():
+        print(
+            f"  {name:<10} cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
+            f"warm mean {bench['warm_mean_seconds'] * 1e3:7.1f} ms "
+            f"(min {bench['warm_min_seconds'] * 1e3:.1f} ms, "
+            f"x{snapshot['repeat']})"
+        )
+    hits = {
+        k: v for k, v in snapshot["counters"].items() if k.endswith("cache_hit")
+    }
+    if hits:
+        print("  cache hits: " + ", ".join(f"{k}={v}" for k, v in sorted(hits.items())))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -257,4 +297,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args, show_summary=True)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -25,8 +25,7 @@ from ..arch.pe import PE, PEConfig, PEDatapath, datapath_for_op
 from ..config import AcceleratorConfig
 from ..graphs.csr import CSRGraph
 from ..mapping.base import MappingResult, PERegion
-from ..mapping.degree_aware import degree_aware_map
-from ..mapping.hashing import hashing_map
+from ..mapping.memo import map_tile
 from ..mapping.traffic import multicast_flows
 from ..models.base import GNNModel, OpKind, Phase
 from ..models.workload import LayerDims, extract_workload
@@ -96,10 +95,9 @@ class CycleTileEngine:
         return [PE(n % k, n // k, self.config) for n in range(k * k)]
 
     def _map(self, sub: CSRGraph, region: PERegion) -> MappingResult:
-        cap = max(1, -(-sub.num_vertices // region.num_pes))
-        if self.mapping_policy == "degree-aware":
-            return degree_aware_map(sub, region, pe_vertex_capacity=cap)
-        return hashing_map(sub, region, pe_vertex_capacity=cap)
+        # Shared content-keyed memo: calibration runs replay the same
+        # tiles the analytical tier maps, so both tiers hit one cache.
+        return map_tile(sub, region, self.mapping_policy)
 
     # ------------------------------------------------------------------
     def run_tile(

@@ -25,20 +25,23 @@ makes the mapping policy matter — exactly the paper's §VI-C argument.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..arch.dram import AccessPattern, DRAMModel
 from ..arch.energy import EnergyCounters, EnergyModel, EnergyTable
-from ..arch.noc.analytical import AnalyticalNoCModel, TrafficMatrix
+from ..arch.noc.analytical import AnalyticalNoCModel, TrafficMatrix, ceil_flits
 from ..arch.pe import PECycleModel
 from ..config import AcceleratorConfig, default_config
 from ..graphs.csr import CSRGraph
 from ..graphs.tiling import tile_graph
 from ..mapping.base import MappingResult, PERegion
-from ..mapping.degree_aware import ALGORITHM_CYCLES, degree_aware_map
-from ..mapping.hashing import hashing_map
-from ..mapping.traffic import aggregate_flows, multicast_flows
+from ..mapping.degree_aware import ALGORITHM_CYCLES, _zorder_nodes_cached
+from ..mapping.memo import map_tile
+from ..mapping.traffic import aggregate_flows, batched_multicast_flows
 from ..models.base import GNNModel
+from ..perf import PERF
 from ..models.workload import (
     LayerDims,
     combination_first_eligible,
@@ -81,15 +84,16 @@ class AuroraSimulator:
         # flip this on.
         self.enable_combination_first = enable_combination_first
         self._pe_model = PECycleModel(self.config)
+        # Per-instance memo of the communication-aware row split; the
+        # inputs are pure values (graph content + workload + payload
+        # width), so repeated layers over one graph skip the row scan.
+        self._rows_cache: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     def _map_tile(
         self, sub: CSRGraph, region: PERegion, policy: str
     ) -> MappingResult:
-        cap = max(1, -(-sub.num_vertices // region.num_pes))
-        if policy == "degree-aware":
-            return degree_aware_map(sub, region, pe_vertex_capacity=cap)
-        return hashing_map(sub, region, pe_vertex_capacity=cap)
+        return map_tile(sub, region, policy)
 
     def _sampled_edge_ids(self, graph: CSRGraph, limit: int = 20000):
         """A deterministic sample of (src, dst) vertex ids for hop estimates."""
@@ -117,6 +121,12 @@ class AuroraSimulator:
         k = cfg.array_k
         if strategy.b == 0 or wl.O_uv == 0:
             return k
+        memo_key = (graph.content_key, wl, msg_width)
+        hit = self._rows_cache.get(memo_key)
+        if hit is not None:
+            PERF.incr("partition.rows_cache_hit")
+            return hit
+        PERF.incr("partition.rows_cache_miss")
         macs = cfg.macs_per_pe
         flit_per_msg = max(
             1, -(-(msg_width * cfg.bytes_per_value) // cfg.noc.flit_bytes)
@@ -130,50 +140,54 @@ class AuroraSimulator:
         # mean link load under power-law traffic (checked against the
         # analytical model's max-link output).
         hotspot = 2.0
-        from ..mapping.degree_aware import _zorder_nodes
 
-        best_rows, best_score = 1, float("inf")
-        for rows in range(1, k):
-            a = rows * k
-            b = (k - rows) * k
-            if sample is not None:
-                src, dst = sample
-                vpp = max(1, -(-n // a))
+        # All candidate row counts score in one vectorised pass: a
+        # (k-1, sample) placement matrix replaces the former per-row
+        # Python loop over the sampled edge set.
+        rows_arr = np.arange(1, k, dtype=np.int64)
+        a_arr = rows_arr * k
+        b_arr = (k - rows_arr) * k
+        if sample is not None:
+            src, dst = sample
+            orders = np.zeros((k - 1, k * k), dtype=np.int32)
+            for i, rows in enumerate(rows_arr):
                 # Fill positions follow the mapper's Z-order curve.
-                order = np.asarray(
-                    _zorder_nodes(PERegion(0, 0, k, rows, k)), dtype=np.int64
+                region_rows = PERegion(0, 0, k, int(rows), k)
+                orders[i, : int(rows) * k] = np.asarray(
+                    _zorder_nodes_cached(region_rows), dtype=np.int32
                 )
-                ps = order[np.minimum(src // vpp, a - 1)]
-                pd = order[np.minimum(dst // vpp, a - 1)]
-                remote = ps != pd
-                if remote.any():
-                    hops = (
-                        np.abs(ps % k - pd % k) + np.abs(ps // k - pd // k)
-                    )[remote]
-                    avg_hops = float(hops.mean())
-                    remote_frac = float(remote.mean())
-                else:
-                    avg_hops, remote_frac = 0.0, 0.0
-            else:
-                avg_hops, remote_frac = 0.0, 0.0
-            # Each link moves one flit per cycle; drain is bounded by
-            # total flit-hops over the region's link count, with the
-            # hotspot margin on top.
-            links = rows * (k - 1) * 2 + max(rows - 1, 0) * k * 2
-            t_a_comm = (
-                hotspot
-                * flows
-                * remote_frac
-                * flit_per_msg
-                * max(avg_hops, 1.0)
-                / max(links, 1)
-            )
-            t_a_comp = wl.O_ue / (a * 2 * macs) + wl.O_a / (a * macs)
-            t_a = max(t_a_comp, t_a_comm)
-            t_b = wl.O_uv / (b * 2 * macs)
-            score = max(t_a, t_b)
-            if score < best_score:
-                best_score, best_rows = score, rows
+            flat = orders.ravel()
+            offs = (np.arange(k - 1, dtype=np.int64) * (k * k))[:, None]
+            vpp = np.maximum(1, -(-n // a_arr))
+            cap_idx = (a_arr - 1)[:, None]
+            ps = flat[np.minimum(src[None, :] // vpp[:, None], cap_idx) + offs]
+            pd = flat[np.minimum(dst[None, :] // vpp[:, None], cap_idx) + offs]
+            remote = ps != pd
+            hops = np.abs(ps % k - pd % k) + np.abs(ps // k - pd // k)
+            rcount = remote.sum(axis=1)
+            hsum = np.where(remote, hops, 0).sum(axis=1)
+            avg_hops = np.where(rcount > 0, hsum / np.maximum(rcount, 1), 0.0)
+            remote_frac = np.where(rcount > 0, rcount / src.size, 0.0)
+        else:
+            avg_hops = np.zeros(k - 1)
+            remote_frac = np.zeros(k - 1)
+        # Each link moves one flit per cycle; drain is bounded by total
+        # flit-hops over the region's link count, with the hotspot margin.
+        links = rows_arr * (k - 1) * 2 + np.maximum(rows_arr - 1, 0) * k * 2
+        t_a_comm = (
+            hotspot
+            * flows
+            * remote_frac
+            * flit_per_msg
+            * np.maximum(avg_hops, 1.0)
+            / np.maximum(links, 1)
+        )
+        t_a_comp = wl.O_ue / (a_arr * 2 * macs) + wl.O_a / (a_arr * macs)
+        t_a = np.maximum(t_a_comp, t_a_comm)
+        t_b = wl.O_uv / (b_arr * 2 * macs)
+        score = np.maximum(t_a, t_b)
+        best_rows = int(rows_arr[np.argmin(score)])  # first min, like the scan
+        self._rows_cache[memo_key] = best_rows
         return best_rows
 
     def _regions_from_rows(
@@ -224,14 +238,18 @@ class AuroraSimulator:
         width_ratio = msg_width / dims.in_features
 
         # -- Algorithm 2: partition the array -----------------------------
-        strategy = partition(
-            full_wl, cfg.num_pes, flops_pe_cycle * freq
-        )
-        # Realise the split at row granularity, refined with the phase-time
-        # estimate that includes sub-accelerator A's communication: the
-        # algorithm's goal is minimal inter-phase stall (§V), and A's phase
-        # time is bounded by its mesh bandwidth as well as its op count.
-        a_rows = self._communication_aware_rows(full_wl, strategy, graph, msg_width)
+        with PERF.timer("partition"):
+            strategy = partition(
+                full_wl, cfg.num_pes, flops_pe_cycle * freq
+            )
+            # Realise the split at row granularity, refined with the
+            # phase-time estimate that includes sub-accelerator A's
+            # communication: the algorithm's goal is minimal inter-phase
+            # stall (§V), and A's phase time is bounded by its mesh
+            # bandwidth as well as its op count.
+            a_rows = self._communication_aware_rows(
+                full_wl, strategy, graph, msg_width
+            )
         region_a, region_b = self._regions_from_rows(a_rows, strategy)
 
         # -- Tile to the distributed-buffer capacity ----------------------
@@ -264,11 +282,24 @@ class AuroraSimulator:
         dram_s_total = weights_s
         payload = msg_width * cfg.bytes_per_value
 
-        for tile in plan:
+        # Hoisted per-tile invariants: all tile mappings resolve through
+        # the content-keyed memo first, then the tree-multicast traffic of
+        # every tile is extracted in one batched pass over a global edge
+        # array (identical tiles share one MappingResult; the NoC model
+        # and configuration plan are memoized below by shape).
+        tiles = list(plan)
+        mappings = [
+            self._map_tile(tile.subgraph, region_a, policy) for tile in tiles
+        ]
+        mcs = batched_multicast_flows(
+            [tile.subgraph for tile in tiles], mappings, payload
+        )
+
+        for tile, mapping, mc in zip(tiles, mappings, mcs):
             sub = tile.subgraph
-            wl = extract_workload(model, sub, dims)
+            with PERF.timer("compute_count"):
+                wl = extract_workload(model, sub, dims)
             n_t, m_t = sub.num_vertices, sub.num_edges
-            mapping = self._map_tile(sub, region_a, policy)
             conf = cfg_unit.configure(workflow, mapping, region_a, region_b)
 
             # ---- Sub-accelerator A compute ------------------------------
@@ -300,20 +331,23 @@ class AuroraSimulator:
             # ---- Sub-accelerator A communication (analytical NoC) -------
             # Feature distribution is tree-multicast: each vertex's vector
             # is injected once and replicated toward every PE that hosts
-            # one of its neighbors (reuse FIFOs forward copies).
-            mc = multicast_flows(sub, mapping, payload)
+            # one of its neighbors (reuse FIFOs forward copies); ``mc``
+            # comes from the batched extraction above.
             if mc.flows.shape[0]:
-                traffic = TrafficMatrix.from_flows(
-                    aggregate_flows(mc.flows, cfg.num_pes),
-                    cfg.noc.flit_bytes,
-                    cfg.array_k,
-                )
-                noc_res = AnalyticalNoCModel(conf.topology, cfg.noc).evaluate(
+                with PERF.timer("traffic"):
+                    traffic = TrafficMatrix.from_flows(
+                        aggregate_flows(mc.flows, cfg.num_pes),
+                        cfg.noc.flit_bytes,
+                        cfg.array_k,
+                    )
+                noc_res = AnalyticalNoCModel.cached(conf.topology, cfg.noc).evaluate(
                     traffic,
                     boost_nodes=mapping.s_pe_nodes,
                     boost_factor=max(3.0, region_a.width / 2),
-                    eject_flits=mc.eject_bytes // cfg.noc.flit_bytes,
-                    inject_flits=mc.inject_bytes // cfg.noc.flit_bytes,
+                    # Ceil, not floor: a partial trailing flit still
+                    # occupies the ejection/injection port for a cycle.
+                    eject_flits=ceil_flits(mc.eject_bytes, cfg.noc.flit_bytes),
+                    inject_flits=ceil_flits(mc.inject_bytes, cfg.noc.flit_bytes),
                 )
                 noc_cycles = noc_res.drain_cycles
                 noc_volume_total += noc_res.total_flit_hops
@@ -350,6 +384,7 @@ class AuroraSimulator:
                 b_cycles = 0.0
 
             # ---- DRAM: tile load + boundary gathers + writeback ---------
+            dram_t0 = time.perf_counter()
             tile_dram_s = dram.access(
                 int(n_t * dims.in_features * cfg.bytes_per_value * density),
                 pattern=AccessPattern.SEQUENTIAL,
@@ -377,6 +412,7 @@ class AuroraSimulator:
                 pattern=AccessPattern.SEQUENTIAL,
                 write=True,
             )
+            PERF.add_time("dram", time.perf_counter() - dram_t0)
 
             # ---- Compose the tile --------------------------------------
             a_seconds = max(a_cycles, noc_cycles) / freq

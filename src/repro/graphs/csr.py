@@ -12,6 +12,7 @@ vectorised traffic/op counting never copies.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -78,6 +79,7 @@ class CSRGraph:
         "_in_degrees",
         "_csc",
         "_meta",
+        "_content_key",
     )
 
     def __init__(
@@ -124,6 +126,7 @@ class CSRGraph:
         self._in_degrees: np.ndarray | None = None
         self._csc: tuple[np.ndarray, np.ndarray] | None = None
         self._meta: GraphMeta | None = None
+        self._content_key: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -135,6 +138,26 @@ class CSRGraph:
     @property
     def num_edges(self) -> int:
         return self.indices.size
+
+    @property
+    def content_key(self) -> str:
+        """Content hash of the graph *structure* (name excluded).
+
+        Two tiles with identical CSR arrays and dataset attributes share a
+        key even when their reporting names differ — the identity the
+        tile-mapping memo (:mod:`repro.mapping.memo`) caches on.  Computed
+        once and cached; CSR arrays are treated as immutable repo-wide.
+        """
+        if self._content_key is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                f"{self.num_features}|{self.feature_density!r}|"
+                f"{self.edge_feature_dim}|{self.indptr.size}|".encode()
+            )
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            self._content_key = h.hexdigest()
+        return self._content_key
 
     @property
     def degrees(self) -> np.ndarray:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf import PERF
 from .csr import CSRGraph
 
 __all__ = ["Tile", "TilingPlan", "tile_graph", "tile_footprint_bytes"]
@@ -142,6 +143,22 @@ def tile_graph(
     """
     if capacity_bytes <= 0:
         raise ValueError("capacity_bytes must be positive")
+    with PERF.timer("tiling"):
+        return _tile_graph(
+            graph,
+            capacity_bytes,
+            bytes_per_value=bytes_per_value,
+            min_tile_vertices=min_tile_vertices,
+        )
+
+
+def _tile_graph(
+    graph: CSRGraph,
+    capacity_bytes: int,
+    *,
+    bytes_per_value: int,
+    min_tile_vertices: int,
+) -> TilingPlan:
     n = graph.num_vertices
     degrees = graph.degrees
     # Features are stored compressed on chip (sparse CSR of nonzeros with

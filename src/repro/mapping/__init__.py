@@ -3,18 +3,22 @@
 from .base import MappingResult, PERegion
 from .degree_aware import ALGORITHM_CYCLES, degree_aware_map
 from .hashing import hashing_map
+from .memo import clear_mapping_cache, map_tile
 from .nqueen import can_place, fixed_pattern, solve_n_queens
-from .traffic import aggregate_flows, edge_flows
+from .traffic import aggregate_flows, batched_multicast_flows, edge_flows
 
 __all__ = [
     "MappingResult",
     "PERegion",
     "degree_aware_map",
     "hashing_map",
+    "map_tile",
+    "clear_mapping_cache",
     "ALGORITHM_CYCLES",
     "solve_n_queens",
     "fixed_pattern",
     "can_place",
     "edge_flows",
     "aggregate_flows",
+    "batched_multicast_flows",
 ]

@@ -20,6 +20,8 @@ pass), and the run is charged ≈100 overlappable cycles (paper §VI-D).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..arch.noc.topology import BypassSegment
@@ -34,23 +36,41 @@ __all__ = ["degree_aware_map", "ALGORITHM_CYCLES"]
 ALGORITHM_CYCLES = 100
 
 
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Spread the low 16 bits of each value: bit i moves to bit 2i.
+
+    The classic constant-time interleave ladder — replaces the former
+    bit-serial loop with five shift/mask passes over the whole array.
+    """
+    v = v & np.int64(0xFFFF)
+    v = (v | (v << 8)) & np.int64(0x00FF00FF)
+    v = (v | (v << 4)) & np.int64(0x0F0F0F0F)
+    v = (v | (v << 2)) & np.int64(0x33333333)
+    v = (v | (v << 1)) & np.int64(0x55555555)
+    return v
+
+
 def _morton(x: np.ndarray, y: np.ndarray, bits: int = 8) -> np.ndarray:
     """Interleave the low ``bits`` of x and y into a Morton (Z-order) code."""
-    code = np.zeros(x.shape, dtype=np.int64)
-    for b in range(bits):
-        code |= ((x >> b) & 1) << (2 * b)
-        code |= ((y >> b) & 1) << (2 * b + 1)
-    return code
+    if bits > 16:
+        raise ValueError("morton interleave supports at most 16 bits per axis")
+    mask = np.int64((1 << bits) - 1)
+    return _spread_bits(x & mask) | (_spread_bits(y & mask) << 1)
 
 
 def _zorder_nodes(region: PERegion) -> list[int]:
     """Region PE node ids ordered along a Z-order space-filling curve."""
+    return list(_zorder_nodes_cached(region))
+
+
+@lru_cache(maxsize=256)
+def _zorder_nodes_cached(region: PERegion) -> tuple[int, ...]:
     nodes = region.node_ids()
     k = region.array_k
     x = nodes % k - region.x0
     y = nodes // k - region.y0
     order = np.argsort(_morton(x, y), kind="stable")
-    return nodes[order].tolist()
+    return tuple(int(n) for n in nodes[order])
 
 
 def _select_s_pes(region: PERegion, use_backtracking: bool) -> list[int]:
@@ -112,19 +132,20 @@ def degree_aware_map(
     # Low-degree vertices fill sequentially *in id order* — consecutive
     # vertices share a PE, preserving the community locality of the CSR
     # numbering (which hashing destroys).
-    low = np.setdiff1d(np.arange(n, dtype=np.int64), high, assume_unique=False)
+    mask = np.ones(n, dtype=bool)
+    mask[high] = False
+    low = np.nonzero(mask)[0].astype(np.int64, copy=False)
 
     vertex_to_pe = np.empty(n, dtype=np.int64)
 
     # -- Step 3a: hash the sorted hubs over the S_PEs -------------------
-    remaining = np.full(region.array_k * region.array_k, 0, dtype=np.int64)
-    for node in region.node_ids():
-        remaining[node] = pe_vertex_capacity
+    remaining = np.zeros(region.array_k * region.array_k, dtype=np.int64)
+    remaining[region.node_ids()] = pe_vertex_capacity
     if len(s_pe_nodes):
-        for i, v in enumerate(high):
-            node = s_pe_nodes[i % len(s_pe_nodes)]
-            vertex_to_pe[v] = node
-            remaining[node] -= 1
+        s_pe_arr = np.asarray(s_pe_nodes, dtype=np.int64)
+        hub_nodes = s_pe_arr[np.arange(high.size) % s_pe_arr.size]
+        vertex_to_pe[high] = hub_nodes
+        np.subtract.at(remaining, hub_nodes, 1)
     else:  # pragma: no cover - regions always have >= 1 row
         low = order
 
@@ -132,15 +153,12 @@ def degree_aware_map(
     # Consecutive vertex ids share a PE, and PEs are visited in Z-order
     # (Morton curve) so id-adjacent vertices land in a compact 2-D block:
     # the community locality of the CSR numbering becomes short Manhattan
-    # distances instead of long same-row walks.
-    fill_nodes = _zorder_nodes(region)
-    cursor = 0
-    for v in low:
-        while remaining[fill_nodes[cursor]] <= 0:
-            cursor = (cursor + 1) % len(fill_nodes)
-        node = fill_nodes[cursor]
-        vertex_to_pe[v] = node
-        remaining[node] -= 1
+    # distances instead of long same-row walks.  Capacity only shrinks,
+    # so the former cyclic-cursor walk reduces to one forward pass:
+    # each fill node absorbs its leftover capacity in id order.
+    fill_nodes = np.asarray(_zorder_nodes_cached(region), dtype=np.int64)
+    slots = np.repeat(fill_nodes, np.maximum(remaining[fill_nodes], 0))
+    vertex_to_pe[low] = slots[: low.size]
 
     # -- Step 4: bypass segments bridging hub traffic -------------------
     segments: list[BypassSegment] = []

@@ -11,9 +11,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..perf import PERF
 from .base import MappingResult
 
-__all__ = ["edge_flows", "aggregate_flows", "multicast_flows", "MulticastTraffic"]
+__all__ = [
+    "edge_flows",
+    "aggregate_flows",
+    "multicast_flows",
+    "batched_multicast_flows",
+    "MulticastTraffic",
+]
 
 
 from dataclasses import dataclass
@@ -59,6 +66,13 @@ def multicast_flows(
         raise ValueError("payload_bytes must be >= 1")
     if mapping.vertex_to_pe.size != graph.num_vertices:
         raise ValueError("mapping does not cover the graph's vertices")
+    with PERF.timer("traffic"):
+        return _multicast_flows(graph, mapping, payload_bytes)
+
+
+def _multicast_flows(
+    graph: CSRGraph, mapping: MappingResult, payload_bytes: int
+) -> MulticastTraffic:
     num_nodes = mapping.region.array_k ** 2
     eject = np.zeros(num_nodes, dtype=np.int64)
     inject = np.zeros(num_nodes, dtype=np.int64)
@@ -86,16 +100,124 @@ def multicast_flows(
     _, keep = np.unique(key, return_index=True)
     src_v, src_pe, dst_pe = src_v[keep], src_pe[keep], dst_pe[keep]
     # Destination-set size per source vertex.
-    n_dst = np.zeros(graph.num_vertices, dtype=np.int64)
-    np.add.at(n_dst, src_v, 1)
+    n_dst = np.bincount(src_v, minlength=graph.num_vertices)
     share = np.maximum(payload_bytes // np.maximum(n_dst[src_v], 1), 1)
     flows = np.column_stack((src_pe, dst_pe, share))
-    np.add.at(eject, dst_pe, payload_bytes)
+    eject += np.bincount(dst_pe, minlength=num_nodes) * payload_bytes
     senders = np.unique(src_v)
-    np.add.at(inject, mapping.vertex_to_pe[senders], payload_bytes)
+    inject += (
+        np.bincount(mapping.vertex_to_pe[senders], minlength=num_nodes)
+        * payload_bytes
+    )
     return MulticastTraffic(
         flows=flows, eject_bytes=eject, inject_bytes=inject
     )
+
+
+def batched_multicast_flows(
+    subs: "list[CSRGraph] | tuple[CSRGraph, ...]",
+    mappings: "list[MappingResult] | tuple[MappingResult, ...]",
+    payload_bytes: int,
+) -> list[MulticastTraffic]:
+    """Tree-multicast traffic for *all* tiles of a layer in one pass.
+
+    Semantically identical to calling :func:`multicast_flows` per tile
+    (bit-for-bit, pinned by ``tests/test_traffic_batched.py``), but the
+    edge→flow extraction, remote filtering, and (source vertex,
+    destination PE) dedup run over a single concatenated edge array with
+    tile-composite keys — one ``np.unique`` instead of one per tile.
+    The per-call NumPy dispatch overhead, which dominates many-tile
+    plans, is paid once.
+    """
+    if len(subs) != len(mappings):
+        raise ValueError("need one mapping per subgraph")
+    if payload_bytes < 1:
+        raise ValueError("payload_bytes must be >= 1")
+    if not subs:
+        return []
+    with PERF.timer("traffic"):
+        return _batched_multicast_flows(subs, mappings, payload_bytes)
+
+
+def _batched_multicast_flows(
+    subs, mappings, payload_bytes: int
+) -> list[MulticastTraffic]:
+    num_nodes = mappings[0].region.array_k ** 2
+    src_parts: list[np.ndarray] = []
+    pe_src_parts: list[np.ndarray] = []
+    pe_dst_parts: list[np.ndarray] = []
+    voff = np.zeros(len(subs) + 1, dtype=np.int64)
+    for t, (sub, mapping) in enumerate(zip(subs, mappings)):
+        if mapping.vertex_to_pe.size != sub.num_vertices:
+            raise ValueError("mapping does not cover the graph's vertices")
+        if mapping.region.array_k ** 2 != num_nodes:
+            raise ValueError("all mappings must target the same array size")
+        voff[t + 1] = voff[t] + sub.num_vertices
+        if sub.num_edges == 0:
+            continue
+        src_v = np.repeat(
+            np.arange(sub.num_vertices, dtype=np.int64), sub.degrees
+        )
+        dst_pe = mapping.vertex_to_pe[sub.indices]
+        src_pe = mapping.vertex_to_pe[src_v]
+        remote = src_pe != dst_pe
+        src_parts.append(src_v[remote] + voff[t])
+        pe_src_parts.append(src_pe[remote])
+        pe_dst_parts.append(dst_pe[remote])
+
+    empty = MulticastTraffic(
+        flows=np.empty((0, 3), dtype=np.int64),
+        eject_bytes=np.zeros(num_nodes, dtype=np.int64),
+        inject_bytes=np.zeros(num_nodes, dtype=np.int64),
+    )
+    if not src_parts:
+        return [
+            MulticastTraffic(
+                flows=empty.flows,
+                eject_bytes=empty.eject_bytes.copy(),
+                inject_bytes=empty.inject_bytes.copy(),
+            )
+            for _ in subs
+        ]
+
+    gsrc = np.concatenate(src_parts)
+    src_pe = np.concatenate(pe_src_parts)
+    dst_pe = np.concatenate(pe_dst_parts)
+    # Tile-composite key: the global source-vertex id already encodes the
+    # tile, so one dedup covers every tile without cross-tile collisions.
+    key = gsrc * num_nodes + dst_pe
+    _, keep = np.unique(key, return_index=True)
+    gsrc, src_pe, dst_pe = gsrc[keep], src_pe[keep], dst_pe[keep]
+    n_dst = np.bincount(gsrc, minlength=int(voff[-1]))
+    share = np.maximum(payload_bytes // np.maximum(n_dst[gsrc], 1), 1)
+    # Kept rows are sorted by key, hence grouped by tile: slice per tile.
+    tile_of = np.searchsorted(voff, gsrc, side="right") - 1
+    bounds = np.searchsorted(tile_of, np.arange(len(subs) + 1))
+
+    out: list[MulticastTraffic] = []
+    for t, (sub, mapping) in enumerate(zip(subs, mappings)):
+        lo, hi = int(bounds[t]), int(bounds[t + 1])
+        if lo == hi:
+            out.append(
+                MulticastTraffic(
+                    flows=np.empty((0, 3), dtype=np.int64),
+                    eject_bytes=np.zeros(num_nodes, dtype=np.int64),
+                    inject_bytes=np.zeros(num_nodes, dtype=np.int64),
+                )
+            )
+            continue
+        t_dst = dst_pe[lo:hi]
+        flows = np.column_stack((src_pe[lo:hi], t_dst, share[lo:hi]))
+        eject = np.bincount(t_dst, minlength=num_nodes) * payload_bytes
+        senders = np.unique(gsrc[lo:hi]) - voff[t]
+        inject = (
+            np.bincount(mapping.vertex_to_pe[senders], minlength=num_nodes)
+            * payload_bytes
+        )
+        out.append(
+            MulticastTraffic(flows=flows, eject_bytes=eject, inject_bytes=inject)
+        )
+    return out
 
 
 def edge_flows(

@@ -1,0 +1,11 @@
+"""Perf instrumentation and benchmarking for the analytical tier.
+
+* :mod:`.instrumentation` — the process-global :data:`~.instrumentation.PERF`
+  registry of stage timers and cache counters;
+* :mod:`.bench` — the standard layer benchmarks behind ``repro bench``
+  and the ``BENCH_*.json`` snapshot format.
+"""
+
+from .instrumentation import PERF, PerfRegistry, StageStat
+
+__all__ = ["PERF", "PerfRegistry", "StageStat"]

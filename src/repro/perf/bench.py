@@ -1,0 +1,145 @@
+"""Standard layer benchmarks behind ``repro bench``.
+
+Runs the analytical tier's hot path (:meth:`AuroraSimulator.simulate_layer`)
+over a fixed set of dataset workloads, measuring a **cold** call (all
+memoization layers emptied) and a set of **warm** repeats, and writes the
+result — together with the :data:`~repro.perf.instrumentation.PERF`
+per-stage breakdown and cache counters — to a ``BENCH_<n>.json``
+snapshot.  The snapshot is what the CI benchmark job archives and what
+``docs/performance.md`` explains how to read.
+
+Numbers in the snapshot are *wall-clock only*; the simulated results are
+deterministic and independent of everything measured here (asserted by
+``tests/test_determinism.py`` and the golden suite).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["BENCH_SCHEMA_VERSION", "BenchCase", "STANDARD_BENCHES", "run_benches", "write_bench_json"]
+
+#: Bump when the snapshot layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One standard workload: a model layer on a (scaled) dataset."""
+
+    name: str
+    dataset: str
+    scale: float = 1.0
+    model: str = "gcn"
+    hidden: int = 64
+
+    def label(self) -> str:
+        return f"{self.model}/{self.dataset}@{self.scale:g}"
+
+
+#: The standard benches ``repro bench`` runs, mirroring
+#: ``benchmarks/test_simulator_performance.py``.
+STANDARD_BENCHES: tuple[BenchCase, ...] = (
+    BenchCase("cora", "cora", 1.0),
+    BenchCase("citeseer", "citeseer", 1.0),
+    BenchCase("pubmed", "pubmed", 0.5),
+)
+
+
+def clear_hot_path_caches() -> None:
+    """Empty every memoization layer the hot path consults.
+
+    Used before the cold measurement so it reflects a from-scratch run
+    (the state a fresh process or a never-seen workload starts in).
+    """
+    from ..arch.noc.analytical import AnalyticalNoCModel
+    from ..core.configuration import ConfigurationUnit
+    from ..mapping.degree_aware import _zorder_nodes_cached
+    from ..mapping.memo import clear_mapping_cache
+
+    clear_mapping_cache()
+    AnalyticalNoCModel._cache.clear()
+    ConfigurationUnit._cache.clear()
+    _zorder_nodes_cached.cache_clear()
+
+
+def _run_case(case: BenchCase, repeat: int) -> dict:
+    from ..core.simulator import AuroraSimulator
+    from ..graphs.datasets import load_dataset
+    from ..models.workload import LayerDims
+    from ..models.zoo import get_model
+
+    graph = load_dataset(case.dataset, scale=case.scale)
+    model = get_model(case.model)
+    dims = LayerDims(graph.num_features, case.hidden)
+
+    clear_hot_path_caches()
+    sim = AuroraSimulator()
+    t0 = time.perf_counter()
+    result = sim.simulate_layer(model, graph, dims)
+    cold = time.perf_counter() - t0
+
+    warm: list[float] = []
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        again = sim.simulate_layer(model, graph, dims)
+        warm.append(time.perf_counter() - t0)
+        if again.to_dict() != result.to_dict():  # pragma: no cover
+            raise AssertionError(f"non-deterministic bench result for {case.label()}")
+
+    return {
+        "label": case.label(),
+        "dataset": case.dataset,
+        "scale": case.scale,
+        "model": case.model,
+        "hidden": case.hidden,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_mean_seconds": sum(warm) / len(warm),
+        "warm_min_seconds": min(warm),
+        "total_seconds_simulated": result.total_seconds,
+    }
+
+
+def run_benches(
+    benches: tuple[BenchCase, ...] = STANDARD_BENCHES, *, repeat: int = 5
+) -> dict:
+    """Run the standard benches and return the snapshot dict."""
+    from .instrumentation import PERF
+
+    PERF.reset()
+    wall_start = time.perf_counter()
+    results = {case.name: _run_case(case, repeat) for case in benches}
+    wall = time.perf_counter() - wall_start
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "benches": results,
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    benches: tuple[BenchCase, ...] = STANDARD_BENCHES,
+    *,
+    repeat: int = 5,
+) -> dict:
+    """Run the benches and write the snapshot to ``path``; returns it."""
+    snapshot = run_benches(benches, repeat=repeat)
+    Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return snapshot

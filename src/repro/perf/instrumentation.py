@@ -1,0 +1,95 @@
+"""Lightweight perf instrumentation: stage timers + event counters.
+
+The analytical tier's value proposition is wall-clock speed (the paper
+sweeps five datasets × five baselines × ablations through it), so the
+hot path carries permanent, near-zero-cost instrumentation:
+
+* **stage timers** — monotonic (``time.perf_counter``) accumulators per
+  named stage (``mapping``, ``traffic``, ``noc``, ``compute_count``,
+  ``tiling``, ``dram`` …), threaded through the simulator, the mapping
+  layer, the NoC model, and the job runtime;
+* **counters** — integer event counts, used for the memoization layers'
+  hit/miss bookkeeping (``mapping.tile_cache_hit``,
+  ``noc.model_cache_hit``, ``config.plan_cache_hit`` …).
+
+Everything funnels into one process-global :data:`PERF` registry so a
+bench run (``repro bench``) can ``reset()``, execute a workload, and
+``snapshot()`` the per-stage breakdown into a ``BENCH_*.json`` artifact.
+The registry is intentionally simple — plain dict accumulation, no
+locks — matching the simulator's single-threaded hot path (process-pool
+workers each get their own registry).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PerfRegistry", "StageStat", "PERF"]
+
+
+@dataclass
+class StageStat:
+    """Accumulated wall time of one named stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"calls": self.calls, "seconds": self.seconds}
+
+
+@dataclass
+class PerfRegistry:
+    """Process-global accumulator for stage timings and event counters."""
+
+    enabled: bool = True
+    stages: dict[str, StageStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    # -- timers --------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str):
+        """Time a ``with`` block and accumulate it under ``name``."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        stat = self.stages.get(name)
+        if stat is None:
+            stat = self.stages[name] = StageStat()
+        stat.calls += 1
+        stat.seconds += seconds
+
+    # -- counters ------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self) -> None:
+        self.stages.clear()
+        self.counters.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: stage timings plus counters."""
+        return {
+            "stages": {
+                name: stat.as_dict() for name, stat in sorted(self.stages.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+#: The process-global registry every instrumented module reports into.
+PERF = PerfRegistry()

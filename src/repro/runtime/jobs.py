@@ -25,6 +25,7 @@ from ..core.accelerator import layer_plan
 from ..core.results import SimulationResult
 from ..core.simulator import AuroraSimulator
 from ..graphs.datasets import dataset_profile, load_dataset
+from ..perf import PERF
 from ..models.zoo import get_model
 
 __all__ = ["SimJob", "job_key", "run_job", "execute_job"]
@@ -148,6 +149,11 @@ def job_key(job: SimJob) -> str:
 
 def run_job(job: SimJob) -> SimulationResult:
     """Execute one job with fresh simulator/device instances."""
+    with PERF.timer("runtime.job"):
+        return _run_job(job)
+
+
+def _run_job(job: SimJob) -> SimulationResult:
     cfg = job.resolved_config()
     graph = load_dataset(job.dataset, scale=job.scale, seed=job.seed)
     profile = dataset_profile(job.dataset)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..core.results import SimulationResult
+from ..perf import PERF
 from .cache import ResultCache, as_cache
 from .executor import SerialExecutor, get_executor
 from .jobs import SimJob, job_key
@@ -146,6 +147,8 @@ def run_jobs(
         cache_hits=len(unique) - len(pending),
         cache_misses=len(pending) if store is not None else 0,
     )
+    PERF.incr("runtime.cache_hit", metrics.cache_hits)
+    PERF.incr("runtime.cache_miss", metrics.cache_misses)
     for (key, job), record in zip(pending, records):
         if record.ok:
             if store is not None:

@@ -1,0 +1,274 @@
+"""Vectorized mapping ≡ reference implementation, bit for bit.
+
+The PR-2 perf work rewrote :func:`repro.mapping.degree_aware_map`'s
+per-vertex placement loops (and the bit-serial Morton interleave) as
+whole-array NumPy operations.  The contract is *bit identity*: every
+field of the returned :class:`MappingResult` must match what the original
+loop-based algorithm produced, for every input.  The original
+implementation is preserved below as ``_reference_degree_aware_map`` /
+``_reference_hashing_map`` (verbatim from the pre-refactor module, minus
+imports) and compared against the shipped versions across random graphs,
+degenerate regions, and empty graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.noc.topology import BypassSegment
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    grid_graph,
+    power_law_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.mapping.base import MappingResult, PERegion
+from repro.mapping.degree_aware import degree_aware_map
+from repro.mapping.hashing import hashing_map
+from repro.mapping.nqueen import fixed_pattern, solve_n_queens
+
+# ---------------------------------------------------------------------------
+# Reference implementations: the pre-vectorization originals, kept verbatim.
+# ---------------------------------------------------------------------------
+
+
+def _reference_morton(x, y, bits=8):
+    code = np.zeros(x.shape, dtype=np.int64)
+    for b in range(bits):
+        code |= ((x >> b) & 1) << (2 * b)
+        code |= ((y >> b) & 1) << (2 * b + 1)
+    return code
+
+
+def _reference_zorder_nodes(region):
+    nodes = region.node_ids()
+    k = region.array_k
+    x = nodes % k - region.x0
+    y = nodes // k - region.y0
+    order = np.argsort(_reference_morton(x, y), kind="stable")
+    return nodes[order].tolist()
+
+
+def _reference_select_s_pes(region, use_backtracking):
+    k = min(region.width, region.height)
+    pattern = solve_n_queens(k) if use_backtracking else fixed_pattern(k)
+    nodes = []
+    for row, col in pattern:
+        if row < region.height and col < region.width:
+            nodes.append(region.local_to_node(row * region.width + col))
+    return nodes
+
+
+def _reference_degree_aware_map(
+    graph, region, *, pe_vertex_capacity, use_backtracking=False
+):
+    if pe_vertex_capacity < 1:
+        raise ValueError("pe_vertex_capacity must be >= 1")
+    n = graph.num_vertices
+    if n == 0:
+        return MappingResult(
+            policy="degree-aware",
+            region=region,
+            vertex_to_pe=np.empty(0, dtype=np.int64),
+        )
+    total_capacity = region.num_pes * pe_vertex_capacity
+    if n > total_capacity:
+        raise ValueError("tile exceeds region capacity")
+
+    s_pe_nodes = _reference_select_s_pes(region, use_backtracking)
+
+    k_eff = min(region.width, region.height)
+    n_hn = min(
+        (k_eff - 1) * pe_vertex_capacity, n, len(s_pe_nodes) * pe_vertex_capacity
+    )
+    degrees = graph.degrees + graph.in_degrees
+    order = np.lexsort((np.arange(n), -degrees))
+    high = order[:n_hn]
+    low = np.setdiff1d(np.arange(n, dtype=np.int64), high, assume_unique=False)
+
+    vertex_to_pe = np.empty(n, dtype=np.int64)
+
+    remaining = np.full(region.array_k * region.array_k, 0, dtype=np.int64)
+    for node in region.node_ids():
+        remaining[node] = pe_vertex_capacity
+    if len(s_pe_nodes):
+        for i, v in enumerate(high):
+            node = s_pe_nodes[i % len(s_pe_nodes)]
+            vertex_to_pe[v] = node
+            remaining[node] -= 1
+    else:  # pragma: no cover
+        low = order
+
+    fill_nodes = _reference_zorder_nodes(region)
+    cursor = 0
+    for v in low:
+        while remaining[fill_nodes[cursor]] <= 0:
+            cursor = (cursor + 1) % len(fill_nodes)
+        node = fill_nodes[cursor]
+        vertex_to_pe[v] = node
+        remaining[node] -= 1
+
+    segments = []
+    k = region.array_k
+    used_rows = set()
+    used_cols = set()
+    for node in s_pe_nodes:
+        x, y = node % k, node // k
+        if y not in used_rows and region.width > 1:
+            segments.append(BypassSegment("row", y, region.x0, region.x1 - 1))
+            used_rows.add(y)
+        if x not in used_cols and region.height > 1:
+            segments.append(BypassSegment("col", x, region.y0, region.y1 - 1))
+            used_cols.add(x)
+
+    return MappingResult(
+        policy="degree-aware",
+        region=region,
+        vertex_to_pe=vertex_to_pe,
+        s_pe_nodes=tuple(s_pe_nodes),
+        high_degree_vertices=tuple(int(v) for v in high),
+        bypass_segments=tuple(segments),
+        algorithm_cycles=100,
+    )
+
+
+def _reference_hashing_map(graph, region, *, pe_vertex_capacity=None, stride=1):
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    n = graph.num_vertices
+    if pe_vertex_capacity is not None and n > region.num_pes * pe_vertex_capacity:
+        raise ValueError("tile exceeds region capacity")
+    nodes = region.node_ids()
+    if n == 0:
+        v2p = np.empty(0, dtype=np.int64)
+    else:
+        v2p = nodes[(np.arange(n, dtype=np.int64) * stride) % region.num_pes]
+    return MappingResult(
+        policy="hashing",
+        region=region,
+        vertex_to_pe=v2p,
+        algorithm_cycles=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Equality helper
+# ---------------------------------------------------------------------------
+
+
+def assert_mappings_identical(got: MappingResult, want: MappingResult) -> None:
+    assert got.policy == want.policy
+    assert got.region == want.region
+    assert got.vertex_to_pe.dtype == want.vertex_to_pe.dtype
+    np.testing.assert_array_equal(got.vertex_to_pe, want.vertex_to_pe)
+    assert got.s_pe_nodes == want.s_pe_nodes
+    assert got.high_degree_vertices == want.high_degree_vertices
+    assert got.bypass_segments == want.bypass_segments
+    assert got.algorithm_cycles == want.algorithm_cycles
+
+
+def empty_graph(num_features: int = 8) -> CSRGraph:
+    return CSRGraph(
+        np.zeros(1, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        num_features=num_features,
+        name="empty",
+    )
+
+
+def all_equal_degree_graph(n: int = 24) -> CSRGraph:
+    """A ring: every vertex has identical in/out degree (tie-break stress)."""
+    indptr = np.arange(n + 1, dtype=np.int64)
+    indices = (np.arange(n, dtype=np.int64) + 1) % n
+    return CSRGraph(indptr, indices, num_features=4, name="ring")
+
+
+REGIONS = [
+    PERegion(0, 0, 8, 8, 8),  # full 8x8 array
+    PERegion(0, 0, 8, 4, 8),  # top half (the A region shape)
+    PERegion(0, 4, 8, 8, 8),  # bottom half (offset origin)
+    PERegion(2, 1, 7, 6, 8),  # non-square interior window
+    PERegion(0, 0, 1, 1, 8),  # degenerate 1x1
+    PERegion(3, 0, 4, 8, 8),  # single column
+]
+
+GRAPHS = [
+    uniform_random_graph(60, 400, seed=1),
+    uniform_random_graph(200, 1500, seed=2),
+    power_law_graph(150, 1200, seed=3),
+    power_law_graph(64, 600, seed=4),
+    star_graph(40),
+    grid_graph(8, 8),
+    all_equal_degree_graph(),
+]
+
+
+@pytest.mark.parametrize("region", REGIONS, ids=lambda r: f"{r.width}x{r.height}@{r.x0},{r.y0}")
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_degree_aware_matches_reference(graph, region):
+    cap = max(1, -(-graph.num_vertices // region.num_pes))
+    got = degree_aware_map(graph, region, pe_vertex_capacity=cap)
+    want = _reference_degree_aware_map(graph, region, pe_vertex_capacity=cap)
+    assert_mappings_identical(got, want)
+
+
+@pytest.mark.parametrize("region", REGIONS, ids=lambda r: f"{r.width}x{r.height}@{r.x0},{r.y0}")
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_hashing_matches_reference(graph, region):
+    cap = max(1, -(-graph.num_vertices // region.num_pes))
+    got = hashing_map(graph, region, pe_vertex_capacity=cap)
+    want = _reference_hashing_map(graph, region, pe_vertex_capacity=cap)
+    assert_mappings_identical(got, want)
+
+
+@pytest.mark.parametrize("use_backtracking", [False, True])
+def test_degree_aware_backtracking_matches_reference(use_backtracking):
+    graph = power_law_graph(100, 800, seed=7)
+    region = PERegion(0, 0, 8, 8, 8)
+    cap = max(1, -(-graph.num_vertices // region.num_pes))
+    got = degree_aware_map(
+        graph, region, pe_vertex_capacity=cap, use_backtracking=use_backtracking
+    )
+    want = _reference_degree_aware_map(
+        graph, region, pe_vertex_capacity=cap, use_backtracking=use_backtracking
+    )
+    assert_mappings_identical(got, want)
+
+
+@pytest.mark.parametrize("region", REGIONS, ids=lambda r: f"{r.width}x{r.height}@{r.x0},{r.y0}")
+def test_empty_graph_matches_reference(region):
+    graph = empty_graph()
+    got = degree_aware_map(graph, region, pe_vertex_capacity=1)
+    want = _reference_degree_aware_map(graph, region, pe_vertex_capacity=1)
+    assert_mappings_identical(got, want)
+    got_h = hashing_map(graph, region, pe_vertex_capacity=1)
+    want_h = _reference_hashing_map(graph, region, pe_vertex_capacity=1)
+    assert_mappings_identical(got_h, want_h)
+
+
+def test_tight_capacity_matches_reference():
+    """Capacity exactly |V| / num_pes: every PE fills to the brim."""
+    region = PERegion(0, 0, 4, 4, 8)
+    graph = uniform_random_graph(64, 300, seed=9)  # 64 vertices / 16 PEs
+    got = degree_aware_map(graph, region, pe_vertex_capacity=4)
+    want = _reference_degree_aware_map(graph, region, pe_vertex_capacity=4)
+    assert_mappings_identical(got, want)
+
+
+def test_random_sweep_matches_reference():
+    """Fuzz: random graphs x random subregions, seeds fixed for replay."""
+    rng = np.random.default_rng(123)
+    for trial in range(20):
+        n = int(rng.integers(1, 120))
+        m = int(rng.integers(0, max(1, min(4 * n, n * n))))
+        graph = uniform_random_graph(n, m, seed=int(rng.integers(1 << 30)))
+        k = 8
+        x0 = int(rng.integers(0, k - 1))
+        y0 = int(rng.integers(0, k - 1))
+        x1 = int(rng.integers(x0 + 1, k + 1))
+        y1 = int(rng.integers(y0 + 1, k + 1))
+        region = PERegion(x0, y0, x1, y1, k)
+        cap = max(1, -(-n // region.num_pes))
+        got = degree_aware_map(graph, region, pe_vertex_capacity=cap)
+        want = _reference_degree_aware_map(graph, region, pe_vertex_capacity=cap)
+        assert_mappings_identical(got, want)
