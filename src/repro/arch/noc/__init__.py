@@ -7,6 +7,7 @@ from .analytical import (
     ceil_flits,
 )
 from .deadlock import DeadlockReport, build_channel_dependency_graph, check_deadlock_freedom
+from .drain import NoCDeadlockError
 from .multicast import MulticastSimulator, MulticastTree, build_tree
 from .network import NoCSimulator, NoCStats
 from .packet import Flit, Packet
@@ -30,6 +31,7 @@ __all__ = [
     "INJECT_PORT",
     "NoCSimulator",
     "NoCStats",
+    "NoCDeadlockError",
     "TrafficMatrix",
     "AnalyticalNoCModel",
     "AnalyticalNoCResult",

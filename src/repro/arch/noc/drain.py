@@ -1,0 +1,117 @@
+"""Shared drain tracking and structured deadlock reporting.
+
+Both flit-level simulators (:class:`~repro.arch.noc.network.NoCSimulator`
+and :class:`~repro.arch.noc.vc_router.VCNetworkSimulator`) historically
+answered "has every packet drained?" by rescanning a ``pid → remaining
+flits`` dict every cycle — an O(packets) cost on the innermost loop.
+:class:`DrainTracker` keeps the same dict for reporting but maintains two
+counters alongside it, so the per-cycle check is O(1), and both
+simulators share one implementation of the bookkeeping.
+
+When a run fails to drain, the simulators raise
+:class:`NoCDeadlockError` instead of a bare ``RuntimeError`` — the
+message keeps the historical "did not drain" phrasing, but the exception
+also carries the cycle, the outstanding packet count, and the per-router
+queue depths at the point of failure, which is what you need to tell a
+true routing deadlock (a cyclic channel dependency holding buffers full)
+from an undersized ``max_cycles``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NoCDeadlockError", "DrainTracker"]
+
+
+class NoCDeadlockError(RuntimeError):
+    """A NoC run hit ``max_cycles`` with traffic still outstanding.
+
+    Subclasses ``RuntimeError`` so existing ``except RuntimeError`` /
+    ``pytest.raises(RuntimeError, match="did not drain")`` call sites
+    keep working.
+
+    Attributes:
+        cycle: simulator cycle at which the run gave up.
+        outstanding_packets: packets injected but not fully ejected.
+        queue_depths: ``{router id: resident flits}`` for routers with a
+            non-empty input queue when the run stopped.
+        context: optional caller-supplied mapping (e.g. the tile and
+            mapping the :class:`~repro.core.cycle_engine.CycleTileEngine`
+            was executing).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: int,
+        outstanding_packets: int,
+        queue_depths: dict[int, int],
+        context: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.outstanding_packets = outstanding_packets
+        self.queue_depths = queue_depths
+        self.context = dict(context) if context else {}
+
+    def with_context(self, **context) -> "NoCDeadlockError":
+        """A copy carrying extra caller context (tile, mapping, ...)."""
+        merged = {**self.context, **context}
+        err = NoCDeadlockError(
+            str(self.args[0]) if self.args else "NoC did not drain",
+            cycle=self.cycle,
+            outstanding_packets=self.outstanding_packets,
+            queue_depths=self.queue_depths,
+            context=merged,
+        )
+        return err
+
+
+class DrainTracker:
+    """O(1) drain accounting shared by the flit-level simulators.
+
+    Mix in (or embed) and call :meth:`_drain_register` at injection and
+    :meth:`_drain_eject` per ejected flit.  ``_tails_remaining`` keeps the
+    historical per-packet map for debugging/reporting; the hot-path
+    queries read the two counters only.
+    """
+
+    def _drain_init(self) -> None:
+        self._tails_remaining: dict[int, int] = {}  # pid -> flits not ejected
+        self._outstanding_flits = 0
+        self._outstanding_packets = 0
+
+    def _drain_register(self, pid: int, num_flits: int) -> None:
+        self._tails_remaining[pid] = num_flits
+        self._outstanding_flits += num_flits
+        self._outstanding_packets += 1
+
+    def _drain_eject(self, pid: int) -> bool:
+        """Account one ejected flit; True when the packet completed."""
+        remaining = self._tails_remaining[pid] - 1
+        self._tails_remaining[pid] = remaining
+        self._outstanding_flits -= 1
+        if remaining == 0:
+            self._outstanding_packets -= 1
+            return True
+        return False
+
+    # -- O(1) replacements for the historical dict scans ----------------
+    def all_delivered(self) -> bool:
+        return self._outstanding_flits == 0
+
+    def undelivered(self) -> int:
+        return self._outstanding_packets
+
+    # -- structured failure ---------------------------------------------
+    def _deadlock(self, message: str, *, cycle: int) -> NoCDeadlockError:
+        return NoCDeadlockError(
+            message,
+            cycle=cycle,
+            outstanding_packets=self._outstanding_packets,
+            queue_depths=self._queue_depths(),
+        )
+
+    def _queue_depths(self) -> dict[int, int]:  # pragma: no cover - abstract
+        """Per-router resident flit counts; overridden by each simulator."""
+        return {}

@@ -24,6 +24,9 @@ class Packet:
     route: tuple[int, ...]
     num_flits: int = 0
     done_cycle: int | None = None
+    # Input VC assigned to this packet at its source router (set by the
+    # VC-level simulator so body flits follow their head's channel).
+    notes_vc: int | None = None
 
     def __post_init__(self) -> None:
         if self.size_bytes < 1:

@@ -1,0 +1,31 @@
+"""Aggregated statistics for the flit-level NoC simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NoCStats"]
+
+
+@dataclass
+class NoCStats:
+    """Aggregated results of a simulation run."""
+
+    cycles: int = 0
+    packets_delivered: int = 0
+    flits_delivered: int = 0
+    total_packet_latency: int = 0
+    max_packet_latency: int = 0
+    mesh_flit_hops: int = 0
+    bypass_flit_hops: int = 0
+    stall_events: int = 0
+
+    @property
+    def avg_packet_latency(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_packet_latency / self.packets_delivered
+
+    @property
+    def total_flit_hops(self) -> int:
+        return self.mesh_flit_hops + self.bypass_flit_hops

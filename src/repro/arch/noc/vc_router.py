@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ...config import NoCConfig
+from .drain import DrainTracker
 from .packet import Flit, Packet
 from .routing import compute_route
 from .topology import FlexibleMeshTopology
@@ -223,7 +224,7 @@ class VCRouter:
         self.credits[(port, vc_index)] += 1
 
 
-class VCNetworkSimulator:
+class VCNetworkSimulator(DrainTracker):
     """Mesh of :class:`VCRouter` nodes with full pipeline semantics."""
 
     def __init__(
@@ -236,7 +237,10 @@ class VCNetworkSimulator:
         ]
         self.cycle = 0
         self._next_pid = 0
-        self._pending_tails: dict[int, int] = {}
+        self._drain_init()
+        # Flits currently buffered in any router VC; kept incrementally so
+        # the idle check in :meth:`run` is O(1).
+        self._resident = 0
         self.delivered: list[Packet] = []
         self._in_flight: list[tuple[int, int, PortDir, int, Flit]] = []
         # (arrival_cycle, router, port, vc, flit)
@@ -278,7 +282,7 @@ class VCNetworkSimulator:
         )
         self._next_pid += 1
         packet.num_flits = max(1, -(-size_bytes // self.config.flit_bytes))
-        self._pending_tails[packet.pid] = packet.num_flits
+        self._drain_register(packet.pid, packet.num_flits)
         queue = self._inject_queues.setdefault(src, deque())
         for i in range(packet.num_flits):
             queue.append(Flit(packet=packet, index=i, hop=0, ready_cycle=self.cycle))
@@ -294,7 +298,9 @@ class VCNetworkSimulator:
             if arrival > now:
                 still.append((arrival, node, port, vc_index, flit))
                 continue
-            if not self.routers[node].accept_flit(port, vc_index, flit):
+            if self.routers[node].accept_flit(port, vc_index, flit):
+                self._resident += 1
+            else:
                 # Should not happen under credits; retry next cycle.
                 still.append((arrival + 1, node, port, vc_index, flit))
         self._in_flight = still
@@ -310,9 +316,10 @@ class VCNetworkSimulator:
                         break
                     queue.popleft()
                     router.accept_flit(PortDir.LOCAL, vc_index, flit)
-                    flit.packet.notes_vc = vc_index  # type: ignore[attr-defined]
+                    self._resident += 1
+                    flit.packet.notes_vc = vc_index
                 else:
-                    vc_index = getattr(flit.packet, "notes_vc", None)
+                    vc_index = flit.packet.notes_vc
                     if vc_index is None:
                         break
                     vc = router.vcs[PortDir.LOCAL][vc_index]
@@ -320,6 +327,7 @@ class VCNetworkSimulator:
                         break
                     queue.popleft()
                     router.accept_flit(PortDir.LOCAL, vc_index, flit)
+                    self._resident += 1
                     continue  # body flits stream at one per cycle... per VC
                 break  # at most one new head per cycle per source
 
@@ -330,6 +338,7 @@ class VCNetworkSimulator:
             winners = router.stage_sa()
             for port, vc_index in winners:
                 flit, out_port, out_vc, turn_lat = router.pop_winner(port, vc_index)
+                self._resident -= 1
                 if out_port is PortDir.LOCAL:
                     self._eject(flit, now)
                     router.return_credit(out_port, out_vc)
@@ -374,25 +383,66 @@ class VCNetworkSimulator:
         return opposite.get(out_port, PortDir.LOCAL)
 
     def _eject(self, flit: Flit, now: int) -> None:
-        pid = flit.packet.pid
-        self._pending_tails[pid] -= 1
-        if self._pending_tails[pid] == 0:
+        if self._drain_eject(flit.packet.pid):
             flit.packet.done_cycle = now + 1
             self.delivered.append(flit.packet)
 
     # ------------------------------------------------------------------
-    def all_delivered(self) -> bool:
-        return all(v == 0 for v in self._pending_tails.values())
+    # all_delivered()/undelivered() come from DrainTracker (O(1) counters
+    # instead of the historical per-cycle dict scan).
 
     def run(self, *, max_cycles: int = 500_000) -> int:
-        """Run to drain; returns the cycle count."""
+        """Run to drain; returns the cycle count.
+
+        Cycles during which every flit is mid-link (no flit buffered in
+        any router and no injection pending) are fast-forwarded to the
+        next arrival.  Skipped cycles still advance each router's SA
+        round-robin counter — the reference steps it unconditionally every
+        cycle — and release link credits that fell due, so arbitration
+        after the jump is bit-identical to stepping through the gap.
+        """
         while not self.all_delivered():
             if self.cycle >= max_cycles:
-                raise RuntimeError(
-                    f"VC network did not drain within {max_cycles} cycles"
+                raise self._deadlock(
+                    f"VC network did not drain within {max_cycles} cycles "
+                    f"({self.undelivered()} packets outstanding)",
+                    cycle=self.cycle,
                 )
+            if (
+                self._resident == 0
+                and self._in_flight
+                and not any(self._inject_queues.values())
+            ):
+                nxt = min(item[0] for item in self._in_flight)
+                target = min(nxt, max_cycles)
+                if target > self.cycle:
+                    skipped = target - self.cycle
+                    for router in self.routers:
+                        router._rr_input_counter += skipped
+                    # Credits returned strictly before ``target`` would
+                    # have been processed by earlier steps; release them
+                    # now so stage SA at ``target`` sees them.
+                    remaining = []
+                    for when, node, port, vc_index in self._credit_returns:
+                        if when < target:
+                            self.routers[node].return_credit(port, vc_index)
+                        else:
+                            remaining.append((when, node, port, vc_index))
+                    self._credit_returns = remaining
+                    self.cycle = target
+                    continue
             self.step()
         return self.cycle
+
+    def _queue_depths(self) -> dict[int, int]:
+        depths: dict[int, int] = {}
+        for router in self.routers:
+            occ = sum(
+                vc.occupancy for vcs in router.vcs.values() for vc in vcs
+            )
+            if occ:
+                depths[router.node_id] = occ
+        return depths
 
     # ------------------------------------------------------------------
     @property

@@ -124,17 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the standard layer benches; write a BENCH json"
     )
     p_bench.add_argument(
+        "--tier",
+        choices=("analytical", "cycle"),
+        default="analytical",
+        help="which tier to bench: analytical layer sweep (BENCH_2) or "
+        "flit-level cycle tile (BENCH_3)",
+    )
+    p_bench.add_argument(
         "--repeat",
         type=positive_int,
-        default=5,
+        default=None,
         metavar="N",
-        help="warm repetitions per bench (after one cold call)",
+        help="warm repetitions per bench after one cold call "
+        "(default: 5 analytical, 3 cycle)",
     )
     p_bench.add_argument(
         "--output",
-        default="BENCH_2.json",
+        default=None,
         metavar="PATH",
-        help="snapshot destination (default: BENCH_2.json)",
+        help="snapshot destination (default: BENCH_2.json analytical, "
+        "BENCH_3.json cycle)",
     )
 
     return parser
@@ -263,15 +272,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import write_bench_json
 
-    snapshot = write_bench_json(args.output, repeat=args.repeat)
-    print(f"bench: wrote {args.output} ({snapshot['wall_seconds']:.2f}s wall)")
+    output = args.output or (
+        "BENCH_3.json" if args.tier == "cycle" else "BENCH_2.json"
+    )
+    snapshot = write_bench_json(output, repeat=args.repeat, tier=args.tier)
+    print(f"bench: wrote {output} ({snapshot['wall_seconds']:.2f}s wall)")
     for name, bench in snapshot["benches"].items():
         print(
-            f"  {name:<10} cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
+            f"  {name:<12} cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
             f"warm mean {bench['warm_mean_seconds'] * 1e3:7.1f} ms "
             f"(min {bench['warm_min_seconds'] * 1e3:.1f} ms, "
             f"x{snapshot['repeat']})"
         )
+        if "speedup_vs_reference" in bench:
+            print(
+                f"  {'':<12} reference {bench['reference_seconds']:.2f} s → "
+                f"{bench['speedup_vs_reference']:.2f}x | "
+                f"{bench['packets_per_second']:,.0f} packets/s | "
+                f"{bench['cycles_per_second']:,.0f} cycles/s"
+            )
     hits = {
         k: v for k, v in snapshot["counters"].items() if k.endswith("cache_hit")
     }

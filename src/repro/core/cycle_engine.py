@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..arch.noc._reference import ReferenceNoCSimulator
+from ..arch.noc.drain import NoCDeadlockError
 from ..arch.noc.network import NoCSimulator
 from ..arch.pe import PE, PEConfig, PEDatapath, datapath_for_op
 from ..config import AcceleratorConfig
@@ -29,6 +31,7 @@ from ..mapping.memo import map_tile
 from ..mapping.traffic import multicast_flows
 from ..models.base import GNNModel, OpKind, Phase
 from ..models.workload import LayerDims, extract_workload
+from ..perf import PERF
 from .configuration import ConfigurationUnit
 from .controller import AdaptiveWorkflowGenerator
 
@@ -73,11 +76,19 @@ class CycleTileEngine:
     #: stops being the right tool (use the analytical tier).
     MAX_PACKETS = 200_000
 
+    #: Selectable flit simulators: the batched event engine (default) and
+    #: the retained original implementation it is property-tested against.
+    NOC_ENGINES = {
+        "event": NoCSimulator,
+        "reference": ReferenceNoCSimulator,
+    }
+
     def __init__(
         self,
         config: AcceleratorConfig,
         *,
         mapping_policy: str = "degree-aware",
+        noc_engine: str = "event",
     ) -> None:
         if config.array_k > 16:
             raise ValueError(
@@ -86,8 +97,13 @@ class CycleTileEngine:
             )
         if mapping_policy not in ("degree-aware", "hashing"):
             raise ValueError("mapping_policy must be 'degree-aware' or 'hashing'")
+        if noc_engine not in self.NOC_ENGINES:
+            raise ValueError(
+                f"noc_engine must be one of {sorted(self.NOC_ENGINES)}"
+            )
         self.config = config
         self.mapping_policy = mapping_policy
+        self.noc_engine = noc_engine
 
     # ------------------------------------------------------------------
     def _build_pes(self) -> list[PE]:
@@ -128,10 +144,12 @@ class CycleTileEngine:
                 region_a = PERegion(0, 0, k, k, k)
                 region_b = None
 
-        mapping = self._map(sub, region_a)
-        plan = ConfigurationUnit(cfg).configure(
-            workflow, mapping, region_a, region_b
-        )
+        with PERF.timer("cycle.map"):
+            mapping = self._map(sub, region_a)
+        with PERF.timer("cycle.configure"):
+            plan = ConfigurationUnit(cfg).configure(
+                workflow, mapping, region_a, region_b
+            )
 
         # ---- PE configuration ------------------------------------------
         pes = self._build_pes()
@@ -149,7 +167,7 @@ class CycleTileEngine:
         # ---- NoC: inject the aggregation feature distribution -----------
         payload = dims.in_features * cfg.bytes_per_value
         mc = multicast_flows(sub, mapping, payload)
-        sim = NoCSimulator(plan.topology, cfg.noc)
+        sim = self.NOC_ENGINES[self.noc_engine](plan.topology, cfg.noc)
         n_packets = mc.flows.shape[0]
         if n_packets > self.MAX_PACKETS:
             raise ValueError(
@@ -160,11 +178,23 @@ class CycleTileEngine:
         # Spread injections over time at each source's injection rate so
         # the warm-up transient resembles steady pipelined operation.
         per_source_next: dict[int, int] = {}
-        for src, dst, nbytes in mc.flows.tolist():
-            when = per_source_next.get(src, 0)
-            sim.inject(int(src), int(dst), int(nbytes), cycle=None)
-            per_source_next[src] = when + 1
-        stats = sim.run(max_cycles=5_000_000) if n_packets else sim.stats
+        with PERF.timer("cycle.inject"):
+            for src, dst, nbytes in mc.flows.tolist():
+                when = per_source_next.get(src, 0)
+                sim.inject(int(src), int(dst), int(nbytes), cycle=None)
+                per_source_next[src] = when + 1
+        try:
+            with PERF.timer("cycle.noc"):
+                stats = sim.run(max_cycles=5_000_000) if n_packets else sim.stats
+        except NoCDeadlockError as err:
+            raise err.with_context(
+                tile_nodes=sub.num_vertices,
+                tile_edges=sub.num_edges,
+                array_k=k,
+                mapping_policy=self.mapping_policy,
+                noc_engine=self.noc_engine,
+                packets_injected=n_packets,
+            ) from err
 
         # ---- PE execution ------------------------------------------------
         # Region A: per-PE work proportional to the messages it handles
@@ -175,38 +205,39 @@ class CycleTileEngine:
             per_edge_agg = wl.O_a / sub.num_edges
         else:
             per_edge_ue = per_edge_agg = 0.0
-        loads = mapping.communication_loads(sub.degrees)
-        for node in region_a.node_ids():
-            edges_here = int(loads[node])
-            if edges_here == 0:
-                continue
-            pe = pes[node]
-            for spec in (model.edge_update, model.aggregation):
-                for op in spec.ops:
-                    if op.kind.is_ppu:
-                        continue
-                    ops = int(
-                        edges_here
-                        * (per_edge_ue if spec.phase is Phase.EDGE_UPDATE else per_edge_agg)
-                    )
-                    if ops <= 0:
-                        continue
-                    pe.configure(PEConfig(datapath_for_op(op.kind)))
-                    pe.execute(op.kind, ops)
-                    break  # charge the phase once at its dominant op
-
-        compute_a = max(
-            (pes[n].busy_cycles for n in region_a.node_ids()), default=0
-        )
-
-        compute_b = 0
-        if region_b is not None and wl.O_uv > 0:
-            per_pe_ops = -(-wl.O_uv // region_b.num_pes)
-            for node in region_b.node_ids():
+        with PERF.timer("cycle.pe"):
+            loads = mapping.communication_loads(sub.degrees)
+            for node in region_a.node_ids():
+                edges_here = int(loads[node])
+                if edges_here == 0:
+                    continue
                 pe = pes[node]
-                pe.configure(PEConfig(PEDatapath.MAC_CHAIN))
-                pe.execute(OpKind.MATRIX_VECTOR, per_pe_ops)
-            compute_b = max(pes[n].busy_cycles for n in region_b.node_ids())
+                for spec in (model.edge_update, model.aggregation):
+                    for op in spec.ops:
+                        if op.kind.is_ppu:
+                            continue
+                        ops = int(
+                            edges_here
+                            * (per_edge_ue if spec.phase is Phase.EDGE_UPDATE else per_edge_agg)
+                        )
+                        if ops <= 0:
+                            continue
+                        pe.configure(PEConfig(datapath_for_op(op.kind)))
+                        pe.execute(op.kind, ops)
+                        break  # charge the phase once at its dominant op
+
+            compute_a = max(
+                (pes[n].busy_cycles for n in region_a.node_ids()), default=0
+            )
+
+            compute_b = 0
+            if region_b is not None and wl.O_uv > 0:
+                per_pe_ops = -(-wl.O_uv // region_b.num_pes)
+                for node in region_b.node_ids():
+                    pe = pes[node]
+                    pe.configure(PEConfig(PEDatapath.MAC_CHAIN))
+                    pe.execute(OpKind.MATRIX_VECTOR, per_pe_ops)
+                compute_b = max(pes[n].busy_cycles for n in region_b.node_ids())
 
         busy = np.array([pe.busy_cycles for pe in pes], dtype=np.int64)
         return CycleTileResult(

@@ -409,54 +409,33 @@ def cycle_validation() -> ExperimentResult:
 
     Runs the flit-level engine and the counting model on identical
     workloads and reports the drain-cycle ratio — the calibration check
-    behind using the analytical tier for full-dataset sweeps.
+    behind using the analytical tier for full-dataset sweeps.  Points
+    fan out through :func:`repro.eval.calibration.run_calibration_sweep`
+    (executor parallelism + content-addressed result reuse).
     """
-    from ..arch.noc.analytical import AnalyticalNoCModel, TrafficMatrix
-    from ..arch.noc.topology import FlexibleMeshTopology
-    from ..config import small_config
-    from ..core.cycle_engine import CycleTileEngine
-    from ..graphs.generators import power_law_graph
-    from ..mapping.base import PERegion
-    from ..mapping.degree_aware import degree_aware_map
-    from ..mapping.traffic import aggregate_flows, multicast_flows
+    from .calibration import CalibrationJob, run_calibration_sweep
 
-    cfg = small_config(8)
+    seeds = (1, 2, 3)
+    jobs = [CalibrationJob(seed=seed) for seed in seeds]
+    report = run_calibration_sweep(jobs, cache=True)
+    report.raise_on_error()
+
     rows = []
     data = {}
-    for seed in (1, 2, 3):
-        graph = power_law_graph(
-            120, 700, exponent=2.0, locality=0.5, num_features=16, seed=seed
-        )
-        measured = CycleTileEngine(cfg).run_tile(
-            get_model("gin"), graph, LayerDims(16, 8)
-        )
-        region = PERegion(0, 0, 8, 4, 8)
-        cap = max(1, -(-graph.num_vertices // region.num_pes))
-        mapping = degree_aware_map(graph, region, pe_vertex_capacity=cap)
-        mc = multicast_flows(graph, mapping, 16 * cfg.bytes_per_value)
-        topo = FlexibleMeshTopology(8)
-        for seg in mapping.bypass_segments:
-            try:
-                topo.add_bypass_segment(seg)
-            except ValueError:
-                continue
-        predicted = AnalyticalNoCModel(topo, cfg.noc).evaluate(
-            TrafficMatrix.from_flows(
-                aggregate_flows(mc.flows, 64), cfg.noc.flit_bytes, 8
-            ),
-            boost_nodes=mapping.s_pe_nodes,
-            boost_factor=4.0,
-            eject_flits=mc.eject_bytes // cfg.noc.flit_bytes,
-            inject_flits=mc.inject_bytes // cfg.noc.flit_bytes,
-        ).drain_cycles
-        ratio = predicted / max(measured.noc_cycles, 1)
+    for seed, outcome in zip(seeds, report.outcomes):
+        payload = outcome.result
         rows.append(
-            [f"seed {seed}", f"{measured.noc_cycles:,}", f"{predicted:,}", f"{ratio:.2f}"]
+            [
+                f"seed {seed}",
+                f"{payload['measured']:,}",
+                f"{payload['predicted']:,}",
+                f"{payload['ratio']:.2f}",
+            ]
         )
         data[seed] = {
-            "measured": measured.noc_cycles,
-            "predicted": predicted,
-            "ratio": ratio,
+            "measured": payload["measured"],
+            "predicted": payload["predicted"],
+            "ratio": payload["ratio"],
         }
     text = format_table(
         ["workload", "cycle-tier drain", "analytical drain", "ratio"],

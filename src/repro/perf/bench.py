@@ -21,7 +21,16 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["BENCH_SCHEMA_VERSION", "BenchCase", "STANDARD_BENCHES", "run_benches", "write_bench_json"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "CycleBenchCase",
+    "STANDARD_BENCHES",
+    "CYCLE_BENCHES",
+    "run_benches",
+    "run_cycle_benches",
+    "write_bench_json",
+]
 
 #: Bump when the snapshot layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
@@ -57,6 +66,7 @@ def clear_hot_path_caches() -> None:
     (the state a fresh process or a never-seen workload starts in).
     """
     from ..arch.noc.analytical import AnalyticalNoCModel
+    from ..arch.noc.network import _clear_route_memo
     from ..core.configuration import ConfigurationUnit
     from ..mapping.degree_aware import _zorder_nodes_cached
     from ..mapping.memo import clear_mapping_cache
@@ -65,6 +75,7 @@ def clear_hot_path_caches() -> None:
     AnalyticalNoCModel._cache.clear()
     ConfigurationUnit._cache.clear()
     _zorder_nodes_cached.cache_clear()
+    _clear_route_memo()
 
 
 def _run_case(case: BenchCase, repeat: int) -> dict:
@@ -107,6 +118,136 @@ def _run_case(case: BenchCase, repeat: int) -> dict:
     }
 
 
+@dataclass(frozen=True)
+class CycleBenchCase:
+    """One cycle-tier workload: a tile executed at flit granularity."""
+
+    name: str
+    dataset: str
+    scale: float
+    model: str = "gcn"
+    array_k: int = 16
+    hidden: int = 16
+
+    def label(self) -> str:
+        return f"{self.model}/{self.dataset}@{self.scale:g}/k{self.array_k}"
+
+
+#: The cycle-tier bench: a dense pubmed tile on the largest supported
+#: array.  Heavy on purpose — the event engine's advantage over the
+#: reference grows with traffic, and calibration sweeps are made of
+#: exactly this kind of tile.
+CYCLE_BENCHES: tuple[CycleBenchCase, ...] = (
+    CycleBenchCase("pubmed-tile", "pubmed", 0.12),
+)
+
+
+def _tile_fields(result) -> tuple:
+    """The deterministic counters of one tile run, for identity checks."""
+    return (
+        result.noc_cycles,
+        result.stall_events,
+        result.mesh_flit_hops,
+        result.bypass_flit_hops,
+        result.packets,
+        result.flits,
+        result.avg_packet_latency,
+        result.compute_cycles_a,
+        result.compute_cycles_b,
+    )
+
+
+def _run_cycle_case(case: CycleBenchCase, repeat: int) -> dict:
+    from ..config import small_config
+    from ..core.cycle_engine import CycleTileEngine
+    from ..graphs.datasets import load_dataset
+    from ..models.workload import LayerDims
+    from ..models.zoo import get_model
+
+    graph = load_dataset(case.dataset, scale=case.scale)
+    model = get_model(case.model)
+    dims = LayerDims(graph.num_features, case.hidden)
+    cfg = small_config(case.array_k)
+
+    clear_hot_path_caches()
+    event = CycleTileEngine(cfg, noc_engine="event")
+    t0 = time.perf_counter()
+    result = event.run_tile(model, graph, dims)
+    cold = time.perf_counter() - t0
+
+    warm: list[float] = []
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        again = event.run_tile(model, graph, dims)
+        warm.append(time.perf_counter() - t0)
+        if _tile_fields(again) != _tile_fields(result):  # pragma: no cover
+            raise AssertionError(
+                f"non-deterministic cycle bench result for {case.label()}"
+            )
+
+    # The retained original simulator, timed once on the same tile (it
+    # has no warm path: routes and flit objects are rebuilt every run).
+    reference = CycleTileEngine(cfg, noc_engine="reference")
+    t0 = time.perf_counter()
+    ref_result = reference.run_tile(model, graph, dims)
+    ref_seconds = time.perf_counter() - t0
+    if _tile_fields(ref_result) != _tile_fields(result):  # pragma: no cover
+        raise AssertionError(
+            f"event engine diverged from reference on {case.label()}"
+        )
+
+    warm_min = min(warm)
+    return {
+        "label": case.label(),
+        "dataset": case.dataset,
+        "scale": case.scale,
+        "model": case.model,
+        "array_k": case.array_k,
+        "hidden": case.hidden,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "noc_cycles": result.noc_cycles,
+        "packets": result.packets,
+        "flits": result.flits,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_mean_seconds": sum(warm) / len(warm),
+        "warm_min_seconds": warm_min,
+        "reference_seconds": ref_seconds,
+        "speedup_vs_reference": ref_seconds / warm_min,
+        "packets_per_second": result.packets / warm_min,
+        "flits_per_second": result.flits / warm_min,
+        "cycles_per_second": result.noc_cycles / warm_min,
+    }
+
+
+def run_cycle_benches(
+    benches: tuple[CycleBenchCase, ...] = CYCLE_BENCHES, *, repeat: int = 3
+) -> dict:
+    """Run the cycle-tier benches and return the snapshot dict."""
+    from .instrumentation import PERF
+
+    PERF.reset()
+    wall_start = time.perf_counter()
+    results = {case.name: _run_cycle_case(case, repeat) for case in benches}
+    wall = time.perf_counter() - wall_start
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "cycle",
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "benches": results,
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+    }
+
+
 def run_benches(
     benches: tuple[BenchCase, ...] = STANDARD_BENCHES, *, repeat: int = 5
 ) -> dict:
@@ -120,6 +261,7 @@ def run_benches(
     perf = PERF.snapshot()
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "analytical",
         "repeat": repeat,
         "wall_seconds": wall,
         "benches": results,
@@ -135,11 +277,27 @@ def run_benches(
 
 def write_bench_json(
     path: str | Path,
-    benches: tuple[BenchCase, ...] = STANDARD_BENCHES,
+    benches: tuple[BenchCase, ...] | tuple[CycleBenchCase, ...] | None = None,
     *,
-    repeat: int = 5,
+    repeat: int | None = None,
+    tier: str = "analytical",
 ) -> dict:
-    """Run the benches and write the snapshot to ``path``; returns it."""
-    snapshot = run_benches(benches, repeat=repeat)
+    """Run one tier's benches and write the snapshot to ``path``.
+
+    ``tier`` selects the analytical layer benches (BENCH_2-style) or the
+    flit-level cycle-tier bench (BENCH_3-style); returns the snapshot.
+    """
+    if tier == "analytical":
+        snapshot = run_benches(
+            benches if benches is not None else STANDARD_BENCHES,
+            repeat=repeat if repeat is not None else 5,
+        )
+    elif tier == "cycle":
+        snapshot = run_cycle_benches(
+            benches if benches is not None else CYCLE_BENCHES,
+            repeat=repeat if repeat is not None else 3,
+        )
+    else:
+        raise ValueError("tier must be 'analytical' or 'cycle'")
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot

@@ -122,3 +122,70 @@ class TestAnalyticalAgreement:
         ).drain_cycles
         assert predicted < 3 * measured.noc_cycles
         assert measured.noc_cycles < 3 * predicted
+
+
+class TestNoCEngineSelection:
+    """run_tile can execute on the event engine or the retained reference."""
+
+    def test_engines_bit_identical(self, tile):
+        dims = LayerDims(16, 8)
+        event = CycleTileEngine(small_config(8), noc_engine="event")
+        reference = CycleTileEngine(small_config(8), noc_engine="reference")
+        a = event.run_tile(get_model("gcn"), tile, dims)
+        b = reference.run_tile(get_model("gcn"), tile, dims)
+        assert (a.noc_cycles, a.stall_events, a.mesh_flit_hops) == (
+            b.noc_cycles,
+            b.stall_events,
+            b.mesh_flit_hops,
+        )
+        assert (a.packets, a.flits, a.avg_packet_latency) == (
+            b.packets,
+            b.flits,
+            b.avg_packet_latency,
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="noc_engine"):
+            CycleTileEngine(small_config(8), noc_engine="warp-drive")
+
+
+class TestMaxPacketsCap:
+    def test_cap_error_names_analytical_fallback(self, engine, tile, monkeypatch):
+        """Beyond MAX_PACKETS the error must point at the analytical tier."""
+        monkeypatch.setattr(CycleTileEngine, "MAX_PACKETS", 10)
+        with pytest.raises(ValueError, match="analytical tier"):
+            engine.run_tile(get_model("gcn"), tile, LayerDims(16, 8))
+
+    def test_cap_error_reports_packet_count(self, engine, tile, monkeypatch):
+        monkeypatch.setattr(CycleTileEngine, "MAX_PACKETS", 10)
+        with pytest.raises(ValueError, match=r"\d+ packets"):
+            engine.run_tile(get_model("gcn"), tile, LayerDims(16, 8))
+
+
+class TestDeadlockContext:
+    def test_run_tile_attaches_tile_context(self, tile, monkeypatch):
+        """A NoC deadlock surfaces with the tile/mapping context attached."""
+        from repro.arch.noc import NoCDeadlockError
+        from repro.arch.noc.network import NoCSimulator
+
+        class WedgedSimulator(NoCSimulator):
+            def run(self, *, max_cycles=1_000_000):
+                raise self._deadlock(
+                    "NoC did not drain within 1 cycles (simulated wedge)",
+                    cycle=1,
+                )
+
+        engine = CycleTileEngine(small_config(8))
+        monkeypatch.setitem(
+            CycleTileEngine.NOC_ENGINES, "event", WedgedSimulator
+        )
+        with pytest.raises(NoCDeadlockError, match="did not drain") as info:
+            engine.run_tile(get_model("gcn"), tile, LayerDims(16, 8))
+        err = info.value
+        assert err.context["tile_nodes"] == tile.num_vertices
+        assert err.context["tile_edges"] == tile.num_edges
+        assert err.context["array_k"] == 8
+        assert err.context["mapping_policy"] == "degree-aware"
+        assert err.context["noc_engine"] == "event"
+        assert err.context["packets_injected"] > 0
+        assert err.cycle == 1

@@ -91,6 +91,7 @@ class TestDocumentationConsistency:
             if bench.stem in (
                 "test_full_sweep",
                 "test_simulator_performance",
+                "test_cycle_tier_performance",
                 "test_noc_characterization",
             ):
                 continue  # performance/infrastructure benches
