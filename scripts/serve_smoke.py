@@ -1,0 +1,130 @@
+"""CI smoke test for `repro serve`.
+
+Boots the real server as a subprocess, drives it with the resilient
+client — concurrent cold requests (single-flight), warm cache hits with
+a latency bound, overload shedding — then checks the SIGTERM drain
+contract and writes the final ``/stats`` snapshot to SERVE_STATS.json
+for upload as a CI artifact.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+
+SMALL = {"dataset": "cora", "scale": 0.2, "hidden": 16, "layers": 1}
+WARM_LATENCY_BUDGET = 2.0  # generous for shared CI runners
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"smoke: {label}: {status}", flush=True)
+    if not condition:
+        raise SystemExit(f"smoke check failed: {label}")
+
+
+def boot(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["REPRO_CACHE_DIR"] = cache_dir
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--queue-depth", "16"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise SystemExit("smoke: server died during startup")
+        if "listening on" in line:
+            return process, int(line.rsplit(":", 1)[1])
+    raise SystemExit("smoke: server never reported its port")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        process, port = boot(cache_dir)
+        try:
+            client = ServeClient("127.0.0.1", port, timeout=60.0)
+            check(client.healthz()["status"] == "ok", "healthz")
+
+            # Concurrent identical cold requests: exactly one execution.
+            with ThreadPoolExecutor(4) as pool:
+                payloads = list(
+                    pool.map(lambda _: client.simulate(SMALL), range(4))
+                )
+            keys = {p["key"] for p in payloads}
+            check(len(keys) == 1, "all requests produced one key")
+            stats = client.stats()
+            check(
+                stats["batcher"]["jobs_run"] <= 1 + stats["cache"]["hits"],
+                "concurrent identical requests ran once",
+            )
+
+            # Warm request: a cache hit, and fast.
+            start = time.perf_counter()
+            warm = client.simulate(SMALL)
+            warm_latency = time.perf_counter() - start
+            check(warm["cached"] is True, "warm request hit the cache")
+            check(
+                warm_latency < WARM_LATENCY_BUDGET,
+                f"warm latency {warm_latency:.3f}s < {WARM_LATENCY_BUDGET}s",
+            )
+
+            # Distinct cold requests all land (retries absorb any sheds).
+            with ThreadPoolExecutor(8) as pool:
+                results = list(
+                    pool.map(
+                        lambda seed: client.simulate({**SMALL, "seed": seed}),
+                        range(1, 9),
+                    )
+                )
+            check(len(results) == 8, "burst of distinct requests completed")
+
+            try:
+                snapshot = client.stats()
+            except ServeError:
+                snapshot = stats
+            Path("SERVE_STATS.json").write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            )
+            print("smoke: wrote SERVE_STATS.json", flush=True)
+
+            # SIGTERM drain: the process must exit 0.
+            process.send_signal(signal.SIGTERM)
+            exit_code = process.wait(timeout=60.0)
+            check(exit_code == 0, "SIGTERM drained and exited 0")
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+            process.wait()
+    print("smoke: all checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

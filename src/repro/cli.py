@@ -20,6 +20,14 @@ Commands
 ``bench``
     Run the standard layer benchmarks (cold + warm) and write a
     ``BENCH_*.json`` snapshot with per-stage timings and cache counters.
+``serve``
+    Run the long-lived simulation service (asyncio HTTP, single-flight
+    dedup, micro-batching, admission control; drains on SIGTERM).
+``request``
+    Fire one simulation request at a running service through the
+    retrying client.
+``cache``
+    Inspect / manage the on-disk result cache (stats, clear, prune).
 
 ``compare``/``sweep``/``experiment`` accept ``--jobs N`` (process-pool
 fan-out) and ``--cache/--no-cache`` (content-addressed result cache in
@@ -125,10 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--tier",
-        choices=("analytical", "cycle"),
+        choices=("analytical", "cycle", "serve"),
         default="analytical",
-        help="which tier to bench: analytical layer sweep (BENCH_2) or "
-        "flit-level cycle tile (BENCH_3)",
+        help="which tier to bench: analytical layer sweep (BENCH_2), "
+        "flit-level cycle tile (BENCH_3), or the end-to-end simulation "
+        "service (BENCH_4)",
     )
     p_bench.add_argument(
         "--repeat",
@@ -143,10 +152,145 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="snapshot destination (default: BENCH_2.json analytical, "
-        "BENCH_3.json cycle)",
+        "BENCH_3.json cycle, BENCH_4.json serve)",
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="run the long-lived simulation service"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8765, help="0 picks an ephemeral port"
+    )
+    p_srv.add_argument(
+        "--queue-depth",
+        type=positive_int,
+        default=64,
+        metavar="N",
+        help="max in-flight requests before shedding with 429",
+    )
+    p_srv.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="micro-batch accumulation window",
+    )
+    p_srv.add_argument(
+        "--max-batch",
+        type=positive_int,
+        default=16,
+        metavar="N",
+        help="flush a batch early once it holds N unique jobs",
+    )
+    p_srv.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes per batch (1 = serial, in-thread)",
+    )
+    p_srv.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request budget (default: none)",
+    )
+    p_srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="SIGTERM grace period for in-flight work",
+    )
+    p_srv.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve repeated jobs from the on-disk result cache",
+    )
+    p_srv.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+    p_req = sub.add_parser(
+        "request", help="fire one request at a running service"
+    )
+    p_req.add_argument("--host", default="127.0.0.1")
+    p_req.add_argument("--port", type=int, default=8765)
+    p_req.add_argument("--model", default="gcn", choices=list_models())
+    p_req.add_argument("--dataset", default="cora", choices=list(DATASETS))
+    p_req.add_argument("--scale", type=float, default=1.0)
+    p_req.add_argument("--hidden", type=int, default=64)
+    p_req.add_argument("--layers", type=int, default=2)
+    p_req.add_argument("--seed", type=int, default=7)
+    p_req.add_argument(
+        "--device",
+        default="aurora",
+        choices=("aurora", "hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn"),
+    )
+    p_req.add_argument(
+        "--mapping", default="degree-aware", choices=("degree-aware", "hashing")
+    )
+    p_req.add_argument(
+        "--retries", type=int, default=4, help="retry budget for 429/503"
+    )
+    p_req.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="total budget across retries, propagated to the server",
+    )
+    p_req.add_argument(
+        "--json", action="store_true", help="print the raw response payload"
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / manage the on-disk result cache"
+    )
+    p_cache.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count, bytes, fingerprint")
+    cache_sub.add_parser("clear", help="delete every cached result")
+    c_prune = cache_sub.add_parser(
+        "prune", help="delete results older than a maximum age"
+    )
+    c_prune.add_argument(
+        "--max-age",
+        required=True,
+        metavar="AGE",
+        help="age limit, e.g. 900 (seconds), 30m, 36h, 7d",
     )
 
     return parser
+
+
+def parse_age(text: str) -> float:
+    """``900`` / ``30m`` / ``36h`` / ``7d`` → seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = 1.0
+    if text and text[-1].lower() in units:
+        scale = units[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid age {text!r} (expected e.g. 900, 30m, 36h, 7d)"
+        ) from None
+    if value < 0:
+        raise ValueError("age must be >= 0")
+    return value * scale
 
 
 def _cmd_datasets() -> int:
@@ -272,18 +416,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import write_bench_json
 
-    output = args.output or (
-        "BENCH_3.json" if args.tier == "cycle" else "BENCH_2.json"
-    )
+    defaults = {
+        "analytical": "BENCH_2.json",
+        "cycle": "BENCH_3.json",
+        "serve": "BENCH_4.json",
+    }
+    output = args.output or defaults[args.tier]
     snapshot = write_bench_json(output, repeat=args.repeat, tier=args.tier)
     print(f"bench: wrote {output} ({snapshot['wall_seconds']:.2f}s wall)")
     for name, bench in snapshot["benches"].items():
-        print(
-            f"  {name:<12} cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
-            f"warm mean {bench['warm_mean_seconds'] * 1e3:7.1f} ms "
-            f"(min {bench['warm_min_seconds'] * 1e3:.1f} ms, "
-            f"x{snapshot['repeat']})"
-        )
+        if "cold_seconds" in bench:
+            print(
+                f"  {name:<12} cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
+                f"warm mean {bench['warm_mean_seconds'] * 1e3:7.1f} ms "
+                f"(min {bench['warm_min_seconds'] * 1e3:.1f} ms, "
+                f"x{snapshot['repeat']})"
+            )
         if "speedup_vs_reference" in bench:
             print(
                 f"  {'':<12} reference {bench['reference_seconds']:.2f} s → "
@@ -291,12 +439,125 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{bench['packets_per_second']:,.0f} packets/s | "
                 f"{bench['cycles_per_second']:,.0f} cycles/s"
             )
+        if "requests_per_second" in bench:
+            print(
+                f"  {name:<12} {bench['requests']} requests @ "
+                f"{bench['concurrency']} concurrent → "
+                f"{bench['requests_per_second']:,.0f} req/s"
+            )
+        if "shed_rate" in bench:
+            print(
+                f"  {name:<12} {bench['served']} served / "
+                f"{bench['shed']} shed of {bench['requests']} "
+                f"(shed rate {bench['shed_rate']:.0%}, "
+                f"queue depth {bench['queue_depth']})"
+            )
     hits = {
         k: v for k, v in snapshot["counters"].items() if k.endswith("cache_hit")
     }
     if hits:
         print("  cache hits: " + ", ".join(f"{k}={v}" for k, v in sorted(hits.items())))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime.cache import ResultCache
+    from .runtime.executor import get_executor
+    from .serve.server import SimulationService, serve_forever
+
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    executor = get_executor(args.jobs, timeout=args.timeout)
+    service = SimulationService(
+        cache=cache,
+        executor=executor,
+        queue_depth=args.queue_depth,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        request_timeout=args.timeout,
+    )
+    return asyncio.run(
+        serve_forever(
+            service, args.host, args.port, drain_timeout=args.drain_timeout
+        )
+    )
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, retries=args.retries)
+    request = {
+        "model": args.model,
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "hidden": args.hidden,
+        "layers": args.layers,
+        "seed": args.seed,
+        "device": args.device,
+        "mapping": args.mapping,
+    }
+    try:
+        payload = client.simulate(request, deadline=args.deadline)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    result = payload["result"]
+    source = "cache" if payload["cached"] else (
+        "in-flight join" if payload["joined"] else "simulated"
+    )
+    print(f"key             : {payload['key'][:16]}… ({source})")
+    print(f"device          : {result['accelerator']}")
+    print(f"model / dataset : {args.model} / {args.dataset}@{args.scale:g}")
+    print(f"execution time  : {result['total_seconds'] * 1e6:,.1f} us")
+    print(f"DRAM traffic    : {result['dram_bytes'] / 1e6:,.2f} MB")
+    print(f"request latency : {payload['latency_seconds'] * 1e3:,.1f} ms")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime.cache import ResultCache
+
+    cache = ResultCache(args.dir) if args.dir else ResultCache()
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"root        : {stats['root']}")
+        print(f"fingerprint : {stats['fingerprint']}")
+        print(f"entries     : {stats['entries']}")
+        print(f"bytes       : {stats['bytes']:,}")
+        if stats["oldest_mtime"] is not None:
+            import time as time_mod
+
+            age = time_mod.time() - stats["oldest_mtime"]
+            print(f"oldest      : {age / 3600:.1f}h ago")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cache: removed {removed} result(s) from {cache.root}")
+        return 0
+    if args.cache_command == "prune":
+        try:
+            max_age = parse_age(args.max_age)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        removed = cache.prune(max_age)
+        print(
+            f"cache: pruned {removed} result(s) older than "
+            f"{args.max_age} from {cache.root}"
+        )
+        return 0
+    raise AssertionError(
+        f"unhandled cache command {args.cache_command}"
+    )  # pragma: no cover
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -318,4 +579,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "request":
+        return _cmd_request(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -29,6 +29,7 @@ __all__ = [
     "CYCLE_BENCHES",
     "run_benches",
     "run_cycle_benches",
+    "run_serve_benches",
     "write_bench_json",
 ]
 
@@ -248,6 +249,134 @@ def run_cycle_benches(
     }
 
 
+#: The request the serve bench fires: small enough that cold latency is
+#: dominated by the service path, not the simulation itself.
+SERVE_BENCH_REQUEST = {
+    "model": "gcn",
+    "dataset": "cora",
+    "scale": 0.2,
+    "hidden": 16,
+    "layers": 1,
+}
+
+
+def run_serve_benches(*, repeat: int = 10) -> dict:
+    """Bench the simulation service end to end (BENCH_4-style).
+
+    Measures, through a real socket against an in-process server:
+
+    * **cold vs warm request latency** — first request simulates and
+      fills the cache, the repeats are served straight from it;
+    * **saturation throughput** — concurrent warm requests per second;
+    * **shed rate under overload** — distinct cold requests fired at a
+      service with a tiny admission budget, counting 429s.
+    """
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..runtime.cache import ResultCache
+    from ..serve.client import ServeClient, ServeError
+    from ..serve.server import ServerThread, SimulationService
+    from .instrumentation import PERF
+
+    PERF.reset()
+    wall_start = time.perf_counter()
+    request = dict(SERVE_BENCH_REQUEST)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp))
+        service = SimulationService(cache=cache, queue_depth=64)
+        with ServerThread(service) as thread:
+            host, port = thread.address
+            client = ServeClient(host, port, timeout=120.0)
+
+            t0 = time.perf_counter()
+            cold_payload = client.simulate(request)
+            cold = time.perf_counter() - t0
+            if cold_payload["cached"]:  # pragma: no cover
+                raise AssertionError("cold serve bench request hit the cache")
+
+            warm: list[float] = []
+            for _ in range(max(1, repeat)):
+                t0 = time.perf_counter()
+                payload = client.simulate(request)
+                warm.append(time.perf_counter() - t0)
+                if not payload["cached"]:  # pragma: no cover
+                    raise AssertionError("warm serve bench request missed")
+
+            # Saturation: concurrent warm requests through one client
+            # config (each call opens its own connection).
+            concurrency, total = 8, 64
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                list(pool.map(lambda _: client.simulate(request), range(total)))
+            saturation_seconds = time.perf_counter() - t0
+            stats = client.stats()
+
+    # Overload: distinct (seed-varied) cold jobs against a two-slot
+    # admission budget; a zero-retry client converts sheds to errors.
+    overload_service = SimulationService(queue_depth=2, batch_window=0.02)
+    overload_total = 16
+    with ServerThread(overload_service) as thread:
+        host, port = thread.address
+        shed_client = ServeClient(host, port, retries=0, timeout=120.0)
+
+        def fire(seed: int) -> bool:
+            try:
+                shed_client.simulate({**request, "seed": seed})
+                return True
+            except ServeError:
+                return False
+
+        with ThreadPoolExecutor(max_workers=overload_total) as pool:
+            served = list(pool.map(fire, range(overload_total)))
+        overload_stats = overload_service.stats()
+
+    shed = overload_total - sum(served)
+    warm_mean = sum(warm) / len(warm)
+    wall = time.perf_counter() - wall_start
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "serve",
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "benches": {
+            "request": {
+                "label": "gcn/cora@0.2 via repro.serve",
+                "request": request,
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "warm_mean_seconds": warm_mean,
+                "warm_min_seconds": min(warm),
+                "cold_over_warm": cold / warm_mean if warm_mean else None,
+                "latency": stats["latency"],
+            },
+            "saturation": {
+                "concurrency": concurrency,
+                "requests": total,
+                "wall_seconds": saturation_seconds,
+                "requests_per_second": total / saturation_seconds,
+            },
+            "overload": {
+                "queue_depth": 2,
+                "requests": overload_total,
+                "served": sum(served),
+                "shed": shed,
+                "shed_rate": shed / overload_total,
+                "admission": overload_stats["admission"],
+            },
+        },
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+    }
+
+
 def run_benches(
     benches: tuple[BenchCase, ...] = STANDARD_BENCHES, *, repeat: int = 5
 ) -> dict:
@@ -284,8 +413,9 @@ def write_bench_json(
 ) -> dict:
     """Run one tier's benches and write the snapshot to ``path``.
 
-    ``tier`` selects the analytical layer benches (BENCH_2-style) or the
-    flit-level cycle-tier bench (BENCH_3-style); returns the snapshot.
+    ``tier`` selects the analytical layer benches (BENCH_2-style), the
+    flit-level cycle-tier bench (BENCH_3-style), or the end-to-end
+    service bench (BENCH_4-style); returns the snapshot.
     """
     if tier == "analytical":
         snapshot = run_benches(
@@ -297,7 +427,9 @@ def write_bench_json(
             benches if benches is not None else CYCLE_BENCHES,
             repeat=repeat if repeat is not None else 3,
         )
+    elif tier == "serve":
+        snapshot = run_serve_benches(repeat=repeat if repeat is not None else 10)
     else:
-        raise ValueError("tier must be 'analytical' or 'cycle'")
+        raise ValueError("tier must be 'analytical', 'cycle', or 'serve'")
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot

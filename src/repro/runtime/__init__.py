@@ -22,7 +22,13 @@ from .executor import (
     get_executor,
 )
 from .jobs import SimJob, execute_job, job_key, run_job
-from .runner import JobOutcome, SweepMetrics, SweepReport, run_jobs
+from .runner import (
+    JobOutcome,
+    SweepMetrics,
+    SweepReport,
+    run_jobs,
+    run_jobs_async,
+)
 
 __all__ = [
     "SimJob",
@@ -42,4 +48,5 @@ __all__ = [
     "SweepMetrics",
     "SweepReport",
     "run_jobs",
+    "run_jobs_async",
 ]

@@ -19,6 +19,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -101,6 +102,11 @@ class ResultCache:
         except OSError:
             self.stats.misses += 1
             return None
+        except UnicodeDecodeError:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._evict(path)
+            return None
         try:
             blob = json.loads(raw)
             if blob["fingerprint"] != self.fingerprint:
@@ -143,17 +149,65 @@ class ResultCache:
         self.stats.stores += 1
 
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
+    def entries(self) -> list[Path]:
+        """Every blob path under the root, sorted (stable for tests)."""
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def disk_stats(self) -> dict:
+        """On-disk footprint summary for ``repro cache stats``."""
+        entries = self.entries()
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for path in entries:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total_bytes += stat.st_size
+            mtime = stat.st_mtime
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint,
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
 
     def clear(self) -> int:
         """Delete all blobs; returns how many were removed."""
         removed = 0
-        for blob in list(self.root.glob("*/*.json")):
+        for blob in self.entries():
             self._evict(blob)
             removed += 1
+        return removed
+
+    def prune(self, max_age_seconds: float, *, now: float | None = None) -> int:
+        """Delete blobs last written more than ``max_age_seconds`` ago.
+
+        Age is judged by mtime (the store time — blobs are immutable
+        once written).  Returns the number of blobs removed.
+        """
+        if max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be >= 0")
+        cutoff = (now if now is not None else time.time()) - max_age_seconds
+        removed = 0
+        for path in self.entries():
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if mtime < cutoff:
+                self._evict(path)
+                removed += 1
         return removed
 
     @staticmethod

@@ -66,15 +66,33 @@ class SerialExecutor:
         return [_invoke(fn, job) for job in jobs]
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill and reap a pool whose worker blew its deadline.
+
+    ``ProcessPoolExecutor`` has no per-future kill, so a timed-out job
+    would otherwise occupy its worker slot until the simulation ends on
+    its own (possibly never).  Terminating the worker processes frees
+    the slots immediately; the survivors of the batch are resubmitted to
+    a fresh pool by the caller.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        proc.terminate()
+    for proc in processes:
+        proc.join(timeout=5.0)
+
+
 class ProcessExecutor:
     """Fan jobs out over a bounded ``ProcessPoolExecutor``.
 
     ``timeout`` bounds the wait for each job *from the moment collection
     reaches it* — earlier jobs' waits overlap later jobs' execution, so
     it is a per-job bound on observed latency, not CPU time.  A job that
-    exceeds it is reported as an error record and the remaining queue is
-    cancelled lazily; already-running workers are left to finish in the
-    background rather than killed mid-simulation.
+    exceeds it is reported as an error record and its stuck worker is
+    terminated and reaped; jobs that had not finished by then are
+    resubmitted to a fresh pool, so one hung simulation never occupies a
+    slot for the rest of the sweep.
     """
 
     name = "process"
@@ -93,32 +111,55 @@ class ProcessExecutor:
         jobs = list(jobs)
         if not jobs:
             return []
-        pool = ProcessPoolExecutor(max_workers=min(self.max_workers, len(jobs)))
-        records: list[ExecutionRecord] = []
-        timed_out = False
-        try:
-            futures = [pool.submit(_invoke, fn, job) for job in jobs]
-            for job, future in zip(jobs, futures):
+        records: dict[int, ExecutionRecord] = {}
+        pending = list(enumerate(jobs))
+        while pending:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(pending))
+            )
+            futures = [
+                (index, job, pool.submit(_invoke, fn, job))
+                for index, job in pending
+            ]
+            survivors: list[tuple[int, SimJob]] = []
+            timed_out = False
+            for index, job, future in futures:
+                if timed_out:
+                    # A worker is being reaped: harvest whatever already
+                    # finished, resubmit the rest to the next pool.
+                    if future.done() and not future.cancelled():
+                        records[index] = self._harvest(job, future)
+                    else:
+                        future.cancel()
+                        survivors.append((index, job))
+                    continue
                 try:
-                    records.append(future.result(timeout=self.timeout))
+                    records[index] = future.result(timeout=self.timeout)
                 except FutureTimeoutError:
                     timed_out = True
-                    future.cancel()
-                    records.append(
-                        ExecutionRecord(
-                            job,
-                            None,
-                            f"timeout: exceeded {self.timeout:g}s",
-                            self.timeout or 0.0,
-                        )
+                    records[index] = ExecutionRecord(
+                        job,
+                        None,
+                        f"timeout: exceeded {self.timeout:g}s",
+                        self.timeout or 0.0,
                     )
                 except Exception as exc:  # broken pool, pickling failure, …
-                    records.append(
-                        ExecutionRecord(job, None, f"{type(exc).__name__}: {exc}")
+                    records[index] = ExecutionRecord(
+                        job, None, f"{type(exc).__name__}: {exc}"
                     )
-        finally:
-            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
-        return records
+            if timed_out:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown()
+            pending = survivors
+        return [records[index] for index in range(len(jobs))]
+
+    @staticmethod
+    def _harvest(job: SimJob, future) -> ExecutionRecord:
+        try:
+            return future.result(timeout=0)
+        except Exception as exc:
+            return ExecutionRecord(job, None, f"{type(exc).__name__}: {exc}")
 
 
 class FakeExecutor:

@@ -30,6 +30,15 @@ from ..models.zoo import get_model
 
 __all__ = ["SimJob", "job_key", "run_job", "execute_job"]
 
+#: Wire-format aliases the service and CLI accept (`layers` mirrors the
+#: ``repro simulate --layers`` flag, ``device`` its ``--device``).
+REQUEST_ALIASES = {"layers": "num_layers", "device": "accelerator"}
+
+#: Numeric coercions applied to loosely-typed request values so that
+#: e.g. JSON ``"scale": 1`` and ``"scale": 1.0`` canonicalize to the
+#: same job (and therefore the same content hash / cache entry).
+_REQUEST_COERCE = {"scale": float, "hidden": int, "num_layers": int, "seed": int}
+
 #: Bump when the job schema or its execution semantics change in a way
 #: that must invalidate previously cached results.
 JOB_SCHEMA_VERSION = 1
@@ -116,6 +125,38 @@ class SimJob:
             config=config,
             baseline_traits=traits,
         )
+
+    @staticmethod
+    def from_request(data: dict) -> "SimJob":
+        """Canonicalize a loosely-keyed request dict into a job spec.
+
+        This is the wire-format entry point (`repro.serve`, `repro
+        request`): it accepts the CLI-style aliases (``layers``,
+        ``device``), coerces numeric types so equivalent JSON spellings
+        hash identically, and rejects unknown fields loudly — a typo
+        must fail the request, not silently simulate the default.
+        """
+        if not isinstance(data, dict):
+            raise TypeError("request must be a JSON object")
+        known = set(SimJob().as_dict())
+        normalized: dict = {}
+        for key, value in data.items():
+            field = REQUEST_ALIASES.get(key, key)
+            if field not in known:
+                raise KeyError(f"unknown request field: {key!r}")
+            if field in normalized:
+                raise ValueError(f"duplicate request field: {key!r}")
+            coerce = _REQUEST_COERCE.get(field)
+            if coerce is not None and value is not None:
+                try:
+                    value = coerce(value)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"field {key!r} must be {coerce.__name__}, "
+                        f"got {value!r}"
+                    ) from None
+            normalized[field] = value
+        return SimJob.from_dict(normalized)
 
     # ------------------------------------------------------------------
     def resolved_config(self) -> AcceleratorConfig:

@@ -20,7 +20,13 @@ from .cache import ResultCache, as_cache
 from .executor import SerialExecutor, get_executor
 from .jobs import SimJob, job_key
 
-__all__ = ["JobOutcome", "SweepMetrics", "SweepReport", "run_jobs"]
+__all__ = [
+    "JobOutcome",
+    "SweepMetrics",
+    "SweepReport",
+    "run_jobs",
+    "run_jobs_async",
+]
 
 
 @dataclass
@@ -172,3 +178,32 @@ def run_jobs(
 
     metrics.wall_seconds = time.perf_counter() - start
     return SweepReport([outcomes[key] for key in keys], metrics)
+
+
+async def run_jobs_async(
+    jobs: Iterable[SimJob],
+    *,
+    executor=None,
+    cache: ResultCache | bool | None = None,
+    jobs_n: int | None = None,
+    progress: Callable[[JobOutcome], None] | None = None,
+) -> SweepReport:
+    """:func:`run_jobs` for asyncio callers (the ``repro.serve`` batcher).
+
+    The sweep itself is blocking (cache I/O, serial simulation or
+    process-pool collection), so it runs on a worker thread; the event
+    loop stays free to accept and shed requests while a batch executes.
+    """
+    import asyncio
+    import functools
+
+    return await asyncio.to_thread(
+        functools.partial(
+            run_jobs,
+            jobs,
+            executor=executor,
+            cache=cache,
+            jobs_n=jobs_n,
+            progress=progress,
+        )
+    )

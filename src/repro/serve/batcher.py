@@ -1,0 +1,160 @@
+"""Single-flight deduplication + micro-batching over the job runner.
+
+Two layers of collapsing between the HTTP handlers and the simulators:
+
+* **single-flight** — at most one execution per job content hash is in
+  flight at any moment.  A request arriving while "its" job is already
+  queued or running simply awaits the same future and shares the
+  result, so a stampede of identical requests costs one simulation.
+* **micro-batching** — admitted unique jobs accumulate for a short
+  window (``batch_window`` seconds, or until ``max_batch`` jobs) and go
+  through :func:`repro.runtime.run_jobs` as *one* batch, amortizing the
+  cache probe and (with a process executor) pool spin-up across
+  requests instead of paying them per request.
+
+The batch itself runs on a worker thread (`run_jobs_async`), keeping
+the event loop responsive for admission and shedding while simulations
+execute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from ..perf import PERF
+from ..runtime.cache import ResultCache
+from ..runtime.jobs import SimJob, job_key
+from ..runtime.runner import JobOutcome, SweepReport, run_jobs_async
+
+__all__ = ["JobBatcher"]
+
+#: Runner signature: a list of unique jobs in, a SweepReport out.
+AsyncRunner = Callable[[list[SimJob]], Awaitable[SweepReport]]
+
+
+class JobBatcher:
+    """Collect compatible jobs and drain them through ``run_jobs``."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        executor=None,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+        runner: AsyncRunner | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        self.cache = cache
+        self.executor = executor
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self._runner = runner or self._default_runner
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending: list[tuple[str, SimJob]] = []
+        self._flush_task: asyncio.Task | None = None
+        self.batches_run = 0
+        self.jobs_run = 0
+        self.singleflight_joins = 0
+
+    async def _default_runner(self, jobs: list[SimJob]) -> SweepReport:
+        return await run_jobs_async(jobs, executor=self.executor, cache=self.cache)
+
+    # ------------------------------------------------------------------
+    async def submit(self, job: SimJob) -> tuple[JobOutcome, bool]:
+        """Resolve one job to its outcome; ``True`` flags an in-flight join.
+
+        Callers that enforce a timeout must shield this coroutine
+        (``asyncio.wait_for(asyncio.shield(batcher.submit(job)), t)``)
+        so that one caller's deadline cannot cancel an execution other
+        requests are waiting on.
+        """
+        key = job_key(job)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.singleflight_joins += 1
+            PERF.incr("serve.singleflight_join")
+            outcome = await asyncio.shield(existing)
+            return outcome, True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._pending.append((key, job))
+        if len(self._pending) >= self.max_batch:
+            batch = self._take_pending()
+            await self._execute(batch)
+        else:
+            if self._flush_task is None or self._flush_task.done():
+                self._flush_task = loop.create_task(self._flush_after_window())
+        outcome = await asyncio.shield(future)
+        return outcome, False
+
+    # ------------------------------------------------------------------
+    def _take_pending(self) -> list[tuple[str, SimJob]]:
+        batch, self._pending = self._pending, []
+        return batch
+
+    async def _flush_after_window(self) -> None:
+        await asyncio.sleep(self.batch_window)
+        batch = self._take_pending()
+        if batch:
+            await self._execute(batch)
+
+    async def _execute(self, batch: list[tuple[str, SimJob]]) -> None:
+        jobs = [job for _, job in batch]
+        self.batches_run += 1
+        self.jobs_run += len(jobs)
+        PERF.incr("serve.batch")
+        PERF.incr("serve.batch_jobs", len(jobs))
+        try:
+            report = await self._runner(jobs)
+            by_key = {outcome.key: outcome for outcome in report.outcomes}
+        except Exception as exc:  # noqa: BLE001 — isolate a runner crash
+            by_key = {
+                key: JobOutcome(
+                    job, key, None, error=f"{type(exc).__name__}: {exc}"
+                )
+                for key, job in batch
+            }
+        for key, job in batch:
+            future = self._inflight.pop(key, None)
+            if future is None or future.done():
+                continue
+            outcome = by_key.get(key) or JobOutcome(
+                job, key, None, error="runner returned no outcome for job"
+            )
+            future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    async def drain(self) -> None:
+        """Await every queued and in-flight execution (drain path)."""
+        while self._pending or self._inflight:
+            if self._flush_task is not None and not self._flush_task.done():
+                await asyncio.wait({self._flush_task})
+                continue
+            futures = list(self._inflight.values())
+            if futures:
+                await asyncio.wait(futures)
+            else:
+                await asyncio.sleep(0)
+
+    def snapshot(self) -> dict:
+        """Stats view for ``/stats``."""
+        return {
+            "batch_window_seconds": self.batch_window,
+            "max_batch": self.max_batch,
+            "pending": len(self._pending),
+            "inflight": len(self._inflight),
+            "batches_run": self.batches_run,
+            "jobs_run": self.jobs_run,
+            "singleflight_joins": self.singleflight_joins,
+        }

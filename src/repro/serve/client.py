@@ -1,0 +1,197 @@
+"""Resilient synchronous client for the simulation service.
+
+Retries are opt-out, not opt-in: transport failures and explicit
+backpressure (429 shed, 503 draining) retry with capped exponential
+backoff plus jitter, while deterministic failures (400 bad request,
+500 simulation error) surface immediately — retrying a job that will
+fail identically only adds load.  A ``deadline`` bounds the *total*
+budget across attempts and propagates to the server in the
+``X-Repro-Deadline`` header so it can abandon work the client already
+gave up on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import random
+import time
+from typing import Callable
+
+from ..runtime.jobs import SimJob
+
+__all__ = [
+    "ServeError",
+    "RequestFailed",
+    "DeadlineExceeded",
+    "ServiceUnavailable",
+    "ServeClient",
+]
+
+#: Statuses that signal transient backpressure worth retrying.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServeError(Exception):
+    """Base class for client-side failures."""
+
+
+class RequestFailed(ServeError):
+    """The server answered with a non-retryable error status."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class DeadlineExceeded(ServeError):
+    """The total deadline budget ran out before a success."""
+
+
+class ServiceUnavailable(ServeError):
+    """Retries exhausted against transient failures."""
+
+
+#: Transport signature: (method, path, body, headers, timeout) →
+#: (status, payload).  Injectable so tests script failure sequences
+#: without a socket.
+Transport = Callable[[str, str, bytes | None, dict, float], tuple[int, dict]]
+
+
+class ServeClient:
+    """Thin blocking client with retries, backoff + jitter, deadlines."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        retries: int = 4,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.25,
+        timeout: float = 30.0,
+        transport: Transport | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.timeout = timeout
+        self._transport = transport or self._http_transport
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+
+    # -- transport ------------------------------------------------------
+    def _http_transport(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict,
+        timeout: float,
+    ) -> tuple[int, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": f"undecodable response body: {raw[:200]!r}"}
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+        return response.status, payload
+
+    # -- core retry loop ------------------------------------------------
+    def call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        """One logical request with retries; returns (status, payload)."""
+        encoded = None
+        headers = {}
+        if body is not None:
+            encoded = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        start = time.monotonic()
+        attempt = 0
+        last_failure = "no attempt made"
+        while True:
+            remaining = math.inf
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - start)
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        f"deadline of {deadline:g}s exhausted after "
+                        f"{attempt} attempt(s); last failure: {last_failure}"
+                    )
+                headers["X-Repro-Deadline"] = f"{remaining:.3f}"
+            attempt_timeout = min(self.timeout, remaining)
+            try:
+                status, payload = self._transport(
+                    method, path, encoded, dict(headers), attempt_timeout
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                last_failure = f"{type(exc).__name__}: {exc}"
+            else:
+                if status not in RETRYABLE_STATUSES:
+                    return status, payload
+                last_failure = f"HTTP {status}: {payload.get('error', '')}"
+            attempt += 1
+            if attempt > self.retries:
+                raise ServiceUnavailable(
+                    f"gave up after {attempt} attempt(s); "
+                    f"last failure: {last_failure}"
+                )
+            delay = min(self.backoff_cap, self.backoff * 2 ** (attempt - 1))
+            delay *= 1.0 + self.jitter * self._rng.random()
+            if deadline is not None:
+                budget = deadline - (time.monotonic() - start)
+                if budget <= 0:
+                    raise DeadlineExceeded(
+                        f"deadline of {deadline:g}s exhausted after "
+                        f"{attempt} attempt(s); last failure: {last_failure}"
+                    )
+                delay = min(delay, budget)
+            self._sleep(delay)
+
+    # -- endpoints ------------------------------------------------------
+    def simulate(
+        self, request: dict | SimJob, *, deadline: float | None = None
+    ) -> dict:
+        """Run one simulation request; returns the response payload."""
+        body = request.as_dict() if isinstance(request, SimJob) else dict(request)
+        status, payload = self.call(
+            "POST", "/simulate", body, deadline=deadline
+        )
+        if status != 200:
+            raise RequestFailed(status, payload)
+        return payload
+
+    def healthz(self) -> dict:
+        status, payload = self.call("GET", "/healthz")
+        if status != 200:
+            raise RequestFailed(status, payload)
+        return payload
+
+    def stats(self) -> dict:
+        status, payload = self.call("GET", "/stats")
+        if status != 200:
+            raise RequestFailed(status, payload)
+        return payload

@@ -1,0 +1,128 @@
+"""Minimal HTTP/1.1 on asyncio streams — just enough for the service.
+
+The service speaks a deliberately tiny dialect (one JSON request, one
+JSON response, ``Connection: close``) so the whole wire layer stays
+stdlib-only and auditable: no routing framework, no chunked encoding,
+no keep-alive state machine.  Anything the parser does not understand
+raises :class:`HTTPError`, which the server maps to a 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "read_request",
+    "render_response",
+    "STATUS_REASONS",
+]
+
+#: Upper bound on a request body; a simulation spec is a few hundred
+#: bytes, so anything near this is hostile or broken.
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_BYTES = 16 << 10
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HTTPError(ValueError):
+    """A request the wire layer refuses to parse (maps to 400)."""
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: line, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (:class:`HTTPError` if not)."""
+        if not self.body:
+            raise HTTPError("request body is empty (expected a JSON object)")
+        try:
+            data = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HTTPError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise HTTPError("request body must be a JSON object")
+        return data
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Parse one request off ``reader``; ``None`` on a clean EOF."""
+    try:
+        raw_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not raw_line:
+        return None
+    parts = raw_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HTTPError(f"malformed request line: {raw_line!r}")
+    method, path, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(f"unsupported protocol version: {version}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise HTTPError("connection closed mid-headers")
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HTTPError("headers exceed the size limit")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HTTPError(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0") or "0"
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HTTPError(f"bad Content-Length: {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HTTPError(f"Content-Length out of range: {length}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError("connection closed mid-body") from None
+    return HTTPRequest(method.upper(), path, headers, body)
+
+
+def render_response(
+    status: int, payload: dict, *, headers: dict[str, str] | None = None
+) -> bytes:
+    """One complete ``Connection: close`` JSON response as bytes."""
+    body = (json.dumps(payload) + "\n").encode()
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,62 @@
+"""Wire protocol: request canonicalization and response encoding.
+
+A simulation request is a flat JSON object whose fields mirror
+:class:`repro.runtime.SimJob` (with the CLI aliases ``layers`` and
+``device``, plus an optional ``tier`` selector).  Canonicalization is
+delegated to :meth:`SimJob.from_request` so the service, the CLI, and
+any other front end hash equivalent requests to the same content key —
+which is what single-flight deduplication and the result cache key on.
+"""
+
+from __future__ import annotations
+
+from ..runtime.jobs import SimJob
+from ..runtime.runner import JobOutcome
+
+__all__ = [
+    "ProtocolError",
+    "SUPPORTED_TIERS",
+    "parse_simulation_request",
+    "encode_outcome",
+]
+
+#: Simulation tiers the service can execute.  The flit-level cycle tier
+#: is tile-scoped (no full-job entry point yet), so requests for it are
+#: rejected with a clear message rather than silently downgraded.
+SUPPORTED_TIERS = ("analytical",)
+
+
+class ProtocolError(ValueError):
+    """A request that fails canonicalization (maps to HTTP 400)."""
+
+
+def parse_simulation_request(data: dict) -> SimJob:
+    """Canonicalize one request body into a frozen :class:`SimJob`."""
+    if not isinstance(data, dict):
+        raise ProtocolError("request must be a JSON object")
+    data = dict(data)
+    tier = data.pop("tier", "analytical")
+    if tier not in SUPPORTED_TIERS:
+        raise ProtocolError(
+            f"unsupported tier {tier!r} (supported: {', '.join(SUPPORTED_TIERS)})"
+        )
+    try:
+        return SimJob.from_request(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        # KeyError reprs its argument; strip the quotes for a clean message.
+        message = exc.args[0] if exc.args else str(exc)
+        raise ProtocolError(str(message)) from None
+
+
+def encode_outcome(
+    outcome: JobOutcome, *, joined: bool, latency_seconds: float
+) -> dict:
+    """The response payload for one completed simulation request."""
+    return {
+        "key": outcome.key,
+        "cached": outcome.cached,
+        "joined": joined,
+        "seconds": outcome.seconds,
+        "latency_seconds": latency_seconds,
+        "result": outcome.result.to_dict() if outcome.result is not None else None,
+    }

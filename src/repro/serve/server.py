@@ -1,0 +1,376 @@
+"""The simulation service: asyncio HTTP front end over the job runtime.
+
+Request path::
+
+    client ──HTTP──► admission (bounded, sheds 429)
+                        │
+                        ▼
+                 protocol.parse  (canonical SimJob, 400 on bad input)
+                        │
+                        ▼
+                 JobBatcher      (single-flight + micro-batch)
+                        │
+                        ▼
+                 run_jobs on a worker thread
+                 (ResultCache hit → no simulation at all)
+
+Endpoints: ``POST /simulate``, ``GET /healthz``, ``GET /stats``.
+Lifecycle: SIGTERM/SIGINT stop the listener, finish in-flight work
+(bounded by ``drain_timeout``), then exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from collections import deque
+
+from ..perf import PERF
+from ..runtime.cache import ResultCache
+from ..runtime.jobs import SimJob
+from .admission import AdmissionController
+from .batcher import JobBatcher
+from .http import HTTPError, HTTPRequest, read_request, render_response
+from .protocol import ProtocolError, encode_outcome, parse_simulation_request
+
+__all__ = ["LatencyWindow", "SimulationService", "ServerThread", "serve_forever"]
+
+#: Header carrying the client's remaining deadline budget (seconds); the
+#: server caps its per-request timeout to it so work the client already
+#: gave up on is cancelled instead of computed.
+DEADLINE_HEADER = "x-repro-deadline"
+
+
+class LatencyWindow:
+    """Sliding window of request latencies with percentile readout."""
+
+    def __init__(self, size: int = 512) -> None:
+        self._samples: deque[float] = deque(maxlen=size)
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile over the window, ``None`` when empty."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        window = list(self._samples)
+        return {
+            "count": self.count,
+            "window": len(window),
+            "mean_seconds": sum(window) / len(window) if window else None,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+        }
+
+
+class SimulationService:
+    """Routes, counters, and lifecycle for one service instance."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        executor=None,
+        queue_depth: int = 64,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+        request_timeout: float | None = None,
+        runner=None,
+    ) -> None:
+        self.cache = cache
+        self.request_timeout = request_timeout
+        self.admission = AdmissionController(queue_depth)
+        self.batcher = JobBatcher(
+            cache=cache,
+            executor=executor,
+            batch_window=batch_window,
+            max_batch=max_batch,
+            runner=runner,
+        )
+        self.latency = LatencyWindow()
+        self.counters = {
+            "requests": 0,
+            "completed": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "bad_requests": 0,
+        }
+        self._started = time.monotonic()
+
+    # -- connection handling -------------------------------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection, one request, one ``Connection: close`` reply."""
+        try:
+            try:
+                request = await read_request(reader)
+            except HTTPError as exc:
+                self.counters["bad_requests"] += 1
+                writer.write(render_response(400, {"error": str(exc)}))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            try:
+                status, payload = await self.dispatch(request)
+            except Exception as exc:  # noqa: BLE001 — a handler bug must
+                # not kill the connection loop silently
+                self.counters["errors"] += 1
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            writer.write(render_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def dispatch(self, request: HTTPRequest) -> tuple[int, dict]:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self._healthz()
+        if request.path == "/stats":
+            if request.method != "GET":
+                return 405, {"error": "stats is GET-only"}
+            return 200, self.stats()
+        if request.path == "/simulate":
+            if request.method != "POST":
+                return 405, {"error": "simulate is POST-only"}
+            return await self._simulate(request)
+        return 404, {"error": f"no such endpoint: {request.path}"}
+
+    # -- endpoints ------------------------------------------------------
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "in_flight": self.admission.in_flight,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def stats(self) -> dict:
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests": dict(self.counters),
+            "admission": self.admission.snapshot(),
+            "batcher": self.batcher.snapshot(),
+            "cache": self.cache.stats.as_dict() if self.cache is not None else None,
+            "latency": self.latency.snapshot(),
+        }
+
+    async def _simulate(self, request: HTTPRequest) -> tuple[int, dict]:
+        self.counters["requests"] += 1
+        PERF.incr("serve.request")
+        if not self.admission.try_acquire():
+            PERF.incr("serve.shed")
+            if self.admission.draining:
+                return 503, {"error": "service is draining"}
+            return 429, {
+                "error": "queue full, request shed",
+                "queue_depth": self.admission.max_pending,
+            }
+        try:
+            try:
+                body = request.json()
+                job = parse_simulation_request(body)
+            except (HTTPError, ProtocolError) as exc:
+                self.counters["bad_requests"] += 1
+                return 400, {"error": str(exc)}
+            return await self._run(job, self._effective_timeout(request))
+        finally:
+            self.admission.release()
+
+    def _effective_timeout(self, request: HTTPRequest) -> float | None:
+        """Per-request budget: server default capped by the client header."""
+        budgets = []
+        if self.request_timeout is not None:
+            budgets.append(self.request_timeout)
+        header = request.headers.get(DEADLINE_HEADER)
+        if header:
+            try:
+                budgets.append(max(0.0, float(header)))
+            except ValueError:
+                pass
+        return min(budgets) if budgets else None
+
+    async def _run(self, job: SimJob, timeout: float | None) -> tuple[int, dict]:
+        start = time.perf_counter()
+        try:
+            with PERF.timer("serve.request"):
+                # Shield: a timeout abandons *this* request, never the
+                # shared execution other single-flight waiters joined.
+                outcome, joined = await asyncio.wait_for(
+                    asyncio.shield(self.batcher.submit(job)), timeout
+                )
+        except asyncio.TimeoutError:
+            self.counters["timeouts"] += 1
+            PERF.incr("serve.timeout")
+            return 504, {
+                "error": f"request exceeded its {timeout:g}s budget",
+                "key": job.key,
+            }
+        latency = time.perf_counter() - start
+        self.latency.add(latency)
+        if not outcome.ok:
+            self.counters["errors"] += 1
+            PERF.incr("serve.error")
+            return 500, {"error": outcome.error, "key": outcome.key}
+        self.counters["completed"] += 1
+        PERF.incr("serve.cache_hit" if outcome.cached else "serve.cache_miss")
+        return 200, encode_outcome(outcome, joined=joined, latency_seconds=latency)
+
+    # -- lifecycle ------------------------------------------------------
+    def begin_drain(self) -> None:
+        self.admission.begin_drain()
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Finish in-flight work; ``False`` if ``timeout`` expired first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        remaining = timeout
+        drained = await self.admission.wait_drained(remaining)
+        if not drained:
+            return False
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+        try:
+            await asyncio.wait_for(self.batcher.drain(), remaining)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+
+async def serve_forever(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    drain_timeout: float = 30.0,
+    install_signals: bool = True,
+    ready: "asyncio.Event | None" = None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, drain, and return exit 0.
+
+    Prints one ``listening on host:port`` line so wrappers (the CI
+    smoke script, the e2e tests) can discover an ephemeral port.
+    """
+    server = await asyncio.start_server(service.handle, host, port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+    print(f"repro-serve: listening on {bound_host}:{bound_port}", flush=True)
+    if ready is not None:
+        ready.set()
+    await stop.wait()
+    print("repro-serve: draining", flush=True)
+    service.begin_drain()
+    server.close()
+    await server.wait_closed()
+    clean = await service.drain(timeout=drain_timeout)
+    print(
+        "repro-serve: drained, exiting"
+        if clean
+        else "repro-serve: drain timed out, exiting",
+        flush=True,
+    )
+    return 0 if clean else 1
+
+
+class ServerThread:
+    """Host a service on a background thread (tests and benches).
+
+    The thread runs its own event loop; :meth:`start` blocks until the
+    listener is bound and returns ``(host, port)``, :meth:`stop`
+    triggers the same drain path SIGTERM takes and joins the thread.
+    """
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self.address: tuple[str, int] | None = None
+        self.exit_code: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> int:
+            self._stop = asyncio.Event()
+            server = await asyncio.start_server(
+                self.service.handle, self.host, self.port
+            )
+            self.address = server.sockets[0].getsockname()[:2]
+            self._started.set()
+            await self._stop.wait()
+            self.service.begin_drain()
+            server.close()
+            await server.wait_closed()
+            clean = await self.service.drain(timeout=self.drain_timeout)
+            return 0 if clean else 1
+
+        try:
+            self.exit_code = self._loop.run_until_complete(main())
+        finally:
+            self._started.set()  # unblock start() even on a crash
+            self._loop.close()
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server thread failed to start in time")
+        if self.address is None:
+            raise RuntimeError("server thread crashed during startup")
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> int | None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.exit_code
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

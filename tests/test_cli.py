@@ -45,6 +45,61 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["sweep", "--jobs", bad])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.queue_depth == 64
+        assert args.cache is True
+        assert args.jobs == 1
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-depth", "4", "--no-cache",
+             "--batch-window", "0.05", "--max-batch", "8"]
+        )
+        assert args.port == 0
+        assert args.queue_depth == 4
+        assert args.cache is False
+        assert args.batch_window == 0.05
+        assert args.max_batch == 8
+
+    def test_request_defaults(self):
+        args = build_parser().parse_args(["request"])
+        assert args.model == "gcn"
+        assert args.port == 8765
+        assert args.deadline is None
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_cache_prune_requires_max_age(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune"])
+
+    def test_bench_serve_tier(self):
+        args = build_parser().parse_args(["bench", "--tier", "serve"])
+        assert args.tier == "serve"
+
+
+class TestParseAge:
+    def test_units(self):
+        from repro.cli import parse_age
+
+        assert parse_age("900") == 900.0
+        assert parse_age("30m") == 1800.0
+        assert parse_age("36h") == 36 * 3600.0
+        assert parse_age("7d") == 7 * 86400.0
+        assert parse_age("1.5h") == 5400.0
+
+    def test_rejects_garbage(self):
+        from repro.cli import parse_age
+
+        for bad in ("soon", "h", "-1d"):
+            with pytest.raises(ValueError):
+                parse_age(bad)
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -135,4 +190,50 @@ class TestCommands:
 
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "E99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_empty(self, capsys, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries     : 0" in out
+        assert str(tmp_path) in out
+
+    def test_stats_clear_roundtrip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(["sweep", "--datasets", "cora", "--metric", "energy"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "entries     : 6" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 6" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries     : 0" in capsys.readouterr().out
+
+    def test_prune_by_age(self, capsys, tmp_path):
+        import os
+        import time
+
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.store("ab" + "0" * 62, {"x": 1})
+        cache.store("cd" + "0" * 62, {"x": 2})
+        old = time.time() - 3 * 86400
+        os.utime(cache.path_for("ab" + "0" * 62), (old, old))
+        assert main(["cache", "--dir", str(tmp_path), "prune",
+                     "--max-age", "1d"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert len(cache) == 1
+
+    def test_prune_rejects_bad_age(self, capsys, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path), "prune",
+                     "--max-age", "soon"]) == 2
+        assert "invalid age" in capsys.readouterr().err
+
+    def test_request_against_dead_server_fails_cleanly(self, capsys):
+        # Port 1 is never listening; the client retries then reports.
+        assert main(["request", "--port", "1", "--retries", "0",
+                     "--dataset", "cora"]) == 1
         assert "error" in capsys.readouterr().err

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.runtime import ResultCache, SimJob, as_cache, code_fingerprint, job_key
 
 PAYLOAD = {"accelerator": "aurora", "total_seconds": 1.25}
@@ -84,6 +86,91 @@ class TestCorruption:
         assert cache.load(KEY) is None
         cache.store(KEY, PAYLOAD)
         assert cache.load(KEY) == PAYLOAD
+
+    def test_truncated_blob_is_a_miss_and_evicts(self, tmp_path):
+        """A blob cut off mid-write (crash, full disk) must not raise."""
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        raw = cache.path_for(KEY).read_text()
+        cache.path_for(KEY).write_text(raw[: len(raw) // 2])
+        assert cache.load(KEY) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert not cache.path_for(KEY).exists()
+
+    def test_result_with_wrong_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for(KEY).parent.mkdir(parents=True)
+        cache.path_for(KEY).write_text(
+            json.dumps({"fingerprint": cache.fingerprint, "result": [1, 2]})
+        )
+        assert cache.load(KEY) is None
+        assert cache.stats.corrupt == 1
+        assert not cache.path_for(KEY).exists()
+
+    def test_empty_blob_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for(KEY).parent.mkdir(parents=True)
+        cache.path_for(KEY).write_text("")
+        assert cache.load(KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for(KEY).parent.mkdir(parents=True)
+        cache.path_for(KEY).write_bytes(b"\x00\xff\xfe garbage \x01")
+        assert cache.load(KEY) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestPruneAndStats:
+    def test_prune_removes_only_old_blobs(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        old_key, new_key = KEY, "cd" + "0" * 62
+        cache.store(old_key, PAYLOAD)
+        cache.store(new_key, PAYLOAD)
+        now = time.time()
+        two_days_ago = now - 2 * 86400
+        os.utime(cache.path_for(old_key), (two_days_ago, two_days_ago))
+        removed = cache.prune(86400, now=now)
+        assert removed == 1
+        assert not cache.path_for(old_key).exists()
+        assert cache.path_for(new_key).exists()
+
+    def test_prune_zero_age_removes_everything_past(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        assert cache.prune(0, now=time.time() + 10) == 1
+        assert len(cache) == 0
+
+    def test_prune_rejects_negative_age(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(-1)
+
+    def test_disk_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert stats["oldest_mtime"] is None
+        cache.store(KEY, PAYLOAD)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["fingerprint"] == cache.fingerprint
+        assert stats["oldest_mtime"] is not None
+
+    def test_entries_sorted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("cd" + "0" * 62, PAYLOAD)
+        cache.store(KEY, PAYLOAD)
+        names = [p.name for p in cache.entries()]
+        assert names == sorted(names)
 
 
 class TestConfiguration:

@@ -31,6 +31,13 @@ def _sleepy(job):
     return {}
 
 
+def _hang_on_seed_1(job):
+    """A deliberately hanging job (seed 1); everything else is instant."""
+    if job.seed == 1:
+        time.sleep(60.0)
+    return {"dataset": job.dataset, "seed": job.seed}
+
+
 class TestSerial:
     def test_records_in_input_order(self):
         jobs = _grid()
@@ -73,6 +80,33 @@ class TestProcessPool:
     def test_empty_batch(self):
         assert ProcessExecutor(2).run([]) == []
 
+    def test_timeout_reaps_stuck_worker(self):
+        """A hung job must not occupy its pool slot for the whole sweep.
+
+        With one worker, the hanging first job would block the second
+        forever if its worker were merely abandoned; reaping the worker
+        and resubmitting lets the second job complete normally.
+        """
+        jobs = [SimJob(seed=1, **SMALL), SimJob(seed=2, **SMALL)]
+        start = time.perf_counter()
+        records = ProcessExecutor(1, timeout=1.5).run(jobs, fn=_hang_on_seed_1)
+        elapsed = time.perf_counter() - start
+        assert not records[0].ok
+        assert "timeout" in records[0].error
+        assert records[1].ok
+        assert records[1].payload == {"dataset": "cora", "seed": 2}
+        # Far below the 60s hang: the stuck worker was killed, not awaited.
+        assert elapsed < 30.0
+
+    def test_timeout_keeps_input_order(self):
+        """Records stay in input order even across a pool restart."""
+        jobs = [SimJob(seed=s, **SMALL) for s in (2, 1, 3)]
+        records = ProcessExecutor(2, timeout=1.5).run(jobs, fn=_hang_on_seed_1)
+        assert [r.job for r in records] == jobs
+        by_seed = {r.job.seed: r for r in records}
+        assert not by_seed[1].ok and "timeout" in by_seed[1].error
+        assert by_seed[2].ok and by_seed[3].ok
+
 
 class TestFake:
     def test_deterministic_and_recording(self):
@@ -91,6 +125,35 @@ class TestFake:
         assert len(failed) == 1
         assert failed[0].error == "injected failure"
         assert failed[0].job.accelerator == "gcnax"
+
+
+class TestErrorRecordOrdering:
+    """Error records must sit at their job's input position, for every
+    executor — `run_jobs` zips records back to jobs positionally."""
+
+    def _mixed_grid(self):
+        good = SimJob(**SMALL)
+        bad = SimJob(dataset="cora", accelerator="nonesuch", **SMALL)
+        return [good, bad, SimJob(seed=9, **SMALL), bad]
+
+    def test_serial_preserves_positions(self):
+        jobs = self._mixed_grid()
+        records = SerialExecutor().run(jobs)
+        assert [r.job for r in records] == jobs
+        assert [r.ok for r in records] == [True, False, True, False]
+
+    def test_process_preserves_positions(self):
+        jobs = self._mixed_grid()
+        records = ProcessExecutor(2).run(jobs)
+        assert [r.job for r in records] == jobs
+        assert [r.ok for r in records] == [True, False, True, False]
+
+    def test_fake_preserves_positions(self):
+        jobs = self._mixed_grid()
+        fake = FakeExecutor(fail_when=lambda j: j.accelerator == "nonesuch")
+        records = fake.run(jobs)
+        assert [r.job for r in records] == jobs
+        assert [r.ok for r in records] == [True, False, True, False]
 
 
 class TestSelection:

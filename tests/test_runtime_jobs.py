@@ -155,3 +155,42 @@ class TestRunJob:
     def test_unknown_dataset_raises(self):
         with pytest.raises(KeyError):
             run_job(SimJob(dataset="ogbn"))
+
+
+class TestFromRequest:
+    """Wire-format canonicalization (`repro.serve` / `repro request`)."""
+
+    def test_aliases_map_to_canonical_fields(self):
+        job = SimJob.from_request(
+            {"dataset": "cora", "layers": 3, "device": "hygcn"}
+        )
+        assert job.num_layers == 3
+        assert job.accelerator == "hygcn"
+
+    def test_numeric_coercion_stabilizes_the_hash(self):
+        assert job_key(SimJob.from_request({"scale": 1})) == job_key(
+            SimJob.from_request({"scale": 1.0})
+        )
+        assert job_key(SimJob.from_request({"hidden": 64.0})) == job_key(
+            SimJob.from_request({"hidden": 64})
+        )
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError, match="typo_field"):
+            SimJob.from_request({"typo_field": 1})
+
+    def test_duplicate_after_aliasing_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SimJob.from_request({"layers": 2, "num_layers": 2})
+
+    def test_uncoercible_value_raises(self):
+        with pytest.raises(ValueError, match="hidden"):
+            SimJob.from_request({"hidden": "many"})
+
+    def test_non_dict_raises(self):
+        with pytest.raises(TypeError):
+            SimJob.from_request(["dataset", "cora"])
+
+    def test_roundtrips_as_dict(self):
+        job = SimJob(dataset="pubmed", scale=0.5, mapping="hashing")
+        assert SimJob.from_request(job.as_dict()) == job

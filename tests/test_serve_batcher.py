@@ -1,0 +1,206 @@
+"""Tests for single-flight deduplication and micro-batching."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import SimJob, job_key
+from repro.runtime.runner import JobOutcome, SweepMetrics, SweepReport
+from repro.serve.batcher import JobBatcher
+
+SMALL = dict(scale=0.1, hidden=8, num_layers=1)
+
+
+def make_runner(calls, *, delay=0.0, cached_keys=()):
+    """Scripted async runner: records batches, fabricates outcomes."""
+
+    async def runner(jobs):
+        calls.append([job_key(job) for job in jobs])
+        if delay:
+            await asyncio.sleep(delay)
+        outcomes = [
+            JobOutcome(
+                job,
+                job_key(job),
+                None,
+                cached=job_key(job) in cached_keys,
+            )
+            for job in jobs
+        ]
+        return SweepReport(outcomes, SweepMetrics())
+
+    return runner
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_submits_execute_once(self):
+        calls = []
+
+        async def run():
+            batcher = JobBatcher(
+                runner=make_runner(calls, delay=0.05), batch_window=0.01
+            )
+            job = SimJob(**SMALL)
+            results = await asyncio.gather(
+                batcher.submit(job), batcher.submit(job), batcher.submit(job)
+            )
+            return results
+
+        results = asyncio.run(run())
+        # One execution total, every caller got the same outcome back.
+        assert sum(len(batch) for batch in calls) == 1
+        outcomes = [outcome for outcome, _ in results]
+        assert all(outcome.key == outcomes[0].key for outcome in outcomes)
+        joins = [joined for _, joined in results]
+        assert joins.count(True) == 2  # two of three joined in flight
+        assert joins.count(False) == 1
+
+    def test_sequential_submits_execute_separately(self):
+        calls = []
+
+        async def run():
+            batcher = JobBatcher(runner=make_runner(calls), batch_window=0.0)
+            job = SimJob(**SMALL)
+            await batcher.submit(job)
+            await batcher.submit(job)
+
+        asyncio.run(run())
+        # No overlap → no single-flight join; each submit executes.
+        assert sum(len(batch) for batch in calls) == 2
+
+    def test_join_counter(self):
+        calls = []
+
+        async def run():
+            batcher = JobBatcher(
+                runner=make_runner(calls, delay=0.05), batch_window=0.01
+            )
+            job = SimJob(**SMALL)
+            await asyncio.gather(batcher.submit(job), batcher.submit(job))
+            return batcher
+
+        batcher = asyncio.run(run())
+        assert batcher.singleflight_joins == 1
+
+
+class TestBatching:
+    def test_window_groups_distinct_jobs(self):
+        calls = []
+
+        async def run():
+            batcher = JobBatcher(
+                runner=make_runner(calls), batch_window=0.03, max_batch=8
+            )
+            jobs = [SimJob(seed=s, **SMALL) for s in range(3)]
+            await asyncio.gather(*(batcher.submit(j) for j in jobs))
+
+        asyncio.run(run())
+        assert len(calls) == 1  # one micro-batch
+        assert len(calls[0]) == 3
+
+    def test_max_batch_flushes_early(self):
+        calls = []
+
+        async def run():
+            batcher = JobBatcher(
+                runner=make_runner(calls), batch_window=5.0, max_batch=2
+            )
+            jobs = [SimJob(seed=s, **SMALL) for s in range(2)]
+            # A 5s window would stall forever; max_batch must flush now.
+            await asyncio.wait_for(
+                asyncio.gather(*(batcher.submit(j) for j in jobs)), timeout=2.0
+            )
+
+        asyncio.run(run())
+        assert len(calls) == 1
+        assert len(calls[0]) == 2
+
+    def test_cached_flag_passes_through(self):
+        calls = []
+        job = SimJob(**SMALL)
+
+        async def run():
+            batcher = JobBatcher(
+                runner=make_runner(calls, cached_keys={job_key(job)}),
+                batch_window=0.0,
+            )
+            outcome, _ = await batcher.submit(job)
+            return outcome
+
+        assert asyncio.run(run()).cached is True
+
+
+class TestFailureIsolation:
+    def test_runner_crash_becomes_error_outcome(self):
+        async def exploding_runner(jobs):
+            raise RuntimeError("pool detonated")
+
+        async def run():
+            batcher = JobBatcher(runner=exploding_runner, batch_window=0.0)
+            outcome, _ = await batcher.submit(SimJob(**SMALL))
+            return outcome
+
+        outcome = asyncio.run(run())
+        assert not outcome.ok
+        assert "pool detonated" in outcome.error
+
+    def test_missing_outcome_becomes_error(self):
+        async def forgetful_runner(jobs):
+            return SweepReport([], SweepMetrics())
+
+        async def run():
+            batcher = JobBatcher(runner=forgetful_runner, batch_window=0.0)
+            outcome, _ = await batcher.submit(SimJob(**SMALL))
+            return outcome
+
+        outcome = asyncio.run(run())
+        assert not outcome.ok
+        assert "no outcome" in outcome.error
+
+    def test_error_does_not_poison_next_submit(self):
+        flags = {"fail": True}
+
+        async def flaky_runner(jobs):
+            if flags["fail"]:
+                raise RuntimeError("transient")
+            return SweepReport(
+                [JobOutcome(j, job_key(j), None) for j in jobs], SweepMetrics()
+            )
+
+        async def run():
+            batcher = JobBatcher(runner=flaky_runner, batch_window=0.0)
+            job = SimJob(**SMALL)
+            first, _ = await batcher.submit(job)
+            flags["fail"] = False
+            second, _ = await batcher.submit(job)
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert not first.ok
+        assert second.ok
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            JobBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            JobBatcher(batch_window=-1.0)
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight(self):
+        calls = []
+
+        async def run():
+            batcher = JobBatcher(
+                runner=make_runner(calls, delay=0.05), batch_window=0.0
+            )
+            task = asyncio.ensure_future(batcher.submit(SimJob(**SMALL)))
+            await asyncio.sleep(0.01)  # let the submit enter execution
+            await batcher.drain()
+            assert batcher.inflight_count == 0
+            outcome, _ = await task
+            return outcome
+
+        assert asyncio.run(run()).ok

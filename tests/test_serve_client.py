@@ -1,0 +1,169 @@
+"""Tests for the resilient client: retries, backoff, deadlines."""
+
+import random
+
+import pytest
+
+from repro.serve.client import (
+    DeadlineExceeded,
+    RequestFailed,
+    ServeClient,
+    ServiceUnavailable,
+)
+
+
+class ScriptedTransport:
+    """Replays a list of responses / exceptions, recording every call."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def __call__(self, method, path, body, headers, timeout):
+        self.calls.append(
+            {"method": method, "path": path, "headers": headers, "timeout": timeout}
+        )
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+def make_client(script, **kwargs):
+    transport = ScriptedTransport(script)
+    sleeps = []
+    client = ServeClient(
+        transport=transport,
+        sleep=sleeps.append,
+        rng=random.Random(0),
+        **kwargs,
+    )
+    return client, transport, sleeps
+
+
+class TestRetries:
+    def test_success_first_try_no_sleep(self):
+        client, transport, sleeps = make_client([(200, {"cached": False})])
+        assert client.simulate({"dataset": "cora"}) == {"cached": False}
+        assert len(transport.calls) == 1
+        assert sleeps == []
+
+    def test_retries_shed_then_succeeds(self):
+        client, transport, sleeps = make_client(
+            [(429, {"error": "shed"}), (429, {"error": "shed"}), (200, {"ok": 1})]
+        )
+        assert client.simulate({"dataset": "cora"}) == {"ok": 1}
+        assert len(transport.calls) == 3
+        assert len(sleeps) == 2
+
+    def test_retries_transport_errors(self):
+        client, transport, sleeps = make_client(
+            [ConnectionRefusedError("nope"), (200, {"ok": 1})]
+        )
+        assert client.simulate({"dataset": "cora"}) == {"ok": 1}
+        assert len(sleeps) == 1
+
+    def test_retries_503_during_drain(self):
+        client, transport, _ = make_client(
+            [(503, {"error": "draining"}), (200, {"ok": 1})]
+        )
+        assert client.simulate({"dataset": "cora"}) == {"ok": 1}
+
+    def test_gives_up_after_budget(self):
+        client, transport, sleeps = make_client(
+            [(429, {"error": "shed"})] * 3, retries=2
+        )
+        with pytest.raises(ServiceUnavailable, match="HTTP 429"):
+            client.simulate({"dataset": "cora"})
+        assert len(transport.calls) == 3  # initial + 2 retries
+        assert len(sleeps) == 2
+
+    def test_400_never_retried(self):
+        client, transport, sleeps = make_client([(400, {"error": "unknown field"})])
+        with pytest.raises(RequestFailed, match="400"):
+            client.simulate({"dataset": "cora"})
+        assert len(transport.calls) == 1
+        assert sleeps == []
+
+    def test_500_never_retried(self):
+        """A deterministic simulation failure repeats; retrying adds load."""
+        client, transport, _ = make_client([(500, {"error": "KeyError: x"})])
+        with pytest.raises(RequestFailed, match="500"):
+            client.simulate({"dataset": "cora"})
+        assert len(transport.calls) == 1
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            ServeClient(retries=-1)
+
+
+class TestBackoff:
+    def test_exponential_growth_with_jitter(self):
+        client, _, sleeps = make_client(
+            [(429, {})] * 4 + [(200, {})],
+            retries=4,
+            backoff=0.1,
+            backoff_cap=100.0,
+            jitter=0.0,
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_backoff_is_capped(self):
+        client, _, sleeps = make_client(
+            [(429, {})] * 4 + [(200, {})],
+            retries=4,
+            backoff=0.1,
+            backoff_cap=0.25,
+            jitter=0.0,
+        )
+        client.simulate({"dataset": "cora"})
+        assert max(sleeps) <= 0.25
+
+    def test_jitter_inflates_within_bounds(self):
+        client, _, sleeps = make_client(
+            [(429, {}), (200, {})], backoff=0.1, jitter=0.5
+        )
+        client.simulate({"dataset": "cora"})
+        assert 0.1 <= sleeps[0] <= 0.15
+
+
+class TestDeadline:
+    def test_deadline_header_propagates(self):
+        client, transport, _ = make_client([(200, {})])
+        client.simulate({"dataset": "cora"}, deadline=5.0)
+        header = transport.calls[0]["headers"]["X-Repro-Deadline"]
+        assert 0.0 < float(header) <= 5.0
+
+    def test_no_header_without_deadline(self):
+        client, transport, _ = make_client([(200, {})])
+        client.simulate({"dataset": "cora"})
+        assert "X-Repro-Deadline" not in transport.calls[0]["headers"]
+
+    def test_exhausted_deadline_raises(self):
+        client, transport, _ = make_client([(429, {})] * 100, retries=100)
+        with pytest.raises(DeadlineExceeded):
+            client.simulate({"dataset": "cora"}, deadline=0.0)
+
+    def test_attempt_timeout_capped_by_deadline(self):
+        client, transport, _ = make_client([(200, {})], timeout=30.0)
+        client.simulate({"dataset": "cora"}, deadline=1.0)
+        assert transport.calls[0]["timeout"] <= 1.0
+
+
+class TestEndpoints:
+    def test_healthz_and_stats(self):
+        client, transport, _ = make_client(
+            [(200, {"status": "ok"}), (200, {"latency": {}})]
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert client.stats() == {"latency": {}}
+        assert [c["path"] for c in transport.calls] == ["/healthz", "/stats"]
+
+    def test_simulate_posts_json(self):
+        client, transport, _ = make_client([(200, {})])
+        client.simulate({"dataset": "cora"})
+        call = transport.calls[0]
+        assert call["method"] == "POST"
+        assert call["path"] == "/simulate"
+        assert call["headers"]["Content-Type"] == "application/json"

@@ -1,0 +1,120 @@
+"""Subprocess end-to-end test: the real `repro serve` process.
+
+Boots ``python -m repro serve`` on an ephemeral port, exercises the
+client against it, and checks the SIGTERM contract: in-flight work is
+completed (drain) and the process exits 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SMALL = {"dataset": "cora", "scale": 0.1, "hidden": 8, "layers": 1}
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A real `repro serve` subprocess; yields (process, client)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--queue-depth",
+            "8",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=tmp_path,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line and process.poll() is not None:
+                raise RuntimeError("server died during startup")
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        if port is None:
+            raise RuntimeError("server never reported its port")
+        yield process, ServeClient("127.0.0.1", port, timeout=60.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
+        process.wait()
+
+
+class TestSubprocessE2E:
+    def test_cold_then_warm_then_sigterm_drains_exit_0(self, server):
+        process, client = server
+        assert client.healthz()["status"] == "ok"
+
+        cold = client.simulate(SMALL)
+        assert cold["cached"] is False
+        warm = client.simulate(SMALL)
+        assert warm["cached"] is True
+        assert warm["key"] == cold["key"]
+
+        # Fire a request and SIGTERM while it is (likely) in flight:
+        # the drain contract says it completes and the process exits 0.
+        payloads = []
+        request = {**SMALL, "scale": 0.5, "hidden": 64, "layers": 2}
+        worker = threading.Thread(
+            target=lambda: payloads.append(client.simulate(request))
+        )
+        worker.start()
+        time.sleep(0.05)
+        process.send_signal(signal.SIGTERM)
+        worker.join(timeout=30.0)
+        assert process.wait(timeout=30.0) == 0
+
+        assert len(payloads) == 1
+        assert payloads[0]["result"]["accelerator"] == "aurora"
+
+    def test_concurrent_identical_requests_share_one_execution(self, server):
+        process, client = server
+        payloads = []
+        lock = threading.Lock()
+
+        def fire():
+            payload = client.simulate({**SMALL, "seed": 21})
+            with lock:
+                payloads.append(payload)
+
+        threads = [threading.Thread(target=fire) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(payloads) == 2
+        assert payloads[0]["key"] == payloads[1]["key"]
+        # Either the requests overlapped (one joined / one executed) or
+        # the loser of the race was served from the result cache — both
+        # mean exactly one simulation ran.
+        stats = client.stats()
+        assert stats["batcher"]["jobs_run"] <= 1 + stats["cache"]["hits"]
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30.0) == 0

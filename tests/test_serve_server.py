@@ -1,0 +1,262 @@
+"""End-to-end tests of the service over real sockets (in-process).
+
+Covers the acceptance criteria that don't need a subprocess: two
+concurrent identical requests collapse to one execution, the bounded
+queue sheds under overload, per-request timeouts answer 504, and the
+drain path completes in-flight work.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import ResultCache, SimJob, job_key, run_jobs
+from repro.serve.client import RequestFailed, ServeClient, ServiceUnavailable
+from repro.serve.server import LatencyWindow, ServerThread, SimulationService
+
+SMALL = {"dataset": "cora", "scale": 0.1, "hidden": 8, "layers": 1}
+
+
+def make_counting_runner(calls, *, delay=0.0, cache=None):
+    """Wrap run_jobs, recording each batch and optionally slowing it."""
+
+    async def runner(jobs):
+        import asyncio
+
+        calls.append(list(jobs))
+        if delay:
+            await asyncio.sleep(delay)
+        return await asyncio.to_thread(lambda: run_jobs(jobs, cache=cache))
+
+    return runner
+
+
+@pytest.fixture
+def served():
+    """A running service + client; yields (service, client, calls)."""
+    calls = []
+    service = SimulationService(
+        runner=make_counting_runner(calls, delay=0.15),
+        batch_window=0.01,
+        queue_depth=8,
+    )
+    with ServerThread(service) as thread:
+        host, port = thread.address
+        yield service, ServeClient(host, port, timeout=60.0), calls
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_execute_once(self, served):
+        service, client, calls = served
+        payloads = [None, None]
+
+        def fire(i):
+            payloads[i] = client.simulate(SMALL)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        executed = [job for batch in calls for job in batch]
+        assert len(executed) == 1  # exactly one SimJob execution
+        assert payloads[0]["key"] == payloads[1]["key"]
+        assert all(p["result"]["accelerator"] == "aurora" for p in payloads)
+        # The second request completed via the in-flight join.
+        assert sorted(p["joined"] for p in payloads) == [False, True]
+        assert service.batcher.singleflight_joins == 1
+
+    def test_warm_request_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+        service = SimulationService(
+            cache=cache,
+            runner=make_counting_runner(calls, cache=cache),
+            batch_window=0.0,
+        )
+        with ServerThread(service) as thread:
+            client = ServeClient(*thread.address, timeout=60.0)
+            cold = client.simulate(SMALL)
+            warm = client.simulate(SMALL)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["key"] == cold["key"]
+        assert sum(len(b) for b in calls) == 2  # both went through run_jobs
+        assert cache.stats.hits == 1
+
+
+class TestOverload:
+    def test_bounded_queue_sheds_instead_of_queueing(self):
+        calls = []
+        service = SimulationService(
+            runner=make_counting_runner(calls, delay=0.3),
+            batch_window=0.02,
+            queue_depth=2,
+        )
+        with ServerThread(service) as thread:
+            client = ServeClient(
+                *thread.address, retries=0, timeout=60.0
+            )
+            outcomes = []
+
+            def fire(seed):
+                try:
+                    client.simulate({**SMALL, "seed": seed})
+                    outcomes.append("ok")
+                except ServiceUnavailable:
+                    outcomes.append("shed")
+
+            threads = [
+                threading.Thread(target=fire, args=(seed,)) for seed in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert outcomes.count("shed") >= 1
+        assert outcomes.count("ok") >= 1
+        snap = service.admission.snapshot()
+        assert snap["admitted"] + snap["shed"] == 6
+        assert snap["admitted"] <= 2 + snap["completed"]
+
+    def test_shed_request_succeeds_after_retry(self):
+        calls = []
+        service = SimulationService(
+            runner=make_counting_runner(calls, delay=0.2),
+            batch_window=0.01,
+            queue_depth=1,
+        )
+        with ServerThread(service) as thread:
+            client = ServeClient(
+                *thread.address, retries=8, backoff=0.05, timeout=60.0
+            )
+            results = []
+
+            def fire(seed):
+                results.append(client.simulate({**SMALL, "seed": seed}))
+
+            threads = [
+                threading.Thread(target=fire, args=(seed,)) for seed in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # With a retry budget every request eventually lands.
+        assert len(results) == 3
+
+
+class TestTimeouts:
+    def test_slow_request_gets_504(self):
+        calls = []
+        service = SimulationService(
+            runner=make_counting_runner(calls, delay=1.0),
+            batch_window=0.0,
+            request_timeout=0.1,
+        )
+        with ServerThread(service) as thread:
+            client = ServeClient(*thread.address, retries=0, timeout=60.0)
+            with pytest.raises(RequestFailed) as excinfo:
+                client.simulate(SMALL)
+        assert excinfo.value.status == 504
+        assert service.counters["timeouts"] == 1
+
+    def test_client_deadline_header_caps_server_budget(self):
+        calls = []
+        service = SimulationService(
+            runner=make_counting_runner(calls, delay=1.0), batch_window=0.0
+        )
+        with ServerThread(service) as thread:
+            client = ServeClient(*thread.address, retries=0, timeout=60.0)
+            with pytest.raises((RequestFailed, ServiceUnavailable)):
+                client.simulate(SMALL, deadline=0.15)
+
+
+class TestEndpoints:
+    def test_healthz_and_stats(self, served):
+        service, client, calls = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        client.simulate(SMALL)
+        stats = client.stats()
+        assert stats["requests"]["completed"] == 1
+        assert stats["admission"]["admitted"] == 1
+        assert stats["latency"]["count"] == 1
+        assert stats["latency"]["p50_seconds"] > 0
+
+    def test_unknown_endpoint_404(self, served):
+        service, client, calls = served
+        status, payload = client.call("GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, served):
+        service, client, calls = served
+        status, _ = client.call("POST", "/healthz", {})
+        assert status == 405
+
+    def test_bad_body_400(self, served):
+        service, client, calls = served
+        status, payload = client.call("POST", "/simulate", {"bogus": 1})
+        assert status == 400
+        assert "bogus" in payload["error"]
+        assert service.counters["bad_requests"] == 1
+
+
+class TestDrain:
+    def test_drain_completes_inflight_work(self):
+        calls = []
+        service = SimulationService(
+            runner=make_counting_runner(calls, delay=0.3), batch_window=0.0
+        )
+        thread = ServerThread(service)
+        host, port = thread.start()
+        client = ServeClient(host, port, timeout=60.0)
+        payloads = []
+
+        worker = threading.Thread(
+            target=lambda: payloads.append(client.simulate(SMALL))
+        )
+        worker.start()
+        time.sleep(0.1)  # request is now in flight
+        exit_code = thread.stop()
+        worker.join(timeout=10.0)
+
+        assert exit_code == 0  # drained cleanly
+        assert len(payloads) == 1  # the in-flight request completed
+        assert payloads[0]["result"] is not None
+
+    def test_draining_service_rejects_with_503(self):
+        calls = []
+        service = SimulationService(runner=make_counting_runner(calls))
+        service.begin_drain()
+        with ServerThread(service) as thread:
+            client = ServeClient(*thread.address, retries=0)
+            with pytest.raises(ServiceUnavailable, match="503"):
+                client.simulate(SMALL)
+
+
+class TestLatencyWindow:
+    def test_percentiles(self):
+        window = LatencyWindow(size=100)
+        for value in range(1, 101):
+            window.add(value / 100.0)
+        assert window.percentile(0.50) == pytest.approx(0.50, abs=0.02)
+        assert window.percentile(0.95) == pytest.approx(0.95, abs=0.02)
+
+    def test_empty_window(self):
+        window = LatencyWindow()
+        assert window.percentile(0.5) is None
+        snap = window.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_seconds"] is None
+
+    def test_bounded_size(self):
+        window = LatencyWindow(size=4)
+        for value in range(100):
+            window.add(float(value))
+        snap = window.snapshot()
+        assert snap["count"] == 100
+        assert snap["window"] == 4
