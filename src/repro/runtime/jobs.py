@@ -34,10 +34,40 @@ __all__ = ["SimJob", "job_key", "run_job", "execute_job"]
 #: ``repro simulate --layers`` flag, ``device`` its ``--device``).
 REQUEST_ALIASES = {"layers": "num_layers", "device": "accelerator"}
 
+def _as_int(value) -> int:
+    """Strict int coercion: ``2.0`` and ``"2"`` pass, ``2.7``/bools fail.
+
+    Plain ``int()`` would silently truncate ``1.5`` (simulating a
+    different job than requested) and accept ``true``/``false`` via
+    bool's int subtyping; a malformed spec must be rejected instead.
+    """
+    if isinstance(value, bool):
+        raise ValueError("booleans are not integers")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError("value is not integral")
+        return int(value)
+    return int(value)
+
+
+def _as_float(value) -> float:
+    """Strict float coercion: rejects bools, accepts ints and numerals."""
+    if isinstance(value, bool):
+        raise ValueError("booleans are not numbers")
+    return float(value)
+
+
 #: Numeric coercions applied to loosely-typed request values so that
 #: e.g. JSON ``"scale": 1`` and ``"scale": 1.0`` canonicalize to the
-#: same job (and therefore the same content hash / cache entry).
-_REQUEST_COERCE = {"scale": float, "hidden": int, "num_layers": int, "seed": int}
+#: same job (and therefore the same content hash / cache entry); values
+#: that would change meaning under coercion (``1.5`` for an int field,
+#: ``true`` for any numeric field) are rejected, not truncated.
+_REQUEST_COERCE = {
+    "scale": ("float", _as_float),
+    "hidden": ("int", _as_int),
+    "num_layers": ("int", _as_int),
+    "seed": ("int", _as_int),
+}
 
 #: Bump when the job schema or its execution semantics change in a way
 #: that must invalidate previously cached results.
@@ -148,11 +178,12 @@ class SimJob:
                 raise ValueError(f"duplicate request field: {key!r}")
             coerce = _REQUEST_COERCE.get(field)
             if coerce is not None and value is not None:
+                type_name, convert = coerce
                 try:
-                    value = coerce(value)
+                    value = convert(value)
                 except (TypeError, ValueError):
                     raise ValueError(
-                        f"field {key!r} must be {coerce.__name__}, "
+                        f"field {key!r} must be {type_name}, "
                         f"got {value!r}"
                     ) from None
             normalized[field] = value

@@ -101,8 +101,14 @@ class JobBatcher:
 
     async def _flush_after_window(self) -> None:
         await asyncio.sleep(self.batch_window)
-        batch = self._take_pending()
-        if batch:
+        # Loop until nothing is pending: jobs submitted *while* a batch
+        # is executing see this task as live and schedule no flush of
+        # their own (submit() only arms a flush when no task is
+        # running), so this task must pick them up or they strand.
+        while True:
+            batch = self._take_pending()
+            if not batch:
+                return
             await self._execute(batch)
 
     async def _execute(self, batch: list[tuple[str, SimJob]]) -> None:

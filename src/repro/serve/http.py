@@ -64,11 +64,28 @@ class HTTPRequest:
         return data
 
 
+async def _readline(reader: asyncio.StreamReader) -> bytes:
+    """``readline`` with over-long lines mapped to :class:`HTTPError`.
+
+    ``StreamReader.readline`` reports a line exceeding the stream limit
+    as a bare ``ValueError`` (it swallows the ``LimitOverrunError``), so
+    without this wrapper a hostile request line escapes the 400 path.
+    """
+    try:
+        return await reader.readline()
+    except asyncio.LimitOverrunError:
+        raise HTTPError("line exceeds the size limit") from None
+    except HTTPError:
+        raise
+    except ValueError:
+        raise HTTPError("line exceeds the size limit") from None
+
+
 async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
     """Parse one request off ``reader``; ``None`` on a clean EOF."""
     try:
-        raw_line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError):
+        raw_line = await _readline(reader)
+    except ConnectionError:
         return None
     if not raw_line:
         return None
@@ -82,7 +99,7 @@ async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
     headers: dict[str, str] = {}
     header_bytes = 0
     while True:
-        raw = await reader.readline()
+        raw = await _readline(reader)
         if raw in (b"\r\n", b"\n"):
             break
         if not raw:

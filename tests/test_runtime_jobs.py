@@ -187,6 +187,27 @@ class TestFromRequest:
         with pytest.raises(ValueError, match="hidden"):
             SimJob.from_request({"hidden": "many"})
 
+    def test_non_integral_float_rejected_not_truncated(self):
+        # Regression: int() used to truncate 1.5 → 1 and silently
+        # simulate a different job than the request asked for.
+        with pytest.raises(ValueError, match="hidden"):
+            SimJob.from_request({"hidden": 1.5})
+        with pytest.raises(ValueError, match="layers"):
+            SimJob.from_request({"layers": 2.7})
+
+    def test_bool_rejected_for_numeric_fields(self):
+        # bool subtypes int, so int(True)/float(True) would "work".
+        with pytest.raises(ValueError, match="hidden"):
+            SimJob.from_request({"hidden": True})
+        with pytest.raises(ValueError, match="scale"):
+            SimJob.from_request({"scale": False})
+
+    def test_non_finite_scale_values_still_raise_cleanly(self):
+        with pytest.raises(ValueError):
+            SimJob.from_request({"hidden": float("inf")})
+        with pytest.raises(ValueError):
+            SimJob.from_request({"hidden": float("nan")})
+
     def test_non_dict_raises(self):
         with pytest.raises(TypeError):
             SimJob.from_request(["dataset", "cora"])

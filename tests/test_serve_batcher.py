@@ -130,6 +130,53 @@ class TestBatching:
         assert asyncio.run(run()).cached is True
 
 
+class TestFlushRearm:
+    def test_submit_during_execution_is_not_stranded(self):
+        """A job submitted while a batch executes must still flush.
+
+        Regression: the window-flush task used to take ``_pending`` once
+        and exit after executing it.  A submit arriving *during* that
+        execution saw the flush task as live, armed nothing, and its job
+        sat in ``_pending`` forever unless more traffic happened along.
+        """
+        calls = []
+
+        async def run():
+            gate = asyncio.Event()
+            started = asyncio.Event()
+
+            async def gated_runner(jobs):
+                calls.append([job_key(job) for job in jobs])
+                if len(calls) == 1:
+                    started.set()
+                    await gate.wait()
+                return SweepReport(
+                    [JobOutcome(j, job_key(j), None) for j in jobs],
+                    SweepMetrics(),
+                )
+
+            batcher = JobBatcher(runner=gated_runner, batch_window=0.001)
+            task_a = asyncio.ensure_future(
+                batcher.submit(SimJob(seed=1, **SMALL))
+            )
+            await started.wait()  # batch A is now mid-execution
+            task_b = asyncio.ensure_future(
+                batcher.submit(SimJob(seed=2, **SMALL))
+            )
+            await asyncio.sleep(0.01)  # let B land in the pending queue
+            gate.set()
+            # No further submits: B must resolve from the re-armed flush.
+            outcome_a, _ = await asyncio.wait_for(task_a, timeout=2.0)
+            outcome_b, _ = await asyncio.wait_for(task_b, timeout=2.0)
+            await asyncio.wait_for(batcher.drain(), timeout=2.0)
+            return outcome_a, outcome_b, batcher
+
+        outcome_a, outcome_b, batcher = asyncio.run(run())
+        assert outcome_a.ok and outcome_b.ok
+        assert len(calls) == 2  # two batches, no job left behind
+        assert batcher.inflight_count == 0
+
+
 class TestFailureIsolation:
     def test_runner_crash_becomes_error_outcome(self):
         async def exploding_runner(jobs):

@@ -74,6 +74,35 @@ class TestReadRequest:
         with pytest.raises(HTTPError):
             parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n")
 
+    def test_overlong_request_line_is_http_error(self):
+        """A request line past the stream limit maps to 400, not a crash.
+
+        Regression: ``StreamReader.readline`` reports a limit overrun as
+        a bare ``ValueError``, which used to escape ``read_request`` and
+        kill the connection without a response.
+        """
+
+        async def run():
+            reader = asyncio.StreamReader(limit=256)
+            reader.feed_data(b"GET /" + b"a" * 1024 + b" HTTP/1.1\r\n\r\n")
+            reader.feed_eof()
+            return await read_request(reader)
+
+        with pytest.raises(HTTPError):
+            asyncio.run(run())
+
+    def test_overlong_header_line_is_http_error(self):
+        async def run():
+            reader = asyncio.StreamReader(limit=256)
+            reader.feed_data(
+                b"GET / HTTP/1.1\r\nX-Big: " + b"a" * 1024 + b"\r\n\r\n"
+            )
+            reader.feed_eof()
+            return await read_request(reader)
+
+        with pytest.raises(HTTPError):
+            asyncio.run(run())
+
 
 class TestBodyJson:
     def test_empty_body_rejected(self):
