@@ -2,9 +2,11 @@
 
 Boots the real server as a subprocess, drives it with the resilient
 client — concurrent cold requests (single-flight), warm cache hits with
-a latency bound, overload shedding — then checks the SIGTERM drain
-contract and writes the final ``/stats`` snapshot to SERVE_STATS.json
-for upload as a CI artifact.
+a latency bound, overload shedding — exports the request traces as a
+Chrome ``trace.json`` (validated: well-formed events, at least one
+complete request tree), then checks the SIGTERM drain contract and
+writes the final ``/stats`` snapshot to SERVE_STATS.json.  Both JSON
+files are uploaded as CI artifacts.
 
 Run from the repo root:
 
@@ -27,6 +29,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.serve.client import ServeClient, ServeError  # noqa: E402
+from repro.telemetry.export import (  # noqa: E402
+    trace_roots,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.trace import Span  # noqa: E402
 
 SMALL = {"dataset": "cora", "scale": 0.2, "hidden": 16, "layers": 1}
 WARM_LATENCY_BUDGET = 2.0  # generous for shared CI runners
@@ -103,6 +111,29 @@ def main() -> int:
                     )
                 )
             check(len(results) == 8, "burst of distinct requests completed")
+
+            # Telemetry: /metrics is parseable Prometheus text, and the
+            # recorded spans export as a valid Chrome trace holding at
+            # least one complete request tree.
+            metrics_text = client.metrics()
+            check(
+                "repro_requests_total" in metrics_text
+                and "# TYPE" in metrics_text,
+                "/metrics returns Prometheus text",
+            )
+            spans = [
+                Span.from_dict(s) for s in client.trace().get("spans", [])
+            ]
+            check(len(spans) > 0, "server recorded spans")
+            doc = write_chrome_trace("trace.json", spans)
+            problems = validate_chrome_trace(doc)
+            check(not problems, f"trace.json is valid ({problems[:3]})")
+            trees = trace_roots(spans)
+            check(
+                len(trees) >= 1,
+                f"trace.json holds ≥1 complete request tree ({len(trees)})",
+            )
+            print("smoke: wrote trace.json", flush=True)
 
             try:
                 snapshot = client.stats()

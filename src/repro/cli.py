@@ -25,7 +25,11 @@ Commands
     dedup, micro-batching, admission control; drains on SIGTERM).
 ``request``
     Fire one simulation request at a running service through the
-    retrying client.
+    retrying client (``--trace`` prints the request's span tree).
+``trace``
+    Export a running server's span buffer as a Chrome ``trace.json``
+    (``trace export``) or print a per-stage summary (``trace summary``);
+    both also read span JSONL files offline via ``--input``.
 ``cache``
     Inspect / manage the on-disk result cache (stats, clear, prune).
 
@@ -154,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot destination (default: BENCH_2.json analytical, "
         "BENCH_3.json cycle, BENCH_4.json serve)",
     )
+    p_bench.add_argument(
+        "--telemetry",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run traced and embed span counts + top stages in the snapshot",
+    )
 
     p_srv = sub.add_parser(
         "serve", help="run the long-lived simulation service"
@@ -216,6 +226,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
     )
+    p_srv.add_argument(
+        "--trace",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="record request traces (GET /trace, X-Repro-Trace-Id)",
+    )
+    p_srv.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of traces to record, 0..1 (default: 1.0)",
+    )
+    p_srv.add_argument(
+        "--trace-buffer",
+        type=positive_int,
+        default=4096,
+        metavar="N",
+        help="span ring-buffer capacity (default: 4096)",
+    )
 
     p_req = sub.add_parser(
         "request", help="fire one request at a running service"
@@ -249,6 +279,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_req.add_argument(
         "--json", action="store_true", help="print the raw response payload"
     )
+    p_req.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the server-side trace id and per-stage timing summary",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="export or summarize recorded spans"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8765)
+        p.add_argument(
+            "--input",
+            default=None,
+            metavar="PATH",
+            help="read spans from a JSONL file instead of a server",
+        )
+        p.add_argument(
+            "--trace-id",
+            default=None,
+            metavar="ID",
+            help="restrict to one trace",
+        )
+
+    t_exp = trace_sub.add_parser(
+        "export", help="write spans as Chrome/Perfetto trace.json"
+    )
+    add_trace_source(t_exp)
+    t_exp.add_argument(
+        "--output",
+        default="trace.json",
+        metavar="PATH",
+        help="destination (default: trace.json)",
+    )
+    t_exp.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the raw spans as JSONL",
+    )
+    t_sum = trace_sub.add_parser(
+        "summary", help="print a per-stage timing summary"
+    )
+    add_trace_source(t_sum)
 
     p_cache = sub.add_parser(
         "cache", help="inspect / manage the on-disk result cache"
@@ -422,7 +499,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "serve": "BENCH_4.json",
     }
     output = args.output or defaults[args.tier]
-    snapshot = write_bench_json(output, repeat=args.repeat, tier=args.tier)
+    snapshot = write_bench_json(
+        output, repeat=args.repeat, tier=args.tier, telemetry=args.telemetry
+    )
     print(f"bench: wrote {output} ({snapshot['wall_seconds']:.2f}s wall)")
     for name, bench in snapshot["benches"].items():
         if "cold_seconds" in bench:
@@ -457,6 +536,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     }
     if hits:
         print("  cache hits: " + ", ".join(f"{k}={v}" for k, v in sorted(hits.items())))
+    telemetry = snapshot.get("telemetry")
+    if telemetry and telemetry.get("span_count"):
+        top = ", ".join(
+            f"{s['name']} {s['total_seconds'] * 1e3:.1f}ms"
+            for s in telemetry["top_stages"]
+        )
+        print(
+            f"  telemetry: {telemetry['span_count']} spans"
+            + (f" | top stages: {top}" if top else "")
+        )
     return 0
 
 
@@ -466,7 +555,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .runtime.cache import ResultCache
     from .runtime.executor import get_executor
     from .serve.server import SimulationService, serve_forever
+    from .telemetry import TRACER
 
+    TRACER.configure(
+        enabled=args.trace,
+        sample_rate=args.trace_sample,
+        buffer_size=args.trace_buffer,
+    )
     cache = None
     if args.cache:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
@@ -520,7 +615,82 @@ def _cmd_request(args: argparse.Namespace) -> int:
     print(f"execution time  : {result['total_seconds'] * 1e6:,.1f} us")
     print(f"DRAM traffic    : {result['dram_bytes'] / 1e6:,.2f} MB")
     print(f"request latency : {payload['latency_seconds'] * 1e3:,.1f} ms")
+    if args.trace:
+        _print_request_trace(client, payload.get("trace_id"))
     return 0
+
+
+def _print_request_trace(client, trace_id: str | None) -> None:
+    """Fetch and print the request's span tree (``request --trace``)."""
+    from .telemetry.export import format_summary, span_summary
+    from .telemetry.trace import Span
+
+    if not trace_id:
+        print("trace           : none (server tracing disabled?)", file=sys.stderr)
+        return
+    print(f"trace id        : {trace_id}")
+    try:
+        doc = client.trace(trace_id)
+    except Exception as exc:  # noqa: BLE001 — trace is best-effort extra
+        print(f"trace           : fetch failed ({exc})", file=sys.stderr)
+        return
+    spans = [Span.from_dict(s) for s in doc.get("spans", [])]
+    if not spans:
+        print("trace           : no spans buffered (sampled out or evicted)")
+        return
+    print(format_summary(span_summary(spans)))
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.export import (
+        format_summary,
+        read_spans_jsonl,
+        span_summary,
+        trace_roots,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+    from .telemetry.trace import Span
+
+    if args.input is not None:
+        spans = read_spans_jsonl(args.input)
+        if args.trace_id:
+            spans = [s for s in spans if s.trace_id == args.trace_id]
+    else:
+        from .serve.client import ServeClient, ServeError
+
+        client = ServeClient(args.host, args.port)
+        try:
+            doc = client.trace(args.trace_id)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        spans = [Span.from_dict(s) for s in doc.get("spans", [])]
+    if not spans:
+        print("trace: no spans recorded", file=sys.stderr)
+        return 1
+
+    if args.trace_command == "summary":
+        trees = trace_roots(spans)
+        print(
+            f"{len(spans)} spans across {len(trees)} complete trace(s)"
+        )
+        print(format_summary(span_summary(spans)))
+        return 0
+    if args.trace_command == "export":
+        doc = write_chrome_trace(args.output, spans)
+        print(
+            f"trace: wrote {args.output} "
+            f"({len(doc['traceEvents'])} events, "
+            f"{len(trace_roots(spans))} complete trace(s))"
+        )
+        if args.jsonl:
+            count = write_spans_jsonl(args.jsonl, spans)
+            print(f"trace: wrote {args.jsonl} ({count} spans)")
+        return 0
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command}"
+    )  # pragma: no cover
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -583,6 +753,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "request":
         return _cmd_request(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -32,6 +32,7 @@ from ..mapping.traffic import multicast_flows
 from ..models.base import GNNModel, OpKind, Phase
 from ..models.workload import LayerDims, extract_workload
 from ..perf import PERF
+from ..telemetry import TRACER
 from .configuration import ConfigurationUnit
 from .controller import AdaptiveWorkflowGenerator
 
@@ -131,6 +132,28 @@ class CycleTileEngine:
         ``region_b`` to the bottom half (models with no vertex update get
         the whole array as A).
         """
+        with TRACER.span(
+            "cycle.run_tile",
+            {
+                "model": model.name,
+                "vertices": sub.num_vertices,
+                "edges": sub.num_edges,
+                "noc_engine": self.noc_engine,
+            },
+        ):
+            return self._run_tile(
+                model, sub, dims, region_a=region_a, region_b=region_b
+            )
+
+    def _run_tile(
+        self,
+        model: GNNModel,
+        sub: CSRGraph,
+        dims: LayerDims,
+        *,
+        region_a: PERegion | None = None,
+        region_b: PERegion | None = None,
+    ) -> CycleTileResult:
         cfg = self.config
         k = cfg.array_k
         workflow = AdaptiveWorkflowGenerator().generate(model)
@@ -144,9 +167,9 @@ class CycleTileEngine:
                 region_a = PERegion(0, 0, k, k, k)
                 region_b = None
 
-        with PERF.timer("cycle.map"):
+        with PERF.timer("cycle.map"), TRACER.span("cycle.map"):
             mapping = self._map(sub, region_a)
-        with PERF.timer("cycle.configure"):
+        with PERF.timer("cycle.configure"), TRACER.span("cycle.configure"):
             plan = ConfigurationUnit(cfg).configure(
                 workflow, mapping, region_a, region_b
             )
@@ -184,7 +207,9 @@ class CycleTileEngine:
                 sim.inject(int(src), int(dst), int(nbytes), cycle=None)
                 per_source_next[src] = when + 1
         try:
-            with PERF.timer("cycle.noc"):
+            with PERF.timer("cycle.noc"), TRACER.span(
+                "cycle.noc", {"packets": n_packets}
+            ):
                 stats = sim.run(max_cycles=5_000_000) if n_packets else sim.stats
         except NoCDeadlockError as err:
             raise err.with_context(

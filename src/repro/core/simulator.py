@@ -42,6 +42,7 @@ from ..mapping.memo import map_tile
 from ..mapping.traffic import aggregate_flows, batched_multicast_flows
 from ..models.base import GNNModel
 from ..perf import PERF
+from ..telemetry import TRACER
 from ..models.workload import (
     LayerDims,
     combination_first_eligible,
@@ -217,6 +218,32 @@ class AuroraSimulator:
         (1.0 for hidden layers whose inputs are dense activations);
         defaults to the graph's dataset density.
         """
+        with TRACER.span(
+            "simulate_layer",
+            {
+                "model": model.name,
+                "graph": graph.name,
+                "in_features": dims.in_features,
+                "out_features": dims.out_features,
+            },
+        ):
+            return self._simulate_layer(
+                model,
+                graph,
+                dims,
+                input_density=input_density,
+                mapping_policy=mapping_policy,
+            )
+
+    def _simulate_layer(
+        self,
+        model: GNNModel,
+        graph: CSRGraph,
+        dims: LayerDims,
+        *,
+        input_density: float | None = None,
+        mapping_policy: str | None = None,
+    ) -> SimulationResult:
         cfg = self.config
         policy = mapping_policy or self.mapping_policy
         density = graph.feature_density if input_density is None else input_density
@@ -238,7 +265,7 @@ class AuroraSimulator:
         width_ratio = msg_width / dims.in_features
 
         # -- Algorithm 2: partition the array -----------------------------
-        with PERF.timer("partition"):
+        with PERF.timer("partition"), TRACER.span("partition"):
             strategy = partition(
                 full_wl, cfg.num_pes, flops_pe_cycle * freq
             )
@@ -258,7 +285,10 @@ class AuroraSimulator:
         # claim): region B's banks stage features/weights while region A
         # computes on them through the NoC.
         capacity = int(cfg.onchip_bytes * _BUFFER_UTIL)
-        plan = tile_graph(graph, capacity, bytes_per_value=cfg.bytes_per_value)
+        with TRACER.span("tiling"):
+            plan = tile_graph(
+                graph, capacity, bytes_per_value=cfg.bytes_per_value
+            )
 
         dram = DRAMModel(cfg.dram)
         counters = EnergyCounters()
@@ -288,12 +318,14 @@ class AuroraSimulator:
         # array (identical tiles share one MappingResult; the NoC model
         # and configuration plan are memoized below by shape).
         tiles = list(plan)
-        mappings = [
-            self._map_tile(tile.subgraph, region_a, policy) for tile in tiles
-        ]
-        mcs = batched_multicast_flows(
-            [tile.subgraph for tile in tiles], mappings, payload
-        )
+        with TRACER.span("mapping", {"tiles": len(tiles)}):
+            mappings = [
+                self._map_tile(tile.subgraph, region_a, policy)
+                for tile in tiles
+            ]
+            mcs = batched_multicast_flows(
+                [tile.subgraph for tile in tiles], mappings, payload
+            )
 
         for tile, mapping, mc in zip(tiles, mappings, mcs):
             sub = tile.subgraph
@@ -334,21 +366,26 @@ class AuroraSimulator:
             # one of its neighbors (reuse FIFOs forward copies); ``mc``
             # comes from the batched extraction above.
             if mc.flows.shape[0]:
-                with PERF.timer("traffic"):
-                    traffic = TrafficMatrix.from_flows(
-                        aggregate_flows(mc.flows, cfg.num_pes),
-                        cfg.noc.flit_bytes,
-                        cfg.array_k,
+                with TRACER.span("noc", {"edges": m_t}):
+                    with PERF.timer("traffic"):
+                        traffic = TrafficMatrix.from_flows(
+                            aggregate_flows(mc.flows, cfg.num_pes),
+                            cfg.noc.flit_bytes,
+                            cfg.array_k,
+                        )
+                    noc_res = AnalyticalNoCModel.cached(
+                        conf.topology, cfg.noc
+                    ).evaluate(
+                        traffic,
+                        boost_nodes=mapping.s_pe_nodes,
+                        boost_factor=max(3.0, region_a.width / 2),
+                        # Ceil, not floor: a partial trailing flit still
+                        # occupies the ejection/injection port for a cycle.
+                        eject_flits=ceil_flits(mc.eject_bytes, cfg.noc.flit_bytes),
+                        inject_flits=ceil_flits(
+                            mc.inject_bytes, cfg.noc.flit_bytes
+                        ),
                     )
-                noc_res = AnalyticalNoCModel.cached(conf.topology, cfg.noc).evaluate(
-                    traffic,
-                    boost_nodes=mapping.s_pe_nodes,
-                    boost_factor=max(3.0, region_a.width / 2),
-                    # Ceil, not floor: a partial trailing flit still
-                    # occupies the ejection/injection port for a cycle.
-                    eject_flits=ceil_flits(mc.eject_bytes, cfg.noc.flit_bytes),
-                    inject_flits=ceil_flits(mc.inject_bytes, cfg.noc.flit_bytes),
-                )
                 noc_cycles = noc_res.drain_cycles
                 noc_volume_total += noc_res.total_flit_hops
                 mesh_hops = noc_res.total_flit_hops - noc_res.bypass_flit_hops

@@ -37,6 +37,23 @@ __all__ = [
 BENCH_SCHEMA_VERSION = 1
 
 
+def _telemetry_section() -> dict:
+    """Tracer state + top stages by cumulative span time (top 5).
+
+    Called *inside* a tracing session so the enabled/sample_rate flags
+    reflect what the benches actually ran under.
+    """
+    from ..telemetry import TRACER
+    from ..telemetry.export import span_summary
+
+    spans = TRACER.buffer.spans()
+    return {
+        **TRACER.snapshot(),
+        "span_count": len(spans),
+        "top_stages": span_summary(spans)[:5],
+    }
+
+
 @dataclass(frozen=True)
 class BenchCase:
     """One standard workload: a model layer on a (scaled) dataset."""
@@ -223,15 +240,21 @@ def _run_cycle_case(case: CycleBenchCase, repeat: int) -> dict:
 
 
 def run_cycle_benches(
-    benches: tuple[CycleBenchCase, ...] = CYCLE_BENCHES, *, repeat: int = 3
+    benches: tuple[CycleBenchCase, ...] = CYCLE_BENCHES,
+    *,
+    repeat: int = 3,
+    telemetry: bool = True,
 ) -> dict:
     """Run the cycle-tier benches and return the snapshot dict."""
+    from ..telemetry import TRACER
     from .instrumentation import PERF
 
     PERF.reset()
-    wall_start = time.perf_counter()
-    results = {case.name: _run_cycle_case(case, repeat) for case in benches}
-    wall = time.perf_counter() - wall_start
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        wall_start = time.perf_counter()
+        results = {case.name: _run_cycle_case(case, repeat) for case in benches}
+        wall = time.perf_counter() - wall_start
+        telemetry_section = _telemetry_section()
     perf = PERF.snapshot()
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -241,6 +264,7 @@ def run_cycle_benches(
         "benches": results,
         "stages": perf["stages"],
         "counters": perf["counters"],
+        "telemetry": telemetry_section,
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -260,7 +284,7 @@ SERVE_BENCH_REQUEST = {
 }
 
 
-def run_serve_benches(*, repeat: int = 10) -> dict:
+def run_serve_benches(*, repeat: int = 10, telemetry: bool = True) -> dict:
     """Bench the simulation service end to end (BENCH_4-style).
 
     Measures, through a real socket against an in-process server:
@@ -271,6 +295,15 @@ def run_serve_benches(*, repeat: int = 10) -> dict:
     * **shed rate under overload** — distinct cold requests fired at a
       service with a tiny admission budget, counting 429s.
     """
+    from ..telemetry import TRACER
+
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        snapshot = _run_serve_benches_traced(repeat=repeat)
+        snapshot["telemetry"] = _telemetry_section()
+    return snapshot
+
+
+def _run_serve_benches_traced(*, repeat: int) -> dict:
     import tempfile
     from concurrent.futures import ThreadPoolExecutor
 
@@ -378,15 +411,21 @@ def run_serve_benches(*, repeat: int = 10) -> dict:
 
 
 def run_benches(
-    benches: tuple[BenchCase, ...] = STANDARD_BENCHES, *, repeat: int = 5
+    benches: tuple[BenchCase, ...] = STANDARD_BENCHES,
+    *,
+    repeat: int = 5,
+    telemetry: bool = True,
 ) -> dict:
     """Run the standard benches and return the snapshot dict."""
+    from ..telemetry import TRACER
     from .instrumentation import PERF
 
     PERF.reset()
-    wall_start = time.perf_counter()
-    results = {case.name: _run_case(case, repeat) for case in benches}
-    wall = time.perf_counter() - wall_start
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        wall_start = time.perf_counter()
+        results = {case.name: _run_case(case, repeat) for case in benches}
+        wall = time.perf_counter() - wall_start
+        telemetry_section = _telemetry_section()
     perf = PERF.snapshot()
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -396,6 +435,7 @@ def run_benches(
         "benches": results,
         "stages": perf["stages"],
         "counters": perf["counters"],
+        "telemetry": telemetry_section,
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -410,25 +450,32 @@ def write_bench_json(
     *,
     repeat: int | None = None,
     tier: str = "analytical",
+    telemetry: bool = True,
 ) -> dict:
     """Run one tier's benches and write the snapshot to ``path``.
 
     ``tier`` selects the analytical layer benches (BENCH_2-style), the
     flit-level cycle-tier bench (BENCH_3-style), or the end-to-end
-    service bench (BENCH_4-style); returns the snapshot.
+    service bench (BENCH_4-style); returns the snapshot.  With
+    ``telemetry`` the benches run traced and the snapshot carries a
+    ``telemetry`` section (span count, top stages by cumulative time).
     """
     if tier == "analytical":
         snapshot = run_benches(
             benches if benches is not None else STANDARD_BENCHES,
             repeat=repeat if repeat is not None else 5,
+            telemetry=telemetry,
         )
     elif tier == "cycle":
         snapshot = run_cycle_benches(
             benches if benches is not None else CYCLE_BENCHES,
             repeat=repeat if repeat is not None else 3,
+            telemetry=telemetry,
         )
     elif tier == "serve":
-        snapshot = run_serve_benches(repeat=repeat if repeat is not None else 10)
+        snapshot = run_serve_benches(
+            repeat=repeat if repeat is not None else 10, telemetry=telemetry
+        )
     else:
         raise ValueError("tier must be 'analytical', 'cycle', or 'serve'")
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")

@@ -12,21 +12,35 @@ hot path carries permanent, near-zero-cost instrumentation:
   hit/miss bookkeeping (``mapping.tile_cache_hit``,
   ``noc.model_cache_hit``, ``config.plan_cache_hit`` …).
 
-Everything funnels into one process-global :data:`PERF` registry so a
-bench run (``repro bench``) can ``reset()``, execute a workload, and
-``snapshot()`` the per-stage breakdown into a ``BENCH_*.json`` artifact.
-The registry is intentionally simple — plain dict accumulation, no
-locks — matching the simulator's single-threaded hot path (process-pool
-workers each get their own registry).
+Since the telemetry subsystem landed, :class:`PerfRegistry` is a **thin
+adapter** over :mod:`repro.telemetry.metrics`: ``add_time`` observes
+into the ``repro_stage_seconds`` histogram family (labelled by stage)
+and ``incr`` increments ``repro_events_total`` (labelled by event) — so
+every existing ``PERF`` call site also feeds the store the serve
+``/metrics`` endpoint renders as Prometheus text.  The ``stages`` /
+``counters`` / ``snapshot()`` views keep their historical shapes, which
+the ``BENCH_*.json`` artifacts and the test-suite rely on.
+
+Thread safety: the underlying metric children carry their own locks, so
+``add_time``/``incr`` from serve's executor threads never lose updates
+and ``snapshot()`` never reads a torn ``calls``/``seconds`` pair.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from ..telemetry.metrics import METRICS, MetricsRegistry
 
 __all__ = ["PerfRegistry", "StageStat", "PERF"]
+
+#: Buckets for the stage-seconds histograms: per-tile stages run in the
+#: 10µs–10ms range, end-to-end jobs and requests in the 10ms–60s range.
+STAGE_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 60.0,
+)
 
 
 @dataclass
@@ -40,13 +54,31 @@ class StageStat:
         return {"calls": self.calls, "seconds": self.seconds}
 
 
-@dataclass
 class PerfRegistry:
-    """Process-global accumulator for stage timings and event counters."""
+    """Stage timings and event counters, backed by the metrics registry.
 
-    enabled: bool = True
-    stages: dict[str, StageStat] = field(default_factory=dict)
-    counters: dict[str, int] = field(default_factory=dict)
+    By default each instance gets a private :class:`MetricsRegistry`
+    (hermetic, as tests expect); the process-global :data:`PERF` wraps
+    the process-global :data:`~repro.telemetry.metrics.METRICS` so perf
+    signals surface on ``/metrics`` too.
+    """
+
+    def __init__(
+        self, enabled: bool = True, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._stages = self.registry.histogram(
+            "repro_stage_seconds",
+            help="Wall time per instrumented pipeline stage",
+            labelnames=("stage",),
+            buckets=STAGE_BUCKETS,
+        )
+        self._events = self.registry.counter(
+            "repro_events_total",
+            help="Instrumentation event counts (cache hits, sheds, …)",
+            labelnames=("event",),
+        )
 
     # -- timers --------------------------------------------------------
     @contextmanager
@@ -64,22 +96,38 @@ class PerfRegistry:
     def add_time(self, name: str, seconds: float) -> None:
         if not self.enabled:
             return
-        stat = self.stages.get(name)
-        if stat is None:
-            stat = self.stages[name] = StageStat()
-        stat.calls += 1
-        stat.seconds += seconds
+        self._stages.labels(stage=name).observe(seconds)
 
     # -- counters ------------------------------------------------------
     def incr(self, name: str, n: int = 1) -> None:
         if not self.enabled:
             return
-        self.counters[name] = self.counters.get(name, 0) + n
+        self._events.labels(event=name).inc(n)
+
+    # -- views ---------------------------------------------------------
+    @property
+    def stages(self) -> dict[str, StageStat]:
+        """Live per-stage view: ``{name: StageStat(calls, seconds)}``."""
+        out = {}
+        for (name,), hist in self._stages.series().items():
+            state = hist.as_dict()  # lock-consistent count/sum pair
+            out[name] = StageStat(calls=state["count"], seconds=state["sum"])
+        return out
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Live counter view: ``{name: count}`` (ints, as historically)."""
+        return {
+            name: int(counter.get())
+            for (name,), counter in self._events.series().items()
+        }
 
     # -- lifecycle -----------------------------------------------------
     def reset(self) -> None:
-        self.stages.clear()
-        self.counters.clear()
+        """Clear the perf families (other families in a shared registry,
+        e.g. serve request metrics, are left alone)."""
+        self._stages.clear()
+        self._events.clear()
 
     def snapshot(self) -> dict:
         """JSON-ready view: stage timings plus counters."""
@@ -91,5 +139,6 @@ class PerfRegistry:
         }
 
 
-#: The process-global registry every instrumented module reports into.
-PERF = PerfRegistry()
+#: The process-global registry every instrumented module reports into,
+#: sharing its backing store with the ``/metrics`` endpoint.
+PERF = PerfRegistry(registry=METRICS)

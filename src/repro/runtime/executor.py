@@ -13,9 +13,10 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..telemetry import TRACER
 from .jobs import SimJob, execute_job
 
 __all__ = [
@@ -31,39 +32,77 @@ JobFn = Callable[[SimJob], dict]
 
 @dataclass
 class ExecutionRecord:
-    """Outcome of executing one job: a result payload or an error."""
+    """Outcome of executing one job: a result payload or an error.
+
+    ``spans`` carries the serialized telemetry spans the execution
+    produced when a trace context was propagated — the return leg of
+    cross-process trace propagation (:mod:`repro.telemetry.trace`).
+    """
 
     job: SimJob
     payload: dict | None
     error: str | None = None
     seconds: float = 0.0
+    spans: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def _invoke(fn: JobFn, job: SimJob) -> ExecutionRecord:
-    """Run one job under failure isolation (also the pool worker)."""
+def _invoke(
+    fn: JobFn, job: SimJob, trace_ctx: dict | None = None
+) -> ExecutionRecord:
+    """Run one job under failure isolation (also the pool worker).
+
+    With a ``trace_ctx`` (the caller's serialized span context), the job
+    runs under an ``executor.job`` span parented to it; every span the
+    execution produces is collected into the record instead of the local
+    buffer, so the caller — possibly in another process — can merge one
+    coherent tree.
+    """
+    if trace_ctx is None:
+        start = time.perf_counter()
+        try:
+            payload = fn(job)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            return ExecutionRecord(
+                job,
+                None,
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+            )
+        return ExecutionRecord(job, payload, None, time.perf_counter() - start)
+
     start = time.perf_counter()
-    try:
-        payload = fn(job)
-    except Exception as exc:  # noqa: BLE001 — isolation is the point
-        return ExecutionRecord(
-            job, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
-        )
-    return ExecutionRecord(job, payload, None, time.perf_counter() - start)
+    with TRACER.remote(trace_ctx), TRACER.collect() as collected:
+        error = None
+        payload = None
+        try:
+            with TRACER.span("executor.job", {"job": job.label()}):
+                payload = fn(job)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            error = f"{type(exc).__name__}: {exc}"
+    spans = [span.to_dict() for span in collected]
+    return ExecutionRecord(
+        job, payload, error, time.perf_counter() - start, spans=spans
+    )
 
 
 class SerialExecutor:
     """Run jobs one after another in this process (the default)."""
 
     name = "serial"
+    supports_trace_ctx = True
 
     def run(
-        self, jobs: Sequence[SimJob], fn: JobFn = execute_job
+        self,
+        jobs: Sequence[SimJob],
+        fn: JobFn = execute_job,
+        *,
+        trace_ctx: dict | None = None,
     ) -> list[ExecutionRecord]:
-        return [_invoke(fn, job) for job in jobs]
+        return [_invoke(fn, job, trace_ctx) for job in jobs]
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -96,6 +135,7 @@ class ProcessExecutor:
     """
 
     name = "process"
+    supports_trace_ctx = True
 
     def __init__(
         self, max_workers: int | None = None, *, timeout: float | None = None
@@ -106,7 +146,11 @@ class ProcessExecutor:
         self.timeout = timeout
 
     def run(
-        self, jobs: Sequence[SimJob], fn: JobFn = execute_job
+        self,
+        jobs: Sequence[SimJob],
+        fn: JobFn = execute_job,
+        *,
+        trace_ctx: dict | None = None,
     ) -> list[ExecutionRecord]:
         jobs = list(jobs)
         if not jobs:
@@ -118,7 +162,7 @@ class ProcessExecutor:
                 max_workers=min(self.max_workers, len(pending))
             )
             futures = [
-                (index, job, pool.submit(_invoke, fn, job))
+                (index, job, pool.submit(_invoke, fn, job, trace_ctx))
                 for index, job in pending
             ]
             survivors: list[tuple[int, SimJob]] = []
@@ -171,6 +215,7 @@ class FakeExecutor:
     """
 
     name = "fake"
+    supports_trace_ctx = True
 
     def __init__(
         self,
@@ -183,7 +228,11 @@ class FakeExecutor:
         self.calls: list[SimJob] = []
 
     def run(
-        self, jobs: Sequence[SimJob], fn: JobFn | None = None
+        self,
+        jobs: Sequence[SimJob],
+        fn: JobFn | None = None,
+        *,
+        trace_ctx: dict | None = None,
     ) -> list[ExecutionRecord]:
         fn = fn or self.fn
         records = []
@@ -192,7 +241,7 @@ class FakeExecutor:
             if self.fail_when is not None and self.fail_when(job):
                 records.append(ExecutionRecord(job, None, "injected failure"))
                 continue
-            record = _invoke(fn, job)
+            record = _invoke(fn, job, trace_ctx)
             record.seconds = 0.0
             records.append(record)
         return records

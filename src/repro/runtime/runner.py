@@ -16,6 +16,7 @@ from typing import Callable, Iterable
 
 from ..core.results import SimulationResult
 from ..perf import PERF
+from ..telemetry import TRACER
 from .cache import ResultCache, as_cache
 from .executor import SerialExecutor, get_executor
 from .jobs import SimJob, job_key
@@ -131,21 +132,45 @@ def run_jobs(
     for key, job in zip(keys, job_list):
         unique.setdefault(key, job)
 
-    outcomes: dict[str, JobOutcome] = {}
-    pending: list[tuple[str, SimJob]] = []
-    for key, job in unique.items():
-        payload = store.load(key) if store is not None else None
-        if payload is not None:
-            outcome = JobOutcome(
-                job, key, SimulationResult.from_dict(payload), cached=True
+    sweep_span = TRACER.span(
+        "run_jobs",
+        {"jobs": len(job_list), "unique": len(unique), "executor": getattr(executor, "name", type(executor).__name__)},
+    )
+    with sweep_span as span:
+        outcomes: dict[str, JobOutcome] = {}
+        pending: list[tuple[str, SimJob]] = []
+        with TRACER.span("cache.probe", {"jobs": len(unique)}) as probe:
+            for key, job in unique.items():
+                payload = store.load(key) if store is not None else None
+                if payload is not None:
+                    outcome = JobOutcome(
+                        job, key, SimulationResult.from_dict(payload), cached=True
+                    )
+                    outcomes[key] = outcome
+                    if progress is not None:
+                        progress(outcome)
+                else:
+                    pending.append((key, job))
+            probe.set(
+                hits=len(unique) - len(pending),
+                misses=len(pending) if store is not None else 0,
             )
-            outcomes[key] = outcome
-            if progress is not None:
-                progress(outcome)
-        else:
-            pending.append((key, job))
 
-    records = executor.run([job for _, job in pending])
+        # Propagate this span's context into the executor (possibly a
+        # process pool) and merge the child spans the records bring back
+        # — one request, one tree, across the process boundary.
+        trace_ctx = TRACER.current_context()
+        if trace_ctx is not None and getattr(
+            executor, "supports_trace_ctx", False
+        ):
+            records = executor.run(
+                [job for _, job in pending], trace_ctx=trace_ctx
+            )
+            for record in records:
+                TRACER.merge(record.spans)
+        else:
+            records = executor.run([job for _, job in pending])
+        span.set(executed=len(records))
     metrics = SweepMetrics(
         total_jobs=len(job_list),
         unique_jobs=len(unique),

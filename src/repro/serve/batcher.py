@@ -26,6 +26,7 @@ from ..perf import PERF
 from ..runtime.cache import ResultCache
 from ..runtime.jobs import SimJob, job_key
 from ..runtime.runner import JobOutcome, SweepReport, run_jobs_async
+from ..telemetry import TRACER
 
 __all__ = ["JobBatcher"]
 
@@ -118,7 +119,8 @@ class JobBatcher:
         PERF.incr("serve.batch")
         PERF.incr("serve.batch_jobs", len(jobs))
         try:
-            report = await self._runner(jobs)
+            with TRACER.span("batch", {"jobs": len(jobs)}):
+                report = await self._runner(jobs)
             by_key = {outcome.key: outcome for outcome in report.outcomes}
         except Exception as exc:  # noqa: BLE001 — isolate a runner crash
             by_key = {

@@ -106,6 +106,10 @@ class ServeClient:
             raw = response.read()
         finally:
             conn.close()
+        content_type = (response.getheader("Content-Type") or "").lower()
+        if content_type.startswith("text/plain"):
+            # Plaintext endpoints (/metrics): carry the body verbatim.
+            return response.status, {"text": raw.decode("utf-8", "replace")}
         try:
             payload = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -122,10 +126,11 @@ class ServeClient:
         body: dict | None = None,
         *,
         deadline: float | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
         """One logical request with retries; returns (status, payload)."""
         encoded = None
-        headers = {}
+        headers = dict(headers) if headers else {}
         if body is not None:
             encoded = json.dumps(body).encode()
             headers["Content-Type"] = "application/json"
@@ -173,12 +178,22 @@ class ServeClient:
 
     # -- endpoints ------------------------------------------------------
     def simulate(
-        self, request: dict | SimJob, *, deadline: float | None = None
+        self,
+        request: dict | SimJob,
+        *,
+        deadline: float | None = None,
+        trace_id: str | None = None,
     ) -> dict:
-        """Run one simulation request; returns the response payload."""
+        """Run one simulation request; returns the response payload.
+
+        ``trace_id`` (hex, ≤32 chars) is sent in ``X-Repro-Trace-Id`` so
+        the server adopts it for the request's trace; the server-chosen
+        id comes back in the payload's ``trace_id`` field either way.
+        """
         body = request.as_dict() if isinstance(request, SimJob) else dict(request)
+        headers = {"X-Repro-Trace-Id": trace_id} if trace_id else None
         status, payload = self.call(
-            "POST", "/simulate", body, deadline=deadline
+            "POST", "/simulate", body, deadline=deadline, headers=headers
         )
         if status != 200:
             raise RequestFailed(status, payload)
@@ -192,6 +207,26 @@ class ServeClient:
 
     def stats(self) -> dict:
         status, payload = self.call("GET", "/stats")
+        if status != 200:
+            raise RequestFailed(status, payload)
+        return payload
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``/metrics``."""
+        status, payload = self.call("GET", "/metrics")
+        if status != 200:
+            raise RequestFailed(status, payload)
+        return payload.get("text", "")
+
+    def trace(self, trace_id: str | None = None, *, limit: int = 0) -> dict:
+        """Buffered spans from ``/trace``, optionally one trace only."""
+        params = []
+        if trace_id:
+            params.append(f"trace_id={trace_id}")
+        if limit:
+            params.append(f"limit={limit}")
+        path = "/trace" + ("?" + "&".join(params) if params else "")
+        status, payload = self.call("GET", path)
         if status != 200:
             raise RequestFailed(status, payload)
         return payload

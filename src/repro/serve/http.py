@@ -18,6 +18,7 @@ __all__ = [
     "HTTPRequest",
     "read_request",
     "render_response",
+    "render_text",
     "STATUS_REASONS",
 ]
 
@@ -128,18 +129,38 @@ async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
     return HTTPRequest(method.upper(), path, headers, body)
 
 
-def render_response(
-    status: int, payload: dict, *, headers: dict[str, str] | None = None
+def _render(
+    status: int,
+    body: bytes,
+    content_type: str,
+    headers: dict[str, str] | None,
 ) -> bytes:
-    """One complete ``Connection: close`` JSON response as bytes."""
-    body = (json.dumps(payload) + "\n").encode()
     reason = STATUS_REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_response(
+    status: int, payload: dict, *, headers: dict[str, str] | None = None
+) -> bytes:
+    """One complete ``Connection: close`` JSON response as bytes."""
+    body = (json.dumps(payload) + "\n").encode()
+    return _render(status, body, "application/json", headers)
+
+
+def render_text(
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """A plaintext response (the Prometheus ``/metrics`` exposition)."""
+    return _render(status, text.encode("utf-8"), content_type, headers)

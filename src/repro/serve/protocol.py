@@ -49,10 +49,14 @@ def parse_simulation_request(data: dict) -> SimJob:
 
 
 def encode_outcome(
-    outcome: JobOutcome, *, joined: bool, latency_seconds: float
+    outcome: JobOutcome,
+    *,
+    joined: bool,
+    latency_seconds: float,
+    trace_id: str | None = None,
 ) -> dict:
     """The response payload for one completed simulation request."""
-    return {
+    payload = {
         "key": outcome.key,
         "cached": outcome.cached,
         "joined": joined,
@@ -60,3 +64,6 @@ def encode_outcome(
         "latency_seconds": latency_seconds,
         "result": outcome.result.to_dict() if outcome.result is not None else None,
     }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    return payload

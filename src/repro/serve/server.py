@@ -14,7 +14,8 @@ Request path::
                  run_jobs on a worker thread
                  (ResultCache hit → no simulation at all)
 
-Endpoints: ``POST /simulate``, ``GET /healthz``, ``GET /stats``.
+Endpoints: ``POST /simulate``, ``GET /healthz``, ``GET /stats``,
+``GET /metrics`` (Prometheus text), ``GET /trace`` (buffered spans).
 Lifecycle: SIGTERM/SIGINT stop the listener, finish in-flight work
 (bounded by ``drain_timeout``), then exit 0.
 """
@@ -26,13 +27,22 @@ import signal
 import threading
 import time
 from collections import deque
+from urllib.parse import parse_qs
 
 from ..perf import PERF
 from ..runtime.cache import ResultCache
 from ..runtime.jobs import SimJob
+from ..telemetry import METRICS, TRACER
+from ..telemetry.trace import valid_trace_id
 from .admission import AdmissionController
 from .batcher import JobBatcher
-from .http import HTTPError, HTTPRequest, read_request, render_response
+from .http import (
+    HTTPError,
+    HTTPRequest,
+    read_request,
+    render_response,
+    render_text,
+)
 from .protocol import ProtocolError, encode_outcome, parse_simulation_request
 
 __all__ = ["LatencyWindow", "SimulationService", "ServerThread", "serve_forever"]
@@ -41,35 +51,55 @@ __all__ = ["LatencyWindow", "SimulationService", "ServerThread", "serve_forever"
 #: server caps its per-request timeout to it so work the client already
 #: gave up on is cancelled instead of computed.
 DEADLINE_HEADER = "x-repro-deadline"
+#: Request/response header carrying the trace id: clients may supply one
+#: (hex, ≤32 chars) to adopt; the server always echoes the request's
+#: trace id back so the client can fetch its tree from ``/trace``.
+TRACE_HEADER = "x-repro-trace-id"
+
+
+def _nearest_rank(ordered: list[float], q: float) -> float | None:
+    if not ordered:
+        return None
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
 
 
 class LatencyWindow:
-    """Sliding window of request latencies with percentile readout."""
+    """Sliding window of request latencies with percentile readout.
+
+    Thread-safe: ``add`` runs on the event loop but ``snapshot`` may be
+    called from any thread (benches, tests), and a torn read of
+    ``(samples, count)`` would report more samples than the window has
+    seen.  One lock, one consistent copy per readout.
+    """
 
     def __init__(self, size: int = 512) -> None:
         self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
         self.count = 0
 
     def add(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self.count += 1
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
 
     def percentile(self, q: float) -> float | None:
         """Nearest-rank percentile over the window, ``None`` when empty."""
-        if not self._samples:
-            return None
-        ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
+        with self._lock:
+            ordered = sorted(self._samples)
+        return _nearest_rank(ordered, q)
 
     def snapshot(self) -> dict:
-        window = list(self._samples)
+        with self._lock:
+            window = list(self._samples)
+            count = self.count
+        ordered = sorted(window)
         return {
-            "count": self.count,
+            "count": count,
             "window": len(window),
             "mean_seconds": sum(window) / len(window) if window else None,
-            "p50_seconds": self.percentile(0.50),
-            "p95_seconds": self.percentile(0.95),
+            "p50_seconds": _nearest_rank(ordered, 0.50),
+            "p95_seconds": _nearest_rank(ordered, 0.95),
         }
 
 
@@ -105,6 +135,15 @@ class SimulationService:
             "timeouts": 0,
             "bad_requests": 0,
         }
+        self._requests_total = METRICS.counter(
+            "repro_requests_total",
+            help="Simulation requests by response status",
+            labelnames=("status",),
+        )
+        self._request_seconds = METRICS.histogram(
+            "repro_request_seconds",
+            help="End-to-end /simulate latency as observed by the server",
+        )
         self._started = time.monotonic()
 
     # -- connection handling -------------------------------------------
@@ -130,7 +169,14 @@ class SimulationService:
                 status, payload = 500, {
                     "error": f"{type(exc).__name__}: {exc}"
                 }
-            writer.write(render_response(status, payload))
+            if isinstance(payload, str):
+                writer.write(render_text(status, payload))
+            else:
+                headers = None
+                trace_id = payload.get("trace_id")
+                if trace_id:
+                    headers = {"X-Repro-Trace-Id": str(trace_id)}
+                writer.write(render_response(status, payload, headers=headers))
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -141,20 +187,29 @@ class SimulationService:
             except (ConnectionError, OSError):
                 pass
 
-    async def dispatch(self, request: HTTPRequest) -> tuple[int, dict]:
-        if request.path == "/healthz":
+    async def dispatch(self, request: HTTPRequest) -> "tuple[int, dict | str]":
+        path, _, query = request.path.partition("?")
+        if path == "/healthz":
             if request.method != "GET":
                 return 405, {"error": "healthz is GET-only"}
             return 200, self._healthz()
-        if request.path == "/stats":
+        if path == "/stats":
             if request.method != "GET":
                 return 405, {"error": "stats is GET-only"}
             return 200, self.stats()
-        if request.path == "/simulate":
+        if path == "/metrics":
+            if request.method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, METRICS.render_prometheus()
+        if path == "/trace":
+            if request.method != "GET":
+                return 405, {"error": "trace is GET-only"}
+            return 200, self._trace(query)
+        if path == "/simulate":
             if request.method != "POST":
                 return 405, {"error": "simulate is POST-only"}
             return await self._simulate(request)
-        return 404, {"error": f"no such endpoint: {request.path}"}
+        return 404, {"error": f"no such endpoint: {path}"}
 
     # -- endpoints ------------------------------------------------------
     def _healthz(self) -> dict:
@@ -173,12 +228,50 @@ class SimulationService:
             "batcher": self.batcher.snapshot(),
             "cache": self.cache.stats.as_dict() if self.cache is not None else None,
             "latency": self.latency.snapshot(),
+            "telemetry": TRACER.snapshot(),
+        }
+
+    def _trace(self, query: str) -> dict:
+        """Buffered spans, optionally filtered to one trace id."""
+        params = parse_qs(query)
+        trace_id = valid_trace_id((params.get("trace_id") or [None])[0])
+        spans = TRACER.buffer.spans(trace_id=trace_id)
+        try:
+            limit = int((params.get("limit") or ["0"])[0])
+        except ValueError:
+            limit = 0
+        if limit > 0:
+            spans = spans[-limit:]
+        return {
+            "trace_id": trace_id,
+            "count": len(spans),
+            "spans": [span.to_dict() for span in spans],
         }
 
     async def _simulate(self, request: HTTPRequest) -> tuple[int, dict]:
+        trace_id = valid_trace_id(request.headers.get(TRACE_HEADER))
+        start = time.perf_counter()
+        with TRACER.span(
+            "http", {"method": request.method, "path": "/simulate"},
+            trace_id=trace_id,
+        ) as span:
+            status, payload = await self._simulate_admitted(request)
+            span.set(status=status)
+        self._requests_total.labels(status=str(status)).inc()
+        self._request_seconds.observe(time.perf_counter() - start)
+        if span.trace_id is not None and isinstance(payload, dict):
+            payload.setdefault("trace_id", span.trace_id)
+        return status, payload
+
+    async def _simulate_admitted(
+        self, request: HTTPRequest
+    ) -> tuple[int, dict]:
         self.counters["requests"] += 1
         PERF.incr("serve.request")
-        if not self.admission.try_acquire():
+        with TRACER.span("admission") as adm:
+            admitted = self.admission.try_acquire()
+            adm.set(admitted=admitted, in_flight=self.admission.in_flight)
+        if not admitted:
             PERF.incr("serve.shed")
             if self.admission.draining:
                 return 503, {"error": "service is draining"}
@@ -213,7 +306,9 @@ class SimulationService:
     async def _run(self, job: SimJob, timeout: float | None) -> tuple[int, dict]:
         start = time.perf_counter()
         try:
-            with PERF.timer("serve.request"):
+            with PERF.timer("serve.request"), TRACER.span(
+                "batcher", {"key": job.key[:12]}
+            ):
                 # Shield: a timeout abandons *this* request, never the
                 # shared execution other single-flight waiters joined.
                 outcome, joined = await asyncio.wait_for(

@@ -1,0 +1,193 @@
+"""Span exporters: Chrome/Perfetto trace JSON, JSONL logs, summaries.
+
+The Chrome trace event format (``chrome://tracing`` / Perfetto) renders
+each trace as one timeline row of nested "X" (complete) events — which
+is exactly a span tree laid on its side.  JSONL is the archival form:
+one serialized span per line, append-friendly, and re-importable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .trace import Span
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "span_summary",
+    "format_summary",
+    "trace_roots",
+]
+
+
+def _as_span(item: "Span | dict") -> Span:
+    return item if isinstance(item, Span) else Span.from_dict(item)
+
+
+def to_chrome_trace(spans: Iterable["Span | dict"]) -> dict:
+    """Spans → a Chrome trace-event JSON object.
+
+    Timestamps are microseconds relative to the earliest span so the
+    viewer opens at t=0; each distinct ``trace_id`` gets its own ``tid``
+    row, making one request tree one visual track.
+    """
+    items = [_as_span(s) for s in spans]
+    base = min((s.start_time for s in items), default=0.0)
+    tids: dict[str, int] = {}
+    events = []
+    for span in items:
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_time - base) * 1e6,
+                "dur": (span.duration or 0.0) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                    **span.attributes,
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"format": "repro.telemetry", "trace_count": len(tids)},
+    }
+
+
+def write_chrome_trace(path: "str | Path", spans: Iterable["Span | dict"]) -> dict:
+    """Write ``trace.json``; returns the document for inspection."""
+    doc = to_chrome_trace(spans)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Structural checks on a Chrome trace document; returns problems.
+
+    Used by CI to assert an exported ``trace.json`` actually loads in a
+    trace viewer: a ``traceEvents`` list whose events carry ``name``,
+    ``ph``, numeric ``ts``/``dur``, and ``pid``/``tid``.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for field in ("name", "ph"):
+            if not isinstance(event.get(field), str):
+                problems.append(f"event {i} has no string {field!r}")
+        for field in ("ts", "dur"):
+            if not isinstance(event.get(field), (int, float)):
+                problems.append(f"event {i} has no numeric {field!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"event {i} has no integer {field!r}")
+    return problems
+
+
+def write_spans_jsonl(path: "str | Path", spans: Iterable["Span | dict"]) -> int:
+    """One serialized span per line; returns the number written."""
+    items = [_as_span(s) for s in spans]
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in items:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return len(items)
+
+
+def read_spans_jsonl(path: "str | Path") -> list[Span]:
+    spans = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def span_summary(spans: Iterable["Span | dict"]) -> list[dict]:
+    """Per-stage aggregate, sorted by cumulative time (desc).
+
+    Each entry: ``{name, calls, total_seconds, mean_seconds,
+    max_seconds, errors}`` — the "top stages" view bench snapshots embed
+    and ``repro trace summary`` prints.
+    """
+    agg: dict[str, dict] = {}
+    for item in spans:
+        span = _as_span(item)
+        entry = agg.setdefault(
+            span.name,
+            {
+                "name": span.name,
+                "calls": 0,
+                "total_seconds": 0.0,
+                "max_seconds": 0.0,
+                "errors": 0,
+            },
+        )
+        dur = span.duration or 0.0
+        entry["calls"] += 1
+        entry["total_seconds"] += dur
+        entry["max_seconds"] = max(entry["max_seconds"], dur)
+        if span.status != "ok":
+            entry["errors"] += 1
+    out = sorted(agg.values(), key=lambda e: -e["total_seconds"])
+    for entry in out:
+        entry["mean_seconds"] = entry["total_seconds"] / entry["calls"]
+    return out
+
+
+def format_summary(summary: list[dict], *, limit: int | None = None) -> str:
+    """Render a span summary as an aligned text table."""
+    rows = summary[:limit] if limit else summary
+    if not rows:
+        return "(no spans)"
+    width = max(len(r["name"]) for r in rows)
+    lines = [
+        f"{'stage':<{width}}  {'calls':>6}  {'total':>10}  {'mean':>10}  "
+        f"{'max':>10}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<{width}}  {r['calls']:>6}  "
+            f"{r['total_seconds'] * 1e3:>8.2f}ms  "
+            f"{r['mean_seconds'] * 1e3:>8.2f}ms  "
+            f"{r['max_seconds'] * 1e3:>8.2f}ms"
+            + (f"  ({r['errors']} errors)" if r["errors"] else "")
+        )
+    return "\n".join(lines)
+
+
+def trace_roots(spans: Iterable["Span | dict"]) -> dict[str, list[Span]]:
+    """Group spans by trace and return only traces with a root span.
+
+    A *root* has no parent within the trace — one HTTP request tree.
+    The CI smoke check uses this to assert an export holds at least one
+    complete request tree.
+    """
+    by_trace: dict[str, list[Span]] = {}
+    for item in spans:
+        span = _as_span(item)
+        by_trace.setdefault(span.trace_id, []).append(span)
+    complete = {}
+    for trace_id, members in by_trace.items():
+        ids = {s.span_id for s in members}
+        if any(s.parent_id is None or s.parent_id not in ids for s in members):
+            complete[trace_id] = members
+    return complete

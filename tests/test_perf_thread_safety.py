@@ -1,0 +1,138 @@
+"""PerfRegistry under concurrency: no lost updates, no torn snapshots.
+
+Serve drives the simulator from executor threads, so ``PERF.add_time``
+and ``PERF.incr`` race with each other and with ``snapshot()`` reads
+from the stats endpoint.  These tests hammer a private registry from
+many threads and assert (a) every update lands and (b) a concurrent
+reader never observes a ``calls``/``seconds`` pair that is internally
+inconsistent.
+"""
+
+import threading
+
+from repro.perf.instrumentation import PerfRegistry
+
+WORKERS = 8
+N = 5_000
+
+
+class TestConcurrentWrites:
+    def test_add_time_loses_no_updates(self):
+        perf = PerfRegistry()
+
+        def pump(w: int) -> None:
+            stage = f"stage{w % 2}"
+            for _ in range(N):
+                perf.add_time(stage, 1e-6)
+
+        threads = [
+            threading.Thread(target=pump, args=(w,)) for w in range(WORKERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total_calls = sum(s.calls for s in perf.stages.values())
+        total_seconds = sum(s.seconds for s in perf.stages.values())
+        assert total_calls == WORKERS * N
+        assert abs(total_seconds - WORKERS * N * 1e-6) < 1e-9 * WORKERS * N
+
+    def test_incr_loses_no_updates(self):
+        perf = PerfRegistry()
+
+        def pump(w: int) -> None:
+            event = f"event{w % 3}"
+            for _ in range(N):
+                perf.incr(event)
+
+        threads = [
+            threading.Thread(target=pump, args=(w,)) for w in range(WORKERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(perf.counters.values()) == WORKERS * N
+
+    def test_timer_contextmanager_concurrent(self):
+        perf = PerfRegistry()
+        rounds = 500
+
+        def pump() -> None:
+            for _ in range(rounds):
+                with perf.timer("stage"):
+                    pass
+
+        threads = [threading.Thread(target=pump) for _ in range(WORKERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert perf.stages["stage"].calls == WORKERS * rounds
+
+
+class TestConcurrentReads:
+    def test_snapshot_never_torn(self):
+        """A reader sees calls/seconds advance together: each observation
+        adds exactly one call and exactly 1µs, so at any instant
+        ``seconds ≈ calls × 1µs``.  A torn read (count updated, sum not)
+        would break the equality beyond float noise."""
+        perf = PerfRegistry()
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer() -> None:
+            while not stop.is_set():
+                perf.add_time("s", 1e-6)
+                perf.incr("e")
+
+        def reader() -> None:
+            while not stop.is_set():
+                snap = perf.snapshot()
+                stage = snap["stages"].get("s")
+                if stage is None:
+                    continue
+                expected = stage["calls"] * 1e-6
+                if abs(stage["seconds"] - expected) > 1e-6 + 1e-9 * stage["calls"]:
+                    failures.append(
+                        f"torn pair: calls={stage['calls']} "
+                        f"seconds={stage['seconds']}"
+                    )
+                    return
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        timer.cancel()
+        for t in writers:
+            t.join()
+        assert failures == []
+
+    def test_reset_during_writes_keeps_invariants(self):
+        perf = PerfRegistry()
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                perf.add_time("s", 1e-6)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                perf.reset()
+                snap = perf.snapshot()["stages"].get("s")
+                if snap is not None:
+                    assert snap["calls"] >= 0
+                    assert snap["seconds"] >= 0.0
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()

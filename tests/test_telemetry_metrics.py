@@ -1,0 +1,204 @@
+"""Metrics registry: instruments, families, and Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.get() == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.get() == 13.0
+
+    def test_histogram_counts_and_sum(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 2.0, 7.0, 100.0):
+            h.observe(v)
+        state = h.as_dict()
+        assert state["count"] == 4
+        assert state["sum"] == pytest.approx(109.5)
+        assert state["buckets"] == {1.0: 1, 5.0: 1, 10.0: 1}
+        assert state["overflow"] == 1
+
+    def test_histogram_quantile_bucket_bounds(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.6, 0.7, 7.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0  # within the first bucket
+        assert h.quantile(1.0) == 10.0
+        assert Histogram().quantile(0.5) is None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestMetricFamily:
+    def test_labelled_family_fans_out(self):
+        fam = MetricFamily("hits", "counter", labelnames=("stage",))
+        fam.labels(stage="a").inc()
+        fam.labels(stage="a").inc()
+        fam.labels(stage="b").inc()
+        assert fam.labels(stage="a").get() == 2.0
+        assert set(fam.series()) == {("a",), ("b",)}
+
+    def test_label_set_must_match_exactly(self):
+        fam = MetricFamily("hits", "counter", labelnames=("stage",))
+        with pytest.raises(ValueError):
+            fam.labels(wrong="a")
+        with pytest.raises(ValueError):
+            fam.labels()
+
+    def test_unlabelled_passthroughs(self):
+        fam = MetricFamily("depth", "gauge")
+        fam.set(3)
+        fam.dec()
+        assert fam.get() == 2.0
+
+    def test_name_and_label_validation(self):
+        with pytest.raises(ValueError):
+            MetricFamily("bad name", "counter")
+        with pytest.raises(ValueError):
+            MetricFamily("ok", "counter", labelnames=("bad-label",))
+        with pytest.raises(ValueError):
+            MetricFamily("ok", "nonsense")
+
+    def test_clear_reseeds_unlabelled_child(self):
+        fam = MetricFamily("n", "counter")
+        fam.inc(5)
+        fam.clear()
+        assert fam.get() == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests", labelnames=("status",))
+        b = reg.counter("requests", labelnames=("status",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", help="requests", labelnames=("status",)).labels(
+            status="200"
+        ).inc()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["reqs"]["type"] == "counter"
+        assert snap["reqs"]["series"]["200"]["value"] == 1.0
+        assert snap["lat"]["series"][""]["count"] == 1
+
+    def test_reset_clears_series_keeps_families(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("n")
+        fam.inc(3)
+        reg.reset()
+        assert reg.counter("n") is fam
+        assert fam.get() == 0.0
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", help="all requests", labelnames=("status",)).labels(
+            status="200"
+        ).inc(3)
+        reg.gauge("depth").set(7)
+        text = reg.render_prometheus()
+        assert "# HELP reqs_total all requests" in text
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{status="200"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            hist.observe(v)
+        text = reg.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 5.55" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("evt", labelnames=("name",)).labels(
+            name='with "quotes"\nand newline'
+        ).inc()
+        text = reg.render_prometheus()
+        assert r'name="with \"quotes\"\nand newline"' in text
+
+    def test_parseable_line_format(self):
+        """Every non-comment line is `name{labels} value`."""
+        import re
+
+        reg = MetricsRegistry()
+        reg.counter("a_total", labelnames=("x",)).labels(x="1").inc()
+        reg.histogram("b_seconds", buckets=(1.0,)).observe(2.0)
+        pattern = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.eE+-]+(inf)?$"
+        )
+        for line in reg.render_prometheus().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert pattern.match(line), line
+
+
+class TestThreadSafety:
+    def test_concurrent_observations_lose_nothing(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", labelnames=("stage",), buckets=(1.0,))
+        ctr = reg.counter("c", labelnames=("event",))
+        n, workers = 5_000, 8
+
+        def pump(w: int) -> None:
+            child_h = hist.labels(stage=f"s{w % 2}")
+            child_c = ctr.labels(event=f"e{w % 2}")
+            for _ in range(n):
+                child_h.observe(0.5)
+                child_c.inc()
+
+        threads = [
+            threading.Thread(target=pump, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total_h = sum(c.count for c in hist.series().values())
+        total_c = sum(c.get() for c in ctr.series().values())
+        assert total_h == n * workers
+        assert total_c == n * workers
