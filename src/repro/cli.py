@@ -23,6 +23,10 @@ Commands
 ``serve``
     Run the long-lived simulation service (asyncio HTTP, single-flight
     dedup, micro-batching, admission control; drains on SIGTERM).
+``cluster``
+    Run the sharded fleet: N replica subprocesses behind a
+    consistent-hash router with supervision, tiered caching, and
+    per-replica drain/restart endpoints.
 ``request``
     Fire one simulation request at a running service through the
     retrying client (``--trace`` prints the request's span tree).
@@ -137,11 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--tier",
-        choices=("analytical", "cycle", "serve"),
+        choices=("analytical", "cycle", "serve", "cluster"),
         default="analytical",
         help="which tier to bench: analytical layer sweep (BENCH_2), "
-        "flit-level cycle tile (BENCH_3), or the end-to-end simulation "
-        "service (BENCH_4)",
+        "flit-level cycle tile (BENCH_3), the end-to-end simulation "
+        "service (BENCH_4), or the sharded cluster at 1/2/4 replicas "
+        "(BENCH_6)",
     )
     p_bench.add_argument(
         "--repeat",
@@ -246,6 +251,98 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="span ring-buffer capacity (default: 4096)",
     )
+    p_srv.add_argument(
+        "--replica-id",
+        default=None,
+        metavar="ID",
+        help="identify this process as a cluster replica (adds the id "
+        "to /healthz, /stats, and a repro_replica_info metric)",
+    )
+
+    p_cluster = sub.add_parser(
+        "cluster", help="run the sharded replica fleet behind the router"
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument(
+        "--port", type=int, default=8765, help="0 picks an ephemeral port"
+    )
+    p_cluster.add_argument(
+        "--replicas",
+        type=positive_int,
+        default=2,
+        metavar="N",
+        help="replica subprocesses to spawn and supervise",
+    )
+    p_cluster.add_argument(
+        "--vnodes",
+        type=positive_int,
+        default=64,
+        metavar="N",
+        help="virtual nodes per replica on the hash ring",
+    )
+    p_cluster.add_argument(
+        "--max-inflight",
+        type=positive_int,
+        default=16,
+        metavar="N",
+        help="per-replica proxied requests in flight before shedding 429",
+    )
+    p_cluster.add_argument(
+        "--lru-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="router in-process result LRU entries (0 disables the tier)",
+    )
+    p_cluster.add_argument(
+        "--queue-depth",
+        type=positive_int,
+        default=64,
+        metavar="N",
+        help="per-replica admission queue depth",
+    )
+    p_cluster.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes per replica batch (1 = serial, in-thread)",
+    )
+    p_cluster.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="base directory for per-replica cache shards "
+        "(default: $REPRO_CACHE_DIR or .repro_cache, shard-<i> inside)",
+    )
+    p_cluster.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="health-probe period per replica",
+    )
+    p_cluster.add_argument(
+        "--fail-threshold",
+        type=positive_int,
+        default=3,
+        metavar="N",
+        help="consecutive silent probes before a replica is restarted",
+    )
+    p_cluster.add_argument(
+        "--proxy-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-proxy budget for one replica to answer /simulate",
+    )
+    p_cluster.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="SIGTERM grace period for in-flight work, router and replicas",
+    )
 
     p_req = sub.add_parser(
         "request", help="fire one request at a running service"
@@ -340,13 +437,20 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("stats", help="entry count, bytes, fingerprint")
     cache_sub.add_parser("clear", help="delete every cached result")
     c_prune = cache_sub.add_parser(
-        "prune", help="delete results older than a maximum age"
+        "prune", help="delete results by age and/or total size"
     )
     c_prune.add_argument(
         "--max-age",
-        required=True,
+        default=None,
         metavar="AGE",
         help="age limit, e.g. 900 (seconds), 30m, 36h, 7d",
+    )
+    c_prune.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="on-disk budget, e.g. 50000000, 64k, 100m, 2g; oldest "
+        "results are evicted first until the cache fits",
     )
 
     return parser
@@ -368,6 +472,24 @@ def parse_age(text: str) -> float:
     if value < 0:
         raise ValueError("age must be >= 0")
     return value * scale
+
+
+def parse_size(text: str) -> int:
+    """``50000000`` / ``64k`` / ``100m`` / ``2g`` → bytes."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    scale = 1
+    if text and text[-1].lower() in units:
+        scale = units[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid size {text!r} (expected e.g. 50000000, 64k, 100m, 2g)"
+        ) from None
+    if value < 0:
+        raise ValueError("size must be >= 0")
+    return int(value * scale)
 
 
 def _cmd_datasets() -> int:
@@ -497,6 +619,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "analytical": "BENCH_2.json",
         "cycle": "BENCH_3.json",
         "serve": "BENCH_4.json",
+        "cluster": "BENCH_6.json",
     }
     output = args.output or defaults[args.tier]
     snapshot = write_bench_json(
@@ -531,6 +654,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"(shed rate {bench['shed_rate']:.0%}, "
                 f"queue depth {bench['queue_depth']})"
             )
+        if "failed" in bench:
+            print(
+                f"  {name:<12} {bench['requests']} requests, replica killed "
+                f"mid-load → {bench['failed']} failed, "
+                f"{bench['proxy_failovers']} failover(s), "
+                f"recovered={bench['recovered']}"
+            )
+    scaling = snapshot.get("scaling_vs_1_replica")
+    if scaling:
+        print(
+            "  scaling vs 1 replica: "
+            + ", ".join(f"{k}x fleet = {v:.2f}x" for k, v in sorted(scaling.items()))
+            + f" (cpu_count={snapshot['environment'].get('cpu_count')})"
+        )
     hits = {
         k: v for k, v in snapshot["counters"].items() if k.endswith("cache_hit")
     }
@@ -573,10 +710,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         request_timeout=args.timeout,
+        replica_id=args.replica_id,
     )
     return asyncio.run(
         serve_forever(
             service, args.host, args.port, drain_timeout=args.drain_timeout
+        )
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    from pathlib import Path
+
+    from .cluster import (
+        ClusterRouter,
+        ReplicaConfig,
+        ReplicaSupervisor,
+        cluster_forever,
+    )
+    from .runtime.cache import DEFAULT_CACHE_DIR, ENV_CACHE_DIR, ResultCache
+
+    base = Path(
+        args.cache_dir
+        or os.environ.get(ENV_CACHE_DIR)
+        or DEFAULT_CACHE_DIR
+    )
+    serve_args = (
+        "--queue-depth", str(args.queue_depth),
+        "--jobs", str(args.jobs),
+    )
+    configs = [
+        ReplicaConfig(
+            replica_id=i,
+            host="127.0.0.1",
+            cache_dir=base / f"shard-{i}",
+            serve_args=serve_args,
+        )
+        for i in range(args.replicas)
+    ]
+    supervisor = ReplicaSupervisor(
+        configs,
+        probe_interval=args.probe_interval,
+        fail_threshold=args.fail_threshold,
+    )
+    router = ClusterRouter(
+        vnodes=args.vnodes,
+        max_inflight_per_replica=args.max_inflight,
+        lru_capacity=args.lru_capacity,
+        proxy_timeout=args.proxy_timeout,
+    )
+    for cfg in configs:
+        # The router reads replica shards directly (same host): a ring
+        # change then finds results the previous owner already computed.
+        router.tiers.add_shard(ResultCache(root=cfg.cache_dir))
+    return asyncio.run(
+        cluster_forever(
+            router,
+            supervisor,
+            args.host,
+            args.port,
+            drain_timeout=args.drain_timeout,
         )
     )
 
@@ -714,16 +909,31 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache: removed {removed} result(s) from {cache.root}")
         return 0
     if args.cache_command == "prune":
+        if args.max_age is None and args.max_bytes is None:
+            print(
+                "error: prune needs --max-age and/or --max-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        removed_old = removed_big = 0
         try:
-            max_age = parse_age(args.max_age)
+            if args.max_age is not None:
+                removed_old = cache.prune(parse_age(args.max_age))
+            if args.max_bytes is not None:
+                removed_big = cache.prune_bytes(parse_size(args.max_bytes))
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        removed = cache.prune(max_age)
-        print(
-            f"cache: pruned {removed} result(s) older than "
-            f"{args.max_age} from {cache.root}"
-        )
+        if args.max_age is not None:
+            print(
+                f"cache: pruned {removed_old} result(s) older than "
+                f"{args.max_age} from {cache.root}"
+            )
+        if args.max_bytes is not None:
+            print(
+                f"cache: evicted {removed_big} oldest result(s) to fit "
+                f"{args.max_bytes} in {cache.root}"
+            )
         return 0
     raise AssertionError(
         f"unhandled cache command {args.cache_command}"
@@ -751,6 +961,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "request":
         return _cmd_request(args)
     if args.command == "trace":

@@ -1,0 +1,646 @@
+"""The cluster front end: consistent-hash routing over replica shards.
+
+One asyncio process owns the client-facing socket and fans
+``/simulate`` traffic out to N ``repro.serve`` replicas:
+
+* **placement** — requests canonicalize to a :class:`SimJob` whose
+  content hash lands on the :class:`~repro.cluster.ring.HashRing`;
+  identical jobs always reach the same replica, so single-flight dedup
+  and warm caches shard cleanly by job identity;
+* **tiers before compute** — the router answers from its own
+  memory/disk/peer :class:`~repro.cluster.tiers.TieredResultStore`
+  before proxying, so a re-hashed key whose result an old owner already
+  computed never re-simulates;
+* **admission** — per-replica bounded in-flight; a saturated owner
+  sheds with 429 + ``Retry-After`` instead of queueing (spilling a job
+  to a cache-cold replica would trade latency for locality);
+* **resilience** — a replica that fails at the transport level mid-
+  proxy is retried on the next distinct ring node, so killing a
+  replica under load is invisible to (retrying) clients;
+* **operations** — ``/healthz``/``/stats``/``/metrics`` aggregate the
+  fleet through :mod:`repro.telemetry`; ``POST /replicas/<id>/drain``
+  and ``/start`` remove and restore individual replicas without
+  dropping the fleet.
+
+The router duck-types :class:`repro.serve.server.ServerThread`'s
+service contract (``handle``/``begin_drain``/``drain``), so tests and
+benches host it exactly like a single service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+
+from ..perf import PERF
+from ..serve.http import HTTPError, HTTPRequest, read_request, render_response, render_text
+from ..serve.protocol import ProtocolError, parse_simulation_request
+from ..serve.server import DEADLINE_HEADER, TRACE_HEADER, LatencyWindow
+from ..telemetry import METRICS
+from . import wire
+from .replica import ReplicaSupervisor
+from .ring import DEFAULT_VNODES, HashRing
+from .tiers import ResultLRU, TieredResultStore
+
+__all__ = ["ClusterRouter", "ClusterThread", "cluster_forever"]
+
+#: Key sanity bound for /result/<key> (sha256 hex is 64 chars).
+_HEX = set("0123456789abcdef")
+
+
+class ClusterRouter:
+    """Routes, supervises bookkeeping, and aggregates one replica fleet."""
+
+    def __init__(
+        self,
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        max_inflight_per_replica: int = 16,
+        proxy_retries: int = 2,
+        proxy_timeout: float = 300.0,
+        tiers: TieredResultStore | None = None,
+        lru_capacity: int = 1024,
+        retry_after_hint: float = 0.25,
+        peer_fetch_limit: int = 2,
+        supervisor: ReplicaSupervisor | None = None,
+    ) -> None:
+        if max_inflight_per_replica < 1:
+            raise ValueError("max_inflight_per_replica must be >= 1")
+        if proxy_retries < 0:
+            raise ValueError("proxy_retries must be >= 0")
+        self.ring = HashRing(vnodes=vnodes)
+        self.max_inflight_per_replica = max_inflight_per_replica
+        self.proxy_retries = proxy_retries
+        self.proxy_timeout = proxy_timeout
+        self.retry_after_hint = retry_after_hint
+        self.peer_fetch_limit = peer_fetch_limit
+        self.supervisor = supervisor
+        self.tiers = tiers or TieredResultStore(
+            lru=ResultLRU(lru_capacity) if lru_capacity > 0 else None
+        )
+        if self.tiers.peer_fetch is None and peer_fetch_limit > 0:
+            self.tiers.peer_fetch = self._peer_fetch
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._inflight: dict[str, int] = {}
+        self._draining = False
+        self._idle: asyncio.Event | None = None
+        self.latency = LatencyWindow()
+        self.counters = {
+            "requests": 0,
+            "completed": 0,
+            "tier_served": 0,
+            "proxied": 0,
+            "proxy_failovers": 0,
+            "shed": 0,
+            "no_replica": 0,
+            "bad_requests": 0,
+            "errors": 0,
+        }
+        self._requests_total = METRICS.counter(
+            "repro_cluster_requests_total",
+            help="Cluster requests by response status",
+            labelnames=("status",),
+        )
+        self._routed_total = METRICS.counter(
+            "repro_cluster_routed_total",
+            help="Requests proxied to each replica",
+            labelnames=("replica",),
+        )
+        self._tier_hits_total = METRICS.counter(
+            "repro_cluster_tier_hits_total",
+            help="Results served from each cache tier before compute",
+            labelnames=("tier",),
+        )
+        self._replica_up = METRICS.gauge(
+            "repro_cluster_replica_up",
+            help="1 while a replica is routable, 0 otherwise",
+            labelnames=("replica",),
+        )
+        self._failovers_total = METRICS.counter(
+            "repro_cluster_failovers_total",
+            help="Proxy attempts re-routed after a replica transport failure",
+            labelnames=("replica",),
+        )
+        self._request_seconds = METRICS.histogram(
+            "repro_cluster_request_seconds",
+            help="End-to-end /simulate latency as observed by the router",
+        )
+        self._started = time.monotonic()
+
+    # -- membership (supervisor callbacks; sync, loop-thread only) ------
+    def replica_up(self, replica_id: str, host: str, port: int) -> None:
+        name = str(replica_id)
+        self._addresses[name] = (host, port)
+        self._inflight.setdefault(name, 0)
+        if name not in self.ring:
+            self.ring.add(name)
+        self._replica_up.labels(replica=name).set(1)
+
+    def replica_down(self, replica_id: str) -> None:
+        name = str(replica_id)
+        self._addresses.pop(name, None)
+        if name in self.ring:
+            self.ring.remove(name)
+        self._replica_up.labels(replica=name).set(0)
+
+    def attach_supervisor(self, supervisor: ReplicaSupervisor) -> None:
+        """Wire a supervisor's callbacks into the ring."""
+        self.supervisor = supervisor
+        supervisor.on_up = self.replica_up
+        supervisor.on_down = self.replica_down
+
+    @property
+    def routable(self) -> list[str]:
+        return self.ring.nodes
+
+    # -- connection handling (ServerThread-compatible) ------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HTTPError as exc:
+                self.counters["bad_requests"] += 1
+                writer.write(render_response(400, {"error": str(exc)}))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            try:
+                reply = await self.dispatch(request)
+            except Exception as exc:  # noqa: BLE001 — a handler bug must
+                # not kill the connection loop silently
+                self.counters["errors"] += 1
+                reply = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            if len(reply) == 3:
+                status, payload, headers = reply
+                headers = dict(headers) if headers else {}
+            else:
+                status, payload = reply
+                headers = {}
+            if isinstance(payload, str):
+                writer.write(render_text(status, payload))
+            else:
+                writer.write(
+                    render_response(status, payload, headers=headers or None)
+                )
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def dispatch(self, request: HTTPRequest) -> tuple:
+        path, _, _query = request.path.partition("?")
+        if path == "/healthz":
+            if request.method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self.healthz()
+        if path == "/stats":
+            if request.method != "GET":
+                return 405, {"error": "stats is GET-only"}
+            return 200, await self.stats()
+        if path == "/metrics":
+            if request.method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, METRICS.render_prometheus()
+        if path.startswith("/result/"):
+            if request.method != "GET":
+                return 405, {"error": "result is GET-only"}
+            return await self._result(path[len("/result/"):])
+        if path == "/simulate":
+            if request.method != "POST":
+                return 405, {"error": "simulate is POST-only"}
+            return await self._simulate(request)
+        if path == "/replicas":
+            if request.method != "GET":
+                return 405, {"error": "replicas is GET-only"}
+            return 200, self._replicas_view()
+        if path.startswith("/replicas/"):
+            return await self._replica_action(request, path)
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    # -- endpoints ------------------------------------------------------
+    def healthz(self) -> dict:
+        up = self.ring.nodes
+        total = (
+            len(self.supervisor.states()) if self.supervisor is not None else len(up)
+        )
+        if self._draining:
+            status = "draining"
+        elif up and len(up) == total:
+            status = "ok"
+        elif up:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "role": "router",
+            "replicas_up": len(up),
+            "replicas_total": total,
+            "inflight": sum(self._inflight.values()),
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    async def stats(self) -> dict:
+        """Cluster aggregate: router view + every routable replica's /stats."""
+        names = self.ring.nodes
+        replica_stats = await asyncio.gather(
+            *(self._fetch_replica_stats(name) for name in names)
+        )
+        aggregated = dict(zip(names, replica_stats))
+        requests_by_replica = {
+            name: stats.get("requests", {}).get("requests")
+            for name, stats in aggregated.items()
+            if isinstance(stats, dict) and "requests" in stats
+        }
+        return {
+            "status": "draining" if self._draining else "ok",
+            "role": "router",
+            "uptime_seconds": time.monotonic() - self._started,
+            "router": {
+                "requests": dict(self.counters),
+                "ring": self.ring.snapshot(),
+                "tiers": self.tiers.snapshot(),
+                "inflight": dict(sorted(self._inflight.items())),
+                "max_inflight_per_replica": self.max_inflight_per_replica,
+                "latency": self.latency.snapshot(),
+            },
+            "supervisor": (
+                self.supervisor.snapshot() if self.supervisor is not None else None
+            ),
+            "replicas": aggregated,
+            "requests_by_replica": requests_by_replica,
+        }
+
+    async def _fetch_replica_stats(self, name: str) -> dict:
+        address = self._addresses.get(name)
+        if address is None:
+            return {"error": "not routable"}
+        try:
+            status, payload, _ = await wire.request_json(
+                address[0], address[1], "GET", "/stats", timeout=5.0
+            )
+        except (OSError, asyncio.TimeoutError, wire.PeerProtocolError) as exc:
+            return {"error": f"{type(exc).__name__}: {exc}"}
+        if status != 200:
+            return {"error": f"HTTP {status}"}
+        return payload
+
+    def _replicas_view(self) -> dict:
+        if self.supervisor is not None:
+            view = self.supervisor.snapshot()
+        else:
+            view = {"replicas": {}}
+        view["routable"] = self.ring.nodes
+        return view
+
+    async def _replica_action(self, request: HTTPRequest, path: str) -> tuple:
+        if self.supervisor is None:
+            return 404, {"error": "no supervisor attached"}
+        parts = path.strip("/").split("/")
+        if len(parts) != 3 or parts[2] not in ("drain", "start"):
+            return 404, {"error": f"no such endpoint: {path}"}
+        if request.method != "POST":
+            return 405, {"error": f"{parts[2]} is POST-only"}
+        _, replica_id, action = parts
+        try:
+            if action == "drain":
+                snapshot = await self.supervisor.drain_replica(replica_id)
+            else:
+                snapshot = await self.supervisor.start_replica(replica_id)
+        except KeyError:
+            return 404, {"error": f"no such replica: {replica_id}"}
+        return 200, {"action": action, "replica": snapshot}
+
+    async def _result(self, key: str) -> tuple:
+        if not key or len(key) > 128 or not set(key) <= _HEX:
+            return 400, {"error": f"malformed result key: {key[:80]!r}"}
+        result, tier = await self.tiers.lookup(key)
+        if result is None:
+            return 404, {"error": "result not cached", "key": key}
+        return 200, {"key": key, "cached": True, "tier": tier, "result": result}
+
+    # -- the hot path ---------------------------------------------------
+    async def _simulate(self, request: HTTPRequest) -> tuple:
+        start = time.perf_counter()
+        reply = await self._simulate_inner(request, start)
+        status = reply[0]
+        self._requests_total.labels(status=str(status)).inc()
+        self._request_seconds.observe(time.perf_counter() - start)
+        return reply
+
+    async def _simulate_inner(self, request: HTTPRequest, start: float) -> tuple:
+        self.counters["requests"] += 1
+        PERF.incr("cluster.request")
+        if self._draining:
+            return 503, {"error": "cluster is draining"}, self._retry_after()
+        try:
+            body = request.json()
+            job = parse_simulation_request(body)
+        except (HTTPError, ProtocolError) as exc:
+            self.counters["bad_requests"] += 1
+            return 400, {"error": str(exc)}
+        key = job.key
+
+        result, tier = await self.tiers.lookup(key)
+        if result is not None:
+            self.counters["tier_served"] += 1
+            self.counters["completed"] += 1
+            self._tier_hits_total.labels(tier=tier).inc()
+            PERF.incr("cluster.tier_hit")
+            latency = time.perf_counter() - start
+            self.latency.add(latency)
+            return 200, {
+                "key": key,
+                "cached": True,
+                "tier": tier,
+                "joined": False,
+                "seconds": 0.0,
+                "latency_seconds": latency,
+                "result": result,
+            }
+
+        candidates = self.ring.preference(key, 1 + self.proxy_retries)
+        if not candidates:
+            self.counters["no_replica"] += 1
+            return 503, {"error": "no routable replica"}, self._retry_after()
+
+        forward_headers = {}
+        deadline = request.headers.get(DEADLINE_HEADER)
+        if deadline:
+            forward_headers["X-Repro-Deadline"] = deadline
+        trace_id = request.headers.get(TRACE_HEADER)
+        if trace_id:
+            forward_headers["X-Repro-Trace-Id"] = trace_id
+
+        failures: list[str] = []
+        for attempt, name in enumerate(candidates):
+            address = self._addresses.get(name)
+            if address is None:
+                continue  # raced a concurrent removal; next candidate
+            if self._inflight.get(name, 0) >= self.max_inflight_per_replica:
+                # The owner is saturated: shed with backpressure rather
+                # than spill the job to a replica whose caches are cold.
+                self.counters["shed"] += 1
+                PERF.incr("cluster.shed")
+                return 429, {
+                    "error": f"replica {name} is saturated, request shed",
+                    "replica": name,
+                    "max_inflight": self.max_inflight_per_replica,
+                }, self._retry_after()
+            if attempt > 0:
+                self.counters["proxy_failovers"] += 1
+                self._failovers_total.labels(replica=name).inc()
+            self._inflight[name] = self._inflight.get(name, 0) + 1
+            try:
+                status, payload, _headers = await wire.request_json(
+                    address[0], address[1], "POST", "/simulate",
+                    body=job.as_dict(),
+                    headers=forward_headers,
+                    timeout=self.proxy_timeout,
+                )
+            except (OSError, asyncio.TimeoutError, wire.PeerProtocolError) as exc:
+                failures.append(f"{name}: {type(exc).__name__}: {exc}")
+                PERF.incr("cluster.proxy_error")
+                continue
+            finally:
+                self._inflight[name] = max(0, self._inflight.get(name, 1) - 1)
+                self._note_idle()
+            self.counters["proxied"] += 1
+            self._routed_total.labels(replica=name).inc()
+            if isinstance(payload, dict):
+                payload.setdefault("replica", name)
+            if status == 200:
+                self.counters["completed"] += 1
+                if isinstance(payload, dict) and isinstance(
+                    payload.get("result"), dict
+                ):
+                    self.tiers.insert(key, payload["result"])
+                latency = time.perf_counter() - start
+                self.latency.add(latency)
+                payload["latency_seconds"] = latency
+                return 200, payload
+            if status in (429, 503):
+                # The replica's own admission shed it; relay the
+                # backpressure (with our hint) instead of stampeding
+                # a cache-cold neighbour.
+                self.counters["shed"] += 1
+                return status, payload, self._retry_after()
+            self.counters["errors"] += 1
+            return status, payload
+        self.counters["no_replica"] += 1
+        self.counters["errors"] += 1
+        return 503, {
+            "error": "no replica answered",
+            "attempts": failures,
+        }, self._retry_after()
+
+    def _retry_after(self) -> dict:
+        return {"Retry-After": f"{self.retry_after_hint:.3f}"}
+
+    # -- peer fetch tier -------------------------------------------------
+    async def _peer_fetch(self, key: str) -> dict | None:
+        """Ask non-owner replicas for a cached result before recompute.
+
+        Useful when shard directories are not locally readable (remote
+        peers) or after ring changes; bounded to ``peer_fetch_limit``
+        peers so a miss costs at most a couple of loopback round trips.
+        """
+        preference = self.ring.preference(key)
+        peers = preference[1:][: self.peer_fetch_limit]
+        for name in peers:
+            address = self._addresses.get(name)
+            if address is None:
+                continue
+            try:
+                status, payload, _ = await wire.request_json(
+                    address[0], address[1], "GET", f"/result/{key}", timeout=5.0
+                )
+            except (OSError, asyncio.TimeoutError, wire.PeerProtocolError):
+                continue
+            if status == 200 and isinstance(payload.get("result"), dict):
+                return payload["result"]
+        return None
+
+    # -- lifecycle (ServerThread-compatible) -----------------------------
+    def _note_idle(self) -> None:
+        if self._idle is not None and sum(self._inflight.values()) == 0:
+            self._idle.set()
+
+    def begin_drain(self) -> None:
+        self._draining = True
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for in-flight proxied requests to complete."""
+        if sum(self._inflight.values()) == 0:
+            return True
+        self._idle = asyncio.Event()
+        if sum(self._inflight.values()) == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+
+async def cluster_forever(
+    router: ClusterRouter,
+    supervisor: ReplicaSupervisor,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    drain_timeout: float = 30.0,
+    install_signals: bool = True,
+    ready: "asyncio.Event | None" = None,
+) -> int:
+    """Boot the fleet, serve until SIGTERM/SIGINT, drain, exit 0.
+
+    Replicas launch first (the router only listens once all are up), and
+    teardown runs in the reverse order: stop admitting, finish in-flight
+    proxies, then SIGTERM-drain every replica.
+    """
+    router.attach_supervisor(supervisor)
+    await supervisor.start(wait_ready=True)
+    server = await asyncio.start_server(router.handle, host, port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+    print(
+        f"repro-cluster: {len(router.routable)} replica(s) up, "
+        f"listening on {bound_host}:{bound_port}",
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    await stop.wait()
+    print("repro-cluster: draining", flush=True)
+    router.begin_drain()
+    server.close()
+    await server.wait_closed()
+    clean = await router.drain(timeout=drain_timeout)
+    await supervisor.stop(drain_timeout=drain_timeout)
+    print(
+        "repro-cluster: drained, exiting"
+        if clean
+        else "repro-cluster: drain timed out, exiting",
+        flush=True,
+    )
+    return 0 if clean else 1
+
+
+class ClusterThread:
+    """Host a whole cluster (router + supervisor) on a background thread.
+
+    The benches and the smoke-style tests need the full fleet — replica
+    subprocesses, supervision, routing — while the driving code stays
+    synchronous.  ``start`` blocks until every replica is up and the
+    router is listening; ``stop`` runs the same ordered teardown the
+    SIGTERM path takes.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        supervisor: ReplicaSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.router = router
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self.address: tuple[str, int] | None = None
+        self.exit_code: int | None = None
+        self.startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = None
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> int:
+            self._stop = asyncio.Event()
+            self.router.attach_supervisor(self.supervisor)
+            await self.supervisor.start(wait_ready=True)
+            server = await asyncio.start_server(
+                self.router.handle, self.host, self.port
+            )
+            self.address = server.sockets[0].getsockname()[:2]
+            self._started.set()
+            await self._stop.wait()
+            self.router.begin_drain()
+            server.close()
+            await server.wait_closed()
+            clean = await self.router.drain(timeout=self.drain_timeout)
+            await self.supervisor.stop(drain_timeout=self.drain_timeout)
+            return 0 if clean else 1
+
+        try:
+            self.exit_code = self._loop.run_until_complete(main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced by start()
+            self.startup_error = exc
+        finally:
+            self._started.set()  # unblock start() even on a crash
+            self._loop.close()
+
+    def start(self, timeout: float = 180.0) -> tuple[str, int]:
+        import threading
+
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("cluster thread failed to start in time")
+        if self.address is None:
+            raise RuntimeError(
+                f"cluster thread crashed during startup: {self.startup_error}"
+            )
+        return self.address
+
+    def stop(self, timeout: float = 120.0) -> int | None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.exit_code
+
+    def run_on_loop(self, coro, timeout: float = 30.0):
+        """Run ``coro`` on the cluster loop (tests: drain a replica)."""
+        import concurrent.futures
+
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise
+
+    def __enter__(self) -> "ClusterThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,143 @@
+"""Tiered result lookup: in-process LRU → disk shards → peer fetch.
+
+The router consults progressively slower tiers before paying for a
+simulation:
+
+1. **memory** — a bounded LRU of result dicts inside the router
+   process; repeated hot jobs never leave it.
+2. **disk** — the replicas' on-disk :class:`~repro.runtime.ResultCache`
+   shards, read directly (same host, content-addressed paths, atomic
+   writes make concurrent reads safe).  After a ring change this is
+   what rescues results the *previous* owner computed.
+3. **peer** — ``GET /result/<key>`` against other replicas, for
+   deployments where shards are not locally readable (the TCP-peer
+   future in the roadmap).  Injected as an async callable so the
+   router decides which peers to ask.
+
+Only a miss through every tier reaches the owner replica's
+``/simulate`` — and the computed result is then inserted back into the
+memory tier.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Awaitable, Callable, Sequence
+
+from ..runtime.cache import ResultCache
+
+__all__ = ["ResultLRU", "TieredResultStore"]
+
+#: Async peer lookup: key -> result dict or None.
+PeerFetch = Callable[[str], Awaitable["dict | None"]]
+
+
+class ResultLRU:
+    """Bounded, thread-safe LRU of result dicts keyed by job hash."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: dict) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class TieredResultStore:
+    """The memory → disk → peer lookup chain in front of recompute."""
+
+    def __init__(
+        self,
+        *,
+        lru: ResultLRU | None = None,
+        disk_shards: Sequence[ResultCache] = (),
+        peer_fetch: PeerFetch | None = None,
+    ) -> None:
+        self.lru = lru
+        self.disk_shards = list(disk_shards)
+        self.peer_fetch = peer_fetch
+        self.tier_hits = {"memory": 0, "disk": 0, "peer": 0}
+        self.lookups = 0
+        self.misses = 0
+
+    async def lookup(self, key: str) -> tuple[dict | None, str | None]:
+        """Walk the tiers; returns ``(result, tier_name)`` or ``(None, None)``."""
+        self.lookups += 1
+        if self.lru is not None:
+            result = self.lru.get(key)
+            if result is not None:
+                self.tier_hits["memory"] += 1
+                return result, "memory"
+        for shard in self.disk_shards:
+            result = shard.load(key)
+            if result is not None:
+                self.tier_hits["disk"] += 1
+                self.insert(key, result)
+                return result, "disk"
+        if self.peer_fetch is not None:
+            result = await self.peer_fetch(key)
+            if result is not None:
+                self.tier_hits["peer"] += 1
+                self.insert(key, result)
+                return result, "peer"
+        self.misses += 1
+        return None, None
+
+    def insert(self, key: str, result: dict) -> None:
+        """Remember a freshly obtained result in the memory tier."""
+        if self.lru is not None:
+            self.lru.put(key, result)
+
+    def add_shard(self, cache: ResultCache) -> None:
+        self.disk_shards.append(cache)
+
+    def snapshot(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "tier_hits": dict(self.tier_hits),
+            "memory": self.lru.snapshot() if self.lru is not None else None,
+            "disk_shards": len(self.disk_shards),
+            "peer_fetch": self.peer_fetch is not None,
+        }

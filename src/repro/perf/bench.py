@@ -28,6 +28,7 @@ __all__ = [
     "STANDARD_BENCHES",
     "CYCLE_BENCHES",
     "run_benches",
+    "run_cluster_benches",
     "run_cycle_benches",
     "run_serve_benches",
     "write_bench_json",
@@ -410,6 +411,209 @@ def _run_serve_benches_traced(*, repeat: int) -> dict:
     }
 
 
+#: Fleet sizes the cluster bench sweeps (BENCH_6-style).
+CLUSTER_FLEET_SIZES = (1, 2, 4)
+
+
+def _boot_cluster(replicas: int, cache_base: Path, *, max_inflight: int = 32):
+    """A full fleet (router + supervised replica subprocesses), unstarted."""
+    from ..cluster import (
+        ClusterRouter,
+        ClusterThread,
+        ReplicaConfig,
+        ReplicaSupervisor,
+    )
+    from ..runtime.cache import ResultCache
+
+    configs = [
+        ReplicaConfig(
+            replica_id=i,
+            cache_dir=cache_base / f"shard-{i}",
+            serve_args=("--queue-depth", "64"),
+        )
+        for i in range(replicas)
+    ]
+    supervisor = ReplicaSupervisor(
+        configs,
+        probe_interval=0.25,
+        fail_threshold=2,
+        restart_backoff=0.25,
+    )
+    router = ClusterRouter(max_inflight_per_replica=max_inflight)
+    for cfg in configs:
+        router.tiers.add_shard(ResultCache(root=cfg.cache_dir))
+    return ClusterThread(router, supervisor)
+
+
+def run_cluster_benches(*, repeat: int = 2, telemetry: bool = True) -> dict:
+    """Bench the sharded cluster end to end (BENCH_6-style).
+
+    Measures, through a real socket against a router supervising real
+    replica subprocesses:
+
+    * **saturation throughput at 1/2/4 replicas** — a mixed cold
+      workload (seed-varied jobs, fresh cache shards per fleet) fired
+      concurrently; aggregate requests per second per fleet size.
+      Scaling is bounded by physical cores — the snapshot records
+      ``cpu_count`` so a 1-core box's flat curve reads as what it is;
+    * **kill one of four under load** — a replica SIGKILLed mid-run;
+      the router's transport-failure failover plus the supervisor's
+      restart must keep every client request succeeding.
+    """
+    from ..telemetry import TRACER
+
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        snapshot = _run_cluster_benches_traced(repeat=repeat)
+        snapshot["telemetry"] = _telemetry_section()
+    return snapshot
+
+
+def _run_cluster_benches_traced(*, repeat: int) -> dict:
+    import os
+    import signal as signal_module
+    import tempfile
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..serve.client import ServeClient, ServeError
+    from .instrumentation import PERF
+
+    PERF.reset()
+    wall_start = time.perf_counter()
+    request = dict(SERVE_BENCH_REQUEST)
+    concurrency = 8
+    total = max(8, 8 * max(1, repeat))
+
+    benches: dict[str, dict] = {}
+    for fleet in CLUSTER_FLEET_SIZES:
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = _boot_cluster(fleet, Path(tmp))
+            with cluster:
+                host, port = cluster.address
+                client = ServeClient(host, port, timeout=600.0, retries=4)
+                # Mixed cold workload: every job distinct (seed-varied),
+                # every shard empty — throughput is all compute.
+                t0 = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                    list(pool.map(
+                        lambda seed: client.simulate({**request, "seed": seed}),
+                        range(total),
+                    ))
+                cold_wall = time.perf_counter() - t0
+                # Warm repeats of one job: served from the router tiers.
+                t0 = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                    list(pool.map(
+                        lambda _: client.simulate({**request, "seed": 0}),
+                        range(total),
+                    ))
+                warm_wall = time.perf_counter() - t0
+                counters = dict(cluster.router.counters)
+            benches[f"fleet-{fleet}"] = {
+                "label": f"{fleet} replica(s), mixed cold workload",
+                "replicas": fleet,
+                "concurrency": concurrency,
+                "requests": total,
+                "wall_seconds": cold_wall,
+                "requests_per_second": total / cold_wall,
+                "warm_wall_seconds": warm_wall,
+                "warm_requests_per_second": total / warm_wall,
+                "router_counters": counters,
+            }
+
+    base_rps = benches["fleet-1"]["requests_per_second"]
+    scaling = {
+        str(fleet): benches[f"fleet-{fleet}"]["requests_per_second"] / base_rps
+        for fleet in CLUSTER_FLEET_SIZES
+    }
+
+    # Kill one of four under load: zero client-visible failures allowed.
+    kill_total = max(24, 12 * max(1, repeat))
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = _boot_cluster(4, Path(tmp))
+        with cluster:
+            host, port = cluster.address
+            client = ServeClient(host, port, timeout=600.0, retries=4)
+            done = threading.Event()
+            completed = [0]
+            killed_pid = [None]
+
+            def kill_one_when_loaded() -> None:
+                # Wait until the fleet is genuinely under load, then
+                # SIGKILL one routable replica out from under it.
+                while completed[0] < concurrency and not done.is_set():
+                    time.sleep(0.05)
+                snapshot = cluster.supervisor.snapshot()
+                for state in snapshot["replicas"].values():
+                    if state["state"] == "up" and state["pid"]:
+                        killed_pid[0] = state["pid"]
+                        os.kill(state["pid"], signal_module.SIGKILL)
+                        return
+
+            killer = threading.Thread(target=kill_one_when_loaded)
+            killer.start()
+
+            def fire(seed: int) -> bool:
+                try:
+                    client.simulate({**request, "seed": 1000 + seed})
+                    return True
+                except ServeError:
+                    return False
+                finally:
+                    completed[0] += 1
+
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                outcomes = list(pool.map(fire, range(kill_total)))
+            kill_wall = time.perf_counter() - t0
+            done.set()
+            killer.join()
+
+            # The supervisor must bring the killed replica back.
+            recovered = False
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if len(cluster.router.routable) == 4:
+                    recovered = True
+                    break
+                time.sleep(0.25)
+            restarts = cluster.supervisor.restarts_total
+            failovers = cluster.router.counters["proxy_failovers"]
+
+    failed = kill_total - sum(outcomes)
+    benches["kill-replica"] = {
+        "label": "kill 1 of 4 replicas under load",
+        "replicas": 4,
+        "concurrency": concurrency,
+        "requests": kill_total,
+        "failed": failed,
+        "killed_pid": killed_pid[0],
+        "proxy_failovers": failovers,
+        "restarts_total": restarts,
+        "recovered": recovered,
+        "wall_seconds": kill_wall,
+    }
+
+    wall = time.perf_counter() - wall_start
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "cluster",
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "benches": benches,
+        "scaling_vs_1_replica": scaling,
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
 def run_benches(
     benches: tuple[BenchCase, ...] = STANDARD_BENCHES,
     *,
@@ -455,8 +659,9 @@ def write_bench_json(
     """Run one tier's benches and write the snapshot to ``path``.
 
     ``tier`` selects the analytical layer benches (BENCH_2-style), the
-    flit-level cycle-tier bench (BENCH_3-style), or the end-to-end
-    service bench (BENCH_4-style); returns the snapshot.  With
+    flit-level cycle-tier bench (BENCH_3-style), the end-to-end service
+    bench (BENCH_4-style), or the sharded-cluster fleet bench
+    (BENCH_6-style); returns the snapshot.  With
     ``telemetry`` the benches run traced and the snapshot carries a
     ``telemetry`` section (span count, top stages by cumulative time).
     """
@@ -476,7 +681,13 @@ def write_bench_json(
         snapshot = run_serve_benches(
             repeat=repeat if repeat is not None else 10, telemetry=telemetry
         )
+    elif tier == "cluster":
+        snapshot = run_cluster_benches(
+            repeat=repeat if repeat is not None else 2, telemetry=telemetry
+        )
     else:
-        raise ValueError("tier must be 'analytical', 'cycle', or 'serve'")
+        raise ValueError(
+            "tier must be 'analytical', 'cycle', 'serve', or 'cluster'"
+        )
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot

@@ -210,6 +210,36 @@ class ResultCache:
                 removed += 1
         return removed
 
+    def prune_bytes(self, max_bytes: int) -> int:
+        """Evict oldest blobs until the cache fits in ``max_bytes``.
+
+        The complement of :meth:`prune`: age-based pruning bounds
+        staleness, this bounds the on-disk footprint — which is what a
+        long-lived cluster replica's cache shard needs.  Eviction is
+        oldest-first by mtime, so the warm working set survives.
+        Returns the number of blobs removed.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        entries.sort()  # oldest first
+        removed = 0
+        for _, path, size in entries:
+            if total <= max_bytes:
+                break
+            self._evict(path)
+            total -= size
+            removed += 1
+        return removed
+
     @staticmethod
     def _evict(path: Path) -> None:
         try:

@@ -4,10 +4,13 @@ Retries are opt-out, not opt-in: transport failures and explicit
 backpressure (429 shed, 503 draining) retry with capped exponential
 backoff plus jitter, while deterministic failures (400 bad request,
 500 simulation error) surface immediately — retrying a job that will
-fail identically only adds load.  A ``deadline`` bounds the *total*
-budget across attempts and propagates to the server in the
-``X-Repro-Deadline`` header so it can abandon work the client already
-gave up on.
+fail identically only adds load.  When the server (or the cluster
+router) sends a ``Retry-After`` header with the shed, the client obeys
+it verbatim instead of guessing with computed backoff — the server
+knows its own queue.  A ``deadline`` bounds the *total* budget across
+attempts and propagates to the server in the ``X-Repro-Deadline``
+header so it can abandon work the client already gave up on; a
+``Retry-After`` longer than the remaining budget is capped to it.
 """
 
 from __future__ import annotations
@@ -33,6 +36,25 @@ __all__ = [
 RETRYABLE_STATUSES = frozenset({429, 503})
 
 
+def _parse_retry_after(headers: dict) -> float | None:
+    """Seconds from a ``Retry-After`` header, ``None`` if absent/bad.
+
+    Only the delta-seconds form is produced by this stack; an HTTP-date
+    (or any other unparseable value) falls back to computed backoff
+    rather than being misread as a huge delay.
+    """
+    value = headers.get("retry-after") if headers else None
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    if seconds < 0:
+        return None
+    return seconds
+
+
 class ServeError(Exception):
     """Base class for client-side failures."""
 
@@ -55,9 +77,10 @@ class ServiceUnavailable(ServeError):
 
 
 #: Transport signature: (method, path, body, headers, timeout) →
-#: (status, payload).  Injectable so tests script failure sequences
-#: without a socket.
-Transport = Callable[[str, str, bytes | None, dict, float], tuple[int, dict]]
+#: (status, payload) or (status, payload, response_headers).  Injectable
+#: so tests script failure sequences without a socket; the two-tuple
+#: form stays accepted for existing fakes.
+Transport = Callable[[str, str, bytes | None, dict, float], tuple]
 
 
 class ServeClient:
@@ -106,17 +129,24 @@ class ServeClient:
             raw = response.read()
         finally:
             conn.close()
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
         content_type = (response.getheader("Content-Type") or "").lower()
         if content_type.startswith("text/plain"):
             # Plaintext endpoints (/metrics): carry the body verbatim.
-            return response.status, {"text": raw.decode("utf-8", "replace")}
+            return (
+                response.status,
+                {"text": raw.decode("utf-8", "replace")},
+                response_headers,
+            )
         try:
             payload = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
             payload = {"error": f"undecodable response body: {raw[:200]!r}"}
         if not isinstance(payload, dict):
             payload = {"value": payload}
-        return response.status, payload
+        return response.status, payload, response_headers
 
     # -- core retry loop ------------------------------------------------
     def call(
@@ -148,15 +178,19 @@ class ServeClient:
                     )
                 headers["X-Repro-Deadline"] = f"{remaining:.3f}"
             attempt_timeout = min(self.timeout, remaining)
+            retry_after: float | None = None
             try:
-                status, payload = self._transport(
+                reply = self._transport(
                     method, path, encoded, dict(headers), attempt_timeout
                 )
             except (OSError, http.client.HTTPException) as exc:
                 last_failure = f"{type(exc).__name__}: {exc}"
             else:
+                status, payload = reply[0], reply[1]
                 if status not in RETRYABLE_STATUSES:
                     return status, payload
+                if len(reply) > 2:
+                    retry_after = _parse_retry_after(reply[2])
                 last_failure = f"HTTP {status}: {payload.get('error', '')}"
             attempt += 1
             if attempt > self.retries:
@@ -164,8 +198,13 @@ class ServeClient:
                     f"gave up after {attempt} attempt(s); "
                     f"last failure: {last_failure}"
                 )
-            delay = min(self.backoff_cap, self.backoff * 2 ** (attempt - 1))
-            delay *= 1.0 + self.jitter * self._rng.random()
+            if retry_after is not None:
+                # The server said exactly when to come back; obey it
+                # (capped below at the remaining deadline budget).
+                delay = retry_after
+            else:
+                delay = min(self.backoff_cap, self.backoff * 2 ** (attempt - 1))
+                delay *= 1.0 + self.jitter * self._rng.random()
             if deadline is not None:
                 budget = deadline - (time.monotonic() - start)
                 if budget <= 0:

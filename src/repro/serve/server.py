@@ -15,9 +15,15 @@ Request path::
                  (ResultCache hit → no simulation at all)
 
 Endpoints: ``POST /simulate``, ``GET /healthz``, ``GET /stats``,
-``GET /metrics`` (Prometheus text), ``GET /trace`` (buffered spans).
+``GET /metrics`` (Prometheus text), ``GET /trace`` (buffered spans),
+``GET /result/<key>`` (cache-only lookup, the cluster peer-fetch tier).
 Lifecycle: SIGTERM/SIGINT stop the listener, finish in-flight work
 (bounded by ``drain_timeout``), then exit 0.
+
+When run as a cluster replica (``repro serve --replica-id N``) the
+service reports its identity in ``/healthz``/``/stats`` and as a
+``repro_replica_info{replica="N"}`` gauge so the router's aggregated
+telemetry can attribute every series to a shard.
 """
 
 from __future__ import annotations
@@ -116,9 +122,13 @@ class SimulationService:
         max_batch: int = 16,
         request_timeout: float | None = None,
         runner=None,
+        replica_id: str | None = None,
+        retry_after_hint: float = 0.1,
     ) -> None:
         self.cache = cache
         self.request_timeout = request_timeout
+        self.replica_id = replica_id
+        self.retry_after_hint = retry_after_hint
         self.admission = AdmissionController(queue_depth)
         self.batcher = JobBatcher(
             cache=cache,
@@ -144,6 +154,12 @@ class SimulationService:
             "repro_request_seconds",
             help="End-to-end /simulate latency as observed by the server",
         )
+        if replica_id is not None:
+            METRICS.gauge(
+                "repro_replica_info",
+                help="Identity of this process as a cluster replica",
+                labelnames=("replica",),
+            ).labels(replica=replica_id).set(1)
         self._started = time.monotonic()
 
     # -- connection handling -------------------------------------------
@@ -162,21 +178,27 @@ class SimulationService:
             if request is None:
                 return
             try:
-                status, payload = await self.dispatch(request)
+                reply = await self.dispatch(request)
             except Exception as exc:  # noqa: BLE001 — a handler bug must
                 # not kill the connection loop silently
                 self.counters["errors"] += 1
-                status, payload = 500, {
-                    "error": f"{type(exc).__name__}: {exc}"
-                }
+                reply = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            # Handlers return (status, payload) or (status, payload, headers).
+            if len(reply) == 3:
+                status, payload, headers = reply
+                headers = dict(headers) if headers else {}
+            else:
+                status, payload = reply
+                headers = {}
             if isinstance(payload, str):
                 writer.write(render_text(status, payload))
             else:
-                headers = None
                 trace_id = payload.get("trace_id")
                 if trace_id:
-                    headers = {"X-Repro-Trace-Id": str(trace_id)}
-                writer.write(render_response(status, payload, headers=headers))
+                    headers.setdefault("X-Repro-Trace-Id", str(trace_id))
+                writer.write(
+                    render_response(status, payload, headers=headers or None)
+                )
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -187,7 +209,8 @@ class SimulationService:
             except (ConnectionError, OSError):
                 pass
 
-    async def dispatch(self, request: HTTPRequest) -> "tuple[int, dict | str]":
+    async def dispatch(self, request: HTTPRequest) -> tuple:
+        """Route one request; returns ``(status, payload[, headers])``."""
         path, _, query = request.path.partition("?")
         if path == "/healthz":
             if request.method != "GET":
@@ -205,6 +228,10 @@ class SimulationService:
             if request.method != "GET":
                 return 405, {"error": "trace is GET-only"}
             return 200, self._trace(query)
+        if path.startswith("/result/"):
+            if request.method != "GET":
+                return 405, {"error": "result is GET-only"}
+            return self._result(path[len("/result/"):])
         if path == "/simulate":
             if request.method != "POST":
                 return 405, {"error": "simulate is POST-only"}
@@ -213,15 +240,40 @@ class SimulationService:
 
     # -- endpoints ------------------------------------------------------
     def _healthz(self) -> dict:
-        return {
+        # ``inflight`` + ``uptime_seconds`` are the supervisor's health
+        # contract: a *busy* replica answers with inflight > 0 and a
+        # growing uptime, a *hung* one does not answer at all.
+        payload = {
             "status": "draining" if self.admission.draining else "ok",
             "in_flight": self.admission.in_flight,
+            "inflight": self.admission.in_flight,
             "uptime_seconds": time.monotonic() - self._started,
         }
+        if self.replica_id is not None:
+            payload["replica_id"] = self.replica_id
+        return payload
+
+    def _result(self, key: str) -> tuple[int, dict]:
+        """Cache-only lookup by job content hash (the peer-fetch tier).
+
+        Never computes: a miss is a 404, so peers can probe each other's
+        warm shards cheaply before falling back to a real simulation.
+        """
+        if not key or len(key) > 128 or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            return 400, {"error": f"malformed result key: {key[:80]!r}"}
+        if self.cache is None:
+            return 404, {"error": "no result cache configured", "key": key}
+        result = self.cache.load(key)
+        if result is None:
+            return 404, {"error": "result not cached", "key": key}
+        return 200, {"key": key, "cached": True, "result": result}
 
     def stats(self) -> dict:
         return {
             "status": "draining" if self.admission.draining else "ok",
+            "replica_id": self.replica_id,
             "uptime_seconds": time.monotonic() - self._started,
             "requests": dict(self.counters),
             "admission": self.admission.snapshot(),
@@ -248,24 +300,23 @@ class SimulationService:
             "spans": [span.to_dict() for span in spans],
         }
 
-    async def _simulate(self, request: HTTPRequest) -> tuple[int, dict]:
+    async def _simulate(self, request: HTTPRequest) -> tuple:
         trace_id = valid_trace_id(request.headers.get(TRACE_HEADER))
         start = time.perf_counter()
         with TRACER.span(
             "http", {"method": request.method, "path": "/simulate"},
             trace_id=trace_id,
         ) as span:
-            status, payload = await self._simulate_admitted(request)
+            reply = await self._simulate_admitted(request)
+            status, payload = reply[0], reply[1]
             span.set(status=status)
         self._requests_total.labels(status=str(status)).inc()
         self._request_seconds.observe(time.perf_counter() - start)
         if span.trace_id is not None and isinstance(payload, dict):
             payload.setdefault("trace_id", span.trace_id)
-        return status, payload
+        return reply
 
-    async def _simulate_admitted(
-        self, request: HTTPRequest
-    ) -> tuple[int, dict]:
+    async def _simulate_admitted(self, request: HTTPRequest) -> tuple:
         self.counters["requests"] += 1
         PERF.incr("serve.request")
         with TRACER.span("admission") as adm:
@@ -273,12 +324,15 @@ class SimulationService:
             adm.set(admitted=admitted, in_flight=self.admission.in_flight)
         if not admitted:
             PERF.incr("serve.shed")
+            # Retry-After tells the resilient client exactly how long to
+            # back off instead of guessing with exponential delays.
+            retry_after = {"Retry-After": f"{self.retry_after_hint:.3f}"}
             if self.admission.draining:
-                return 503, {"error": "service is draining"}
+                return 503, {"error": "service is draining"}, retry_after
             return 429, {
                 "error": "queue full, request shed",
                 "queue_depth": self.admission.max_pending,
-            }
+            }, retry_after
         try:
             try:
                 body = request.json()

@@ -74,13 +74,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
 
-    def test_cache_prune_requires_max_age(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["cache", "prune"])
+    def test_cache_prune_requires_a_bound(self, capsys):
+        # Both bounds are optional flags; giving neither is a usage error.
+        args = build_parser().parse_args(["cache", "prune"])
+        assert args.max_age is None
+        assert args.max_bytes is None
+        assert main(["cache", "prune"]) == 2
+        assert "--max-age and/or --max-bytes" in capsys.readouterr().err
 
     def test_bench_serve_tier(self):
         args = build_parser().parse_args(["bench", "--tier", "serve"])
         assert args.tier == "serve"
+
+    def test_bench_cluster_tier(self):
+        args = build_parser().parse_args(["bench", "--tier", "cluster"])
+        assert args.tier == "cluster"
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.replicas == 2
+        assert args.vnodes == 64
+        assert args.max_inflight == 16
+        assert args.port == 8765
+
+    def test_serve_replica_id(self):
+        args = build_parser().parse_args(["serve", "--replica-id", "3"])
+        assert args.replica_id == "3"
 
 
 class TestParseAge:
@@ -99,6 +118,24 @@ class TestParseAge:
         for bad in ("soon", "h", "-1d"):
             with pytest.raises(ValueError):
                 parse_age(bad)
+
+
+class TestParseSize:
+    def test_units(self):
+        from repro.cli import parse_size
+
+        assert parse_size("50000000") == 50_000_000
+        assert parse_size("64k") == 64 * 1024
+        assert parse_size("100m") == 100 * (1 << 20)
+        assert parse_size("2g") == 2 * (1 << 30)
+        assert parse_size("1.5K") == 1536
+
+    def test_rejects_garbage(self):
+        from repro.cli import parse_size
+
+        for bad in ("big", "k", "-1m"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
 
 
 class TestCommands:
@@ -231,6 +268,42 @@ class TestCacheCommand:
         assert main(["cache", "--dir", str(tmp_path), "prune",
                      "--max-age", "soon"]) == 2
         assert "invalid age" in capsys.readouterr().err
+
+    def test_prune_by_bytes(self, capsys, tmp_path):
+        import os
+        import time
+
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(tmp_path)
+        for i, key in enumerate(("ab" + "0" * 62, "cd" + "0" * 62)):
+            cache.store(key, {"x": i, "pad": "y" * 200})
+            # Distinct mtimes make the oldest-first order deterministic.
+            stamp = time.time() - (10 - i)
+            os.utime(cache.path_for(key), (stamp, stamp))
+        budget = cache.path_for("cd" + "0" * 62).stat().st_size
+        assert main(["cache", "--dir", str(tmp_path), "prune",
+                     "--max-bytes", str(budget)]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert len(cache) == 1
+        assert cache.load("cd" + "0" * 62) is not None  # newest survived
+
+    def test_prune_by_age_and_bytes_together(self, capsys, tmp_path):
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.store("ab" + "0" * 62, {"x": 1})
+        assert main(["cache", "--dir", str(tmp_path), "prune",
+                     "--max-age", "1d", "--max-bytes", "1g"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0" in out
+        assert "evicted 0" in out
+        assert len(cache) == 1
+
+    def test_prune_rejects_bad_size(self, capsys, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path), "prune",
+                     "--max-bytes", "big"]) == 2
+        assert "invalid size" in capsys.readouterr().err
 
     def test_request_against_dead_server_fails_cleanly(self, capsys):
         # Port 1 is never listening; the client retries then reports.

@@ -1,0 +1,284 @@
+"""Supervisor behaviour against fake replicas (no subprocesses).
+
+The injectable ``factory`` and ``probe`` hooks let these tests exercise
+the full lifecycle — announce, crash-restart, hung-vs-busy, drain,
+backoff — in milliseconds.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ReplicaConfig, ReplicaSupervisor
+from repro.cluster.replica import healthz_probe
+
+
+class FakeProcess:
+    """A replica the test can crash, hang, or slow down at will."""
+
+    ports = iter(range(20_000, 30_000))
+
+    def __init__(self, config):
+        self.config = config
+        self.pid = 1000 + int(config.replica_id)
+        self.exited = None
+        self.healthy = True
+        self.started = 0
+
+    def start(self, timeout=60.0):
+        self.started += 1
+        self.exited = None
+        self.healthy = True
+        self.address = ("127.0.0.1", next(self.ports))
+        return self.address
+
+    def poll(self):
+        return self.exited
+
+    def terminate(self):
+        self.exited = 0
+
+    def kill(self):
+        self.exited = -9
+
+    def wait(self, timeout=None):
+        return self.exited
+
+    def close(self):
+        pass
+
+
+def make_supervisor(n=2, *, processes=None, probe=None, **kwargs):
+    """A supervisor over FakeProcesses; returns (supervisor, processes, events)."""
+    if processes is None:
+        processes = {}
+
+    def factory(config):
+        # Reuse the same FakeProcess per slot so tests can poke at it.
+        process = processes.get(config.name)
+        if process is None or kwargs.get("fresh_processes"):
+            process = FakeProcess(config)
+            processes[config.name] = process
+        return process
+
+    kwargs.pop("fresh_processes", None)
+    events = []
+
+    async def default_probe(host, port, timeout):
+        process = next(
+            p for p in processes.values()
+            if getattr(p, "address", None) == (host, port)
+        )
+        if not process.healthy:
+            raise OSError("probe refused")
+        return {"status": "ok", "inflight": 0, "uptime_seconds": 1.0}
+
+    supervisor = ReplicaSupervisor(
+        [ReplicaConfig(replica_id=i) for i in range(n)],
+        factory=factory,
+        probe=probe or default_probe,
+        probe_interval=0.02,
+        probe_timeout=0.1,
+        fail_threshold=2,
+        restart_backoff=0.01,
+        backoff_cap=0.05,
+        start_timeout=5.0,
+        on_up=lambda name, host, port: events.append(("up", name)),
+        on_down=lambda name: events.append(("down", name)),
+        **kwargs,
+    )
+    return supervisor, processes, events
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_start_announces_every_replica(self):
+        async def scenario():
+            supervisor, processes, events = make_supervisor(3)
+            await supervisor.start()
+            assert supervisor.states() == {"0": "up", "1": "up", "2": "up"}
+            await supervisor.stop(drain_timeout=1.0)
+            return events
+
+        events = run(scenario())
+        assert sorted(e for e in events if e[0] == "up") == [
+            ("up", "0"), ("up", "1"), ("up", "2"),
+        ]
+        # stop() unroutes all of them too.
+        assert sorted(e for e in events if e[0] == "down") == [
+            ("down", "0"), ("down", "1"), ("down", "2"),
+        ]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(
+                [ReplicaConfig(replica_id=0), ReplicaConfig(replica_id=0)]
+            )
+
+    def test_fail_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ReplicaSupervisor([ReplicaConfig(replica_id=0)], fail_threshold=0)
+
+    def test_stop_reports_stopped_states(self):
+        async def scenario():
+            supervisor, _, _ = make_supervisor(2)
+            await supervisor.start()
+            await supervisor.stop(drain_timeout=1.0)
+            return supervisor.states()
+
+        assert run(scenario()) == {"0": "stopped", "1": "stopped"}
+
+
+class TestRestart:
+    def test_crashed_replica_restarts(self):
+        async def scenario():
+            supervisor, processes, events = make_supervisor(1)
+            await supervisor.start()
+            processes["0"].exited = 1  # simulate a crash
+            for _ in range(200):
+                await asyncio.sleep(0.02)
+                if processes["0"].started >= 2 and supervisor.states()["0"] == "up":
+                    break
+            states = supervisor.states()
+            restarts = supervisor.restarts_total
+            await supervisor.stop(drain_timeout=1.0)
+            return states, restarts, events
+
+        states, restarts, events = run(scenario())
+        assert states == {"0": "up"}
+        assert restarts >= 1
+        assert ("down", "0") in events
+        assert events.count(("up", "0")) >= 2
+
+    def test_hung_replica_restarts_after_threshold(self):
+        """Silent probes (no answer at all) count toward the threshold."""
+        async def scenario():
+            supervisor, processes, events = make_supervisor(1)
+            await supervisor.start()
+            processes["0"].healthy = False  # probes now raise
+            for _ in range(200):
+                await asyncio.sleep(0.02)
+                if processes["0"].started >= 2:
+                    break
+            restarted = processes["0"].started >= 2
+            await supervisor.stop(drain_timeout=1.0)
+            return restarted
+
+        assert run(scenario())
+
+    def test_busy_replica_is_not_restarted(self):
+        """A replica that answers (inflight > 0) is busy, not hung."""
+        async def scenario():
+            async def busy_probe(host, port, timeout):
+                return {"status": "ok", "inflight": 7, "uptime_seconds": 2.0}
+
+            supervisor, processes, _ = make_supervisor(1, probe=busy_probe)
+            await supervisor.start()
+            await asyncio.sleep(0.3)  # many probe intervals
+            started = processes["0"].started
+            health = supervisor.snapshot()["replicas"]["0"]["last_health"]
+            await supervisor.stop(drain_timeout=1.0)
+            return started, health
+
+        started, health = run(scenario())
+        assert started == 1  # never restarted
+        assert health["inflight"] == 7
+
+    def test_probe_blip_resets_failure_streak(self):
+        """One failed probe followed by a success never trips the threshold."""
+        async def scenario():
+            calls = [0]
+
+            async def flaky_probe(host, port, timeout):
+                calls[0] += 1
+                if calls[0] % 2:  # every other probe fails
+                    raise OSError("blip")
+                return {"status": "ok", "inflight": 0, "uptime_seconds": 1.0}
+
+            supervisor, processes, _ = make_supervisor(1, probe=flaky_probe)
+            await supervisor.start()
+            await asyncio.sleep(0.3)
+            started = processes["0"].started
+            await supervisor.stop(drain_timeout=1.0)
+            return started
+
+        assert run(scenario()) == 1
+
+
+class TestDrain:
+    def test_drain_unroutes_and_stops(self):
+        async def scenario():
+            supervisor, processes, events = make_supervisor(2)
+            await supervisor.start()
+            snapshot = await supervisor.drain_replica("0", drain_timeout=1.0)
+            await asyncio.sleep(0.1)  # no restart may happen
+            states = supervisor.states()
+            started = processes["0"].started
+            await supervisor.stop(drain_timeout=1.0)
+            return snapshot, states, started, events
+
+        snapshot, states, started, events = run(scenario())
+        assert snapshot["state"] == "stopped"
+        assert states["0"] == "stopped"
+        assert states["1"] == "up"
+        assert started == 1  # drained replicas stay down
+        assert ("down", "0") in events
+
+    def test_drained_replica_restarts_on_request(self):
+        async def scenario():
+            supervisor, processes, events = make_supervisor(1)
+            await supervisor.start()
+            await supervisor.drain_replica("0", drain_timeout=1.0)
+            await supervisor.start_replica("0")
+            for _ in range(100):
+                await asyncio.sleep(0.02)
+                if supervisor.states()["0"] == "up":
+                    break
+            states = supervisor.states()
+            await supervisor.stop(drain_timeout=1.0)
+            return states, processes["0"].started
+
+        states, started = run(scenario())
+        assert states == {"0": "up"}
+        assert started == 2
+
+    def test_unknown_replica_rejected(self):
+        async def scenario():
+            supervisor, _, _ = make_supervisor(1)
+            await supervisor.start()
+            try:
+                with pytest.raises(KeyError):
+                    await supervisor.drain_replica("9")
+            finally:
+                await supervisor.stop(drain_timeout=1.0)
+
+        run(scenario())
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        async def scenario():
+            supervisor, _, _ = make_supervisor(2)
+            await supervisor.start()
+            snap = supervisor.snapshot()
+            await supervisor.stop(drain_timeout=1.0)
+            return snap
+
+        snap = run(scenario())
+        assert set(snap["replicas"]) == {"0", "1"}
+        slot = snap["replicas"]["0"]
+        assert slot["state"] == "up"
+        assert slot["pid"] == 1000
+        assert slot["address"][0] == "127.0.0.1"
+        assert snap["restarts_total"] == 0
+        assert snap["fail_threshold"] == 2
+
+
+class TestHealthzProbe:
+    def test_raises_on_connection_refused(self):
+        with pytest.raises(OSError):
+            # Port 1 on loopback: nothing listens there.
+            asyncio.run(healthz_probe("127.0.0.1", 1, 0.5))

@@ -1,0 +1,140 @@
+"""The hash ring's two load-bearing properties, plus API contracts.
+
+Balance and minimal disruption are what make the cluster's shard
+affinity worth having: balance keeps replicas evenly loaded, minimal
+disruption keeps surviving replicas' warm caches valid when one leaves.
+Both are deterministic (blake2b) so exact bounds are safe to pin.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import DEFAULT_VNODES, HashRing, ring_point
+
+KEYS = [f"job-{i:05d}" for i in range(20_000)]
+
+
+def shares(ring, keys=KEYS):
+    counts = Counter(ring.owner(key) for key in keys)
+    return counts
+
+
+class TestRingPoint:
+    def test_deterministic(self):
+        assert ring_point("abc") == ring_point("abc")
+
+    def test_64_bit_range(self):
+        for token in ("", "a", "replica-0#63", "x" * 100):
+            assert 0 <= ring_point(token) < 2**64
+
+    def test_distinct_tokens_distinct_points(self):
+        points = {ring_point(f"t{i}") for i in range(1000)}
+        assert len(points) == 1000
+
+
+class TestMembership:
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        assert ring.nodes == []
+        assert ring.preference("k") == []
+        with pytest.raises(LookupError):
+            ring.owner("k")
+
+    def test_add_remove_roundtrip(self):
+        ring = HashRing(["a", "b"])
+        assert ring.nodes == ["a", "b"]
+        assert "a" in ring
+        ring.remove("a")
+        assert "a" not in ring
+        assert ring.nodes == ["b"]
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing(["a"]).remove("b")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_point_count(self):
+        ring = HashRing(["a", "b", "c"], vnodes=16)
+        assert ring.snapshot() == {
+            "vnodes": 16,
+            "nodes": ["a", "b", "c"],
+            "points": 48,
+        }
+
+
+class TestBalance:
+    """Max/min key share stays within 1.5x at the default vnode count.
+
+    This is the acceptance bound from the cluster issue; the replica
+    names mirror what the supervisor actually registers (stringified
+    integer ids).
+    """
+
+    @pytest.mark.parametrize("replicas", [1, 2, 4, 8])
+    def test_within_bound(self, replicas):
+        ring = HashRing([str(i) for i in range(replicas)], vnodes=DEFAULT_VNODES)
+        counts = shares(ring)
+        assert len(counts) == replicas  # every replica owns something
+        assert max(counts.values()) <= 1.5 * min(counts.values()), counts
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["0"])
+        assert shares(ring, KEYS[:100]) == {"0": 100}
+
+
+class TestMinimalDisruption:
+    def test_removal_moves_only_departed_keys(self):
+        ring = HashRing([str(i) for i in range(4)])
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove("2")
+        for key in KEYS:
+            after = ring.owner(key)
+            if before[key] != "2":
+                assert after == before[key], key
+            else:
+                assert after != "2"
+
+    def test_addition_only_steals_keys(self):
+        ring = HashRing(["0", "1", "2"])
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.add("3")
+        moved = sum(1 for key in KEYS if ring.owner(key) != before[key])
+        for key in KEYS:
+            after = ring.owner(key)
+            assert after == before[key] or after == "3", key
+        # The newcomer takes roughly its fair share, never more than
+        # double it (same spirit as the balance bound).
+        assert 0 < moved < 2 * len(KEYS) / 4
+
+
+class TestPreference:
+    def test_owner_leads(self):
+        ring = HashRing([str(i) for i in range(4)])
+        for key in KEYS[:200]:
+            pref = ring.preference(key)
+            assert pref[0] == ring.owner(key)
+            assert sorted(pref) == ring.nodes  # all distinct, all members
+
+    def test_count_limits(self):
+        ring = HashRing([str(i) for i in range(4)])
+        assert len(ring.preference("k", 2)) == 2
+        assert len(ring.preference("k", 99)) == 4
+
+    def test_failover_order_survives_removal(self):
+        """The second preference becomes the owner when the first dies."""
+        ring = HashRing([str(i) for i in range(4)])
+        for key in KEYS[:200]:
+            first, second = ring.preference(key, 2)
+            ring.remove(first)
+            assert ring.owner(key) == second
+            ring.add(first)

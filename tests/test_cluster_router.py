@@ -1,0 +1,286 @@
+"""Router behaviour over real sockets, with in-process replicas.
+
+The router duck-types the ``ServerThread`` service contract, so these
+tests host it exactly like a single service and register replicas that
+are themselves ``ServerThread``-hosted ``SimulationService`` instances
+— the full proxy path runs over loopback TCP, no subprocesses.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.runtime import ResultCache, run_jobs
+from repro.serve.client import ServeClient, ServeError, ServiceUnavailable
+from repro.serve.server import ServerThread, SimulationService
+
+SMALL = {"dataset": "cora", "scale": 0.1, "hidden": 8, "layers": 1}
+
+
+def make_runner(*, delay=0.0, cache=None, release=None):
+    """run_jobs wrapped with an optional fixed delay or a release event."""
+
+    async def runner(jobs):
+        import asyncio
+
+        if release is not None:
+            await asyncio.to_thread(release.wait, 10.0)
+        if delay:
+            await asyncio.sleep(delay)
+        return await asyncio.to_thread(lambda: run_jobs(jobs, cache=cache))
+
+    return runner
+
+
+class Fleet:
+    """A router plus N in-process replica servers, all socket-hosted."""
+
+    def __init__(self, replicas=2, *, router=None, services=None):
+        self.router = router or ClusterRouter()
+        self.services = services or [
+            SimulationService(replica_id=str(i)) for i in range(replicas)
+        ]
+        self.threads = []
+
+    def __enter__(self):
+        for i, service in enumerate(self.services):
+            thread = ServerThread(service)
+            thread.start()
+            self.threads.append(thread)
+            host, port = thread.address
+            self.router.replica_up(str(i), host, port)
+        self.router_thread = ServerThread(self.router)
+        self.router_thread.start()
+        self.address = self.router_thread.address
+        return self
+
+    def __exit__(self, *exc_info):
+        self.router_thread.stop()
+        for thread in self.threads:
+            thread.stop()
+
+    def client(self, **kwargs):
+        kwargs.setdefault("timeout", 60.0)
+        return ServeClient(*self.address, **kwargs)
+
+    def raw(self, method, path, body=None):
+        """One raw HTTP exchange; returns (status, headers, payload)."""
+        conn = http.client.HTTPConnection(*self.address, timeout=30.0)
+        try:
+            conn.request(
+                method,
+                path,
+                body=json.dumps(body) if body is not None else None,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            payload = json.loads(raw) if raw else {}
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            conn.close()
+
+
+class TestRouting:
+    def test_affinity_and_memory_tier(self):
+        with Fleet(2) as fleet:
+            client = fleet.client()
+            first = client.simulate(SMALL)
+            assert first["cached"] is False
+            assert first["replica"] in ("0", "1")
+            second = client.simulate(SMALL)
+            assert second["cached"] is True
+            assert second["tier"] == "memory"
+            assert fleet.router.counters["proxied"] == 1
+            assert fleet.router.counters["tier_served"] == 1
+
+    def test_distinct_jobs_reach_both_replicas(self):
+        with Fleet(2) as fleet:
+            client = fleet.client()
+            replicas = {
+                client.simulate({**SMALL, "seed": seed})["replica"]
+                for seed in range(12)
+            }
+            assert replicas == {"0", "1"}
+
+    def test_same_key_same_replica(self):
+        with Fleet(2, router=ClusterRouter(lru_capacity=0)) as fleet:
+            client = fleet.client()
+            owners = {
+                client.simulate({**SMALL, "seed": 7}).get("replica")
+                for _ in range(3)
+            }
+            owners.discard(None)
+            assert len(owners) == 1
+
+    def test_bad_request_is_400(self):
+        with Fleet(1) as fleet:
+            status, _, payload = fleet.raw(
+                "POST", "/simulate", {**SMALL, "scale": -1}
+            )
+            assert status == 400
+            assert "error" in payload
+
+    def test_no_replicas_is_503_with_retry_after(self):
+        with Fleet(0) as fleet:
+            status, headers, payload = fleet.raw("POST", "/simulate", SMALL)
+            assert status == 503
+            assert "no routable replica" in payload["error"]
+            assert float(headers["Retry-After"]) > 0
+
+
+class TestFailover:
+    def test_dead_replica_fails_over(self):
+        """Killing a replica's socket reroutes its keys, invisibly."""
+        with Fleet(2, router=ClusterRouter(lru_capacity=0)) as fleet:
+            client = fleet.client()
+            probe = client.simulate({**SMALL, "seed": 3})
+            owner = int(probe["replica"])
+            fleet.threads[owner].stop()  # replica socket goes dark
+            # Same key again: transport failure, then the next ring
+            # candidate answers (its own cache is cold, so it computes).
+            again = client.simulate({**SMALL, "seed": 3})
+            assert int(again["replica"]) == 1 - owner
+            assert fleet.router.counters["proxy_failovers"] >= 1
+
+    def test_all_dead_is_503_with_attempts(self):
+        with Fleet(1) as fleet:
+            fleet.threads[0].stop()
+            client = fleet.client(retries=0)
+            with pytest.raises(ServiceUnavailable):
+                client.simulate(SMALL)
+            assert fleet.router.counters["no_replica"] == 1
+
+
+class TestShedding:
+    def test_saturated_owner_sheds_429_with_retry_after(self):
+        release = threading.Event()
+        service = SimulationService(runner=make_runner(release=release))
+        router = ClusterRouter(max_inflight_per_replica=1, lru_capacity=0)
+        with Fleet(1, router=router, services=[service]) as fleet:
+            blocker = threading.Thread(
+                target=lambda: fleet.client().simulate(SMALL)
+            )
+            blocker.start()
+            try:
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if router._inflight.get("0"):
+                        break
+                    time.sleep(0.01)
+                status, headers, payload = fleet.raw(
+                    "POST", "/simulate", {**SMALL, "seed": 9}
+                )
+                assert status == 429
+                assert "saturated" in payload["error"]
+                assert float(headers["Retry-After"]) > 0
+                assert router.counters["shed"] == 1
+            finally:
+                release.set()
+                blocker.join(timeout=30.0)
+
+    def test_draining_router_sheds_503(self):
+        with Fleet(1) as fleet:
+            fleet.router.begin_drain()
+            status, headers, payload = fleet.raw("POST", "/simulate", SMALL)
+            assert status == 503
+            assert "draining" in payload["error"]
+            assert "Retry-After" in headers
+
+
+class TestResultEndpoint:
+    def test_hit_miss_and_validation(self):
+        with Fleet(1) as fleet:
+            client = fleet.client()
+            payload = client.simulate(SMALL)
+            key = payload["key"]
+            status, _, hit = fleet.raw("GET", f"/result/{key}")
+            assert status == 200
+            assert hit["cached"] is True
+            assert hit["result"] == payload["result"]
+            status, _, miss = fleet.raw("GET", "/result/" + "0" * 64)
+            assert status == 404
+            status, _, bad = fleet.raw("GET", "/result/not-hex!")
+            assert status == 400
+
+    def test_peer_fetch_rescues_other_shards(self, tmp_path):
+        """A result only on a replica's shard is found without recompute."""
+        shard = ResultCache(tmp_path)
+        service = SimulationService(cache=shard)
+        router = ClusterRouter(lru_capacity=4)
+        with Fleet(1, router=router, services=[service]) as fleet:
+            key = fleet.client().simulate(SMALL)["key"]
+            assert shard.load(key) is not None
+            # A second router with no tiers of its own: the peer tier
+            # (GET /result/<key> against a non-owner replica) must
+            # answer.  The same address joins under two names so the
+            # preference list always holds a non-owner peer.
+            rescue = ClusterRouter(lru_capacity=0)
+            host, port = fleet.threads[0].address
+            rescue.replica_up("0", host, port)
+            rescue.replica_up("1", host, port)
+            import asyncio
+
+            result, tier = asyncio.run(rescue.tiers.lookup(key))
+            assert tier == "peer"
+            assert result is not None
+
+
+class TestOps:
+    def test_healthz_transitions(self):
+        with Fleet(2) as fleet:
+            _, _, health = fleet.raw("GET", "/healthz")
+            assert health["status"] == "ok"
+            assert health["replicas_up"] == 2
+            fleet.router.replica_down("1")
+            assert fleet.router.healthz()["status"] in ("degraded", "ok")
+            fleet.router.replica_down("0")
+            assert fleet.router.healthz()["status"] == "down"
+            fleet.router.begin_drain()
+            assert fleet.router.healthz()["status"] == "draining"
+
+    def test_stats_aggregates_replicas(self):
+        with Fleet(2) as fleet:
+            client = fleet.client()
+            client.simulate(SMALL)
+            stats = client.stats()
+            assert stats["role"] == "router"
+            assert set(stats["replicas"]) == {"0", "1"}
+            for replica_stats in stats["replicas"].values():
+                assert "requests" in replica_stats
+            router_section = stats["router"]
+            assert router_section["requests"]["proxied"] == 1
+            assert router_section["ring"]["nodes"] == ["0", "1"]
+            assert router_section["tiers"]["disk_shards"] == 0
+
+    def test_metrics_exported(self):
+        with Fleet(1) as fleet:
+            client = fleet.client()
+            client.simulate(SMALL)
+            text = client.metrics()
+            assert "repro_cluster_requests_total" in text
+            assert 'repro_cluster_routed_total{replica="0"}' in text
+            assert "repro_cluster_replica_up" in text
+
+    def test_replica_actions_require_supervisor(self):
+        with Fleet(1) as fleet:
+            status, _, payload = fleet.raw("POST", "/replicas/0/drain")
+            assert status == 404
+            assert "no supervisor" in payload["error"]
+
+    def test_unknown_endpoint_404(self):
+        with Fleet(1) as fleet:
+            status, _, _ = fleet.raw("GET", "/nope")
+            assert status == 404
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            ClusterRouter(max_inflight_per_replica=0)
+        with pytest.raises(ValueError):
+            ClusterRouter(proxy_retries=-1)

@@ -1,0 +1,138 @@
+"""The tiered lookup chain: LRU semantics, tier order, re-promotion."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ResultLRU, TieredResultStore
+from repro.runtime import ResultCache
+
+
+def lookup(store, key):
+    return asyncio.run(store.lookup(key))
+
+
+class TestResultLRU:
+    def test_miss_then_hit(self):
+        lru = ResultLRU(4)
+        assert lru.get("a") is None
+        lru.put("a", {"v": 1})
+        assert lru.get("a") == {"v": 1}
+        assert lru.hits == 1
+        assert lru.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        lru = ResultLRU(2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        lru.get("a")  # refresh a; b is now the eviction candidate
+        lru.put("c", {"v": 3})
+        assert lru.get("b") is None
+        assert lru.get("a") == {"v": 1}
+        assert lru.get("c") == {"v": 3}
+        assert lru.evictions == 1
+
+    def test_put_updates_in_place(self):
+        lru = ResultLRU(2)
+        lru.put("a", {"v": 1})
+        lru.put("a", {"v": 2})
+        assert lru.get("a") == {"v": 2}
+        assert len(lru) == 1
+
+    def test_zero_capacity_disables(self):
+        lru = ResultLRU(0)
+        lru.put("a", {"v": 1})
+        assert lru.get("a") is None
+        assert len(lru) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultLRU(-1)
+
+    def test_snapshot(self):
+        lru = ResultLRU(4)
+        lru.put("a", {"v": 1})
+        lru.get("a")
+        lru.get("missing")
+        assert lru.snapshot() == {
+            "capacity": 4,
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+
+class TestTieredResultStore:
+    def test_memory_hit(self):
+        store = TieredResultStore(lru=ResultLRU(4))
+        store.insert("k", {"v": 1})
+        assert lookup(store, "k") == ({"v": 1}, "memory")
+        assert store.tier_hits["memory"] == 1
+
+    def test_full_miss(self):
+        store = TieredResultStore(lru=ResultLRU(4))
+        assert lookup(store, "nope") == (None, None)
+        assert store.misses == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("k" * 8, {"v": 2})
+        store = TieredResultStore(lru=ResultLRU(4), disk_shards=[cache])
+        assert lookup(store, "k" * 8) == ({"v": 2}, "disk")
+        # Second lookup is answered by the memory tier.
+        assert lookup(store, "k" * 8) == ({"v": 2}, "memory")
+
+    def test_later_shard_consulted(self, tmp_path):
+        empty = ResultCache(tmp_path / "a")
+        full = ResultCache(tmp_path / "b")
+        full.store("k" * 8, {"v": 3})
+        store = TieredResultStore(disk_shards=[empty, full])
+        assert lookup(store, "k" * 8) == ({"v": 3}, "disk")
+
+    def test_peer_fetch_last_and_promoting(self):
+        asked = []
+
+        async def peer(key):
+            asked.append(key)
+            return {"v": 4}
+
+        store = TieredResultStore(lru=ResultLRU(4), peer_fetch=peer)
+        assert lookup(store, "k") == ({"v": 4}, "peer")
+        assert asked == ["k"]
+        assert lookup(store, "k") == ({"v": 4}, "memory")
+        assert asked == ["k"]  # not asked again
+
+    def test_peer_miss_is_a_miss(self):
+        async def peer(key):
+            return None
+
+        store = TieredResultStore(peer_fetch=peer)
+        assert lookup(store, "k") == (None, None)
+
+    def test_insert_without_lru_is_noop(self):
+        store = TieredResultStore()
+        store.insert("k", {"v": 1})
+        assert lookup(store, "k") == (None, None)
+
+    def test_add_shard(self, tmp_path):
+        store = TieredResultStore()
+        cache = ResultCache(tmp_path)
+        cache.store("k" * 8, {"v": 5})
+        store.add_shard(cache)
+        assert lookup(store, "k" * 8) == ({"v": 5}, "disk")
+
+    def test_snapshot(self, tmp_path):
+        store = TieredResultStore(
+            lru=ResultLRU(4), disk_shards=[ResultCache(tmp_path)]
+        )
+        store.insert("k", {"v": 1})
+        lookup(store, "k")
+        lookup(store, "missing")
+        snap = store.snapshot()
+        assert snap["lookups"] == 2
+        assert snap["misses"] == 1
+        assert snap["tier_hits"] == {"memory": 1, "disk": 0, "peer": 0}
+        assert snap["disk_shards"] == 1
+        assert snap["peer_fetch"] is False
+        assert snap["memory"]["entries"] == 1

@@ -152,6 +152,42 @@ class TestPruneAndStats:
         with pytest.raises(ValueError):
             ResultCache(tmp_path).prune(-1)
 
+    def test_prune_bytes_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(4)]
+        now = time.time()
+        for i, key in enumerate(keys):
+            cache.store(key, PAYLOAD)
+            stamp = now - (100 - i)  # keys[0] is oldest
+            os.utime(cache.path_for(key), (stamp, stamp))
+        blob_size = cache.path_for(keys[0]).stat().st_size
+        removed = cache.prune_bytes(2 * blob_size)
+        assert removed == 2
+        assert not cache.path_for(keys[0]).exists()
+        assert not cache.path_for(keys[1]).exists()
+        assert cache.path_for(keys[2]).exists()
+        assert cache.path_for(keys[3]).exists()
+
+    def test_prune_bytes_noop_when_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        assert cache.prune_bytes(1 << 30) == 0
+        assert len(cache) == 1
+
+    def test_prune_bytes_zero_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, PAYLOAD)
+        cache.store("cd" + "0" * 62, PAYLOAD)
+        assert cache.prune_bytes(0) == 2
+        assert len(cache) == 0
+
+    def test_prune_bytes_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune_bytes(-1)
+
     def test_disk_stats(self, tmp_path):
         cache = ResultCache(tmp_path)
         stats = cache.disk_stats()

@@ -128,6 +128,71 @@ class TestBackoff:
         assert 0.1 <= sleeps[0] <= 0.15
 
 
+class TestRetryAfter:
+    """The server's Retry-After hint overrides computed backoff."""
+
+    def test_header_overrides_backoff(self):
+        client, _, sleeps = make_client(
+            [(429, {}, {"retry-after": "1.500"}), (200, {})],
+            backoff=0.05,
+            jitter=0.0,
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == [1.5]
+
+    def test_header_honored_on_503_too(self):
+        client, _, sleeps = make_client(
+            [(503, {"error": "draining"}, {"retry-after": "0.25"}), (200, {})],
+            jitter=0.0,
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == [0.25]
+
+    def test_absent_header_falls_back_to_backoff(self):
+        client, _, sleeps = make_client(
+            [(429, {}, {}), (200, {})], backoff=0.1, jitter=0.0
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == [0.1]
+
+    def test_unparseable_header_falls_back_to_backoff(self):
+        client, _, sleeps = make_client(
+            [(429, {}, {"retry-after": "Fri, 07 Aug 2026 09:00:00 GMT"}),
+             (200, {})],
+            backoff=0.1,
+            jitter=0.0,
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == [0.1]
+
+    def test_negative_header_falls_back_to_backoff(self):
+        client, _, sleeps = make_client(
+            [(429, {}, {"retry-after": "-3"}), (200, {})],
+            backoff=0.1,
+            jitter=0.0,
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == [0.1]
+
+    def test_two_tuple_transport_still_works(self):
+        """Legacy fakes returning (status, payload) keep working."""
+        client, _, sleeps = make_client(
+            [(429, {}), (200, {})], backoff=0.1, jitter=0.0
+        )
+        client.simulate({"dataset": "cora"})
+        assert sleeps == [0.1]
+
+    def test_capped_at_remaining_deadline(self):
+        """A hint longer than the budget is clamped, not obeyed."""
+        client, _, sleeps = make_client(
+            [(429, {}, {"retry-after": "3600"}), (200, {})],
+            jitter=0.0,
+        )
+        client.call("POST", "/simulate", {"dataset": "cora"}, deadline=5.0)
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 5.0
+
+
 class TestDeadline:
     def test_deadline_header_propagates(self):
         client, transport, _ = make_client([(200, {})])

@@ -205,6 +205,128 @@ class TestEndpoints:
         assert service.counters["bad_requests"] == 1
 
 
+def raw_request(address, method, path, body=None):
+    """One raw HTTP exchange; returns (status, headers, payload)."""
+    import http.client
+    import json
+
+    conn = http.client.HTTPConnection(*address, timeout=30.0)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        payload = json.loads(raw) if raw else {}
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
+
+
+class TestReplicaMode:
+    """The serve-side surface the cluster router relies on."""
+
+    def test_healthz_reports_inflight_and_uptime(self, served):
+        service, client, calls = served
+        health = client.healthz()
+        assert health["inflight"] == 0
+        assert health["in_flight"] == 0  # legacy key kept
+        assert health["uptime_seconds"] >= 0
+        assert "replica_id" not in health
+
+    def test_replica_id_in_healthz_stats_and_metrics(self):
+        service = SimulationService(replica_id="3")
+        with ServerThread(service) as thread:
+            client = ServeClient(*thread.address, timeout=60.0)
+            assert client.healthz()["replica_id"] == "3"
+            assert client.stats()["replica_id"] == "3"
+            assert 'repro_replica_info{replica="3"}' in client.metrics()
+
+    def test_result_endpoint_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        service = SimulationService(cache=cache, batch_window=0.0)
+        with ServerThread(service) as thread:
+            client = ServeClient(*thread.address, timeout=60.0)
+            payload = client.simulate(SMALL)
+            status, _, hit = raw_request(
+                thread.address, "GET", f"/result/{payload['key']}"
+            )
+        assert status == 200
+        assert hit == {
+            "key": payload["key"],
+            "cached": True,
+            "result": payload["result"],
+        }
+
+    def test_result_endpoint_miss_is_404(self, tmp_path):
+        service = SimulationService(cache=ResultCache(tmp_path))
+        with ServerThread(service) as thread:
+            status, _, payload = raw_request(
+                thread.address, "GET", "/result/" + "a" * 64
+            )
+        assert status == 404
+
+    def test_result_endpoint_without_cache_is_404(self, served):
+        service, client, calls = served
+        status, _, _ = raw_request(
+            (client.host, client.port), "GET", "/result/" + "a" * 64
+        )
+        assert status == 404
+
+    def test_result_endpoint_validates_key(self, served):
+        service, client, calls = served
+        address = (client.host, client.port)
+        for bad in ("not-hex!", "A" * 64, "f" * 200):
+            status, _, _ = raw_request(address, "GET", f"/result/{bad}")
+            assert status == 400, bad
+
+    def test_shed_carries_retry_after_header(self):
+        calls = []
+        service = SimulationService(
+            runner=make_counting_runner(calls, delay=0.5),
+            batch_window=0.02,
+            queue_depth=1,
+            retry_after_hint=0.125,
+        )
+        with ServerThread(service) as thread:
+            address = thread.address
+            fired = []
+
+            def fire(seed):
+                fired.append(
+                    raw_request(address, "POST", "/simulate", {**SMALL, "seed": seed})
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(seed,)) for seed in range(5)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        sheds = [
+            (headers, payload)
+            for status, headers, payload in fired
+            if status == 429
+        ]
+        assert sheds  # the one-slot queue must have shed something
+        for headers, _ in sheds:
+            assert headers["Retry-After"] == "0.125"
+
+    def test_draining_503_carries_retry_after_header(self):
+        service = SimulationService(retry_after_hint=0.25)
+        service.begin_drain()
+        with ServerThread(service) as thread:
+            status, headers, _ = raw_request(
+                thread.address, "POST", "/simulate", SMALL
+            )
+        assert status == 503
+        assert headers["Retry-After"] == "0.250"
+
+
 class TestDrain:
     def test_drain_completes_inflight_work(self):
         calls = []
