@@ -1,0 +1,673 @@
+"""Fused multi-cycle drain kernels for the flit-level NoC simulator.
+
+:class:`~repro.arch.noc.network.NoCSimulator` already vectorises one
+cycle at a time, but profiling a dense pubmed tile (29k cycles, 519k
+flits) shows ~90µs/cycle of *dispatch* overhead: ~50 small-array NumPy
+calls per :meth:`step`, each touching a few dozen elements.  This module
+collapses the per-cycle Python dispatch two ways, both pinned
+bit-identical to :class:`ReferenceNoCSimulator` by the property harness
+in ``tests/test_noc_equivalence.py``:
+
+* :class:`FusedNoCSimulator` — a fused :meth:`run` loop over the parent's
+  struct-of-arrays state.  Per-port adjacency is *precomputed*
+  (``p_tq``: the input port a head flit forwards into; ``p_rt``: its
+  directed (router, target) pair for latency/bypass lookup; ``lat_pair``:
+  per-pair hop latency), the sort key carries the port id in its low
+  bits so one ``np.sort`` replaces argsort-plus-gathers, ejections and
+  forwards share one fused arbitration/advance pass, and — the big one —
+  head-metadata refresh is skipped when a pop reveals a *body flit of
+  the same packet at the same hop* (with ~76 flits/packet, ~99% of
+  pops).  Packet-completion accounting is deferred to one vectorised
+  pass at drain time.
+
+* :func:`_drain_scalar` — the same semantics as a scalar kernel over
+  flat ``int64``/``bool`` arrays, written in the nopython subset so
+  :mod:`numba` can JIT it.  :class:`NumbaNoCSimulator` registers it as
+  the ``"numba"`` engine: when numba is importable the whole drain runs
+  as one compiled call; when it is absent the engine *gracefully falls
+  back* to the fused NumPy loop (``kernel_mode == "fallback"``), so the
+  entry stays selectable everywhere without a hard dependency.  The
+  interpreted kernel remains a plain Python function, which is how the
+  equivalence tests pin its semantics even on numba-less machines.
+
+Sequential-semantics contract inherited from the reference (see
+``network.py``): round-robin state is untouched by single-contender
+grants but advanced by multi-contender grants even when the granted move
+stalls; all ejections apply before any forward; forwards apply in
+router-id order so freed-slot chains resolve walking dependencies
+strictly downward; idle stretches fast-forward to the next ready cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import _INF, NoCSimulator
+from .stats import NoCStats
+
+__all__ = ["FusedNoCSimulator", "NumbaNoCSimulator", "HAVE_NUMBA"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # the container default: no numba, graceful fallback
+    _numba = None
+    HAVE_NUMBA = False
+
+
+class FusedNoCSimulator(NoCSimulator):
+    """Event engine with a fused multi-cycle :meth:`run` loop.
+
+    State layout is the parent's; :meth:`inject` and :meth:`step` are
+    inherited unchanged (interleaved stepping still works and stays
+    bit-identical).  Only :meth:`run` is replaced: derived per-port
+    tables are rebuilt once at entry, then the whole drain executes in
+    one tight loop with no per-cycle method call, attribute traffic, or
+    stats object churn.
+    """
+
+    def refresh_configuration(self) -> None:
+        super().refresh_configuration()
+        # Per directed (router, target) pair: link latency including the
+        # router pipeline — one gather replaces the bypass-mask select.
+        self._lat_pair = np.where(
+            self._bypass, self._lat_byp, self._lat_mesh
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def _prepare_fused(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Derived per-port tables for the fused loop.
+
+        ``key2`` packs the arbitration key with the port id in the low
+        bits (one sort yields winner order *and* port identity), ``tq``
+        is the input port the head flit forwards into (-1 = at
+        destination, i.e. an ejection), ``rt`` the head's directed
+        (router, target) pair.  Rebuilt from the flit arrays at every
+        ``run`` entry so interleaved ``inject``/``step`` activity (which
+        maintains only the parent's tables) is always observed.
+        """
+        P = self._np_ports
+        n = self._n
+        ukb = self._ukb
+        pbits = (P + 1).bit_length()
+        self._pbits = pbits
+        key2 = np.zeros(P, dtype=np.int64)
+        tq = np.full(P, -1, dtype=np.int64)
+        rt = np.zeros(P, dtype=np.int64)
+        occ = (self._p_count[:P] > 0).nonzero()[0]
+        if occ.size:
+            h = self._p_head[occ]
+            hop = self._f_hop[h]
+            rid = self._f_rid[h]
+            router = self._p_router[occ]
+            at_dest = hop == self._route_last[rid]
+            target = np.where(
+                at_dest, router, self._route_flat[self._route_off1[rid] + hop]
+            )
+            tq[occ] = np.where(at_dest, -1, self._pt[target * n + router])
+            rt[occ] = router * n + target
+            key2[occ] = (
+                (self._p_base[occ] + (target << ukb)) << pbits
+            ) | occ
+        return key2, tq, rt
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_cycles: int = 1_000_000) -> NoCStats:
+        if self._outstanding_flits == 0:
+            self.stats.cycles = self.cycle
+            return self.stats
+
+        P = self._np_ports
+        n = self._n
+        ukb = self._ukb
+        ukmask = self._ukmask
+        buf_cap = self._buf_cap
+        key2, p_tq, p_rt = self._prepare_fused()
+        pbits = self._pbits
+        pmask = (1 << pbits) - 1
+        gshift = pbits + ukb
+
+        # Hot-array locals (no attribute traffic inside the loop).
+        p_ready = self._p_ready
+        p_head = self._p_head
+        p_tail = self._p_tail
+        p_count = self._p_count
+        p_router = self._p_router
+        p_base = self._p_base
+        pr_view = p_ready[:P]
+        f_ready = self._f_ready
+        f_hop = self._f_hop
+        f_pid = self._f_pid
+        f_rid = self._f_rid
+        f_next = self._f_next
+        pt = self._pt
+        rr = self._rr
+        bypass = self._bypass
+        lat_pair = self._lat_pair
+        route_last = self._route_last
+        route_off1 = self._route_off1
+        route_flat = self._route_flat
+        pkt_tails = self._pkt_tails
+        flag = self._port_flag
+        pos = self._port_pos
+
+        # Deferred packet-completion log (flushed once at exit).
+        npkt = len(self._packets)
+        log_pid = np.empty(npkt, dtype=np.int64)
+        log_cycle = np.empty(npkt, dtype=np.int64)
+        n_done = 0
+
+        cycle = self.cycle
+        outstanding_flits = self._outstanding_flits
+        outstanding_packets = self._outstanding_packets
+        flits_delivered = 0
+        stall_events = 0
+        mesh_hops = 0
+        byp_hops = 0
+        maskbuf = np.empty(P, dtype=bool)
+        ar = np.arange(P, dtype=np.int64)  # static iota for the chain pass
+
+        try:
+            while outstanding_flits:
+                if cycle >= max_cycles:
+                    # Sync counters first so the structured error (and
+                    # `_deadlock`'s queue snapshot) reflect live state.
+                    self._outstanding_flits = outstanding_flits
+                    self._outstanding_packets = outstanding_packets
+                    raise self._deadlock(
+                        f"NoC did not drain within {max_cycles} cycles "
+                        f"({outstanding_packets} packets outstanding)",
+                        cycle=cycle,
+                    )
+                np.less_equal(pr_view, cycle, out=maskbuf)
+                cand = maskbuf.nonzero()[0]
+                now = cycle
+                cycle = now + 1
+                if cand.size == 0:
+                    # Idle fast-forward: nothing moves, arbitration state
+                    # is untouched — jump to the next ready cycle.
+                    next_ready = int(pr_view.min())
+                    if next_ready > cycle:
+                        cycle = min(next_ready, max_cycles)
+                    continue
+
+                # ---- arbitration: one packed sort, grouped winners ----
+                k2 = np.sort(key2[cand])
+                groups = k2 >> gshift
+                starts_mask = np.empty(groups.size, dtype=bool)
+                starts_mask[0] = True
+                np.not_equal(groups[1:], groups[:-1], out=starts_mask[1:])
+                starts = starts_mask.nonzero()[0]
+                winner_idx = starts
+                if starts.size != groups.size:
+                    ends = np.empty(starts.size, dtype=np.int64)
+                    ends[:-1] = starts[1:]
+                    ends[-1] = groups.size
+                    multi = ends - starts > 1
+                    m_start = starts[multi]
+                    m_end = ends[multi]
+                    m_group = groups[m_start]
+                    last = rr[m_group]
+                    th2 = (((m_group << ukb) | (last + 2))) << pbits
+                    mpos = np.searchsorted(k2, th2)
+                    mpos = np.where(mpos >= m_end, m_start, mpos)
+                    winner_idx = starts.copy()
+                    winner_idx[multi] = mpos
+                    # RR advances for every multi-contender grant, even
+                    # when the granted move stalls this cycle.
+                    rr[m_group] = ((k2[mpos] >> pbits) & ukmask) - 1
+
+                w2 = k2[winner_idx]
+                wports = w2 & pmask
+                wtq = p_tq[wports]
+                eject = wtq < 0
+                n_win = wports.size
+                n_eject = int(np.count_nonzero(eject))
+                # Ejections always succeed; a mover needs a slot in its
+                # target queue.  The -1 gathers land on rows where
+                # ``eject`` already forces success, so they are inert.
+                success = eject | (p_count[wtq] < buf_cap)
+                if n_eject and n_eject < n_win:
+                    # Ejections drain before forwards are considered.
+                    e_ports = wports[eject]
+                    flag[e_ports] = True
+                    success |= flag[wtq]
+                    flag[e_ports] = False
+                blocked = (~success).nonzero()[0]
+                if blocked.size:
+                    # Freed-slot chains: a full target admits the move if
+                    # its head departs via an earlier successful forward
+                    # (dependencies point strictly down in winner order).
+                    pos[wports] = ar[:n_win]
+                    dep = pos[wtq[blocked]]
+                    pos[wports] = -1
+                    succ_list = success.tolist()
+                    for i, j in zip(blocked.tolist(), dep.tolist()):
+                        if 0 <= j < i and succ_list[j]:
+                            succ_list[i] = True
+                            success[i] = True
+
+                # ---- fused pop (ejections + successful forwards) -------
+                popped = wports if n_eject == n_win else wports[success]
+                n_popped = popped.size
+                stall_events += n_win - n_popped
+                if n_popped == 0:
+                    continue  # every winner stalled; only RR state moved
+                pflits = p_head[popped]
+                pf_hop = f_hop[pflits]
+                pf_rid = f_rid[pflits]
+                nh = f_next[pflits]
+                p_head[popped] = nh
+                p_count[popped] -= 1
+                emptied = nh < 0
+                drained = popped[emptied]
+                if drained.size:
+                    p_tail[drained] = -1
+                    p_ready[drained] = _INF
+
+                # ---- pushes (each target receives <= 1 flit/cycle) -----
+                stale_ports = stale_heads = None
+                if n_eject < n_popped:
+                    e_in_pop = eject[success]
+                    mv = ~e_in_pop
+                    s_flits = pflits[mv]
+                    s_ports = popped[mv]
+                    s_tq = wtq[success][mv]
+                    s_rt = p_rt[s_ports]
+                    nb = int(np.count_nonzero(bypass[s_rt]))
+                    byp_hops += nb
+                    mesh_hops += s_rt.size - nb
+                    f_hop[s_flits] += 1
+                    f_ready[s_flits] = lat_pair[s_rt] + now
+                    old_tail = p_tail[s_tq]
+                    has_tail = old_tail >= 0
+                    not_tail = ~has_tail
+                    was_empty = s_tq[not_tail]
+                    if was_empty.size == 0:
+                        f_next[old_tail] = s_flits
+                    else:
+                        f_next[old_tail[has_tail]] = s_flits[has_tail]
+                        new_heads = s_flits[not_tail]
+                        p_head[was_empty] = new_heads
+                        p_ready[was_empty] = f_ready[new_heads]
+                        stale_ports = was_empty
+                        stale_heads = new_heads
+                    f_next[s_flits] = -1
+                    p_tail[s_tq] = s_flits
+                    p_count[s_tq] += 1
+
+                # ---- refresh ports whose head changed ------------------
+                # Common case (~99% on multi-flit traffic): the new head
+                # after a pop is a body flit on the same route at the same
+                # hop — derived metadata is unchanged, only readiness
+                # moves.  Newly-headed push targets always need the full
+                # refresh; both refresh sets are disjoint by construction
+                # (a port popped-but-not-emptied still holds flits, so it
+                # cannot be a was-empty push target), so one fused scatter
+                # covers them.
+                ne = ~emptied
+                touched = popped[ne]
+                if touched.size:
+                    nh_t = nh[ne]
+                    p_ready[touched] = f_ready[nh_t]
+                    same = f_rid[nh_t] == pf_rid[ne]
+                    same &= f_hop[nh_t] == pf_hop[ne]
+                    if not same.all():
+                        st = ~same
+                        if stale_ports is None:
+                            stale_ports = touched[st]
+                            stale_heads = nh_t[st]
+                        else:
+                            stale_ports = np.concatenate(
+                                [stale_ports, touched[st]]
+                            )
+                            stale_heads = np.concatenate(
+                                [stale_heads, nh_t[st]]
+                            )
+                if stale_ports is not None:
+                    hop = f_hop[stale_heads]
+                    rid = f_rid[stale_heads]
+                    router = p_router[stale_ports]
+                    at_dest = hop == route_last[rid]
+                    # At-destination rows read one slot past their route
+                    # (inside _route_flat's +1 slack), then are masked.
+                    target = np.where(
+                        at_dest, router, route_flat[route_off1[rid] + hop]
+                    )
+                    p_tq[stale_ports] = np.where(
+                        at_dest, -1, pt[target * n + router]
+                    )
+                    p_rt[stale_ports] = router * n + target
+                    key2[stale_ports] = (
+                        (p_base[stale_ports] + (target << ukb)) << pbits
+                    ) | stale_ports
+
+                # ---- delivery accounting (deferred latency math) -------
+                if n_eject:
+                    e_flits = (
+                        pflits if n_eject == n_popped else pflits[e_in_pop]
+                    )
+                    pids = f_pid[e_flits]
+                    pkt_tails[pids] -= 1
+                    completed = pids[pkt_tails[pids] == 0]
+                    flits_delivered += n_eject
+                    outstanding_flits -= n_eject
+                    if completed.size:
+                        outstanding_packets -= int(completed.size)
+                        end = n_done + completed.size
+                        log_pid[n_done:end] = completed
+                        log_cycle[n_done:end] = now + 1
+                        n_done = end
+        finally:
+            # Flush local state back — also on the deadlock raise, so the
+            # structured error and post-mortem stats reflect the run.
+            self.cycle = cycle
+            self._outstanding_flits = outstanding_flits
+            self._outstanding_packets = outstanding_packets
+            stats = self.stats
+            stats.cycles = cycle
+            stats.flits_delivered += flits_delivered
+            stats.stall_events += stall_events
+            stats.mesh_flit_hops += mesh_hops
+            stats.bypass_flit_hops += byp_hops
+            self._flush_completions(log_pid, log_cycle, n_done)
+        return self.stats
+
+    def _flush_completions(self, log_pid, log_cycle, n_done: int) -> None:
+        """Apply the deferred completion log to packets and stats.
+
+        Latency totals and the max are order-independent, so batching
+        them out of the hot loop cannot change the reference-identical
+        values.
+        """
+        if n_done == 0:
+            return
+        stats = self.stats
+        packets = self._packets
+        max_lat = stats.max_packet_latency
+        total = 0
+        for i in range(n_done):
+            pkt = packets[log_pid[i]]
+            done = int(log_cycle[i])
+            pkt.done_cycle = done
+            lat = done - pkt.inject_cycle
+            total += lat
+            if lat > max_lat:
+                max_lat = lat
+        stats.packets_delivered += n_done
+        stats.total_packet_latency += total
+        stats.max_packet_latency = max_lat
+
+
+# ----------------------------------------------------------------------
+# Scalar drain kernel (numba-jittable, also runs interpreted)
+# ----------------------------------------------------------------------
+#: Layout of the kernel's int64 output block.
+_K_CYCLE = 0
+_K_FLITS = 1
+_K_STALLS = 2
+_K_MESH = 3
+_K_BYP = 4
+_K_NDONE = 5
+_K_OUT_FLITS = 6
+_K_OUT_PKTS = 7
+_K_STATUS = 8  # 0 = drained, 1 = hit max_cycles
+_K_WORDS = 9
+
+
+def _drain_scalar(
+    P, n, ukb, pbits, buf_cap, start_cycle, max_cycles,
+    p_ready, p_head, p_tail, p_count, p_router, p_base, p_ukey,
+    pt, rr, bypass, lat_pair,
+    route_last, route_off1, route_flat,
+    f_ready, f_hop, f_pid, f_rid, f_next,
+    pkt_tails,
+    out, log_pid, log_cycle,
+    keybuf, mv_port, mv_tq, mv_rt, pushes, flag,
+):
+    """One compiled pass from ``start_cycle`` to full drain.
+
+    Pure scalar loops over flat arrays — the numba nopython subset —
+    re-deriving each head's target on the fly instead of maintaining
+    per-port metadata.  Semantics mirror the vector engine exactly:
+    sorted (router, target, upstream) arbitration order, RR advance on
+    multi-contender grants only, ejections before forwards, forwards in
+    ascending winner order with freed-slot visibility strictly downward,
+    deferred pushes, idle fast-forward.
+    """
+    ukmask = (1 << ukb) - 1
+    pmask = (1 << pbits) - 1
+    cycle = start_cycle
+    outstanding_flits = out[_K_OUT_FLITS]
+    outstanding_packets = out[_K_OUT_PKTS]
+    n_done = out[_K_NDONE]
+
+    while outstanding_flits > 0:
+        if cycle >= max_cycles:
+            out[_K_STATUS] = 1
+            break
+        now = cycle
+        cycle = now + 1
+
+        # ---- candidates: every port whose head flit is ready ----------
+        nc = 0
+        for p in range(P):
+            if p_ready[p] <= now:
+                h = p_head[p]
+                hop = f_hop[h]
+                rid = f_rid[h]
+                if hop == route_last[rid]:
+                    tgt = p_router[p]
+                else:
+                    tgt = route_flat[route_off1[rid] + hop]
+                group = p_router[p] * n + tgt
+                keybuf[nc] = (((group << ukb) | p_ukey[p]) << pbits) | p
+                nc += 1
+        if nc == 0:
+            nxt = max_cycles
+            for p in range(P):
+                if p_ready[p] < nxt:
+                    nxt = p_ready[p]
+            if nxt > cycle:
+                cycle = nxt if nxt < max_cycles else max_cycles
+            continue
+
+        keys = keybuf[:nc]
+        keys.sort()
+
+        # ---- pass 1: per-group RR winners; ejections apply now --------
+        n_mv = 0
+        n_flag = 0
+        i = 0
+        while i < nc:
+            g = keys[i] >> (ukb + pbits)
+            j = i + 1
+            while j < nc and (keys[j] >> (ukb + pbits)) == g:
+                j += 1
+            if j - i == 1:
+                w = i
+            else:
+                th = ((g << ukb) | (rr[g] + 2)) << pbits
+                # First contender strictly above the RR pointer, else wrap.
+                lo, hi = i, j
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    if keys[mid] < th:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                w = lo if lo < j else i
+                # RR advances for every multi-contender grant, even when
+                # the granted move stalls this cycle.
+                rr[g] = ((keys[w] >> pbits) & ukmask) - 1
+            port = keys[w] & pmask
+            router = p_router[port]
+            tgt = g - router * n
+            if tgt == router:
+                # Ejection: pop immediately, free the slot for movers.
+                head = p_head[port]
+                nh = f_next[head]
+                p_head[port] = nh
+                p_count[port] -= 1
+                if nh < 0:
+                    p_tail[port] = -1
+                    p_ready[port] = _INF
+                else:
+                    p_ready[port] = f_ready[nh]
+                flag[port] = True
+                pushes[n_flag] = port  # reuse as the flag-reset list
+                n_flag += 1
+                out[_K_FLITS] += 1
+                outstanding_flits -= 1
+                pid = f_pid[head]
+                pkt_tails[pid] -= 1
+                if pkt_tails[pid] == 0:
+                    outstanding_packets -= 1
+                    log_pid[n_done] = pid
+                    log_cycle[n_done] = now + 1
+                    n_done += 1
+            else:
+                mv_port[n_mv] = port
+                mv_tq[n_mv] = pt[tgt * n + router]
+                mv_rt[n_mv] = router * n + tgt
+                n_mv += 1
+            i = j
+
+        # ---- pass 2: forwards in winner order, pushes deferred --------
+        n_push = 0
+        for m in range(n_mv):
+            port = mv_port[m]
+            tq = mv_tq[m]
+            if p_count[tq] < buf_cap or flag[tq]:
+                head = p_head[port]
+                nh = f_next[head]
+                p_head[port] = nh
+                p_count[port] -= 1
+                if nh < 0:
+                    p_tail[port] = -1
+                    p_ready[port] = _INF
+                else:
+                    p_ready[port] = f_ready[nh]
+                flag[port] = True
+                pushes[n_flag] = port
+                n_flag += 1
+                rt = mv_rt[m]
+                f_hop[head] += 1
+                f_ready[head] = now + lat_pair[rt]
+                if bypass[rt]:
+                    out[_K_BYP] += 1
+                else:
+                    out[_K_MESH] += 1
+                # Deferred link-in: capacity checks of later movers must
+                # not observe this cycle's pushes.
+                mv_port[m] = -1 - head  # stash the flit, mark success
+            else:
+                out[_K_STALLS] += 1
+                mv_port[m] = 0
+                mv_tq[m] = -1
+        for m in range(n_mv):
+            tq = mv_tq[m]
+            if tq < 0:
+                continue
+            fl = -1 - mv_port[m]
+            if p_count[tq] == 0:
+                p_head[tq] = fl
+                p_ready[tq] = f_ready[fl]
+            else:
+                f_next[p_tail[tq]] = fl
+            f_next[fl] = -1
+            p_tail[tq] = fl
+            p_count[tq] += 1
+            n_push += 1
+        for q in range(n_flag):
+            flag[pushes[q]] = False
+
+    out[_K_CYCLE] = cycle
+    out[_K_NDONE] = n_done
+    out[_K_OUT_FLITS] = outstanding_flits
+    out[_K_OUT_PKTS] = outstanding_packets
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _drain_scalar_jit = _numba.njit(cache=True)(_drain_scalar)
+else:
+    _drain_scalar_jit = None
+
+
+class NumbaNoCSimulator(FusedNoCSimulator):
+    """Scalar-kernel engine: numba-compiled when available.
+
+    ``kernel_mode`` records which path :meth:`run` takes — ``"jit"``
+    (numba present), ``"interpreted"`` (``use_kernel`` forced true, e.g.
+    by the equivalence tests), or ``"fallback"`` (numba absent: the
+    inherited fused NumPy loop runs instead, same results, no hard
+    dependency).
+    """
+
+    #: Tests set this to True to pin the scalar kernel's semantics even
+    #: on machines without numba (interpreted, so small inputs only).
+    use_kernel: bool | None = None
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.kernel_mode = "jit" if HAVE_NUMBA else "fallback"
+
+    def run(self, *, max_cycles: int = 1_000_000) -> NoCStats:
+        use = self.use_kernel
+        if use is None:
+            use = HAVE_NUMBA
+        if not use:
+            self.kernel_mode = "fallback"
+            return super().run(max_cycles=max_cycles)
+        self.kernel_mode = "jit" if HAVE_NUMBA else "interpreted"
+        return self._run_kernel(max_cycles=max_cycles)
+
+    def _run_kernel(self, *, max_cycles: int) -> NoCStats:
+        if self._outstanding_flits == 0:
+            self.stats.cycles = self.cycle
+            return self.stats
+        P = self._np_ports
+        pbits = (P + 1).bit_length()
+        npkt = len(self._packets)
+        out = np.zeros(_K_WORDS, dtype=np.int64)
+        out[_K_OUT_FLITS] = self._outstanding_flits
+        out[_K_OUT_PKTS] = self._outstanding_packets
+        log_pid = np.empty(npkt, dtype=np.int64)
+        log_cycle = np.empty(npkt, dtype=np.int64)
+        keybuf = np.empty(P, dtype=np.int64)
+        mv_port = np.empty(P, dtype=np.int64)
+        mv_tq = np.empty(P, dtype=np.int64)
+        mv_rt = np.empty(P, dtype=np.int64)
+        pushes = np.empty(P + 1, dtype=np.int64)
+        kernel = _drain_scalar_jit if HAVE_NUMBA else _drain_scalar
+        kernel(
+            P, self._n, self._ukb, pbits, self._buf_cap,
+            self.cycle, max_cycles,
+            self._p_ready, self._p_head, self._p_tail, self._p_count,
+            self._p_router, self._p_base, self._p_ukey,
+            self._pt, self._rr, self._bypass, self._lat_pair,
+            self._route_last, self._route_off1, self._route_flat,
+            self._f_ready, self._f_hop, self._f_pid, self._f_rid,
+            self._f_next,
+            self._pkt_tails,
+            out, log_pid, log_cycle,
+            keybuf, mv_port, mv_tq, mv_rt, pushes, self._port_flag,
+        )
+        self.cycle = int(out[_K_CYCLE])
+        self._outstanding_flits = int(out[_K_OUT_FLITS])
+        self._outstanding_packets = int(out[_K_OUT_PKTS])
+        stats = self.stats
+        stats.cycles = self.cycle
+        stats.flits_delivered += int(out[_K_FLITS])
+        stats.stall_events += int(out[_K_STALLS])
+        stats.mesh_flit_hops += int(out[_K_MESH])
+        stats.bypass_flit_hops += int(out[_K_BYP])
+        self._flush_completions(log_pid, log_cycle, int(out[_K_NDONE]))
+        if out[_K_STATUS]:
+            raise self._deadlock(
+                f"NoC did not drain within {max_cycles} cycles "
+                f"({self._outstanding_packets} packets outstanding)",
+                cycle=self.cycle,
+            )
+        return self.stats

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from ...config import NoCConfig
 from .drain import DrainTracker
 from .packet import Flit, Packet
-from .routing import compute_route
+from .network import memo_route
 from .topology import FlexibleMeshTopology
 
 __all__ = ["PortDir", "VirtualChannel", "VCRouter", "VCNetworkSimulator"]
@@ -232,6 +232,7 @@ class VCNetworkSimulator(DrainTracker):
     ) -> None:
         self.topology = topology
         self.config = config or NoCConfig()
+        self._topo_sig = topology.signature()
         self.routers = [
             VCRouter(n, self.config) for n in range(topology.num_nodes)
         ]
@@ -271,7 +272,9 @@ class VCNetworkSimulator(DrainTracker):
 
     # ------------------------------------------------------------------
     def inject(self, src: int, dst: int, size_bytes: int) -> Packet:
-        route = compute_route(self.topology, src, dst)
+        # Shared process-wide memo: identical topologies across tiles,
+        # shards, and engine kinds resolve each (src, dst) route once.
+        route = memo_route(self.topology, src, dst, topo_sig=self._topo_sig)
         packet = Packet(
             pid=self._next_pid,
             src=src,

@@ -84,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--mapping", default="degree-aware", choices=("degree-aware", "hashing")
     )
+    p_sim.add_argument(
+        "--tile-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan a layer's independent tiles out over N worker "
+        "processes (1 = serial; aurora device only)",
+    )
 
     def positive_int(text: str) -> int:
         value = int(text)
@@ -141,12 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--tier",
-        choices=("analytical", "cycle", "serve", "cluster"),
+        choices=("analytical", "cycle", "serve", "cluster", "fanout"),
         default="analytical",
         help="which tier to bench: analytical layer sweep (BENCH_2), "
         "flit-level cycle tile (BENCH_3), the end-to-end simulation "
-        "service (BENCH_4), or the sharded cluster at 1/2/4 replicas "
-        "(BENCH_6)",
+        "service (BENCH_4), the sharded cluster at 1/2/4 replicas "
+        "(BENCH_6), or intra-job tile fan-out on a multi-tile job "
+        "(BENCH_7)",
+    )
+    p_bench.add_argument(
+        "--tile-workers",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="fan-out tier: worker processes for tile sharding "
+        "(default: the case's setting, bounded by the shared budget)",
+    )
+    p_bench.add_argument(
+        "--noc-engine",
+        choices=("auto", "event", "fused", "numba", "reference"),
+        default=None,
+        help="fan-out tier: flit engine for the measured path "
+        "(default auto = numba kernel with interpreted fallback)",
     )
     p_bench.add_argument(
         "--repeat",
@@ -546,7 +570,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     profile = dataset_profile(args.dataset)
     dims = layer_plan(graph, args.hidden, args.layers, profile.num_classes)
     if args.device == "aurora":
-        sim = AuroraSimulator(mapping_policy=args.mapping)
+        sim = AuroraSimulator(
+            mapping_policy=args.mapping, tile_workers=args.tile_workers
+        )
         result = sim.simulate(model, graph, dims)
     else:
         device = make_baseline(args.device)
@@ -620,10 +646,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "cycle": "BENCH_3.json",
         "serve": "BENCH_4.json",
         "cluster": "BENCH_6.json",
+        "fanout": "BENCH_7.json",
     }
     output = args.output or defaults[args.tier]
     snapshot = write_bench_json(
-        output, repeat=args.repeat, tier=args.tier, telemetry=args.telemetry
+        output,
+        repeat=args.repeat,
+        tier=args.tier,
+        telemetry=args.telemetry,
+        tile_workers=getattr(args, "tile_workers", None),
+        noc_engine=getattr(args, "noc_engine", None),
     )
     print(f"bench: wrote {output} ({snapshot['wall_seconds']:.2f}s wall)")
     for name, bench in snapshot["benches"].items():
@@ -640,6 +672,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{bench['speedup_vs_reference']:.2f}x | "
                 f"{bench['packets_per_second']:,.0f} packets/s | "
                 f"{bench['cycles_per_second']:,.0f} cycles/s"
+            )
+        if "num_tiles" in bench:
+            print(
+                f"  {'':<12} {bench['num_tiles']} tiles in "
+                f"{bench['shards']} shard(s) on "
+                f"{bench['effective_workers']} worker(s), "
+                f"engine {bench['noc_engine']}"
             )
         if "requests_per_second" in bench:
             print(

@@ -12,6 +12,7 @@ from .controller import (
     lower_layer_program,
 )
 from .cycle_engine import CycleTileEngine, CycleTileResult
+from .cycle_layer import CycleLayerResult, run_cycle_layer
 from .instructions import Instruction, InstructionBuffer, Opcode
 from .machine import ExecutionRecord, IllegalProgram, Machine, MachineState
 from .pipeline import overlapped_time, pipeline_time
@@ -41,6 +42,8 @@ __all__ = [
     "BatchResult",
     "ScheduledRequest",
     "CycleTileEngine",
+    "CycleLayerResult",
+    "run_cycle_layer",
     "CycleTileResult",
     "ConfigurationUnit",
     "ConfigurationPlan",

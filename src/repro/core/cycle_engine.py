@@ -22,7 +22,8 @@ import numpy as np
 
 from ..arch.noc._reference import ReferenceNoCSimulator
 from ..arch.noc.drain import NoCDeadlockError
-from ..arch.noc.network import NoCSimulator
+from ..arch.noc.fused import FusedNoCSimulator, NumbaNoCSimulator
+from ..arch.noc.network import NoCSimulator, warm_route_memo
 from ..arch.pe import PE, PEConfig, PEDatapath, datapath_for_op
 from ..config import AcceleratorConfig
 from ..graphs.csr import CSRGraph
@@ -69,6 +70,39 @@ class CycleTileResult:
             return 1.0
         return float(busy.max() / busy.mean())
 
+    # JSON round-trip: the layer runner caches per-tile results on disk
+    # and ships them across process boundaries (repro.core.cycle_layer).
+    def to_payload(self) -> dict:
+        return {
+            "noc_cycles": self.noc_cycles,
+            "compute_cycles_a": self.compute_cycles_a,
+            "compute_cycles_b": self.compute_cycles_b,
+            "reconfig_cycles": self.reconfig_cycles,
+            "packets": self.packets,
+            "flits": self.flits,
+            "avg_packet_latency": self.avg_packet_latency,
+            "mesh_flit_hops": self.mesh_flit_hops,
+            "bypass_flit_hops": self.bypass_flit_hops,
+            "pe_busy_cycles": [int(v) for v in self.pe_busy_cycles],
+            "stall_events": self.stall_events,
+        }
+
+    @staticmethod
+    def from_payload(data: dict) -> "CycleTileResult":
+        return CycleTileResult(
+            noc_cycles=int(data["noc_cycles"]),
+            compute_cycles_a=int(data["compute_cycles_a"]),
+            compute_cycles_b=int(data["compute_cycles_b"]),
+            reconfig_cycles=int(data["reconfig_cycles"]),
+            packets=int(data["packets"]),
+            flits=int(data["flits"]),
+            avg_packet_latency=float(data["avg_packet_latency"]),
+            mesh_flit_hops=int(data["mesh_flit_hops"]),
+            bypass_flit_hops=int(data["bypass_flit_hops"]),
+            pe_busy_cycles=np.asarray(data["pe_busy_cycles"], dtype=np.int64),
+            stall_events=int(data["stall_events"]),
+        )
+
 
 class CycleTileEngine:
     """Executes one tile of one layer at flit/PE cycle granularity."""
@@ -77,12 +111,23 @@ class CycleTileEngine:
     #: stops being the right tool (use the analytical tier).
     MAX_PACKETS = 200_000
 
-    #: Selectable flit simulators: the batched event engine (default) and
-    #: the retained original implementation it is property-tested against.
+    #: Selectable flit simulators: the batched event engine (default),
+    #: the retained original implementation it is property-tested
+    #: against, the fused multi-cycle drain loop, and the scalar-kernel
+    #: engine that numba JITs when installed (falling back to the fused
+    #: loop when it is not).  All four are pinned bit-identical by
+    #: ``tests/test_noc_equivalence.py``.
     NOC_ENGINES = {
         "event": NoCSimulator,
         "reference": ReferenceNoCSimulator,
+        "fused": FusedNoCSimulator,
+        "numba": NumbaNoCSimulator,
     }
+
+    #: Engine picked by ``noc_engine="auto"``: the scalar-kernel engine
+    #: compiles when numba is present and falls back to the fused NumPy
+    #: loop otherwise, so "numba" is safe to prefer unconditionally.
+    AUTO_ENGINE = "numba"
 
     def __init__(
         self,
@@ -98,9 +143,11 @@ class CycleTileEngine:
             )
         if mapping_policy not in ("degree-aware", "hashing"):
             raise ValueError("mapping_policy must be 'degree-aware' or 'hashing'")
+        if noc_engine == "auto":
+            noc_engine = self.AUTO_ENGINE
         if noc_engine not in self.NOC_ENGINES:
             raise ValueError(
-                f"noc_engine must be one of {sorted(self.NOC_ENGINES)}"
+                f"noc_engine must be one of {sorted(self.NOC_ENGINES)} or 'auto'"
             )
         self.config = config
         self.mapping_policy = mapping_policy
@@ -198,6 +245,15 @@ class CycleTileEngine:
                 f"budget of {self.MAX_PACKETS} — shrink the tile or use the "
                 "analytical tier"
             )
+        # Route derivation is hoisted out of the inject loop: one pass
+        # over the *unique* flow pairs fills the process-wide memo, which
+        # every later tile (and every sibling shard on this topology)
+        # then hits instead of re-deriving routes per packet.
+        if n_packets:
+            with PERF.timer("cycle.routes"):
+                warm_route_memo(
+                    plan.topology, np.unique(mc.flows[:, :2], axis=0)
+                )
         # Spread injections over time at each source's injection rate so
         # the warm-up transient resembles steady pipelined operation.
         per_source_next: dict[int, int] = {}

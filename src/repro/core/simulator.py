@@ -26,6 +26,8 @@ makes the mapping policy matter — exactly the paper's §VI-C argument.
 from __future__ import annotations
 
 import time
+from dataclasses import asdict
+from functools import partial
 
 import numpy as np
 
@@ -61,6 +63,207 @@ __all__ = ["AuroraSimulator"]
 _BUFFER_UTIL = 0.5
 
 
+def _tile_outcome(
+    sub: CSRGraph,
+    boundary_edges: int,
+    external_vertices: int,
+    mapping: MappingResult,
+    mc,
+    *,
+    config: AcceleratorConfig,
+    model: GNNModel,
+    dims: LayerDims,
+    policy: str,
+    region_a: PERegion,
+    region_b: PERegion | None,
+    width_ratio: float,
+    msg_width: int,
+    density: float,
+    workflow=None,
+    cfg_unit: ConfigurationUnit | None = None,
+) -> dict:
+    """Evaluate one tile; returns a JSON-serializable outcome.
+
+    This is the former ``_simulate_layer`` loop body, extracted so tiles
+    can run in worker processes (:mod:`repro.runtime.shards`) and be
+    cached per tile.  It is a pure function of its arguments: stateful
+    models (DRAM, energy counters) are instantiated locally and their
+    activity is returned as *deltas* the caller applies in tile order, so
+    serial and sharded execution accumulate bit-identical results.
+    """
+    cfg = config
+    freq = cfg.frequency_hz
+    if workflow is None:
+        workflow = AdaptiveWorkflowGenerator().generate(model)
+    if cfg_unit is None:
+        cfg_unit = ConfigurationUnit(cfg)
+    dram = DRAMModel(cfg.dram)
+    counters = EnergyCounters()
+
+    with PERF.timer("compute_count"):
+        wl = extract_workload(model, sub, dims)
+    n_t, m_t = sub.num_vertices, sub.num_edges
+    conf = cfg_unit.configure(workflow, mapping, region_a, region_b)
+
+    # ---- Sub-accelerator A compute --------------------------------------
+    if m_t > 0:
+        # Source-side partials + degree-aware hub spreading keep the MAC
+        # work near-balanced; the residual imbalance is policy-dependent
+        # (hashing scatters hubs onto shared rows and has no partial
+        # pre-reduction support).
+        comm_loads = mapping.communication_loads(sub.degrees)
+        active = comm_loads[comm_loads > 0]
+        raw_imb = float(active.max() / active.mean()) if active.size else 1.0
+        sens = 0.05 if policy == "degree-aware" else 0.5
+        imb = 1.0 + (raw_imb - 1.0) * sens
+        ideal = (
+            wl.O_ue * width_ratio / (2 * cfg.macs_per_pe)
+            + wl.O_a * width_ratio / cfg.macs_per_pe
+        ) / region_a.num_pes
+        a_cycles = ideal * imb
+        a_cycles += wl.edge_update.ppu_ops / (cfg.ppu_lanes * region_a.num_pes)
+        a_cycles += conf.num_datapath_switches * PECycleModel.SWITCH_PENALTY
+        a_cycles += PECycleModel.PIPELINE_FILL
+    else:
+        a_cycles = 0.0
+
+    # ---- Sub-accelerator A communication (analytical NoC) ---------------
+    # Feature distribution is tree-multicast: each vertex's vector is
+    # injected once and replicated toward every PE that hosts one of its
+    # neighbors (reuse FIFOs forward copies).
+    noc_flit_hops = 0
+    if mc.flows.shape[0]:
+        with TRACER.span("noc", {"edges": m_t}):
+            with PERF.timer("traffic"):
+                traffic = TrafficMatrix.from_flows(
+                    aggregate_flows(mc.flows, cfg.num_pes),
+                    cfg.noc.flit_bytes,
+                    cfg.array_k,
+                )
+            noc_res = AnalyticalNoCModel.cached(
+                conf.topology, cfg.noc
+            ).evaluate(
+                traffic,
+                boost_nodes=mapping.s_pe_nodes,
+                boost_factor=max(3.0, region_a.width / 2),
+                # Ceil, not floor: a partial trailing flit still occupies
+                # the ejection/injection port for a cycle.
+                eject_flits=ceil_flits(mc.eject_bytes, cfg.noc.flit_bytes),
+                inject_flits=ceil_flits(mc.inject_bytes, cfg.noc.flit_bytes),
+            )
+        noc_cycles = noc_res.drain_cycles
+        noc_flit_hops = noc_res.total_flit_hops
+        mesh_hops = noc_res.total_flit_hops - noc_res.bypass_flit_hops
+        counters.link_byte_hops += mesh_hops * cfg.noc.flit_bytes
+        counters.router_flits += mesh_hops
+        counters.bypass_bytes += noc_res.bypass_flit_hops * cfg.noc.flit_bytes
+    else:
+        noc_cycles = 0
+
+    # ---- Sub-accelerator B: balanced weight-stationary rings ------------
+    if region_b is not None and wl.O_uv > 0:
+        b_cycles = wl.O_uv / (region_b.num_pes * 2 * cfg.macs_per_pe)
+        b_cycles += wl.vertex_update.ppu_ops / (cfg.ppu_lanes * region_b.num_pes)
+        b_cycles += PECycleModel.PIPELINE_FILL
+        # Ring traffic: partial outputs circulate within each row ring;
+        # latency hides under the systolic schedule, energy does not.
+        ring_hops = max(region_b.width - 1, 0)
+        ring_bytes_hops = (
+            n_t * dims.out_features * cfg.bytes_per_value * ring_hops // 2
+        )
+        counters.link_byte_hops += ring_bytes_hops
+        counters.router_flits += ring_bytes_hops // cfg.noc.flit_bytes
+        # A→B forwarding via reuse FIFOs (no DRAM round trip).
+        counters.reuse_fifo_bytes += n_t * msg_width * cfg.bytes_per_value
+    else:
+        b_cycles = 0.0
+
+    # ---- DRAM: tile load + boundary gathers + writeback -----------------
+    dram_t0 = time.perf_counter()
+    tile_dram_s = dram.access(
+        int(n_t * dims.in_features * cfg.bytes_per_value * density),
+        pattern=AccessPattern.SEQUENTIAL,
+    )
+    if external_vertices:
+        # Remote-feature fetches: distinct out-of-tile neighbors are
+        # pulled once *if they can be cached on chip for the tile's
+        # lifetime*.  The cacheable share is bounded by the buffer
+        # headroom; the rest is re-fetched per edge (this is why
+        # dense-feature Reddit sees the smallest gains — paper §VI-D).
+        vec_bytes = dims.in_features * cfg.bytes_per_value * density
+        unique_bytes = external_vertices * vec_bytes
+        cache_budget = cfg.onchip_bytes * 0.1
+        cache_frac = min(1.0, cache_budget / max(unique_bytes, 1.0))
+        fetch_bytes = (
+            unique_bytes * cache_frac
+            + boundary_edges * vec_bytes * (1.0 - cache_frac)
+        )
+        tile_dram_s += dram.access(int(fetch_bytes), pattern=AccessPattern.RANDOM)
+    tile_dram_s += dram.access(
+        n_t * dims.out_features * cfg.bytes_per_value,
+        pattern=AccessPattern.SEQUENTIAL,
+        write=True,
+    )
+    PERF.add_time("dram", time.perf_counter() - dram_t0)
+
+    # ---- Compose the tile ------------------------------------------------
+    a_seconds = max(a_cycles, noc_cycles) / freq
+    # The next tile's DRAM prefetch overlaps this tile's compute; charge
+    # the non-hidden remainder to stage A.
+    a_seconds = overlapped_time(a_seconds, tile_dram_s)
+    b_seconds = b_cycles / freq
+
+    # ---- Event counters ---------------------------------------------------
+    counters.mac_ops += int(wl.O_ue * width_ratio) + wl.O_uv
+    counters.add_ops += int(wl.O_a * width_ratio)
+    counters.ppu_ops += (
+        wl.edge_update.ppu_ops
+        + wl.aggregation.ppu_ops
+        + wl.vertex_update.ppu_ops
+    )
+    counters.sram_bytes += (
+        wl.total_mac_ops * cfg.bytes_per_value
+        + n_t * dims.in_features * cfg.bytes_per_value
+    )
+    counters.reconfig_events_pe += cfg.num_pes
+
+    st = dram.stats
+    return {
+        "a_seconds": a_seconds,
+        "b_seconds": b_seconds,
+        "a_cycles": a_cycles,
+        "b_cycles": b_cycles,
+        "noc_cycles": noc_cycles,
+        "noc_flit_hops": noc_flit_hops,
+        "tile_dram_seconds": tile_dram_s,
+        "counters": counters.as_dict(),
+        "dram": {
+            "reads_bytes": st.reads_bytes,
+            "writes_bytes": st.writes_bytes,
+            "bursts": st.bursts,
+            "row_hits": st.row_hits,
+            "row_misses": st.row_misses,
+            "busy_seconds": st.busy_seconds,
+        },
+    }
+
+
+def _analytical_shard(job, **kwargs) -> dict:
+    """Pool-worker entry for analytical tile shards.
+
+    Regenerates the (deterministic) workflow and configuration unit once
+    per shard instead of pickling them, then evaluates each tile.
+    """
+    kwargs["workflow"] = AdaptiveWorkflowGenerator().generate(kwargs["model"])
+    kwargs["cfg_unit"] = ConfigurationUnit(kwargs["config"])
+    return {
+        "tiles": [
+            _tile_outcome(sub, boundary, external, mapping, mc, **kwargs)
+            for sub, boundary, external, mapping, mc in job.payloads
+        ]
+    }
+
+
 class AuroraSimulator:
     """Analytical performance/energy simulator for the Aurora accelerator."""
 
@@ -71,12 +274,23 @@ class AuroraSimulator:
         *,
         mapping_policy: str = "degree-aware",
         enable_combination_first: bool = False,
+        tile_workers: int = 1,
+        tile_cache=None,
     ) -> None:
         if mapping_policy not in ("degree-aware", "hashing"):
             raise ValueError("mapping_policy must be 'degree-aware' or 'hashing'")
+        if tile_workers < 1:
+            raise ValueError("tile_workers must be >= 1")
         self.config = config or default_config()
         self.energy_model = EnergyModel(energy_table)
         self.mapping_policy = mapping_policy
+        # Intra-job parallelism: tiles of one layer fan out over this many
+        # worker processes (repro.runtime.shards); with a ResultCache in
+        # ``tile_cache``, per-tile results are content-addressed so a
+        # dirty tile recomputes alone.  Both paths are bit-identical to
+        # serial execution (tests/test_tile_fanout.py).
+        self.tile_workers = tile_workers
+        self.tile_cache = tile_cache
         # Combination-first reordering is a valid algebraic optimisation
         # for linear C-GNN layers, but the paper scales every accelerator
         # to identical per-layer MAC counts ("the amount of MACs of each
@@ -203,6 +417,92 @@ class AuroraSimulator:
         )
 
     # ------------------------------------------------------------------
+    def _tile_outcomes(
+        self,
+        model: GNNModel,
+        dims: LayerDims,
+        policy: str,
+        tiles,
+        mappings,
+        mcs,
+        *,
+        region_a: PERegion,
+        region_b: PERegion | None,
+        width_ratio: float,
+        msg_width: int,
+        density: float,
+        workflow,
+        cfg_unit: ConfigurationUnit,
+    ) -> list[dict]:
+        """Per-tile outcomes in tile order: serial, sharded, or cached."""
+        shared = dict(
+            config=self.config,
+            model=model,
+            dims=dims,
+            policy=policy,
+            region_a=region_a,
+            region_b=region_b,
+            width_ratio=width_ratio,
+            msg_width=msg_width,
+            density=density,
+        )
+        if self.tile_workers == 1 and self.tile_cache is None:
+            return [
+                _tile_outcome(
+                    tile.subgraph,
+                    tile.boundary_edges,
+                    tile.external_vertices,
+                    mapping,
+                    mc,
+                    workflow=workflow,
+                    cfg_unit=cfg_unit,
+                    **shared,
+                )
+                for tile, mapping, mc in zip(tiles, mappings, mcs)
+            ]
+
+        # Deferred import: repro.runtime imports this module.
+        from ..runtime.shards import run_tile_shards, tile_sub_key
+
+        keys = None
+        if self.tile_cache is not None:
+            base = {
+                "model": model.name,
+                "dims": [dims.in_features, dims.out_features, dims.hidden],
+                "config": asdict(self.config),
+                "policy": policy,
+                "density": density,
+                "msg_width": msg_width,
+                "region_a": asdict(region_a),
+                "region_b": asdict(region_b) if region_b else None,
+            }
+            keys = [
+                tile_sub_key(
+                    "analytical-tile",
+                    {
+                        **base,
+                        "graph": tile.subgraph.content_key,
+                        "boundary": [tile.boundary_edges, tile.external_vertices],
+                    },
+                )
+                for tile in tiles
+            ]
+        payloads = [
+            (t.subgraph, t.boundary_edges, t.external_vertices, m, mc)
+            for t, m, mc in zip(tiles, mappings, mcs)
+        ]
+        fanout = run_tile_shards(
+            payloads,
+            partial(_analytical_shard, **shared),
+            kind="analytical",
+            tile_workers=self.tile_workers,
+            costs=[max(1, t.num_edges) for t in tiles],
+            tile_keys=keys,
+            cache=self.tile_cache,
+        )
+        return fanout.payloads
+
+    # ------------------------------------------------------------------
     def simulate_layer(
         self,
         model: GNNModel,
@@ -327,157 +627,39 @@ class AuroraSimulator:
                 [tile.subgraph for tile in tiles], mappings, payload
             )
 
-        for tile, mapping, mc in zip(tiles, mappings, mcs):
-            sub = tile.subgraph
-            with PERF.timer("compute_count"):
-                wl = extract_workload(model, sub, dims)
-            n_t, m_t = sub.num_vertices, sub.num_edges
-            conf = cfg_unit.configure(workflow, mapping, region_a, region_b)
-
-            # ---- Sub-accelerator A compute ------------------------------
-            if m_t > 0:
-                # Source-side partials + degree-aware hub spreading keep
-                # the MAC work near-balanced; the residual imbalance is
-                # policy-dependent (hashing scatters hubs onto shared
-                # rows and has no partial pre-reduction support).
-                comm_loads = mapping.communication_loads(sub.degrees)
-                active = comm_loads[comm_loads > 0]
-                raw_imb = (
-                    float(active.max() / active.mean()) if active.size else 1.0
-                )
-                sens = 0.05 if policy == "degree-aware" else 0.5
-                imb = 1.0 + (raw_imb - 1.0) * sens
-                ideal = (
-                    wl.O_ue * width_ratio / (2 * cfg.macs_per_pe)
-                    + wl.O_a * width_ratio / cfg.macs_per_pe
-                ) / region_a.num_pes
-                a_cycles = ideal * imb
-                a_cycles += (
-                    wl.edge_update.ppu_ops / (cfg.ppu_lanes * region_a.num_pes)
-                )
-                a_cycles += conf.num_datapath_switches * PECycleModel.SWITCH_PENALTY
-                a_cycles += PECycleModel.PIPELINE_FILL
-            else:
-                a_cycles = 0.0
-
-            # ---- Sub-accelerator A communication (analytical NoC) -------
-            # Feature distribution is tree-multicast: each vertex's vector
-            # is injected once and replicated toward every PE that hosts
-            # one of its neighbors (reuse FIFOs forward copies); ``mc``
-            # comes from the batched extraction above.
-            if mc.flows.shape[0]:
-                with TRACER.span("noc", {"edges": m_t}):
-                    with PERF.timer("traffic"):
-                        traffic = TrafficMatrix.from_flows(
-                            aggregate_flows(mc.flows, cfg.num_pes),
-                            cfg.noc.flit_bytes,
-                            cfg.array_k,
-                        )
-                    noc_res = AnalyticalNoCModel.cached(
-                        conf.topology, cfg.noc
-                    ).evaluate(
-                        traffic,
-                        boost_nodes=mapping.s_pe_nodes,
-                        boost_factor=max(3.0, region_a.width / 2),
-                        # Ceil, not floor: a partial trailing flit still
-                        # occupies the ejection/injection port for a cycle.
-                        eject_flits=ceil_flits(mc.eject_bytes, cfg.noc.flit_bytes),
-                        inject_flits=ceil_flits(
-                            mc.inject_bytes, cfg.noc.flit_bytes
-                        ),
-                    )
-                noc_cycles = noc_res.drain_cycles
-                noc_volume_total += noc_res.total_flit_hops
-                mesh_hops = noc_res.total_flit_hops - noc_res.bypass_flit_hops
-                counters.link_byte_hops += mesh_hops * cfg.noc.flit_bytes
-                counters.router_flits += mesh_hops
-                counters.bypass_bytes += (
-                    noc_res.bypass_flit_hops * cfg.noc.flit_bytes
-                )
-            else:
-                noc_cycles = 0
-
-            # ---- Sub-accelerator B: balanced weight-stationary rings ----
-            if region_b is not None and wl.O_uv > 0:
-                b_cycles = wl.O_uv / (region_b.num_pes * 2 * cfg.macs_per_pe)
-                b_cycles += wl.vertex_update.ppu_ops / (
-                    cfg.ppu_lanes * region_b.num_pes
-                )
-                b_cycles += PECycleModel.PIPELINE_FILL
-                # Ring traffic: partial outputs circulate within each row
-                # ring; latency hides under the systolic schedule, energy
-                # does not.
-                ring_hops = max(region_b.width - 1, 0)
-                ring_bytes_hops = (
-                    n_t * dims.out_features * cfg.bytes_per_value * ring_hops // 2
-                )
-                counters.link_byte_hops += ring_bytes_hops
-                counters.router_flits += ring_bytes_hops // cfg.noc.flit_bytes
-                # A→B forwarding via reuse FIFOs (no DRAM round trip).
-                counters.reuse_fifo_bytes += (
-                    n_t * msg_width * cfg.bytes_per_value
-                )
-            else:
-                b_cycles = 0.0
-
-            # ---- DRAM: tile load + boundary gathers + writeback ---------
-            dram_t0 = time.perf_counter()
-            tile_dram_s = dram.access(
-                int(n_t * dims.in_features * cfg.bytes_per_value * density),
-                pattern=AccessPattern.SEQUENTIAL,
+        # Each tile's evaluation is a pure function of the tile
+        # (see _tile_outcome), so the loop fans out over worker processes
+        # when ``tile_workers`` > 1; outcomes apply in tile order either
+        # way, keeping every accumulation bit-identical to serial.
+        outcomes = self._tile_outcomes(
+            model,
+            dims,
+            policy,
+            tiles,
+            mappings,
+            mcs,
+            region_a=region_a,
+            region_b=region_b,
+            width_ratio=width_ratio,
+            msg_width=msg_width,
+            density=density,
+            workflow=workflow,
+            cfg_unit=cfg_unit,
+        )
+        dram_stats = dram.stats
+        for outcome in outcomes:
+            stage_a.append(outcome["a_seconds"])
+            stage_b.append(outcome["b_seconds"])
+            noc_cycles_total += outcome["noc_cycles"]
+            noc_volume_total += outcome["noc_flit_hops"]
+            compute_s_total += (outcome["a_cycles"] + outcome["b_cycles"]) / freq
+            noc_s_total += outcome["noc_cycles"] / freq
+            dram_s_total += outcome["tile_dram_seconds"]
+            counters = counters.merge(
+                EnergyCounters.from_dict(outcome["counters"])
             )
-            if tile.external_vertices:
-                # Remote-feature fetches: distinct out-of-tile neighbors
-                # are pulled once *if they can be cached on chip for the
-                # tile's lifetime*.  The cacheable share is bounded by the
-                # buffer headroom; the rest is re-fetched per edge (this
-                # is why dense-feature Reddit sees the smallest gains —
-                # paper §VI-D).
-                vec_bytes = dims.in_features * cfg.bytes_per_value * density
-                unique_bytes = tile.external_vertices * vec_bytes
-                cache_budget = cfg.onchip_bytes * 0.1
-                cache_frac = min(1.0, cache_budget / max(unique_bytes, 1.0))
-                fetch_bytes = (
-                    unique_bytes * cache_frac
-                    + tile.boundary_edges * vec_bytes * (1.0 - cache_frac)
-                )
-                tile_dram_s += dram.access(
-                    int(fetch_bytes), pattern=AccessPattern.RANDOM
-                )
-            tile_dram_s += dram.access(
-                n_t * dims.out_features * cfg.bytes_per_value,
-                pattern=AccessPattern.SEQUENTIAL,
-                write=True,
-            )
-            PERF.add_time("dram", time.perf_counter() - dram_t0)
-
-            # ---- Compose the tile --------------------------------------
-            a_seconds = max(a_cycles, noc_cycles) / freq
-            # The next tile's DRAM prefetch overlaps this tile's compute;
-            # charge the non-hidden remainder to stage A.
-            a_seconds = overlapped_time(a_seconds, tile_dram_s)
-            b_seconds = b_cycles / freq
-            stage_a.append(a_seconds)
-            stage_b.append(b_seconds)
-
-            noc_cycles_total += noc_cycles
-            compute_s_total += (a_cycles + b_cycles) / freq
-            noc_s_total += noc_cycles / freq
-            dram_s_total += tile_dram_s
-
-            # ---- Event counters -----------------------------------------
-            counters.mac_ops += int(wl.O_ue * width_ratio) + wl.O_uv
-            counters.add_ops += int(wl.O_a * width_ratio)
-            counters.ppu_ops += (
-                wl.edge_update.ppu_ops
-                + wl.aggregation.ppu_ops
-                + wl.vertex_update.ppu_ops
-            )
-            counters.sram_bytes += (
-                wl.total_mac_ops * cfg.bytes_per_value
-                + n_t * dims.in_features * cfg.bytes_per_value
-            )
-            counters.reconfig_events_pe += cfg.num_pes
+            for name, delta in outcome["dram"].items():
+                setattr(dram_stats, name, getattr(dram_stats, name) + delta)
 
         # -- Total time: A/B pipeline + one-time overheads -----------------
         total_s = pipeline_time(stage_a, stage_b)

@@ -25,11 +25,14 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchCase",
     "CycleBenchCase",
+    "FanoutBenchCase",
     "STANDARD_BENCHES",
     "CYCLE_BENCHES",
+    "FANOUT_BENCHES",
     "run_benches",
     "run_cluster_benches",
     "run_cycle_benches",
+    "run_fanout_benches",
     "run_serve_benches",
     "write_bench_json",
 ]
@@ -260,6 +263,185 @@ def run_cycle_benches(
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "tier": "cycle",
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "benches": results,
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "telemetry": telemetry_section,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+@dataclass(frozen=True)
+class FanoutBenchCase:
+    """One intra-job fan-out workload: a multi-tile job, whole layer.
+
+    The single-request latency story of the tile fan-out work: the same
+    job is timed cold through the retained reference engine (serial),
+    the event engine (serial), and the fused engine with tile sharding —
+    all three paths must produce identical per-tile results.
+    """
+
+    name: str
+    dataset: str
+    scale: float
+    model: str = "gcn"
+    array_k: int = 16
+    hidden: int = 16
+    tile_workers: int = 4
+    noc_engine: str = "auto"
+    #: Tiling capacity; None = the full distributed-buffer capacity.
+    tile_capacity_bytes: int | None = None
+
+    def label(self) -> str:
+        return (
+            f"{self.model}/{self.dataset}@{self.scale:g}/k{self.array_k}"
+            f"/w{self.tile_workers}"
+        )
+
+
+#: The fan-out bench: pubmed tiled to half the distributed-buffer
+#: capacity (region B's banks stage features/weights for the resident
+#: tile while the next one loads) — three dense independent tiles,
+#: exactly the shape intra-job parallelism and the fused engines were
+#: built for.  Tiles are kept heavy on purpose: the engines' advantage
+#: over the reference grows with per-tile traffic, and calibration
+#: sweeps are made of tiles like these.
+FANOUT_BENCHES: tuple[FanoutBenchCase, ...] = (
+    FanoutBenchCase(
+        "pubmed-job", "pubmed", 0.4, tile_capacity_bytes=2048 * 1024
+    ),
+)
+
+
+def _run_fanout_case(case: FanoutBenchCase, repeat: int) -> dict:
+    from ..config import small_config
+    from ..core.cycle_layer import run_cycle_layer
+    from ..graphs.datasets import load_dataset
+    from ..graphs.tiling import tile_graph
+    from ..models.workload import LayerDims
+    from ..models.zoo import get_model
+
+    graph = load_dataset(case.dataset, scale=case.scale)
+    model = get_model(case.model)
+    dims = LayerDims(graph.num_features, case.hidden)
+    cfg = small_config(case.array_k)
+    plan = tile_graph(
+        graph, case.tile_capacity_bytes or cfg.onchip_bytes
+    )
+    if plan.num_tiles < 2:  # pragma: no cover
+        raise AssertionError(
+            f"fan-out bench needs a multi-tile job, got {plan.num_tiles}"
+        )
+
+    def timed(**kwargs):
+        clear_hot_path_caches()
+        t0 = time.perf_counter()
+        layer = run_cycle_layer(model, plan, dims, config=cfg, **kwargs)
+        return layer, time.perf_counter() - t0
+
+    reference, reference_s = timed(noc_engine="reference")
+    serial, serial_s = timed(noc_engine="event")
+    fanout, fanout_s = timed(
+        noc_engine=case.noc_engine, tile_workers=case.tile_workers
+    )
+    base = [_tile_fields(t) for t in reference.tiles]
+    for name, layer in (("serial", serial), ("fanout", fanout)):
+        if [_tile_fields(t) for t in layer.tiles] != base:  # pragma: no cover
+            raise AssertionError(
+                f"{name} path diverged from reference on {case.label()}"
+            )
+
+    # Warm repeats of the fan-out path: route + mapping memos populated.
+    warm: list[float] = []
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        again = run_cycle_layer(
+            model, plan, dims, config=cfg,
+            noc_engine=case.noc_engine, tile_workers=case.tile_workers,
+        )
+        warm.append(time.perf_counter() - t0)
+        if [_tile_fields(t) for t in again.tiles] != base:  # pragma: no cover
+            raise AssertionError(
+                f"warm fan-out diverged from reference on {case.label()}"
+            )
+
+    warm_min = min(warm)
+    return {
+        "label": case.label(),
+        "dataset": case.dataset,
+        "scale": case.scale,
+        "model": case.model,
+        "array_k": case.array_k,
+        "hidden": case.hidden,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_tiles": plan.num_tiles,
+        "tile_workers": case.tile_workers,
+        "effective_workers": fanout.fanout.get("workers", 1),
+        "shards": fanout.fanout.get("shards", 1),
+        "noc_engine": case.noc_engine,
+        "noc_cycles": fanout.total_cycles,
+        "packets": fanout.packets,
+        "flits": fanout.flits,
+        "reference_seconds": reference_s,
+        "serial_event_seconds": serial_s,
+        "cold_seconds": fanout_s,
+        "warm_seconds": warm,
+        "warm_mean_seconds": sum(warm) / len(warm),
+        "warm_min_seconds": warm_min,
+        # The headline number: cold single-request latency of the fused
+        # + sharded path against the retained reference simulator.
+        "speedup_vs_reference": reference_s / fanout_s,
+        "speedup_vs_serial_event": serial_s / fanout_s,
+        "packets_per_second": fanout.packets / warm_min,
+        "cycles_per_second": fanout.total_cycles / warm_min,
+    }
+
+
+def run_fanout_benches(
+    benches: tuple[FanoutBenchCase, ...] = FANOUT_BENCHES,
+    *,
+    repeat: int = 1,
+    telemetry: bool = True,
+    tile_workers: int | None = None,
+    noc_engine: str | None = None,
+) -> dict:
+    """Run the intra-job fan-out benches (BENCH_7-style).
+
+    ``tile_workers`` / ``noc_engine`` override the case defaults — the
+    CLI's ``--tile-workers`` / ``--noc-engine`` knobs land here.
+    """
+    from dataclasses import replace
+
+    from ..telemetry import TRACER
+    from .instrumentation import PERF
+
+    overrides = {}
+    if tile_workers is not None:
+        overrides["tile_workers"] = tile_workers
+    if noc_engine is not None:
+        overrides["noc_engine"] = noc_engine
+    if overrides:
+        benches = tuple(replace(case, **overrides) for case in benches)
+
+    PERF.reset()
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        wall_start = time.perf_counter()
+        results = {
+            case.name: _run_fanout_case(case, repeat) for case in benches
+        }
+        wall = time.perf_counter() - wall_start
+        telemetry_section = _telemetry_section()
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "fanout",
         "repeat": repeat,
         "wall_seconds": wall,
         "benches": results,
@@ -655,15 +837,19 @@ def write_bench_json(
     repeat: int | None = None,
     tier: str = "analytical",
     telemetry: bool = True,
+    tile_workers: int | None = None,
+    noc_engine: str | None = None,
 ) -> dict:
     """Run one tier's benches and write the snapshot to ``path``.
 
     ``tier`` selects the analytical layer benches (BENCH_2-style), the
     flit-level cycle-tier bench (BENCH_3-style), the end-to-end service
-    bench (BENCH_4-style), or the sharded-cluster fleet bench
-    (BENCH_6-style); returns the snapshot.  With
+    bench (BENCH_4-style), the sharded-cluster fleet bench
+    (BENCH_6-style), or the intra-job tile fan-out bench
+    (BENCH_7-style); returns the snapshot.  With
     ``telemetry`` the benches run traced and the snapshot carries a
     ``telemetry`` section (span count, top stages by cumulative time).
+    ``tile_workers`` / ``noc_engine`` apply to the fan-out tier only.
     """
     if tier == "analytical":
         snapshot = run_benches(
@@ -685,9 +871,18 @@ def write_bench_json(
         snapshot = run_cluster_benches(
             repeat=repeat if repeat is not None else 2, telemetry=telemetry
         )
+    elif tier == "fanout":
+        snapshot = run_fanout_benches(
+            benches if benches is not None else FANOUT_BENCHES,
+            repeat=repeat if repeat is not None else 1,
+            telemetry=telemetry,
+            tile_workers=tile_workers,
+            noc_engine=noc_engine,
+        )
     else:
         raise ValueError(
-            "tier must be 'analytical', 'cycle', 'serve', or 'cluster'"
+            "tier must be 'analytical', 'cycle', 'serve', 'cluster', "
+            "or 'fanout'"
         )
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot

@@ -13,6 +13,7 @@ content-addressed result cache:
 * :mod:`.runner` — :func:`run_jobs` orchestration plus sweep metrics.
 """
 
+from .budget import BUDGET, WorkerBudget, in_pool_worker
 from .cache import CacheStats, ResultCache, as_cache, code_fingerprint
 from .executor import (
     ExecutionRecord,
@@ -28,6 +29,12 @@ from .runner import (
     SweepReport,
     run_jobs,
     run_jobs_async,
+)
+from .shards import (
+    TileShardJob,
+    TileShardPlanner,
+    run_tile_shards,
+    tile_sub_key,
 )
 
 __all__ = [
@@ -49,4 +56,11 @@ __all__ = [
     "SweepReport",
     "run_jobs",
     "run_jobs_async",
+    "BUDGET",
+    "WorkerBudget",
+    "in_pool_worker",
+    "TileShardJob",
+    "TileShardPlanner",
+    "run_tile_shards",
+    "tile_sub_key",
 ]

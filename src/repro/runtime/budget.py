@@ -1,0 +1,98 @@
+"""One shared worker budget for every parallel subsystem.
+
+Two fan-out mechanisms can now be active at once: ``repro serve``'s
+process pool (batch execution) and intra-job tile sharding
+(:mod:`repro.runtime.shards`).  Each alone sizes itself to the machine;
+both together would oversubscribe it — a pool of N workers, each fanning
+a layer out over N more processes, lands N² processes on N cores.
+
+:class:`WorkerBudget` arbitrates: components *lease* workers out of one
+process-wide pool sized to the CPU count, and a request that arrives
+while another component holds a lease only gets what is left (never less
+than one — serial execution is always allowed).  Pool *worker* processes
+are marked via :func:`mark_pool_worker` (installed as the
+``ProcessPoolExecutor`` initializer), so nested fan-out inside a worker
+degrades to serial instead of forking grandchildren.
+
+The budget is advisory bookkeeping, not a semaphore: leases bound what a
+component *asks for*, they do not block.  ``snapshot()`` is surfaced in
+``repro serve``'s ``/stats`` so operators can see who holds what.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "WorkerBudget",
+    "BUDGET",
+    "mark_pool_worker",
+    "in_pool_worker",
+]
+
+#: Set in pool worker processes; checked before any nested fan-out.
+_WORKER_ENV = "REPRO_POOL_WORKER"
+
+
+def mark_pool_worker() -> None:
+    """Pool initializer: mark this process as a leased worker."""
+    os.environ[_WORKER_ENV] = "1"
+
+
+def in_pool_worker() -> bool:
+    """True inside a process-pool worker (nested fan-out must go serial)."""
+    return os.environ.get(_WORKER_ENV) == "1"
+
+
+class WorkerBudget:
+    """Advisory lease bookkeeping over one machine-wide worker pool."""
+
+    def __init__(self, total: int | None = None) -> None:
+        self.total = total or os.cpu_count() or 1
+        self._leases: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def available(self) -> int:
+        with self._lock:
+            return max(1, self.total - sum(self._leases.values()))
+
+    def lease(self, component: str, want: int) -> int:
+        """Grant ``component`` up to ``want`` workers from what is left.
+
+        Inside a pool worker the grant is always 1: the parent already
+        spent the machine's parallelism on the pool itself.  Re-leasing
+        under the same name replaces the previous lease (components size
+        per request, not cumulatively).
+        """
+        if want < 1:
+            raise ValueError("want must be >= 1")
+        if in_pool_worker():
+            return 1
+        with self._lock:
+            others = sum(
+                n for name, n in self._leases.items() if name != component
+            )
+            grant = max(1, min(want, self.total - others))
+            self._leases[component] = grant
+            return grant
+
+    def release(self, component: str) -> None:
+        with self._lock:
+            self._leases.pop(component, None)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            leased = sum(self._leases.values())
+            return {
+                "total": self.total,
+                "leases": dict(self._leases),
+                "leased": leased,
+                "available": max(0, self.total - leased),
+                "in_pool_worker": in_pool_worker(),
+            }
+
+
+#: Process-wide budget all components share.
+BUDGET = WorkerBudget()

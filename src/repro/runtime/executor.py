@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..telemetry import TRACER
+from .budget import mark_pool_worker
 from .jobs import SimJob, execute_job
 
 __all__ = [
@@ -158,8 +159,12 @@ class ProcessExecutor:
         records: dict[int, ExecutionRecord] = {}
         pending = list(enumerate(jobs))
         while pending:
+            # Workers are marked so nested fan-out (e.g. tile sharding
+            # inside a pooled job) degrades to serial instead of forking
+            # grandchildren — see repro.runtime.budget.
             pool = ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(pending))
+                max_workers=min(self.max_workers, len(pending)),
+                initializer=mark_pool_worker,
             )
             futures = [
                 (index, job, pool.submit(_invoke, fn, job, trace_ctx))

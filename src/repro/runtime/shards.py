@@ -1,0 +1,299 @@
+"""Intra-job tile fan-out: shard planning and the fan-out driver.
+
+A single simulation request walks a layer's tiles serially; this module
+lets it use the whole machine instead.  Tiles are independent, so the
+driver:
+
+1. probes the per-tile :class:`~repro.runtime.cache.ResultCache` sub-keys
+   (content-addressed by tile subgraph + workload + config — a dirty
+   tile recomputes alone, clean siblings are served from disk),
+2. batches the cold tiles into contiguous shards with
+   :class:`TileShardPlanner` (small tiles are grouped so process-pool
+   dispatch overhead amortizes; contiguity keeps result order — and the
+   order-sensitive float accumulations built on it — deterministic),
+3. fans the shards out through the existing :mod:`repro.runtime`
+   executors, propagating the caller's telemetry trace context so each
+   shard's spans merge back into one request tree,
+4. recovers from crashed/timed-out shards by recomputing them serially
+   in-process (one bad worker degrades throughput, never correctness),
+5. returns per-tile payloads *in tile order*.
+
+Worker-count discipline comes from :mod:`repro.runtime.budget`: the
+driver leases workers from the shared budget, and inside a pool worker
+(e.g. a tile fan-out nested under ``repro serve``'s batch pool) the
+lease collapses to 1 so the machine is never oversubscribed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..telemetry import TRACER
+from .budget import BUDGET
+from .cache import ResultCache
+from .executor import ProcessExecutor, SerialExecutor
+
+__all__ = [
+    "TILE_SHARD_SCHEMA_VERSION",
+    "TileShard",
+    "TileShardJob",
+    "TileShardPlanner",
+    "tile_sub_key",
+    "run_tile_shards",
+]
+
+#: Bump when the per-tile cache payload layout changes incompatibly.
+TILE_SHARD_SCHEMA_VERSION = 1
+
+
+def tile_sub_key(kind: str, parts: dict) -> str:
+    """Content-addressed cache sub-key for one tile of one job.
+
+    ``parts`` must be JSON-serializable and capture everything the tile
+    result depends on (tile subgraph content key, workload dims, config
+    digest, policy knobs).  The engine choice is deliberately *not* part
+    of the key: all NoC engines are property-tested bit-identical, so a
+    tile result is a property of the workload, not of which engine
+    computed it.
+    """
+    blob = json.dumps(
+        {"version": TILE_SHARD_SCHEMA_VERSION, "kind": kind, **parts},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class TileShard:
+    """A contiguous run of tile positions executed by one worker."""
+
+    index: int
+    tile_indices: tuple[int, ...]
+    cost: float
+
+
+class TileShardPlanner:
+    """Batches tiles into contiguous, cost-balanced shards.
+
+    ``shards_per_worker`` controls load-balance granularity (more shards
+    → better balance, more dispatch overhead); ``min_shard_cost`` keeps
+    tiny tiles from becoming tiny shards — a shard is only closed early
+    once it has accumulated at least this much cost.  Costs are unitless
+    (callers typically pass edge counts or packet estimates).
+
+    Planning is deterministic: same costs + same worker count → same
+    shards, and shard order concatenates back to tile order.
+    """
+
+    def __init__(
+        self, *, shards_per_worker: int = 2, min_shard_cost: float = 0.0
+    ) -> None:
+        if shards_per_worker < 1:
+            raise ValueError("shards_per_worker must be >= 1")
+        self.shards_per_worker = shards_per_worker
+        self.min_shard_cost = min_shard_cost
+
+    def plan(
+        self, costs: Sequence[float], workers: int
+    ) -> list[TileShard]:
+        n = len(costs)
+        if n == 0:
+            return []
+        workers = max(1, workers)
+        if workers == 1:
+            return [TileShard(0, tuple(range(n)), float(sum(costs)))]
+        total = float(sum(costs))
+        target_shards = min(n, workers * self.shards_per_worker)
+        target_cost = max(total / target_shards, self.min_shard_cost)
+        shards: list[TileShard] = []
+        start = 0
+        acc = 0.0
+        for i, cost in enumerate(costs):
+            acc += float(cost)
+            remaining_tiles = n - i - 1
+            # Close the shard once it is full — unless the tail would
+            # then be left without tiles to form at least one shard.
+            if acc >= target_cost and remaining_tiles >= 0 and i + 1 > start:
+                shards.append(
+                    TileShard(len(shards), tuple(range(start, i + 1)), acc)
+                )
+                start = i + 1
+                acc = 0.0
+        if start < n:
+            shards.append(
+                TileShard(len(shards), tuple(range(start, n)), acc)
+            )
+        return shards
+
+
+@dataclass(frozen=True)
+class TileShardJob:
+    """One executor job: a shard's worth of per-tile payloads.
+
+    ``payloads`` are opaque picklable per-tile job descriptions consumed
+    by the worker function; ``route_memo`` optionally carries the
+    caller's exported NoC route memo so worker processes skip route
+    derivation for topologies the parent has already seen.
+    """
+
+    kind: str
+    shard_index: int
+    tile_indices: tuple[int, ...]
+    payloads: tuple
+    route_memo: tuple | None = None
+
+    def label(self) -> str:
+        first, last = self.tile_indices[0], self.tile_indices[-1]
+        return f"{self.kind}:shard{self.shard_index}[{first}..{last}]"
+
+
+@dataclass
+class TileFanout:
+    """Per-tile payloads in tile order, plus how they were obtained."""
+
+    payloads: list
+    stats: dict
+
+
+def run_tile_shards(
+    payloads: Sequence,
+    worker_fn: Callable[[TileShardJob], dict],
+    *,
+    kind: str,
+    tile_workers: int = 1,
+    costs: Sequence[float] | None = None,
+    tile_keys: Sequence[str | None] | None = None,
+    cache: ResultCache | None = None,
+    planner: TileShardPlanner | None = None,
+    route_memo: dict | None = None,
+    timeout: float | None = None,
+    executor=None,
+) -> TileFanout:
+    """Run one per-tile payload each through ``worker_fn``, sharded.
+
+    ``worker_fn`` must be a module-level (picklable) callable taking a
+    :class:`TileShardJob` and returning ``{"tiles": [payload, ...]}``
+    with one JSON-serializable payload per ``tile_indices`` entry, in
+    order.  Returns the per-tile payloads in tile order.
+
+    A shard whose worker crashes or times out is recomputed serially in
+    this process — the mid-shard-crash property tests pin that the
+    result is byte-identical either way.
+    """
+    n = len(payloads)
+    results: list = [None] * n
+    cache_hits = 0
+    if n == 0:
+        return TileFanout([], {"tiles": 0, "shards": 0, "cache_hits": 0})
+
+    # ---- per-tile cache probe (content-addressed sub-keys) ------------
+    keys = list(tile_keys) if tile_keys is not None else [None] * n
+    if cache is not None:
+        for i, key in enumerate(keys):
+            if key is None:
+                continue
+            hit = cache.load(key)
+            if hit is not None:
+                results[i] = hit
+                cache_hits += 1
+
+    cold = [i for i in range(n) if results[i] is None]
+    if not cold:
+        return TileFanout(
+            results,
+            {
+                "tiles": n,
+                "shards": 0,
+                "cache_hits": cache_hits,
+                "workers": 0,
+                "recovered_shards": 0,
+            },
+        )
+
+    # ---- shard the cold tiles, lease workers from the shared budget ---
+    planner = planner or TileShardPlanner()
+    workers = BUDGET.lease("tile-fanout", max(1, tile_workers))
+    try:
+        cold_costs = (
+            [float(costs[i]) for i in cold] if costs is not None
+            else [1.0] * len(cold)
+        )
+        shards = planner.plan(cold_costs, workers)
+        memo_export = tuple(route_memo.items()) if route_memo else None
+        jobs = [
+            TileShardJob(
+                kind=kind,
+                shard_index=shard.index,
+                tile_indices=tuple(cold[j] for j in shard.tile_indices),
+                payloads=tuple(payloads[cold[j]] for j in shard.tile_indices),
+                route_memo=memo_export,
+            )
+            for shard in shards
+        ]
+
+        if executor is None:
+            # ``executor`` is an injection point for tests (e.g. a
+            # FakeExecutor scripting a mid-shard worker crash).
+            if workers == 1 or len(jobs) == 1:
+                executor = SerialExecutor()
+            else:
+                executor = ProcessExecutor(workers, timeout=timeout)
+        trace_ctx = TRACER.current_context()
+        with TRACER.span(
+            "tiles.fanout",
+            {
+                "kind": kind,
+                "tiles": n,
+                "cold": len(cold),
+                "shards": len(jobs),
+                "workers": workers,
+                "executor": executor.name,
+            },
+        ):
+            records = executor.run(jobs, fn=worker_fn, trace_ctx=trace_ctx)
+    finally:
+        BUDGET.release("tile-fanout")
+
+    # ---- merge, recovering failed shards serially ----------------------
+    recovered = 0
+    for job, record in zip(jobs, records):
+        if record.ok:
+            if record.spans:
+                TRACER.merge(record.spans)
+            shard_payload = record.payload
+        else:
+            # Worker crashed or timed out: the tiles are still needed,
+            # so recompute the shard here.  Any exception now is real
+            # and propagates.
+            recovered += 1
+            with TRACER.span(
+                "tiles.recover_shard",
+                {"kind": kind, "shard": job.shard_index, "error": record.error},
+            ):
+                shard_payload = worker_fn(job)
+        tiles = shard_payload["tiles"]
+        if len(tiles) != len(job.tile_indices):
+            raise RuntimeError(
+                f"shard {job.shard_index} returned {len(tiles)} tiles, "
+                f"expected {len(job.tile_indices)}"
+            )
+        for tile_index, payload in zip(job.tile_indices, tiles):
+            results[tile_index] = payload
+            key = keys[tile_index]
+            if cache is not None and key is not None:
+                cache.store(key, payload)
+
+    return TileFanout(
+        results,
+        {
+            "tiles": n,
+            "shards": len(jobs),
+            "cache_hits": cache_hits,
+            "workers": workers,
+            "recovered_shards": recovered,
+        },
+    )

@@ -36,6 +36,7 @@ from collections import deque
 from urllib.parse import parse_qs
 
 from ..perf import PERF
+from ..runtime.budget import BUDGET
 from ..runtime.cache import ResultCache
 from ..runtime.jobs import SimJob
 from ..telemetry import METRICS, TRACER
@@ -281,6 +282,7 @@ class SimulationService:
             "cache": self.cache.stats.as_dict() if self.cache is not None else None,
             "latency": self.latency.snapshot(),
             "telemetry": TRACER.snapshot(),
+            "worker_budget": BUDGET.snapshot(),
         }
 
     def _trace(self, query: str) -> dict:

@@ -90,6 +90,26 @@ class TestParser:
         args = build_parser().parse_args(["bench", "--tier", "cluster"])
         assert args.tier == "cluster"
 
+    def test_bench_fanout_tier_knobs(self):
+        args = build_parser().parse_args(
+            ["bench", "--tier", "fanout", "--tile-workers", "4",
+             "--noc-engine", "numba"]
+        )
+        assert args.tier == "fanout"
+        assert args.tile_workers == 4
+        assert args.noc_engine == "numba"
+        # Defaults: the case's own settings apply.
+        args = build_parser().parse_args(["bench", "--tier", "fanout"])
+        assert args.tile_workers is None
+        assert args.noc_engine is None
+
+    def test_simulate_tile_workers(self):
+        args = build_parser().parse_args(
+            ["simulate", "--tile-workers", "3"]
+        )
+        assert args.tile_workers == 3
+        assert build_parser().parse_args(["simulate"]).tile_workers == 1
+
     def test_cluster_defaults(self):
         args = build_parser().parse_args(["cluster"])
         assert args.replicas == 2

@@ -18,9 +18,26 @@ from repro.arch.noc._reference import (
     ReferenceNoCSimulator,
     ReferenceVCNetworkSimulator,
 )
+from repro.arch.noc.fused import FusedNoCSimulator, NumbaNoCSimulator
 from repro.arch.noc.topology import FlexibleMeshTopology, RingConfig
 from repro.arch.noc.vc_router import VCNetworkSimulator
 from repro.config import NoCConfig
+
+
+def _kernel_engine(topo, cfg=None):
+    """NumbaNoCSimulator pinned to the scalar kernel: exercises the exact
+    loop numba compiles, interpreted, so the pin holds without numba."""
+    sim = NumbaNoCSimulator(topo, cfg)
+    sim.use_kernel = True
+    return sim
+
+
+#: Every rebuilt flit engine, each pinned bit-identical to the reference.
+ENGINES = [
+    pytest.param(NoCSimulator, id="event"),
+    pytest.param(FusedNoCSimulator, id="fused"),
+    pytest.param(_kernel_engine, id="kernel"),
+]
 
 
 def _random_topology(rng: random.Random) -> FlexibleMeshTopology:
@@ -34,8 +51,9 @@ def _random_topology(rng: random.Random) -> FlexibleMeshTopology:
 
 
 class TestEventEngineEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("seed", range(30))
-    def test_stats_identical_to_reference(self, seed):
+    def test_stats_identical_to_reference(self, seed, engine):
         """Random topologies + interleaved traffic: full-stats identity."""
         rng = random.Random(seed)
         topo = _random_topology(rng)
@@ -43,7 +61,7 @@ class TestEventEngineEquivalence:
         cfg = NoCConfig(
             vcs_per_port=rng.choice([1, 2]), vc_depth=rng.choice([2, 4])
         )
-        event = NoCSimulator(topo, cfg)
+        event = engine(topo, cfg)
         reference = ReferenceNoCSimulator(topo, cfg)
         for _ in range(rng.randint(1, 4)):
             for _ in range(rng.randint(0, 15)):
@@ -64,11 +82,12 @@ class TestEventEngineEquivalence:
             assert event.all_delivered() == reference.all_delivered()
         assert event.run(max_cycles=100_000) == reference.run(max_cycles=100_000)
 
-    def test_idle_fast_forward_matches_spin(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_idle_fast_forward_matches_spin(self, engine):
         """A lone far packet spends most cycles mid-link; the jump in
         run() must land on exactly the reference's cycle count."""
         topo = FlexibleMeshTopology(8)
-        event = NoCSimulator(topo)
+        event = engine(topo)
         reference = ReferenceNoCSimulator(topo)
         event.inject(0, 63, 64)
         reference.inject(0, 63, 64)
@@ -78,11 +97,12 @@ class TestEventEngineEquivalence:
         assert event.run() == reference.run()
         assert event.cycle == reference.cycle
 
-    def test_refresh_configuration_mid_run(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_refresh_configuration_mid_run(self, engine):
         """Adding a ring region mid-run re-routes new packets only."""
         topo_a = FlexibleMeshTopology(4)
         topo_b = FlexibleMeshTopology(4)
-        event = NoCSimulator(topo_a)
+        event = engine(topo_a)
         reference = ReferenceNoCSimulator(topo_b)
         for sim in (event, reference):
             sim.inject(0, 15, 96)
@@ -142,14 +162,14 @@ class TestVCEngineEquivalence:
 
 
 class TestDeadlockRegression:
-    def _wedged_simulator(self) -> NoCSimulator:
+    def _wedged_simulator(self, engine=NoCSimulator) -> NoCSimulator:
         # Mis-segmented on purpose: a ring region spanning the top half
         # with single-VC, single-slot buffers, and circular half-way
         # traffic — every buffer in the cycle fills with flits that are
         # at least two hops from ejecting, so nothing can ever move.
         topo = FlexibleMeshTopology(4)
         topo.add_ring_region(RingConfig(0, 0, 4, 2))
-        sim = NoCSimulator(topo, NoCConfig(vcs_per_port=1, vc_depth=1))
+        sim = engine(topo, NoCConfig(vcs_per_port=1, vc_depth=1))
         ring = [0, 1, 2, 3, 7, 6, 5, 4]
         for i, src in enumerate(ring):
             dst = ring[(i + 4) % 8]
@@ -157,8 +177,9 @@ class TestDeadlockRegression:
                 sim.inject(src, dst, 128)
         return sim
 
-    def test_structured_error_fields(self):
-        sim = self._wedged_simulator()
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_structured_error_fields(self, engine):
+        sim = self._wedged_simulator(engine)
         with pytest.raises(NoCDeadlockError, match="did not drain") as info:
             sim.run(max_cycles=5_000)
         err = info.value

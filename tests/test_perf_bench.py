@@ -264,3 +264,25 @@ class TestBenchSnapshot:
         assert counters.get("noc.model_cache_miss") is None
         assert counters.get("config.plan_cache_miss") is None
         assert counters.get("mapping.tile_cache_hit", 0) >= 1
+
+    def test_fanout_tier_schema(self, tmp_path):
+        """A tiny fan-out case through write_bench_json: schema + the
+        identity checks wired into _run_fanout_case."""
+        from repro.perf.bench import FanoutBenchCase, write_bench_json
+
+        out = tmp_path / "BENCH_f.json"
+        cases = (
+            FanoutBenchCase(
+                "cora-job", "cora", 0.3, array_k=8,
+                tile_capacity_bytes=48 * 1024, tile_workers=2,
+            ),
+        )
+        snap = write_bench_json(out, cases, repeat=1, tier="fanout")
+        on_disk = json.loads(out.read_text())
+        assert on_disk["tier"] == "fanout"
+        bench = on_disk["benches"]["cora-job"]
+        assert bench["num_tiles"] >= 2
+        assert bench["reference_seconds"] > 0
+        assert bench["speedup_vs_reference"] > 0
+        assert bench["cold_seconds"] > 0
+        assert snap["benches"]["cora-job"]["shards"] >= 1
