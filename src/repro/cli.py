@@ -17,6 +17,10 @@ Commands
     Regenerate a registered paper experiment (E1–E12, or ``all``).
 ``info``
     Show the hardware configuration and derived parameters.
+``mutate``
+    Generate a degree-preserving edge-mutation batch over a dataset
+    snapshot — the ``{base, mutations}`` payload ``/simulate`` accepts
+    for incremental re-simulation.
 ``bench``
     Run the standard layer benchmarks (cold + warm) and write a
     ``BENCH_*.json`` snapshot with per-stage timings and cache counters.
@@ -144,18 +148,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("experiment_id", help="E1..E12, or 'all'")
     add_runtime_flags(p_exp, cache_default=False)
 
+    p_mut = sub.add_parser(
+        "mutate",
+        help="generate an edge-mutation batch for incremental re-simulation",
+    )
+    p_mut.add_argument("--dataset", default="cora", choices=list(DATASETS))
+    p_mut.add_argument("--scale", type=float, default=1.0)
+    p_mut.add_argument(
+        "--seed", type=int, default=7, help="dataset synthesis seed"
+    )
+    p_mut.add_argument(
+        "--rewire-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="RNG seed for the degree-preserving rewire",
+    )
+    p_mut.add_argument(
+        "--dirty-fraction",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="fraction of tiles to dirty (0..1, default 0.1)",
+    )
+    p_mut.add_argument(
+        "--rows-per-tile",
+        type=int,
+        default=8,
+        metavar="N",
+        help="rows to rewire inside each dirty tile (default 8)",
+    )
+    p_mut.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the {base, mutations} request payload to PATH",
+    )
+    p_mut.add_argument(
+        "--json",
+        action="store_true",
+        help="print the request payload as JSON instead of a summary",
+    )
+
     p_bench = sub.add_parser(
         "bench", help="run the standard layer benches; write a BENCH json"
     )
     p_bench.add_argument(
         "--tier",
-        choices=("analytical", "cycle", "serve", "cluster", "fanout"),
+        choices=("analytical", "cycle", "serve", "cluster", "fanout", "delta"),
         default="analytical",
         help="which tier to bench: analytical layer sweep (BENCH_2), "
         "flit-level cycle tile (BENCH_3), the end-to-end simulation "
         "service (BENCH_4), the sharded cluster at 1/2/4 replicas "
-        "(BENCH_6), or intra-job tile fan-out on a multi-tile job "
-        "(BENCH_7)",
+        "(BENCH_6), intra-job tile fan-out on a multi-tile job "
+        "(BENCH_7), or incremental re-simulation under mutation "
+        "streams at 1/10/50% dirty tiles (BENCH_8)",
     )
     p_bench.add_argument(
         "--tile-workers",
@@ -458,7 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser("stats", help="entry count, bytes, fingerprint")
+    cache_sub.add_parser(
+        "stats",
+        help="entry count, bytes, fingerprint (plus the per-tile "
+        "sub-cache under <root>/tiles when present)",
+    )
     cache_sub.add_parser("clear", help="delete every cached result")
     c_prune = cache_sub.add_parser(
         "prune", help="delete results by age and/or total size"
@@ -638,6 +689,65 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .core.simulator import _BUFFER_UTIL
+    from .graphs.delta import dirty_tiles, rewire_delta, tile_boundaries
+    from .graphs.tiling import tile_graph
+
+    if not 0.0 < args.dirty_fraction <= 1.0:
+        print("error: --dirty-fraction must be in (0, 1]", file=sys.stderr)
+        return 2
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    cfg = default_config()
+    plan = tile_graph(
+        graph,
+        int(cfg.onchip_bytes * _BUFFER_UTIL),
+        bytes_per_value=cfg.bytes_per_value,
+    )
+    boundaries = tile_boundaries(plan)
+    num_tiles = len(plan.tiles)
+    target = max(1, round(args.dirty_fraction * num_tiles))
+    import numpy as np
+
+    rng = np.random.default_rng(args.rewire_seed)
+    chosen = sorted(
+        rng.choice(num_tiles, size=min(target, num_tiles), replace=False).tolist()
+    )
+    rows: list[int] = []
+    for t in chosen:
+        start, end = int(boundaries[t]), int(boundaries[t + 1])
+        span = np.arange(start, end)
+        take = min(args.rows_per_tile, span.size)
+        rows.extend(rng.choice(span, size=take, replace=False).tolist())
+    delta = rewire_delta(graph, rows, seed=args.rewire_seed)
+    payload = {
+        "base": {
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "seed": args.seed,
+        },
+        "mutations": [delta.as_dict()],
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json_mod.dump(payload, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    dirty = dirty_tiles(boundaries, delta)
+    print(f"dataset       : {graph.name} ({graph.num_vertices:,} vertices)")
+    print(f"tiles         : {num_tiles} ({len(dirty)} dirty, "
+          f"{len(dirty) / num_tiles:.0%})")
+    print(f"edits         : {delta.num_edits} "
+          f"({len(delta.inserts)} insert / {len(delta.deletes)} delete)")
+    print(f"delta key     : {delta.delta_key}")
+    if args.output:
+        print(f"wrote         : {args.output} (POST it to /simulate)")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import write_bench_json
 
@@ -647,6 +757,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "serve": "BENCH_4.json",
         "cluster": "BENCH_6.json",
         "fanout": "BENCH_7.json",
+        "delta": "BENCH_8.json",
     }
     output = args.output or defaults[args.tier]
     snapshot = write_bench_json(
@@ -659,7 +770,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(f"bench: wrote {output} ({snapshot['wall_seconds']:.2f}s wall)")
     for name, bench in snapshot["benches"].items():
-        if "cold_seconds" in bench:
+        if "warm_mean_seconds" in bench:
             print(
                 f"  {name:<12} cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
                 f"warm mean {bench['warm_mean_seconds'] * 1e3:7.1f} ms "
@@ -673,7 +784,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{bench['packets_per_second']:,.0f} packets/s | "
                 f"{bench['cycles_per_second']:,.0f} cycles/s"
             )
-        if "num_tiles" in bench:
+        if "shards" in bench:
             print(
                 f"  {'':<12} {bench['num_tiles']} tiles in "
                 f"{bench['shards']} shard(s) on "
@@ -699,6 +810,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"mid-load → {bench['failed']} failed, "
                 f"{bench['proxy_failovers']} failover(s), "
                 f"recovered={bench['recovered']}"
+            )
+        if "dirty_fraction" in bench:
+            print(
+                f"  {name:<12} {bench['dirty_fraction']:.0%} dirty "
+                f"({bench['dirty_tiles']}/{bench['num_tiles']} tiles) → "
+                f"cold {bench['cold_seconds'] * 1e3:7.1f} ms | "
+                f"warm {bench['warm_seconds'] * 1e3:7.1f} ms | "
+                f"{bench['speedup_vs_cold']:.1f}x "
+                f"(reused {bench['tiles_reused']}, "
+                f"recomputed {bench['tiles_recomputed']}, "
+                f"identical={bench['bit_identical']})"
             )
     scaling = snapshot.get("scaling_vs_1_replica")
     if scaling:
@@ -739,8 +861,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         buffer_size=args.trace_buffer,
     )
     cache = None
+    tile_cache = None
     if args.cache:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        # Per-tile sub-cache lives beside the job cache; the env var is
+        # how the job runner (and any pool workers it forks) find it.
+        import os
+        from pathlib import Path
+
+        from .runtime.jobs import ENV_TILE_CACHE_DIR
+
+        tiles_root = Path(cache.root) / "tiles"
+        os.environ[ENV_TILE_CACHE_DIR] = str(tiles_root)
+        tile_cache = ResultCache(root=tiles_root)
     executor = get_executor(args.jobs, timeout=args.timeout)
     service = SimulationService(
         cache=cache,
@@ -750,6 +883,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         request_timeout=args.timeout,
         replica_id=args.replica_id,
+        tile_cache=tile_cache,
     )
     return asyncio.run(
         serve_forever(
@@ -942,6 +1076,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
             age = time_mod.time() - stats["oldest_mtime"]
             print(f"oldest      : {age / 3600:.1f}h ago")
+        tiles_root = cache.root / "tiles"
+        if tiles_root.is_dir():
+            tile_stats = ResultCache(root=tiles_root).disk_stats()
+            print("tiles sub-cache (per-tile results):")
+            print(f"  entries   : {tile_stats['entries']}")
+            print(f"  bytes     : {tile_stats['bytes']:,}")
         return 0
     if args.cache_command == "clear":
         removed = cache.clear()
@@ -996,6 +1136,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args, show_summary=True)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "mutate":
+        return _cmd_mutate(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "serve":

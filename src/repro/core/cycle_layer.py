@@ -91,12 +91,16 @@ def _run_cycle_shard(
     engine = CycleTileEngine(
         config, mapping_policy=mapping_policy, noc_engine=noc_engine
     )
-    return {
-        "tiles": [
-            engine.run_tile(model, sub, dims).to_payload()
-            for sub in job.payloads
-        ]
-    }
+    tiles = []
+    for sub in job.payloads:
+        if not isinstance(sub, CSRGraph):
+            # Shared-memory handle from the parent's GraphPlane; resolves
+            # through the worker's content-keyed graph cache.
+            from ..runtime.graphplane import resolve_handle
+
+            sub = resolve_handle(sub)
+        tiles.append(engine.run_tile(model, sub, dims).to_payload())
+    return {"tiles": tiles}
 
 
 def _tile_keys(
@@ -105,12 +109,15 @@ def _tile_keys(
     dims: LayerDims,
     config: AcceleratorConfig,
     mapping_policy: str,
+    partition_signature: dict | None,
 ) -> list[str]:
     """Per-tile content-addressed cache sub-keys.
 
     The NoC engine is deliberately absent: engines are property-tested
     bit-identical, so a tile computed under ``fused`` is a valid cache
-    hit for a later ``numba`` run of the same workload.
+    hit for a later ``numba`` run of the same workload.  The partition
+    signature *is* present: a tile cached under one tiling configuration
+    must never satisfy a probe from another.
     """
     from ..runtime.shards import tile_sub_key
 
@@ -119,6 +126,7 @@ def _tile_keys(
         "dims": [dims.in_features, dims.out_features, dims.hidden],
         "config": asdict(config),
         "policy": mapping_policy,
+        "tiling": partition_signature,
     }
     return [
         tile_sub_key("cycle-tile", {**base, "graph": sub.content_key})
@@ -138,18 +146,30 @@ def run_cycle_layer(
     cache: ResultCache | None = None,
     planner: TileShardPlanner | None = None,
     timeout: float | None = None,
+    partition_signature: dict | None = None,
+    graph_plane=None,
 ) -> CycleLayerResult:
     """Execute every tile of one layer, fanned out over ``tile_workers``.
 
     ``tiles`` is either a :class:`~repro.graphs.tiling.TilingPlan` or a
     sequence of tile subgraphs.  With a ``cache``, each tile is probed
     under its content-addressed sub-key first, so re-running a job after
-    editing one tile recomputes only that tile.
+    editing one tile recomputes only that tile.  ``partition_signature``
+    carries the tiling parameters into the cache keys (defaults to the
+    plan's own parameters when ``tiles`` is a
+    :class:`~repro.graphs.tiling.TilingPlan`).  With a ``graph_plane``
+    and multiple workers, cold tile subgraphs ship to workers as
+    shared-memory handles instead of pickled arrays.
     """
     from ..runtime.shards import run_tile_shards
 
     if isinstance(tiles, TilingPlan):
         subs = [tile.subgraph for tile in tiles]
+        if partition_signature is None:
+            partition_signature = {
+                "capacity_bytes": tiles.capacity_bytes,
+                "bytes_per_value": tiles.bytes_per_value,
+            }
     else:
         subs = list(tiles)
 
@@ -162,10 +182,17 @@ def run_cycle_layer(
         noc_engine=noc_engine,
     )
     keys = (
-        _tile_keys(subs, model, dims, config, mapping_policy)
+        _tile_keys(subs, model, dims, config, mapping_policy, partition_signature)
         if cache is not None
         else None
     )
+    ship_via_plane = graph_plane is not None and tile_workers > 1
+
+    def build_payloads(indices):
+        return [
+            graph_plane.publish(subs[i]) if ship_via_plane else subs[i]
+            for i in indices
+        ]
     with TRACER.span(
         "cycle.layer",
         {
@@ -176,7 +203,7 @@ def run_cycle_layer(
         },
     ):
         fanout = run_tile_shards(
-            subs,
+            len(subs),
             worker_fn,
             kind="cycle",
             tile_workers=tile_workers,
@@ -186,6 +213,7 @@ def run_cycle_layer(
             planner=planner,
             route_memo=export_route_memo(),
             timeout=timeout,
+            payload_builder=build_payloads,
         )
     return CycleLayerResult(
         tiles=[CycleTileResult.from_payload(p) for p in fanout.payloads],

@@ -18,7 +18,55 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["CSRGraph", "GraphMeta", "from_edge_list", "from_dense_adjacency"]
+__all__ = [
+    "CSRGraph",
+    "GraphMeta",
+    "from_edge_list",
+    "from_dense_adjacency",
+    "compute_row_digests",
+]
+
+# splitmix64 finalizer constants; the mixer runs over whole arrays so the
+# per-row digests below are fully vectorised.
+_MIX_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_M2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += _MIX_GOLDEN
+        z ^= z >> _S30
+        z *= _MIX_M1
+        z ^= z >> _S27
+        z *= _MIX_M2
+        z ^= z >> _S31
+    return z
+
+
+def compute_row_digests(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Order-independent 64-bit digest of each CSR row's neighbor list.
+
+    Digest of row ``v`` is a function of its degree and the multiset of
+    its destinations only, so a mutation touching row ``v`` invalidates
+    exactly that row's digest.  ``CSRGraph.content_key`` hashes the digest
+    array (position encodes the row id), which lets
+    :mod:`repro.graphs.delta` update a graph's content key by re-digesting
+    only mutated rows instead of re-hashing every edge.
+    """
+    n = indptr.size - 1
+    mixed = _mix64(np.asarray(indices, dtype=np.int64))
+    with np.errstate(over="ignore"):
+        cum = np.zeros(mixed.size + 1, dtype=np.uint64)
+        np.cumsum(mixed, out=cum[1:])
+        row_sums = cum[indptr[1:]] - cum[indptr[:-1]]
+        degrees = (indptr[1:] - indptr[:-1]).astype(np.uint64)
+        return _mix64(row_sums + _mix64(degrees))
 
 
 @dataclass(frozen=True)
@@ -80,6 +128,8 @@ class CSRGraph:
         "_csc",
         "_meta",
         "_content_key",
+        "_row_digests",
+        "derived_from",
     )
 
     def __init__(
@@ -127,6 +177,13 @@ class CSRGraph:
         self._csc: tuple[np.ndarray, np.ndarray] | None = None
         self._meta: GraphMeta | None = None
         self._content_key: str | None = None
+        self._row_digests: np.ndarray | None = None
+        #: Content key of the graph this one was derived from by an edge
+        #: delta (set by :func:`repro.graphs.delta.apply_delta`), else
+        #: ``None``.  Advisory provenance only — never part of the
+        #: content hash — letting content-keyed caches attempt
+        #: incremental updates from the parent's entry.
+        self.derived_from: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -140,13 +197,28 @@ class CSRGraph:
         return self.indices.size
 
     @property
+    def row_digests(self) -> np.ndarray:
+        """Per-row structure digests (cached; see :func:`compute_row_digests`).
+
+        :func:`repro.graphs.delta.apply_delta` seeds a mutated graph's
+        digest array from its parent, re-digesting only touched rows —
+        the array is treated as immutable by every reader.
+        """
+        if self._row_digests is None:
+            self._row_digests = compute_row_digests(self.indptr, self.indices)
+        return self._row_digests
+
+    @property
     def content_key(self) -> str:
         """Content hash of the graph *structure* (name excluded).
 
         Two tiles with identical CSR arrays and dataset attributes share a
         key even when their reporting names differ — the identity the
-        tile-mapping memo (:mod:`repro.mapping.memo`) caches on.  Computed
-        once and cached; CSR arrays are treated as immutable repo-wide.
+        tile-mapping memo (:mod:`repro.mapping.memo`) caches on.  The hash
+        covers the per-row digest array rather than the raw CSR bytes so
+        that edge deltas can refresh it by re-digesting touched rows only
+        (the digest's position encodes the row id).  Computed once and
+        cached; CSR arrays are treated as immutable repo-wide.
         """
         if self._content_key is None:
             h = hashlib.blake2b(digest_size=16)
@@ -154,8 +226,7 @@ class CSRGraph:
                 f"{self.num_features}|{self.feature_density!r}|"
                 f"{self.edge_feature_dim}|{self.indptr.size}|".encode()
             )
-            h.update(self.indptr.tobytes())
-            h.update(self.indices.tobytes())
+            h.update(self.row_digests.tobytes())
             self._content_key = h.hexdigest()
         return self._content_key
 
@@ -174,6 +245,30 @@ class CSRGraph:
                 self.indices, minlength=self.num_vertices
             ).astype(np.int64)
         return self._in_degrees
+
+    def renamed(self, name: str) -> "CSRGraph":
+        """An O(1) view of this graph under a different reporting name.
+
+        Shares the CSR arrays and every content-derived cache — the
+        content key excludes the name — so no validation or hashing is
+        repeated.  Used by incremental re-tiling to re-label a reused
+        tile subgraph under the mutated parent's name.
+        """
+        g = CSRGraph.__new__(CSRGraph)
+        g.indptr = self.indptr
+        g.indices = self.indices
+        g.num_features = self.num_features
+        g.feature_density = self.feature_density
+        g.edge_feature_dim = self.edge_feature_dim
+        g.name = name
+        g._degrees = self._degrees
+        g._in_degrees = self._in_degrees
+        g._csc = self._csc
+        g._meta = self._meta
+        g._content_key = self._content_key
+        g._row_digests = self._row_digests
+        g.derived_from = self.derived_from
+        return g
 
     def neighbors(self, v: int) -> np.ndarray:
         """Out-neighbors of vertex ``v`` (a view, not a copy)."""

@@ -14,12 +14,33 @@ cycle-tier simulator needs for tractable runs.  The analytical tier uses
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from .csr import CSRGraph
 from .generators import power_law_graph
 
-__all__ = ["DatasetProfile", "DATASETS", "dataset_profile", "load_dataset", "list_datasets"]
+__all__ = [
+    "DatasetProfile",
+    "DATASETS",
+    "dataset_profile",
+    "load_dataset",
+    "list_datasets",
+    "clear_snapshot_cache",
+]
+
+#: Process-local snapshot memo bound: synthesizing a large dataset costs
+#: seconds, so repeated loads of the same ``(name, scale, seed)`` (every
+#: warm request of the serving path, every delta of a mutation stream)
+#: reuse one immutable snapshot.  Small: full-scale graphs are large.
+SNAPSHOT_CACHE_MAX = 4
+
+_SNAPSHOTS: "OrderedDict[tuple, CSRGraph]" = OrderedDict()
+
+
+def clear_snapshot_cache() -> None:
+    """Drop the process-local dataset snapshot memo (tests)."""
+    _SNAPSHOTS.clear()
 
 
 @dataclass(frozen=True)
@@ -134,10 +155,15 @@ def load_dataset(
     if not (0.0 < scale <= 1.0):
         raise ValueError("scale must be in (0, 1]")
     prof = dataset_profile(name)
+    memo_key = (prof.name, float(scale), int(seed))
+    cached = _SNAPSHOTS.get(memo_key)
+    if cached is not None:
+        _SNAPSHOTS.move_to_end(memo_key)
+        return cached
     n = max(16, int(round(prof.num_vertices * scale)))
     m = max(n, int(round(prof.num_edges * scale)))
     m = min(m, n * n)
-    return power_law_graph(
+    graph = power_law_graph(
         n,
         m,
         exponent=prof.degree_exponent,
@@ -147,3 +173,7 @@ def load_dataset(
         seed=seed,
         name=prof.name if scale == 1.0 else f"{prof.name}@{scale:g}",
     )
+    _SNAPSHOTS[memo_key] = graph
+    while len(_SNAPSHOTS) > SNAPSHOT_CACHE_MAX:
+        _SNAPSHOTS.popitem(last=False)
+    return graph

@@ -15,6 +15,7 @@ slice.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,7 +23,28 @@ import numpy as np
 from ..perf import PERF
 from .csr import CSRGraph
 
-__all__ = ["Tile", "TilingPlan", "tile_graph", "tile_footprint_bytes"]
+__all__ = [
+    "Tile",
+    "TilingPlan",
+    "tile_graph",
+    "tile_footprint_bytes",
+    "clear_tiling_cache",
+]
+
+#: Content-keyed plan memo bound.  A multi-layer simulation tiles the
+#: same graph once per layer with identical parameters, and a serving
+#: process re-tiles the same snapshot on every request; both hit here.
+#: Entries keep the tiled graph alongside the plan so a graph derived by
+#: an edge delta can patch its parent's plan instead of re-extracting
+#: every tile (see :func:`_incremental_plan`).
+TILING_CACHE_MAX = 16
+
+_PLANS: "OrderedDict[tuple, tuple[CSRGraph, TilingPlan]]" = OrderedDict()
+
+
+def clear_tiling_cache() -> None:
+    """Drop the process-local tiling-plan memo (tests, cold benches)."""
+    _PLANS.clear()
 
 
 @dataclass(frozen=True)
@@ -143,13 +165,108 @@ def tile_graph(
     """
     if capacity_bytes <= 0:
         raise ValueError("capacity_bytes must be positive")
+    # Name participates because tile subgraphs embed it in their own
+    # names; content alone would alias plans across renamed snapshots.
+    memo_key = (
+        graph.content_key,
+        graph.name,
+        capacity_bytes,
+        bytes_per_value,
+        min_tile_vertices,
+    )
+    hit = _PLANS.get(memo_key)
+    if hit is not None:
+        _PLANS.move_to_end(memo_key)
+        PERF.incr("tiling.plan_cache_hit")
+        return hit[1]
+    PERF.incr("tiling.plan_cache_miss")
     with PERF.timer("tiling"):
-        return _tile_graph(
+        plan = _incremental_plan(
             graph,
             capacity_bytes,
             bytes_per_value=bytes_per_value,
             min_tile_vertices=min_tile_vertices,
         )
+        if plan is None:
+            plan = _tile_graph(
+                graph,
+                capacity_bytes,
+                bytes_per_value=bytes_per_value,
+                min_tile_vertices=min_tile_vertices,
+            )
+    _PLANS[memo_key] = (graph, plan)
+    while len(_PLANS) > TILING_CACHE_MAX:
+        _PLANS.popitem(last=False)
+    return plan
+
+
+def _incremental_plan(
+    graph: CSRGraph,
+    capacity_bytes: int,
+    *,
+    bytes_per_value: int,
+    min_tile_vertices: int,
+) -> TilingPlan | None:
+    """Patch a cached parent plan for a delta-derived graph, or ``None``.
+
+    A degree-preserving delta leaves the row pointers — and therefore
+    the capacity-driven tile boundaries — unchanged, and a contiguous
+    tile's subgraph depends only on its own rows.  So tiles whose rows
+    have identical digests are reused from the parent plan (re-labelled
+    under the mutated graph's name), and only tiles covering changed
+    rows are re-extracted.  The result is exactly what a from-scratch
+    tiling of the mutated graph produces.
+    """
+    if graph.derived_from is None:
+        return None
+    for key, (pgraph, pplan) in _PLANS.items():
+        if (
+            key[0] == graph.derived_from
+            and key[2] == capacity_bytes
+            and key[3] == bytes_per_value
+            and key[4] == min_tile_vertices
+        ):
+            break
+    else:
+        return None
+    if not np.array_equal(pgraph.indptr, graph.indptr):
+        return None
+    PERF.incr("tiling.plan_incremental")
+    changed = np.nonzero(pgraph.row_digests != graph.row_digests)[0]
+    tiles: list[Tile] = []
+    for tile in pplan.tiles:
+        s = int(tile.vertices[0])
+        e = int(tile.vertices[-1]) + 1
+        lo = int(np.searchsorted(changed, s))
+        dirty = lo < changed.size and int(changed[lo]) < e
+        if dirty:
+            sub, boundary, external = _range_subgraph(graph, s, e)
+            tiles.append(
+                Tile(
+                    index=tile.index,
+                    vertices=tile.vertices,
+                    subgraph=sub,
+                    boundary_edges=boundary,
+                    external_vertices=external,
+                )
+            )
+        else:
+            sub = tile.subgraph.renamed(f"{graph.name}-tile[{s}:{e}]")
+            tiles.append(
+                Tile(
+                    index=tile.index,
+                    vertices=tile.vertices,
+                    subgraph=sub,
+                    boundary_edges=tile.boundary_edges,
+                    external_vertices=tile.external_vertices,
+                )
+            )
+    return TilingPlan(
+        graph_name=graph.name,
+        tiles=tuple(tiles),
+        capacity_bytes=pplan.capacity_bytes,
+        bytes_per_value=pplan.bytes_per_value,
+    )
 
 
 def _tile_graph(

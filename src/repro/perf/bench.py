@@ -25,13 +25,16 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchCase",
     "CycleBenchCase",
+    "DeltaBenchCase",
     "FanoutBenchCase",
     "STANDARD_BENCHES",
     "CYCLE_BENCHES",
+    "DELTA_BENCHES",
     "FANOUT_BENCHES",
     "run_benches",
     "run_cluster_benches",
     "run_cycle_benches",
+    "run_delta_benches",
     "run_fanout_benches",
     "run_serve_benches",
     "write_bench_json",
@@ -90,14 +93,20 @@ def clear_hot_path_caches() -> None:
     from ..arch.noc.analytical import AnalyticalNoCModel
     from ..arch.noc.network import _clear_route_memo
     from ..core.configuration import ConfigurationUnit
+    from ..core.simulator import clear_partition_sample_cache
+    from ..graphs.tiling import clear_tiling_cache
     from ..mapping.degree_aware import _zorder_nodes_cached
     from ..mapping.memo import clear_mapping_cache
+    from ..runtime.shards import clear_tile_memo
 
     clear_mapping_cache()
     AnalyticalNoCModel._cache.clear()
     ConfigurationUnit._cache.clear()
     _zorder_nodes_cached.cache_clear()
     _clear_route_memo()
+    clear_tiling_cache()
+    clear_tile_memo()
+    clear_partition_sample_cache()
 
 
 def _run_case(case: BenchCase, repeat: int) -> dict:
@@ -796,6 +805,221 @@ def _run_cluster_benches_traced(*, repeat: int) -> dict:
     }
 
 
+#: Dirty-tile fractions the delta bench sweeps.
+DELTA_BENCH_FRACTIONS = (0.01, 0.10, 0.50)
+
+
+@dataclass(frozen=True)
+class DeltaBenchCase:
+    """One incremental re-simulation workload: mutate, re-run, reuse.
+
+    ``pe_buffer_bytes`` shrinks the distributed buffer so the dataset
+    tiles into a few dozen contiguous ranges (at the default ~100 MiB
+    buffer pubmed is a single tile and there is nothing to reuse).  For
+    each dirty fraction, a degree-preserving rewire dirties that share
+    of tiles; the mutated job is then timed **warm** (per-tile cache
+    seeded by the base run — clean tiles resolve from cache) and
+    **cold** (no tile cache, everything from scratch), and both results
+    must be bit-identical.
+    """
+
+    name: str
+    dataset: str = "pubmed"
+    scale: float = 1.0
+    model: str = "gcn"
+    hidden: int = 32
+    num_layers: int = 2
+    #: Shrunk array + minimum buffers → ~128 KiB tiling capacity, ~100
+    #: tiles on pubmed; per-tile work then dominates the per-layer fixed
+    #: stages (partitioning), which is the regime tiled re-simulation
+    #: targets.
+    array_k: int = 16
+    pe_buffer_bytes: int = 1024
+    rows_per_tile: int = 4
+    fractions: tuple = DELTA_BENCH_FRACTIONS
+
+    def label(self) -> str:
+        return f"{self.model}/{self.dataset}@{self.scale:g}/delta"
+
+
+DELTA_BENCHES: tuple[DeltaBenchCase, ...] = (
+    DeltaBenchCase("pubmed-delta"),
+)
+
+
+def _delta_mutation(case, graph, boundaries, num_tiles, fraction, seed):
+    """A rewire delta dirtying ``fraction`` of the tiles, evenly spread."""
+    import numpy as np
+
+    from ..graphs.delta import rewire_delta
+
+    target = max(1, round(fraction * num_tiles))
+    chosen = np.unique(
+        np.linspace(0, num_tiles - 1, num=min(target, num_tiles))
+        .round()
+        .astype(np.int64)
+    )
+    rows: list[int] = []
+    for t in chosen.tolist():
+        start, end = int(boundaries[t]), int(boundaries[t + 1])
+        rows.extend(range(start, min(start + case.rows_per_tile, end)))
+    return rewire_delta(graph, rows, seed=seed)
+
+
+def _run_delta_case(case: DeltaBenchCase, repeat: int) -> dict:
+    import os
+    import tempfile
+    from dataclasses import replace
+
+    from ..config import default_config
+    from ..core.simulator import _BUFFER_UTIL
+    from ..graphs.datasets import load_dataset
+    from ..graphs.delta import dirty_tiles, tile_boundaries
+    from ..graphs.tiling import tile_graph
+    from ..runtime.jobs import ENV_TILE_CACHE_DIR, SimJob, execute_job
+
+    cfg = default_config().scaled(
+        array_k=case.array_k, pe_buffer_bytes=case.pe_buffer_bytes
+    )
+    base_job = SimJob(
+        model=case.model,
+        dataset=case.dataset,
+        scale=case.scale,
+        hidden=case.hidden,
+        num_layers=case.num_layers,
+        config=cfg,
+    )
+    graph = load_dataset(case.dataset, scale=case.scale, seed=base_job.seed)
+    plan = tile_graph(
+        graph,
+        int(cfg.onchip_bytes * _BUFFER_UTIL),
+        bytes_per_value=cfg.bytes_per_value,
+    )
+    boundaries = tile_boundaries(plan)
+    num_tiles = plan.num_tiles
+    if num_tiles < 10:  # pragma: no cover
+        raise AssertionError(
+            f"delta bench needs a many-tile job, got {num_tiles}"
+        )
+
+    saved_env = os.environ.get(ENV_TILE_CACHE_DIR)
+    benches: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            os.environ[ENV_TILE_CACHE_DIR] = tmp
+            clear_hot_path_caches()
+            t0 = time.perf_counter()
+            execute_job(base_job)
+            base_seconds = time.perf_counter() - t0
+
+            for fraction in case.fractions:
+                warm_times: list[float] = []
+                cold_times: list[float] = []
+                identical = True
+                meta: dict = {}
+                delta = None
+                for rep in range(max(1, repeat)):
+                    # A fresh rewire seed per repeat keeps dirty tiles
+                    # genuinely cold in the tile cache each time.
+                    delta = _delta_mutation(
+                        case, graph, boundaries, num_tiles, fraction,
+                        seed=base_job.seed + rep,
+                    )
+                    job = replace(base_job, mutations=(delta,))
+                    # Warm models a persistent serving process: hot-path
+                    # memos (including the in-process tile memo) survive
+                    # between requests, exactly as under ``repro serve``.
+                    # The interleaved cold control wipes that state, so an
+                    # untimed base replay restores it first.
+                    os.environ[ENV_TILE_CACHE_DIR] = tmp
+                    execute_job(base_job)
+                    t0 = time.perf_counter()
+                    warm_payload = execute_job(job)
+                    warm_times.append(time.perf_counter() - t0)
+                    meta = warm_payload.get("_exec") or {}
+
+                    del os.environ[ENV_TILE_CACHE_DIR]
+                    clear_hot_path_caches()
+                    t0 = time.perf_counter()
+                    cold_payload = execute_job(job)
+                    cold_times.append(time.perf_counter() - t0)
+                    warm_result = {
+                        k: v for k, v in warm_payload.items() if k != "_exec"
+                    }
+                    identical = identical and warm_result == cold_payload
+
+                dirty = dirty_tiles(boundaries, delta)
+                warm_min = min(warm_times)
+                cold_min = min(cold_times)
+                key = f"{case.name}-{fraction:g}"
+                benches[key] = {
+                    "label": f"{case.label()} @ {fraction:.0%} dirty",
+                    "dataset": case.dataset,
+                    "scale": case.scale,
+                    "model": case.model,
+                    "hidden": case.hidden,
+                    "num_layers": case.num_layers,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    "num_tiles": num_tiles,
+                    "dirty_fraction": fraction,
+                    "dirty_tiles": int(dirty.size),
+                    "edits": delta.num_edits,
+                    "base_cold_seconds": base_seconds,
+                    "warm_seconds": warm_min,
+                    "warm_seconds_all": warm_times,
+                    "cold_seconds": cold_min,
+                    "cold_seconds_all": cold_times,
+                    "speedup_vs_cold": cold_min / warm_min,
+                    "tiles": meta.get("tiles", 0),
+                    "tiles_reused": meta.get("tiles_reused", 0),
+                    "tiles_recomputed": meta.get("tiles_recomputed", 0),
+                    "bit_identical": identical,
+                }
+        finally:
+            if saved_env is None:
+                os.environ.pop(ENV_TILE_CACHE_DIR, None)
+            else:
+                os.environ[ENV_TILE_CACHE_DIR] = saved_env
+    return benches
+
+
+def run_delta_benches(
+    benches: tuple[DeltaBenchCase, ...] = DELTA_BENCHES,
+    *,
+    repeat: int = 1,
+    telemetry: bool = True,
+) -> dict:
+    """Run the incremental re-simulation benches (BENCH_8-style)."""
+    from ..telemetry import TRACER
+    from .instrumentation import PERF
+
+    PERF.reset()
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        wall_start = time.perf_counter()
+        results: dict[str, dict] = {}
+        for case in benches:
+            results.update(_run_delta_case(case, repeat))
+        wall = time.perf_counter() - wall_start
+        telemetry_section = _telemetry_section()
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "delta",
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "benches": results,
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "telemetry": telemetry_section,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+    }
+
+
 def run_benches(
     benches: tuple[BenchCase, ...] = STANDARD_BENCHES,
     *,
@@ -879,10 +1103,16 @@ def write_bench_json(
             tile_workers=tile_workers,
             noc_engine=noc_engine,
         )
+    elif tier == "delta":
+        snapshot = run_delta_benches(
+            benches if benches is not None else DELTA_BENCHES,
+            repeat=repeat if repeat is not None else 1,
+            telemetry=telemetry,
+        )
     else:
         raise ValueError(
             "tier must be 'analytical', 'cycle', 'serve', 'cluster', "
-            "or 'fanout'"
+            "'fanout', or 'delta'"
         )
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot

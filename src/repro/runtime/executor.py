@@ -139,12 +139,52 @@ class ProcessExecutor:
     supports_trace_ctx = True
 
     def __init__(
-        self, max_workers: int | None = None, *, timeout: float | None = None
+        self,
+        max_workers: int | None = None,
+        *,
+        timeout: float | None = None,
+        keep_alive: bool = False,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.timeout = timeout
+        # With ``keep_alive`` the worker pool persists across run() calls
+        # so process-local worker state (NoC route memos, the graph-plane
+        # resolve cache) survives between batches — the substrate of the
+        # zero-repickle path for successive mutation deltas.  A timed-out
+        # or broken pool is still terminated and replaced.
+        self.keep_alive = keep_alive
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _acquire_pool(self, size: int) -> ProcessPoolExecutor:
+        if not self.keep_alive:
+            return ProcessPoolExecutor(
+                max_workers=size, initializer=mark_pool_worker
+            )
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=mark_pool_worker
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down a kept-alive pool (no-op otherwise)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def run(
         self,
@@ -162,10 +202,7 @@ class ProcessExecutor:
             # Workers are marked so nested fan-out (e.g. tile sharding
             # inside a pooled job) degrades to serial instead of forking
             # grandchildren — see repro.runtime.budget.
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(pending)),
-                initializer=mark_pool_worker,
-            )
+            pool = self._acquire_pool(min(self.max_workers, len(pending)))
             futures = [
                 (index, job, pool.submit(_invoke, fn, job, trace_ctx))
                 for index, job in pending
@@ -196,9 +233,11 @@ class ProcessExecutor:
                     records[index] = ExecutionRecord(
                         job, None, f"{type(exc).__name__}: {exc}"
                     )
-            if timed_out:
+            if timed_out or getattr(pool, "_broken", False):
                 _terminate_pool(pool)
-            else:
+                if pool is self._pool:
+                    self._pool = None
+            elif not self.keep_alive:
                 pool.shutdown()
             pending = survivors
         return [records[index] for index in range(len(jobs))]

@@ -1,0 +1,233 @@
+"""Zero-repickle graph plane: shared-memory CSR shipping for fan-out.
+
+Shipping a tile subgraph to a pool worker normally pickles its CSR
+arrays into the pool's pipe — per shard, per request, even when the
+arrays have not changed since the last request.  The graph plane removes
+that cost:
+
+* the parent :class:`GraphPlane` publishes a graph's arrays into one
+  ``multiprocessing.shared_memory`` segment per *content key* (a second
+  publish of the same content is a dict hit, not a copy);
+* the shard payload then carries a tiny :class:`GraphHandle` instead of
+  the arrays;
+* workers call :func:`resolve_handle`, which serves repeats from a
+  process-local content-keyed cache and otherwise attaches the segment,
+  copies the arrays out, and detaches immediately.
+
+Across successive mutation deltas only dirty tiles are ever shipped at
+all (clean tiles resolve from the per-tile result cache), and with a
+kept-alive pool (``ProcessExecutor(keep_alive=True)``) a re-dirtied
+tile whose content key a worker has already seen costs no array traffic
+at all.
+
+Crash safety: ownership is strictly parental.  Workers never create or
+unlink segments — they even unregister their attachments from the
+``multiprocessing.resource_tracker`` (which would otherwise unlink the
+parent's segments when a worker exits, CPython's bpo-38119 behaviour) —
+so a crashed worker can never leak or destroy a segment.  The parent
+unlinks everything in :meth:`GraphPlane.close`, which runs from context
+exit, ``atexit``, and the finalizer; the leak test kills a worker
+mid-resolve and asserts every segment is gone after close.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..perf import PERF
+
+try:  # pragma: no cover - exercised only where shm is unavailable
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+__all__ = [
+    "GraphHandle",
+    "GraphPlane",
+    "resolve_handle",
+    "clear_resolve_cache",
+    "plane_available",
+]
+
+#: Worker-side resolve cache bound: tiles are small, but a long-lived
+#: worker serving many graphs must not grow without limit.
+RESOLVE_CACHE_MAX = 256
+
+_RESOLVED: "OrderedDict[str, CSRGraph]" = OrderedDict()
+
+#: Segment names created by a GraphPlane in *this* process.  Resolving a
+#: handle locally (serial fallback, tests) must not unregister the
+#: owner's resource-tracker entry.
+_OWNED: set[str] = set()
+
+
+def plane_available() -> bool:
+    """Whether shared-memory shipping is usable on this platform."""
+    return shared_memory is not None
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """Picklable pointer to a published graph: metadata, not arrays."""
+
+    key: str
+    shm_name: str
+    num_vertices: int
+    num_edges: int
+    num_features: int
+    feature_density: float
+    edge_feature_dim: int
+    name: str
+
+
+def _detach(shm) -> None:
+    """Close an attachment without unlinking, leaving ownership intact.
+
+    Attaching registers the segment with the resource tracker, which
+    would unlink it when *this* process exits — destroying the parent's
+    segment.  Unregister first; the parent remains the sole owner.  When
+    the attachment lives in the owning process itself, the registration
+    belongs to the creator and must stay.
+    """
+    if shm.name not in _OWNED:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    shm.close()
+
+
+class GraphPlane:
+    """Parent-side registry of published (content key → segment) graphs."""
+
+    def __init__(self) -> None:
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        self._segments: dict[str, tuple[GraphHandle, object]] = {}
+        self._closed = False
+        self.stats = {"published": 0, "reused": 0, "bytes": 0}
+        atexit.register(self.close)
+
+    def publish(self, graph: CSRGraph) -> GraphHandle:
+        """Copy ``graph``'s CSR arrays into shared memory, memoized.
+
+        The first publish of a content key pays one memcpy; repeats
+        return the existing handle.  Mutated graphs share nothing with
+        their parents here — but their *clean tiles* are never published
+        at all, because the per-tile cache already served them.
+        """
+        if self._closed:
+            raise RuntimeError("graph plane is closed")
+        key = graph.content_key
+        hit = self._segments.get(key)
+        if hit is not None:
+            self.stats["reused"] += 1
+            PERF.incr("graphplane.reused")
+            return hit[0]
+        nbytes = graph.indptr.nbytes + graph.indices.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        buf = np.frombuffer(shm.buf, dtype=np.int64, count=nbytes // 8)
+        buf[: graph.indptr.size] = graph.indptr
+        buf[graph.indptr.size :] = graph.indices
+        handle = GraphHandle(
+            key=key,
+            shm_name=shm.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            num_features=graph.num_features,
+            feature_density=graph.feature_density,
+            edge_feature_dim=graph.edge_feature_dim,
+            name=graph.name,
+        )
+        self._segments[key] = (handle, shm)
+        _OWNED.add(shm.name)
+        self.stats["published"] += 1
+        self.stats["bytes"] += nbytes
+        PERF.incr("graphplane.published")
+        return handle
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, shm in self._segments.values():
+            _OWNED.discard(shm.name)
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "GraphPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_handle(handle: GraphHandle) -> CSRGraph:
+    """Materialize a published graph in this process, content-cached.
+
+    The arrays are copied out of the segment and the attachment closed
+    immediately, so worker lifetime never pins parent segments.  The
+    resolved graph's ``content_key`` is trusted from the handle (the
+    parent computed it), so workers skip re-hashing.
+    """
+    cached = _RESOLVED.get(handle.key)
+    if cached is not None:
+        _RESOLVED.move_to_end(handle.key)
+        PERF.incr("graphplane.resolve_hit")
+        return cached
+    PERF.incr("graphplane.resolve_miss")
+    if shared_memory is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    try:
+        total = handle.num_vertices + 1 + handle.num_edges
+        buf = np.frombuffer(shm.buf, dtype=np.int64, count=total)
+        indptr = np.array(buf[: handle.num_vertices + 1], copy=True)
+        indices = np.array(buf[handle.num_vertices + 1 :], copy=True)
+        del buf  # release the buffer export before detaching
+    finally:
+        _detach(shm)
+    graph = CSRGraph(
+        indptr,
+        indices,
+        num_features=handle.num_features,
+        feature_density=handle.feature_density,
+        edge_feature_dim=handle.edge_feature_dim,
+        name=handle.name,
+    )
+    graph._content_key = handle.key
+    _RESOLVED[handle.key] = graph
+    while len(_RESOLVED) > RESOLVE_CACHE_MAX:
+        _RESOLVED.popitem(last=False)
+    return graph
+
+
+def clear_resolve_cache() -> None:
+    """Drop the process-local resolved-graph cache (tests)."""
+    _RESOLVED.clear()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass
 
 from ..baselines import BaselineAccelerator, BaselineTraits, make_baseline
@@ -25,10 +26,27 @@ from ..core.accelerator import layer_plan
 from ..core.results import SimulationResult
 from ..core.simulator import AuroraSimulator
 from ..graphs.datasets import dataset_profile, load_dataset
+from ..graphs.delta import EdgeDelta, apply_chain
 from ..perf import PERF
 from ..models.zoo import get_model
 
-__all__ = ["SimJob", "job_key", "run_job", "execute_job"]
+__all__ = [
+    "SimJob",
+    "job_key",
+    "run_job",
+    "execute_job",
+    "take_exec_meta",
+    "ENV_TILE_CACHE_DIR",
+    "ENV_TILE_WORKERS",
+]
+
+#: Directory of the per-tile result cache the job runner should use.
+#: Environment-propagated (rather than a parameter) so pool workers
+#: executing pickled jobs inherit it from the serving parent.
+ENV_TILE_CACHE_DIR = "REPRO_TILE_CACHE_DIR"
+
+#: Intra-job tile fan-out width for the analytical simulator.
+ENV_TILE_WORKERS = "REPRO_TILE_WORKERS"
 
 #: Wire-format aliases the service and CLI accept (`layers` mirrors the
 #: ``repro simulate --layers`` flag, ``device`` its ``--device``).
@@ -100,6 +118,12 @@ class SimJob:
     scale_buffers: bool = False
     config: AcceleratorConfig | None = None
     baseline_traits: BaselineTraits | None = None
+    #: Ordered EdgeDelta chain applied over the loaded dataset before
+    #: simulation — the ``{base, mutations}`` request form.  Canonical
+    #: (each delta sorted/deduplicated, empty chain collapsed to None)
+    #: so equivalent spellings share a content hash; the chain is part
+    #: of :meth:`as_dict` and therefore of :func:`job_key`.
+    mutations: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.mapping not in MAPPING_POLICIES:
@@ -108,6 +132,12 @@ class SimJob:
             raise ValueError("scale must be in (0, 1]")
         if self.hidden < 1 or self.num_layers < 1:
             raise ValueError("hidden and num_layers must be >= 1")
+        if self.mutations is not None:
+            chain = tuple(
+                d if isinstance(d, EdgeDelta) else EdgeDelta.from_dict(d)
+                for d in self.mutations
+            )
+            object.__setattr__(self, "mutations", chain or None)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
@@ -129,6 +159,11 @@ class SimJob:
                 if self.baseline_traits is not None
                 else None
             ),
+            "mutations": (
+                [d.as_dict() for d in self.mutations]
+                if self.mutations is not None
+                else None
+            ),
         }
 
     @staticmethod
@@ -146,6 +181,9 @@ class SimJob:
         traits = data.get("baseline_traits")
         if traits is not None:
             traits = BaselineTraits(**traits)
+        mutations = data.get("mutations")
+        if mutations is not None:
+            mutations = tuple(EdgeDelta.from_dict(d) for d in mutations)
         known = (
             "model", "dataset", "accelerator", "scale", "hidden",
             "num_layers", "seed", "mapping", "strict", "scale_buffers",
@@ -154,6 +192,7 @@ class SimJob:
             **{k: data[k] for k in known if k in data},
             config=config,
             baseline_traits=traits,
+            mutations=mutations,
         )
 
     @staticmethod
@@ -219,6 +258,38 @@ def job_key(job: SimJob) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: Per-process scratch for the last execution's tile-reuse counters —
+#: set by _run_job when a tile cache was active, harvested (and reset)
+#: by execute_job right after the run so the serve/runner layers can
+#: attach it to the wire payload without polluting SimulationResult.
+_LAST_EXEC_META: dict | None = None
+
+
+def take_exec_meta() -> dict | None:
+    """Pop the tile-reuse counters of the most recent run_job call."""
+    global _LAST_EXEC_META
+    meta, _LAST_EXEC_META = _LAST_EXEC_META, None
+    return meta
+
+
+def _tile_execution_settings():
+    """Tile cache + fan-out width from the environment (pool-inheritable)."""
+    cache = None
+    root = os.environ.get(ENV_TILE_CACHE_DIR)
+    if root:
+        from .cache import ResultCache
+
+        cache = ResultCache(root=root)
+    workers = 1
+    raw = os.environ.get(ENV_TILE_WORKERS)
+    if raw:
+        try:
+            workers = max(1, int(raw))
+        except ValueError:
+            workers = 1
+    return cache, workers
+
+
 def run_job(job: SimJob) -> SimulationResult:
     """Execute one job with fresh simulator/device instances."""
     with PERF.timer("runtime.job"):
@@ -226,8 +297,14 @@ def run_job(job: SimJob) -> SimulationResult:
 
 
 def _run_job(job: SimJob) -> SimulationResult:
+    global _LAST_EXEC_META
     cfg = job.resolved_config()
     graph = load_dataset(job.dataset, scale=job.scale, seed=job.seed)
+    if job.mutations:
+        # Incremental path: touched rows rebuild, row digests refresh
+        # incrementally, so tile content keys of clean tiles are
+        # unchanged and resolve from the per-tile cache below.
+        graph = apply_chain(graph, job.mutations)
     profile = dataset_profile(job.dataset)
     dims = layer_plan(graph, job.hidden, job.num_layers, profile.num_classes)
     model = get_model(job.model)
@@ -235,8 +312,22 @@ def _run_job(job: SimJob) -> SimulationResult:
         device = BaselineAccelerator(job.baseline_traits, cfg)
         return device.simulate(model, graph, dims, strict=job.strict)
     if job.accelerator == "aurora":
-        sim = AuroraSimulator(cfg, mapping_policy=job.mapping)
-        return sim.simulate(model, graph, dims)
+        tile_cache, tile_workers = _tile_execution_settings()
+        sim = AuroraSimulator(
+            cfg,
+            mapping_policy=job.mapping,
+            tile_cache=tile_cache,
+            tile_workers=tile_workers,
+        )
+        result = sim.simulate(model, graph, dims)
+        if tile_cache is not None:
+            stats = sim.take_tile_stats()
+            _LAST_EXEC_META = {
+                "tiles": stats["tiles"],
+                "tiles_reused": stats["reused"],
+                "tiles_recomputed": stats["recomputed"],
+            }
+        return result
     device = make_baseline(job.accelerator, cfg)
     return device.simulate(model, graph, dims, strict=job.strict)
 
@@ -246,6 +337,15 @@ def execute_job(job: SimJob) -> dict:
 
     Returning the dict form rather than the object keeps the serial,
     process-pool, and warm-cache paths on one representation, so all
-    three produce bit-identical results.
+    three produce bit-identical results.  When a per-tile cache was
+    active, the payload additionally carries the run's tile-reuse
+    counters under ``"_exec"`` — a sibling of the result fields that
+    ``SimulationResult.from_dict`` ignores, so result identity across
+    cached/uncached paths is untouched.
     """
-    return run_job(job).to_dict()
+    take_exec_meta()  # drop stale state from a prior failed run
+    payload = run_job(job).to_dict()
+    meta = take_exec_meta()
+    if meta is not None:
+        payload = {**payload, "_exec": meta}
+    return payload

@@ -40,6 +40,7 @@ class JobOutcome:
     error: str | None = None
     seconds: float = 0.0  # simulation wall time; 0.0 for cache hits
     cached: bool = False
+    exec_meta: dict | None = None  # tile-reuse counters, when tiles cached
 
     @property
     def ok(self) -> bool:
@@ -144,7 +145,11 @@ def run_jobs(
                 payload = store.load(key) if store is not None else None
                 if payload is not None:
                     outcome = JobOutcome(
-                        job, key, SimulationResult.from_dict(payload), cached=True
+                        job,
+                        key,
+                        SimulationResult.from_dict(payload),
+                        cached=True,
+                        exec_meta=payload.get("_exec"),
                     )
                     outcomes[key] = outcome
                     if progress is not None:
@@ -189,6 +194,7 @@ def run_jobs(
                 key,
                 SimulationResult.from_dict(record.payload),
                 seconds=record.seconds,
+                exec_meta=record.payload.get("_exec"),
             )
         else:
             metrics.errors += 1

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..perf import PERF
 from ..telemetry import TRACER
 from .budget import BUDGET
 from .cache import ResultCache
@@ -38,15 +40,39 @@ from .executor import ProcessExecutor, SerialExecutor
 
 __all__ = [
     "TILE_SHARD_SCHEMA_VERSION",
+    "TILE_MEMO_MAX",
     "TileShard",
     "TileShardJob",
     "TileShardPlanner",
     "tile_sub_key",
     "run_tile_shards",
+    "clear_tile_memo",
 ]
 
 #: Bump when the per-tile cache payload layout changes incompatibly.
 TILE_SHARD_SCHEMA_VERSION = 1
+
+#: Memory tier over the disk tile cache.  A persistent process serving a
+#: mutation stream probes the same clean-tile sub-keys request after
+#: request; parsing their JSON blobs off disk every time costs more than
+#: the dirty-tile recompute.  Entries are small per-tile payload dicts
+#: (~1 KiB), shared read-only between probes, and scoped to the disk
+#: cache root they mirror so distinct caches never alias.
+TILE_MEMO_MAX = 8192
+
+_TILE_MEMO: "OrderedDict[tuple[str, str], dict]" = OrderedDict()
+
+
+def clear_tile_memo() -> None:
+    """Drop the in-process tile payload memo (tests, cold benches)."""
+    _TILE_MEMO.clear()
+
+
+def _memo_put(memo_key: tuple[str, str], payload) -> None:
+    _TILE_MEMO[memo_key] = payload
+    _TILE_MEMO.move_to_end(memo_key)
+    while len(_TILE_MEMO) > TILE_MEMO_MAX:
+        _TILE_MEMO.popitem(last=False)
 
 
 def tile_sub_key(kind: str, parts: dict) -> str:
@@ -160,7 +186,7 @@ class TileFanout:
 
 
 def run_tile_shards(
-    payloads: Sequence,
+    payloads: "Sequence | int",
     worker_fn: Callable[[TileShardJob], dict],
     *,
     kind: str,
@@ -172,6 +198,7 @@ def run_tile_shards(
     route_memo: dict | None = None,
     timeout: float | None = None,
     executor=None,
+    payload_builder: Callable[[list], Sequence] | None = None,
 ) -> TileFanout:
     """Run one per-tile payload each through ``worker_fn``, sharded.
 
@@ -180,28 +207,51 @@ def run_tile_shards(
     with one JSON-serializable payload per ``tile_indices`` entry, in
     order.  Returns the per-tile payloads in tile order.
 
+    With ``payload_builder``, ``payloads`` is the tile *count* (or any
+    sized sequence used only for its length) and the builder is called
+    once — after the cache probe — with the sorted cold tile indices,
+    returning one payload per cold tile.  Callers with expensive payload
+    construction (tile mapping, batched traffic extraction) use this so
+    a mostly-warm incremental re-simulation never pays for clean tiles.
+
     A shard whose worker crashes or times out is recomputed serially in
     this process — the mid-shard-crash property tests pin that the
     result is byte-identical either way.
     """
-    n = len(payloads)
+    n = payloads if isinstance(payloads, int) else len(payloads)
     results: list = [None] * n
     cache_hits = 0
+    memo_hits = 0
     if n == 0:
-        return TileFanout([], {"tiles": 0, "shards": 0, "cache_hits": 0})
+        return TileFanout(
+            [], {"tiles": 0, "shards": 0, "cache_hits": 0, "memo_hits": 0}
+        )
 
-    # ---- per-tile cache probe (content-addressed sub-keys) ------------
+    # ---- per-tile cache probe (memory tier, then disk sub-keys) -------
     keys = list(tile_keys) if tile_keys is not None else [None] * n
     if cache is not None:
+        root = str(cache.root)
         for i, key in enumerate(keys):
             if key is None:
+                continue
+            memo_key = (root, key)
+            hit = _TILE_MEMO.get(memo_key)
+            if hit is not None:
+                _TILE_MEMO.move_to_end(memo_key)
+                results[i] = hit
+                cache_hits += 1
+                memo_hits += 1
                 continue
             hit = cache.load(key)
             if hit is not None:
                 results[i] = hit
                 cache_hits += 1
+                _memo_put(memo_key, hit)
 
     cold = [i for i in range(n) if results[i] is None]
+    PERF.incr("tiles.cache_hit", cache_hits)
+    PERF.incr("tiles.memo_hit", memo_hits)
+    PERF.incr("tiles.cache_miss", len(cold))
     if not cold:
         return TileFanout(
             results,
@@ -209,10 +259,25 @@ def run_tile_shards(
                 "tiles": n,
                 "shards": 0,
                 "cache_hits": cache_hits,
+                "memo_hits": memo_hits,
                 "workers": 0,
                 "recovered_shards": 0,
             },
         )
+
+    # ---- build cold payloads (lazy path) or index the eager ones ------
+    if payload_builder is not None:
+        built = list(payload_builder(list(cold)))
+        if len(built) != len(cold):
+            raise RuntimeError(
+                f"payload_builder returned {len(built)} payloads for "
+                f"{len(cold)} cold tiles"
+            )
+        cold_payloads = dict(zip(cold, built))
+    elif isinstance(payloads, int):
+        raise TypeError("payload_builder required when payloads is a count")
+    else:
+        cold_payloads = {i: payloads[i] for i in cold}
 
     # ---- shard the cold tiles, lease workers from the shared budget ---
     planner = planner or TileShardPlanner()
@@ -229,7 +294,9 @@ def run_tile_shards(
                 kind=kind,
                 shard_index=shard.index,
                 tile_indices=tuple(cold[j] for j in shard.tile_indices),
-                payloads=tuple(payloads[cold[j]] for j in shard.tile_indices),
+                payloads=tuple(
+                    cold_payloads[cold[j]] for j in shard.tile_indices
+                ),
                 route_memo=memo_export,
             )
             for shard in shards
@@ -286,6 +353,7 @@ def run_tile_shards(
             key = keys[tile_index]
             if cache is not None and key is not None:
                 cache.store(key, payload)
+                _memo_put((str(cache.root), key), payload)
 
     return TileFanout(
         results,
@@ -293,6 +361,7 @@ def run_tile_shards(
             "tiles": n,
             "shards": len(jobs),
             "cache_hits": cache_hits,
+            "memo_hits": memo_hits,
             "workers": workers,
             "recovered_shards": recovered,
         },

@@ -31,10 +31,36 @@ class ProtocolError(ValueError):
 
 
 def parse_simulation_request(data: dict) -> SimJob:
-    """Canonicalize one request body into a frozen :class:`SimJob`."""
+    """Canonicalize one request body into a frozen :class:`SimJob`.
+
+    Two spellings are accepted: the flat form (SimJob fields, optionally
+    including ``mutations``), and the incremental form ``{"base": {...},
+    "mutations": [...]}`` where ``base`` is a flat request and the
+    mutation chain applies on top of it.  Both canonicalize through
+    :meth:`SimJob.from_request`, so an incremental request and its flat
+    equivalent hash to the same job key.
+    """
     if not isinstance(data, dict):
         raise ProtocolError("request must be a JSON object")
     data = dict(data)
+    if "base" in data:
+        base = data.pop("base")
+        mutations = data.pop("mutations", None)
+        if data:
+            extra = ", ".join(repr(k) for k in sorted(data))
+            raise ProtocolError(
+                f"incremental request allows only 'base' and 'mutations'; "
+                f"got extra field(s): {extra}"
+            )
+        if not isinstance(base, dict):
+            raise ProtocolError("'base' must be a JSON object")
+        if "mutations" in base:
+            raise ProtocolError(
+                "'mutations' must appear beside 'base', not inside it"
+            )
+        data = dict(base)
+        if mutations is not None:
+            data["mutations"] = mutations
     tier = data.pop("tier", "analytical")
     if tier not in SUPPORTED_TIERS:
         raise ProtocolError(
@@ -64,6 +90,11 @@ def encode_outcome(
         "latency_seconds": latency_seconds,
         "result": outcome.result.to_dict() if outcome.result is not None else None,
     }
+    if outcome.exec_meta is not None:
+        payload["tiles_reused"] = outcome.exec_meta.get("tiles_reused", 0)
+        payload["tiles_recomputed"] = outcome.exec_meta.get(
+            "tiles_recomputed", 0
+        )
     if trace_id is not None:
         payload["trace_id"] = trace_id
     return payload

@@ -125,8 +125,13 @@ class SimulationService:
         runner=None,
         replica_id: str | None = None,
         retry_after_hint: float = 0.1,
+        tile_cache: ResultCache | None = None,
     ) -> None:
         self.cache = cache
+        self.tile_cache = tile_cache
+        # Aggregated per-tile reuse across every request this instance
+        # served — the service-level view of incremental re-simulation.
+        self.tile_counters = {"tiles_reused": 0, "tiles_recomputed": 0}
         self.request_timeout = request_timeout
         self.replica_id = replica_id
         self.retry_after_hint = retry_after_hint
@@ -280,10 +285,28 @@ class SimulationService:
             "admission": self.admission.snapshot(),
             "batcher": self.batcher.snapshot(),
             "cache": self.cache.stats.as_dict() if self.cache is not None else None,
+            "tile_cache": self._tile_cache_stats(),
             "latency": self.latency.snapshot(),
             "telemetry": TRACER.snapshot(),
             "worker_budget": BUDGET.snapshot(),
         }
+
+    def _tile_cache_stats(self) -> dict | None:
+        """Per-tile sub-key reuse section of ``/stats``.
+
+        Combines the service-level reuse counters (summed from each
+        response's exec meta) with the tile cache's own hit/miss and
+        on-disk footprint, when one is configured.
+        """
+        if self.tile_cache is None and not any(self.tile_counters.values()):
+            return None
+        payload: dict = dict(self.tile_counters)
+        if self.tile_cache is not None:
+            payload["stats"] = self.tile_cache.stats.as_dict()
+            disk = self.tile_cache.disk_stats()
+            payload["entries"] = disk["entries"]
+            payload["bytes"] = disk["bytes"]
+        return payload
 
     def _trace(self, query: str) -> dict:
         """Buffered spans, optionally filtered to one trace id."""
@@ -385,6 +408,13 @@ class SimulationService:
             return 500, {"error": outcome.error, "key": outcome.key}
         self.counters["completed"] += 1
         PERF.incr("serve.cache_hit" if outcome.cached else "serve.cache_miss")
+        if outcome.exec_meta is not None:
+            self.tile_counters["tiles_reused"] += outcome.exec_meta.get(
+                "tiles_reused", 0
+            )
+            self.tile_counters["tiles_recomputed"] += outcome.exec_meta.get(
+                "tiles_recomputed", 0
+            )
         return 200, encode_outcome(outcome, joined=joined, latency_seconds=latency)
 
     # -- lifecycle ------------------------------------------------------

@@ -1,0 +1,153 @@
+"""Shared-memory graph plane: publish/resolve round trips, content
+dedup, parent-owned lifecycle, and crash safety (a dying worker must
+neither leak nor destroy the parent's segments).
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import power_law_graph
+from repro.runtime.graphplane import (
+    GraphHandle,
+    GraphPlane,
+    clear_resolve_cache,
+    plane_available,
+    resolve_handle,
+)
+
+pytestmark = pytest.mark.skipif(
+    not plane_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _graph(seed=0, n=64, m=256):
+    return power_law_graph(
+        n, m, exponent=2.1, num_features=8, feature_density=0.5, seed=seed
+    )
+
+
+def _segment_exists(shm_name: str) -> bool:
+    return os.path.exists(os.path.join("/dev/shm", shm_name))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_resolve_cache():
+    clear_resolve_cache()
+    yield
+    clear_resolve_cache()
+
+
+class TestPublishResolve:
+    def test_round_trip_preserves_graph(self):
+        g = _graph()
+        with GraphPlane() as plane:
+            handle = plane.publish(g)
+            out = resolve_handle(handle)
+            assert np.array_equal(out.indptr, g.indptr)
+            assert np.array_equal(out.indices, g.indices)
+            assert out.name == g.name
+            assert out.num_features == g.num_features
+            assert out.feature_density == g.feature_density
+            # content key is trusted from the handle, not re-hashed
+            assert out.content_key == g.content_key
+
+    def test_publish_dedups_by_content(self):
+        g = _graph()
+        with GraphPlane() as plane:
+            first = plane.publish(g)
+            again = plane.publish(g)
+            alias = plane.publish(g.renamed("other-name"))
+            assert plane.num_segments == 1
+            assert first == again == alias
+            assert plane.stats["published"] == 1
+            assert plane.stats["reused"] == 2
+
+    def test_distinct_graphs_get_distinct_segments(self):
+        with GraphPlane() as plane:
+            a = plane.publish(_graph(seed=0))
+            b = plane.publish(_graph(seed=1))
+            assert a.shm_name != b.shm_name
+            assert plane.num_segments == 2
+
+    def test_resolve_cache_returns_same_object(self):
+        g = _graph()
+        with GraphPlane() as plane:
+            handle = plane.publish(g)
+            first = resolve_handle(handle)
+            assert resolve_handle(handle) is first
+            clear_resolve_cache()
+            fresh = resolve_handle(handle)
+            assert fresh is not first
+            assert np.array_equal(fresh.indices, first.indices)
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        plane = GraphPlane()
+        handle = plane.publish(_graph())
+        assert _segment_exists(handle.shm_name)
+        plane.close()
+        assert not _segment_exists(handle.shm_name)
+        plane.close()  # idempotent
+
+    def test_closed_plane_rejects_publish(self):
+        plane = GraphPlane()
+        plane.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            plane.publish(_graph())
+
+    def test_context_manager_closes(self):
+        with GraphPlane() as plane:
+            handle = plane.publish(_graph())
+            assert _segment_exists(handle.shm_name)
+        assert not _segment_exists(handle.shm_name)
+
+
+class TestCrashSafety:
+    """A worker killed mid-flight must not leak or destroy segments."""
+
+    def test_crashed_worker_neither_leaks_nor_destroys(self):
+        g = _graph()
+        plane = GraphPlane()
+        try:
+            handle = plane.publish(g)
+            payload = json.dumps(dataclasses.asdict(handle))
+            # A fresh process resolves the handle then hard-exits without
+            # any cleanup — the worst-case worker crash.  resolve_handle's
+            # resource-tracker unregistration is what keeps the dying
+            # process's tracker from unlinking the parent's segment
+            # (CPython bpo-38119).
+            code = (
+                "import json, os, sys\n"
+                "from repro.runtime.graphplane import GraphHandle, "
+                "resolve_handle\n"
+                "h = GraphHandle(**json.loads(sys.argv[1]))\n"
+                "g = resolve_handle(h)\n"
+                "assert g.num_edges == h.num_edges\n"
+                "os._exit(1)\n"
+            )
+            env = dict(os.environ, PYTHONPATH=SRC)
+            proc = subprocess.run(
+                [sys.executable, "-c", code, payload],
+                env=env,
+                timeout=60,
+            )
+            assert proc.returncode == 1
+            # The crash destroyed nothing: the parent's segment survives
+            # and still resolves correctly.
+            assert _segment_exists(handle.shm_name)
+            clear_resolve_cache()
+            out = resolve_handle(handle)
+            assert np.array_equal(out.indices, g.indices)
+        finally:
+            plane.close()
+        # ...and nothing leaked: close() removed the segment.
+        assert not _segment_exists(handle.shm_name)

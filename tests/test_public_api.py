@@ -93,6 +93,7 @@ class TestDocumentationConsistency:
                 "test_simulator_performance",
                 "test_cycle_tier_performance",
                 "test_fanout_performance",
+                "test_delta_performance",
                 "test_noc_characterization",
             ):
                 continue  # performance/infrastructure benches
