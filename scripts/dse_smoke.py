@@ -1,0 +1,156 @@
+"""CI smoke test for the design-space-exploration service.
+
+Boots the real server as a subprocess and runs a 30-candidate seeded
+search through ``POST /dse`` end to end: the accept payload must be
+pollable, the finished search must report a monotone best-fitness
+trajectory with cache-served evaluations (the content-addressed cache
+is the whole point of the subsystem), a repeat of the same spec must be
+served entirely from cache, and over-budget specs must be rejected.
+The final search status is written to DSE_SMOKE.json for upload as a
+CI artifact.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/dse_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import RequestFailed, ServeClient  # noqa: E402
+
+SPEC = {
+    "space": "aurora-mini",
+    "optimizer": "random",
+    "objective": "latency",
+    "seed": 7,
+    "max_evaluations": 30,
+    "batch": 8,
+    "workload": {
+        "dataset": "cora",
+        "scale": 0.2,
+        "hidden": 16,
+        "num_layers": 1,
+    },
+}
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"dse-smoke: {label}: {status}", flush=True)
+    if not condition:
+        raise SystemExit(f"dse-smoke check failed: {label}")
+
+
+def boot(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["REPRO_CACHE_DIR"] = cache_dir
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--queue-depth", "16"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise SystemExit("dse-smoke: server died during startup")
+        if "listening on" in line:
+            return process, int(line.rsplit(":", 1)[1])
+    raise SystemExit("dse-smoke: server never reported its port")
+
+
+def run_search(client: ServeClient) -> dict:
+    accepted = client.dse_start(dict(SPEC))
+    check(accepted["status"] == "accepted", "search accepted")
+    check("search_id" in accepted and accepted["poll"].startswith("/dse/"),
+          "accept payload carries a pollable id")
+
+    # The id must be pollable while running and after completion.
+    payload = client.dse_poll(accepted["search_id"])
+    check(payload["state"] in ("pending", "running", "done"),
+          "search id polls while in flight")
+    final = client.dse_wait(accepted["search_id"], timeout=120.0)
+    check(final["state"] == "done", "search finished")
+    return final
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        process, port = boot(cache_dir)
+        try:
+            client = ServeClient("127.0.0.1", port, timeout=60.0)
+            check(client.healthz()["status"] == "ok", "healthz")
+
+            final = run_search(client)
+            result = final["result"]
+            check(result["evaluations"] == SPEC["max_evaluations"],
+                  f"ran all {SPEC['max_evaluations']} evaluations")
+            check(result["errors"] == 0, "no failed evaluations")
+            check(result["best_fitness"] is not None, "found a best design")
+
+            # Monotone best fitness along the trajectory tail.
+            tail = final.get("trajectory_tail", [])
+            check(len(tail) > 0, "status carries a trajectory tail")
+            bests = [r["best_fitness"] for r in tail
+                     if r.get("best_fitness") is not None]
+            check(all(a >= b for a, b in zip(bests, bests[1:])),
+                  "best fitness is monotone non-increasing")
+            check(bests and bests[-1] == result["best_fitness"],
+                  "trajectory best matches the reported best")
+
+            # Cache amplification: random search over a 24-point space
+            # revisits designs, so some evaluations must be served.
+            check(result["served"] > 0,
+                  f"cache/dedup served {result['served']} evaluations")
+
+            # A repeat of the same spec rides the warmed shared cache.
+            repeat = run_search(client)["result"]
+            check(repeat["executed"] == 0, "repeat search simulated nothing")
+            check(repeat["served"] == repeat["evaluations"],
+                  "repeat search fully cache-served")
+            check(repeat["best_fitness"] == result["best_fitness"],
+                  "repeat search reproduced the best fitness")
+
+            # Over-budget specs are rejected with a client error.
+            try:
+                client.dse_start({**SPEC, "max_evaluations": 100_000})
+                check(False, "over-budget spec rejected")
+            except RequestFailed as exc:
+                check(exc.status == 400, "over-budget spec rejected with 400")
+
+            stats = client.stats()
+            check(stats["dse"]["started_total"] == 2, "stats count searches")
+
+            Path("DSE_SMOKE.json").write_text(
+                json.dumps(final, indent=2, sort_keys=True) + "\n"
+            )
+            print("dse-smoke: wrote DSE_SMOKE.json", flush=True)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+            process.wait()
+    print("dse-smoke: all checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,7 +57,12 @@ from .baselines import make_baseline
 from .config import default_config
 from .core.accelerator import layer_plan
 from .core.simulator import AuroraSimulator
-from .graphs.datasets import DATASETS, dataset_profile, load_dataset
+from .graphs.datasets import (
+    ADVERSARIAL_DATASETS,
+    DATASETS,
+    dataset_profile,
+    load_dataset,
+)
 from .models.zoo import get_model, list_models
 
 __all__ = ["main", "build_parser"]
@@ -190,19 +195,130 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the request payload as JSON instead of a summary",
     )
 
+    p_dse = sub.add_parser(
+        "dse",
+        help="design-space exploration over the content-addressed job cache",
+    )
+    p_dse.add_argument(
+        "--space",
+        default="aurora-core",
+        choices=("aurora-core", "aurora-noc", "aurora-mini"),
+        help="named design space to search",
+    )
+    p_dse.add_argument(
+        "--optimizer",
+        default="random",
+        choices=("random", "hillclimb", "genetic", "sha"),
+        help="search strategy (sha = successive halving over fidelity rungs)",
+    )
+    p_dse.add_argument(
+        "--objective",
+        default="latency",
+        choices=("latency", "energy", "edp", "dram", "comm"),
+        help="fitness objective (minimised)",
+    )
+    p_dse.add_argument(
+        "--grid",
+        default=None,
+        choices=("paper-sweep", "adversarial"),
+        help="evaluate a named fixed grid through the DSE path instead "
+        "of searching (paper-sweep = the E1-E12 comparison grid)",
+    )
+    p_dse.add_argument(
+        "--budget",
+        type=positive_int,
+        default=200,
+        metavar="N",
+        help="evaluation budget (default 200)",
+    )
+    p_dse.add_argument(
+        "--batch", type=positive_int, default=8, metavar="N",
+        help="candidates per optimizer ask/tell round (default 8)",
+    )
+    p_dse.add_argument(
+        "--seed", type=int, default=0, help="search seed (optimizer RNG)"
+    )
+    p_dse.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; in-flight batches are cancelled at expiry",
+    )
+    p_dse.add_argument(
+        "--dataset",
+        default="cora",
+        choices=(*DATASETS, *ADVERSARIAL_DATASETS),
+        help="base workload dataset (adv-* = adversarial synthetic)",
+    )
+    p_dse.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        choices=(*DATASETS, *ADVERSARIAL_DATASETS),
+        help="grid mode: restrict the named grid to these datasets",
+    )
+    p_dse.add_argument("--model", default="gcn", choices=list_models())
+    p_dse.add_argument(
+        "--scale", type=float, default=None,
+        help="base workload dataset scale (default 1.0)",
+    )
+    p_dse.add_argument("--hidden", type=positive_int, default=64)
+    p_dse.add_argument("--layers", type=positive_int, default=2)
+    p_dse.add_argument(
+        "--workload-seed", type=int, default=7,
+        help="dataset synthesis seed of the base workload",
+    )
+    p_dse.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="optimizer option (repeatable), e.g. cohort=27 eta=3",
+    )
+    p_dse.add_argument(
+        "--trajectory",
+        default="dse_trajectory.jsonl",
+        metavar="PATH",
+        help="fitness-trajectory JSONL destination",
+    )
+    p_dse.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="search-state checkpoint (enables --resume)",
+    )
+    p_dse.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint and continue the same trajectory",
+    )
+    p_dse.add_argument(
+        "--show-trajectory",
+        action="store_true",
+        help="print the running-best trajectory table",
+    )
+    p_dse.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result summary as JSON",
+    )
+    add_runtime_flags(p_dse, cache_default=True)
+
     p_bench = sub.add_parser(
         "bench", help="run the standard layer benches; write a BENCH json"
     )
     p_bench.add_argument(
         "--tier",
-        choices=("analytical", "cycle", "serve", "cluster", "fanout", "delta"),
+        choices=("analytical", "cycle", "serve", "cluster", "fanout", "delta", "dse"),
         default="analytical",
         help="which tier to bench: analytical layer sweep (BENCH_2), "
         "flit-level cycle tile (BENCH_3), the end-to-end simulation "
         "service (BENCH_4), the sharded cluster at 1/2/4 replicas "
         "(BENCH_6), intra-job tile fan-out on a multi-tile job "
-        "(BENCH_7), or incremental re-simulation under mutation "
-        "streams at 1/10/50% dirty tiles (BENCH_8)",
+        "(BENCH_7), incremental re-simulation under mutation "
+        "streams at 1/10/50% dirty tiles (BENCH_8), or cache-amplified "
+        "design-space search throughput (BENCH_9)",
     )
     p_bench.add_argument(
         "--tile-workers",
@@ -748,6 +864,108 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_dse_option(item: str) -> tuple[str, object]:
+    """``k=v`` optimizer option with numeric/bool coercion."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"repro dse: malformed --option {item!r} (want K=V)")
+    for convert in (int, float):
+        try:
+            return key, convert(raw)
+        except ValueError:
+            pass
+    if raw in ("true", "false"):
+        return key, raw == "true"
+    return key, raw
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .dse import (
+        DSERunner,
+        SearchSpec,
+        build_grid,
+        evaluate_grid,
+        read_trajectory,
+        render_best,
+        render_trajectory,
+        summarize_trajectory,
+    )
+    from .runtime.executor import get_executor
+
+    executor = get_executor(args.jobs) if args.jobs > 1 else None
+    cache = True if args.cache else None
+
+    if args.grid is not None:
+        grid_options: dict = {
+            "model": args.model,
+            "hidden": args.hidden,
+            "num_layers": args.layers,
+            "seed": args.workload_seed,
+        }
+        if args.datasets:
+            grid_options["datasets"] = args.datasets
+        if args.scale is not None:
+            grid_options["scale"] = args.scale
+        jobs, labels = build_grid(args.grid, **grid_options)
+        result = evaluate_grid(
+            jobs,
+            objective=args.objective,
+            cache=cache,
+            executor=executor,
+            batch=args.batch,
+            trajectory_path=args.trajectory,
+            labels=labels,
+        )
+    else:
+        spec = SearchSpec(
+            space=args.space,
+            optimizer=args.optimizer,
+            objective=args.objective,
+            seed=args.seed,
+            max_evaluations=args.budget,
+            max_seconds=args.max_seconds,
+            batch=args.batch,
+            options=dict(_parse_dse_option(item) for item in args.option),
+            workload={
+                "dataset": args.dataset,
+                "model": args.model,
+                "scale": args.scale if args.scale is not None else 1.0,
+                "hidden": args.hidden,
+                "num_layers": args.layers,
+                "seed": args.workload_seed,
+            },
+        )
+        runner = DSERunner(
+            spec,
+            cache=cache,
+            executor=executor,
+            trajectory_path=args.trajectory,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+        result = runner.run()
+
+    if args.json:
+        print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"dse: {result.evaluations} evaluations "
+            f"({result.executed} executed, {result.served} cache/dedup-served, "
+            f"{result.served_fraction:.0%}) | stopped: {result.stopped} | "
+            f"wall {result.wall_seconds:.2f}s"
+        )
+        _, records = read_trajectory(args.trajectory)
+        summary = summarize_trajectory(records)
+        print(render_best(summary, objective=args.objective))
+        if args.show_trajectory:
+            print(render_trajectory(records))
+    if result.evaluations and result.errors == result.evaluations:
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import write_bench_json
 
@@ -758,6 +976,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "cluster": "BENCH_6.json",
         "fanout": "BENCH_7.json",
         "delta": "BENCH_8.json",
+        "dse": "BENCH_9.json",
     }
     output = args.output or defaults[args.tier]
     snapshot = write_bench_json(
@@ -1138,6 +1357,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "mutate":
         return _cmd_mutate(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "serve":

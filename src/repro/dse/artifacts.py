@@ -1,0 +1,191 @@
+"""Fitness-trajectory artifacts: JSONL writer/reader and renderers.
+
+One search produces one JSONL file: a header record followed by one
+record per evaluation.  Records carry only *deterministic* fields —
+evaluation index, rung, job key, decoded point, fitness, running best —
+never wall times or cache flags, so the same seeded search produces a
+bit-identical file whether it ran serially, on a process pool, warm or
+cold, straight through or resumed from a checkpoint.  That invariant is
+what the determinism tests diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+__all__ = [
+    "TRAJECTORY_SCHEMA_VERSION",
+    "TrajectoryWriter",
+    "read_trajectory",
+    "summarize_trajectory",
+    "render_best",
+    "render_trajectory",
+]
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class TrajectoryWriter:
+    """Append-only JSONL sink for one search's evaluations."""
+
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] = open(self.path, "a" if append else "w")
+
+    def header(
+        self,
+        *,
+        space: str,
+        signature: str,
+        optimizer: str,
+        objective: str,
+        seed: int,
+    ) -> None:
+        """Identity record.  Deliberately excludes run metadata such as
+        the evaluation budget: a search resumed with a larger budget
+        must produce a byte-identical file to one run straight through."""
+        self._fh.write(
+            _dumps(
+                {
+                    "kind": "header",
+                    "schema_version": TRAJECTORY_SCHEMA_VERSION,
+                    "space": space,
+                    "signature": signature,
+                    "optimizer": optimizer,
+                    "objective": objective,
+                    "seed": seed,
+                }
+            )
+            + "\n"
+        )
+        self._fh.flush()
+
+    def evaluation(
+        self,
+        *,
+        index: int,
+        key: str,
+        point: dict,
+        rung: int,
+        fidelity: float,
+        fitness: float | None,
+        best_fitness: float | None,
+        ok: bool,
+    ) -> None:
+        self._fh.write(
+            _dumps(
+                {
+                    "kind": "evaluation",
+                    "i": index,
+                    "key": key,
+                    "point": point,
+                    "rung": rung,
+                    "fidelity": fidelity,
+                    "fitness": fitness,
+                    "best_fitness": best_fitness,
+                    "ok": ok,
+                }
+            )
+            + "\n"
+        )
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TrajectoryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trajectory(path: str | Path) -> tuple[dict | None, list[dict]]:
+    """Parse a trajectory file into ``(header, evaluation records)``."""
+    header: dict | None = None
+    records: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "header":
+                header = record
+            else:
+                records.append(record)
+    return header, records
+
+
+def summarize_trajectory(records: Iterable[dict]) -> dict:
+    """Best fitness, evaluation counts and the improvement points."""
+    records = list(records)
+    best = None
+    best_record = None
+    improvements: list[dict] = []
+    failures = 0
+    for record in records:
+        if not record.get("ok", False):
+            failures += 1
+            continue
+        fitness = record.get("fitness")
+        if fitness is None:
+            continue
+        if best is None or fitness < best:
+            best = fitness
+            best_record = record
+            improvements.append(record)
+    return {
+        "evaluations": len(records),
+        "failures": failures,
+        "best_fitness": best,
+        "best_point": (best_record or {}).get("point"),
+        "best_key": (best_record or {}).get("key"),
+        "improvements": improvements,
+    }
+
+
+def render_best(summary: dict, *, objective: str = "fitness") -> str:
+    """One-paragraph result block for CLI output."""
+    lines = [
+        f"evaluations: {summary['evaluations']}"
+        + (f" ({summary['failures']} failed)" if summary["failures"] else "")
+    ]
+    if summary["best_fitness"] is None:
+        lines.append("no successful evaluations")
+        return "\n".join(lines)
+    lines.append(f"best {objective}: {summary['best_fitness']:.6g}")
+    if summary.get("best_key"):
+        lines.append(f"best job key: {summary['best_key']}")
+    point = summary.get("best_point") or {}
+    for name in sorted(point):
+        lines.append(f"  {name} = {point[name]}")
+    return "\n".join(lines)
+
+
+def render_trajectory(records: Iterable[dict], *, width: int = 48) -> str:
+    """ASCII sparkline table of the running best over evaluations."""
+    summary = summarize_trajectory(records)
+    improvements = summary["improvements"]
+    if not improvements:
+        return "trajectory: no successful evaluations"
+    lines = ["trajectory (running best):"]
+    first = improvements[0]["fitness"]
+    last = summary["best_fitness"]
+    span = first - last
+    for record in improvements:
+        gain = (first - record["fitness"]) / span if span > 0 else 1.0
+        bar = "#" * max(1, int(round(gain * width)))
+        lines.append(
+            f"  eval {record['i']:>5}  {record['fitness']:.6g}  {bar}"
+        )
+    return "\n".join(lines)

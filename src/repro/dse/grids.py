@@ -1,0 +1,122 @@
+"""Named baseline grids evaluated through the DSE path.
+
+The paper's fixed E1–E12 comparison grid and the adversarial-workload
+regression grid are registered here so ``repro dse --grid <name>`` and a
+searched space share one evaluation pipeline (``run_jobs`` + trajectory
+artifacts + summary renderers) — the fixed grid is just a search with
+the candidate list written down in advance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..eval.harness import ACCELERATOR_ORDER, comparison_jobs
+from ..graphs.datasets import list_adversarial_datasets
+from ..runtime.jobs import SimJob
+
+__all__ = ["GRIDS", "build_grid", "list_grids"]
+
+
+def _label(job: SimJob) -> dict:
+    return {
+        "model": job.model,
+        "dataset": job.dataset,
+        "accelerator": job.accelerator,
+        "mapping": job.mapping,
+        "scale": job.scale,
+    }
+
+
+def paper_sweep(
+    *,
+    datasets: Sequence[str] | None = None,
+    model: str = "gcn",
+    hidden: int = 64,
+    num_layers: int = 2,
+    scale: float | None = None,
+    seed: int = 7,
+) -> tuple[list[SimJob], list[dict]]:
+    """The E1–E12 comparison grid: model × datasets × accelerators.
+
+    Delegates to :func:`repro.eval.harness.comparison_jobs` so the grid
+    here *is* the grid the evaluation harness runs — same scales, same
+    buffer scaling, same non-strict baseline fallback.  ``scale``
+    overrides every dataset's default scale (useful for quick runs).
+    """
+    scales = None
+    if scale is not None:
+        names = list(datasets) if datasets else None
+        from ..graphs.datasets import list_datasets
+
+        scales = {ds: scale for ds in (names or list_datasets())}
+    jobs = comparison_jobs(
+        model=model,
+        datasets=tuple(datasets) if datasets else None,
+        hidden=hidden,
+        num_layers=num_layers,
+        scales=scales,
+        seed=seed,
+    )
+    return jobs, [_label(job) for job in jobs]
+
+
+def adversarial_sweep(
+    *,
+    datasets: Sequence[str] | None = None,
+    model: str = "gcn",
+    hidden: int = 32,
+    num_layers: int = 2,
+    scale: float | None = 1.0,
+    seed: int = 7,
+) -> tuple[list[SimJob], list[dict]]:
+    """Aurora vs baselines on the degree-skew extreme workloads.
+
+    Both mapping policies run for Aurora: the adversarial graphs are
+    built to split them (bipartite punishes sequential locality, the
+    star/near-clique hubs punish naive balance).
+    """
+    names = list(datasets) if datasets else list_adversarial_datasets()
+    jobs: list[SimJob] = []
+    for ds in names:
+        for acc in ACCELERATOR_ORDER:
+            mappings = ("degree-aware", "hashing") if acc == "aurora" else (
+                "degree-aware",
+            )
+            for mapping in mappings:
+                jobs.append(
+                    SimJob(
+                        model=model,
+                        dataset=ds,
+                        accelerator=acc,
+                        scale=scale if scale is not None else 1.0,
+                        hidden=hidden,
+                        num_layers=num_layers,
+                        seed=seed,
+                        mapping=mapping,
+                        strict=False,
+                        scale_buffers=True,
+                    )
+                )
+    return jobs, [_label(job) for job in jobs]
+
+
+GRIDS: dict[str, Callable[..., tuple[list[SimJob], list[dict]]]] = {
+    "paper-sweep": paper_sweep,
+    "adversarial": adversarial_sweep,
+}
+
+
+def list_grids() -> list[str]:
+    return list(GRIDS)
+
+
+def build_grid(name: str, **options) -> tuple[list[SimJob], list[dict]]:
+    """Materialise a named grid as ``(jobs, trajectory labels)``."""
+    try:
+        builder = GRIDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid {name!r}; available: {', '.join(GRIDS)}"
+        ) from None
+    return builder(**options)

@@ -1,0 +1,399 @@
+"""Pluggable search strategies behind one ``ask()/tell()`` interface.
+
+Every optimizer proposes :class:`Candidate` batches (``ask``) and
+receives ``(candidate, fitness)`` pairs back (``tell``).  Fitness is
+minimised; failed evaluations are reported as ``math.inf`` so they lose
+every comparison without special-casing.  All randomness flows from one
+``random.Random(seed)`` instance, so a search is a pure function of
+``(space, seed, budget)`` — the property the determinism and
+checkpoint-resume tests pin down.
+
+The ``rung`` field carries multi-fidelity information: ``-1`` means full
+fidelity; :class:`SuccessiveHalving` starts candidates on cheap rungs
+(scaled-down workloads) and promotes survivors toward rung
+``num_rungs - 1`` (full scale).  Single-fidelity optimizers always emit
+``rung=-1``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .space import DesignSpace
+
+__all__ = [
+    "Candidate",
+    "Optimizer",
+    "RandomSearch",
+    "HillClimb",
+    "GeneticAlgorithm",
+    "SuccessiveHalving",
+    "OPTIMIZERS",
+    "build_optimizer",
+    "list_optimizers",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One proposed design: grid indices plus a fidelity rung."""
+
+    indices: tuple[int, ...]
+    rung: int = -1
+
+
+class Optimizer:
+    """Base class: bookkeeping shared by every strategy."""
+
+    name = "base"
+    #: Fidelity fractions by rung, low → high.  ``(1.0,)`` means the
+    #: optimizer is single-fidelity.
+    rung_fractions: tuple[float, ...] = (1.0,)
+
+    def __init__(self, space: DesignSpace, *, seed: int = 0, **options) -> None:
+        self.space = space
+        self.seed = int(seed)
+        self.rng = random.Random(self.seed)
+        self.options = options
+        self.history: list[tuple[Candidate, float]] = []
+
+    def fidelity(self, candidate: Candidate) -> float:
+        if candidate.rung < 0:
+            return 1.0
+        return self.rung_fractions[candidate.rung]
+
+    def ask(self, n: int) -> list[Candidate]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def tell(self, evaluated: Sequence[tuple[Candidate, float]]) -> None:
+        self.history.extend(evaluated)
+
+    def done(self) -> bool:
+        """True once the strategy cannot propose anything new."""
+        return False
+
+    # -- helpers -------------------------------------------------------
+    def _fresh_random(self, seen: set[tuple[int, ...]]) -> tuple[int, ...] | None:
+        """A feasible point not in ``seen`` (None when the space looks
+        exhausted — bounded retries keep tiny spaces from spinning)."""
+        for _ in range(200):
+            point = self.space.random_point(self.rng)
+            if point not in seen:
+                return point
+        return None
+
+
+class RandomSearch(Optimizer):
+    """Uniform feasible sampling, with replacement by default.
+
+    The baseline every structured optimizer must beat.  Replacement is
+    deliberate: a repeated draw hits the content-addressed cache and
+    costs nothing, so the optimizer needs no dedup bookkeeping — the
+    cache *is* the dedup.  ``unique=True`` switches to sampling without
+    replacement for exhaustive small-space sweeps.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        seed: int = 0,
+        unique: bool = False,
+        **options,
+    ) -> None:
+        super().__init__(space, seed=seed, **options)
+        self.unique = bool(unique)
+        self._proposed: set[tuple[int, ...]] = set()
+        self._exhausted = False
+
+    def ask(self, n: int) -> list[Candidate]:
+        out: list[Candidate] = []
+        for _ in range(n):
+            if self.unique:
+                point = self._fresh_random(self._proposed)
+                if point is None:
+                    self._exhausted = True
+                    break
+                self._proposed.add(point)
+            else:
+                point = self.space.random_point(self.rng)
+            out.append(Candidate(point))
+        return out
+
+    def done(self) -> bool:
+        return self._exhausted
+
+
+class HillClimb(Optimizer):
+    """Greedy neighbourhood descent with random restarts.
+
+    Evaluates the current point's unvisited neighbours; moves to the
+    best strict improvement, otherwise restarts from a fresh random
+    point (``restarts`` bounds how many times before giving up).
+    """
+
+    name = "hillclimb"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        seed: int = 0,
+        restarts: int = 4,
+        **options,
+    ) -> None:
+        super().__init__(space, seed=seed, **options)
+        self.restarts = int(restarts)
+        self._restarts_used = 0
+        self._seen: set[tuple[int, ...]] = set()
+        self._current: tuple[int, ...] | None = None
+        self._current_fitness = math.inf
+        self._frontier: list[tuple[int, ...]] = []
+        self._exhausted = False
+
+    def _restart(self) -> None:
+        point = self._fresh_random(self._seen)
+        if point is None:
+            self._exhausted = True
+            return
+        self._current = None
+        self._current_fitness = math.inf
+        self._frontier = [point]
+
+    def ask(self, n: int) -> list[Candidate]:
+        out: list[Candidate] = []
+        while len(out) < n and not self._exhausted:
+            if not self._frontier:
+                if self._current is None:
+                    self._restart()
+                else:
+                    nbrs = [
+                        p
+                        for p in self.space.neighbors(self._current)
+                        if p not in self._seen
+                    ]
+                    if nbrs:
+                        self._frontier = nbrs
+                    elif self._restarts_used < self.restarts:
+                        self._restarts_used += 1
+                        self._restart()
+                    else:
+                        self._exhausted = True
+                if not self._frontier:
+                    break
+            point = self._frontier.pop(0)
+            self._seen.add(point)
+            out.append(Candidate(point))
+        return out
+
+    def tell(self, evaluated: Sequence[tuple[Candidate, float]]) -> None:
+        super().tell(evaluated)
+        improved = False
+        for candidate, fitness in evaluated:
+            if fitness < self._current_fitness:
+                self._current = candidate.indices
+                self._current_fitness = fitness
+                improved = True
+        if improved:
+            # Moving invalidates the old neighbourhood queue.
+            self._frontier = []
+
+    def done(self) -> bool:
+        return self._exhausted
+
+
+class GeneticAlgorithm(Optimizer):
+    """Small steady-state GA on index vectors.
+
+    Tournament selection, uniform crossover, per-axis mutation, and
+    elitism.  Index vectors make crossover trivially valid; infeasible
+    offspring are resampled.  Duplicate offspring are allowed — the
+    content-addressed cache makes re-evaluating a known design free.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        seed: int = 0,
+        population: int = 16,
+        tournament: int = 3,
+        mutation_rate: float = 0.2,
+        elite: int = 2,
+        **options,
+    ) -> None:
+        super().__init__(space, seed=seed, **options)
+        self.population_size = max(2, int(population))
+        self.tournament = max(2, int(tournament))
+        self.mutation_rate = float(mutation_rate)
+        self.elite = max(0, int(elite))
+        self._scored: list[tuple[tuple[int, ...], float]] = []
+
+    def _select(self) -> tuple[int, ...]:
+        pool = self.rng.sample(
+            self._scored, min(self.tournament, len(self._scored))
+        )
+        return min(pool, key=lambda item: item[1])[0]
+
+    def _crossover(
+        self, a: tuple[int, ...], b: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        return tuple(
+            ai if self.rng.random() < 0.5 else bi for ai, bi in zip(a, b)
+        )
+
+    def _mutate(self, point: tuple[int, ...]) -> tuple[int, ...]:
+        out = list(point)
+        for pos, axis in enumerate(self.space.axes):
+            if self.rng.random() < self.mutation_rate:
+                out[pos] = self.rng.randrange(axis.size)
+        return tuple(out)
+
+    def _offspring(self) -> tuple[int, ...]:
+        for _ in range(50):
+            child = self._mutate(
+                self._crossover(self._select(), self._select())
+            )
+            if self.space.is_feasible(child):
+                return child
+        return self.space.random_point(self.rng)
+
+    def ask(self, n: int) -> list[Candidate]:
+        out: list[Candidate] = []
+        for _ in range(n):
+            if len(self._scored) < 2:
+                point = self.space.random_point(self.rng)
+            else:
+                point = self._offspring()
+            out.append(Candidate(point))
+        return out
+
+    def tell(self, evaluated: Sequence[tuple[Candidate, float]]) -> None:
+        super().tell(evaluated)
+        self._scored.extend(
+            (candidate.indices, fitness) for candidate, fitness in evaluated
+        )
+        # Keep the best `population` individuals (elitism falls out of
+        # the sort; `elite` guards against a fully-replaced generation).
+        self._scored.sort(key=lambda item: item[1])
+        keep = max(self.population_size, self.elite)
+        del self._scored[keep:]
+
+
+class SuccessiveHalving(Optimizer):
+    """Multi-fidelity racing: wide and cheap first, narrow and full last.
+
+    A cohort of ``cohort`` designs starts on the cheapest rung (the base
+    workload scaled by ``rung_fractions[0]``); after each rung the best
+    ``1/eta`` fraction is promoted to the next, finishing with a handful
+    of full-fidelity evaluations.  Combined with ``run_jobs``'s cancel
+    event, a rung whose budget expires can be stopped mid-flight instead
+    of burning evaluations on designs that cannot win.
+    """
+
+    name = "sha"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        seed: int = 0,
+        cohort: int = 27,
+        eta: int = 3,
+        rungs: int = 3,
+        **options,
+    ) -> None:
+        super().__init__(space, seed=seed, **options)
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if rungs < 1:
+            raise ValueError("rungs must be >= 1")
+        self.cohort = max(2, int(cohort))
+        self.eta = int(eta)
+        self.num_rungs = int(rungs)
+        self.rung_fractions = tuple(
+            float(eta) ** (r - (rungs - 1)) for r in range(rungs)
+        )
+        self._rung = 0
+        self._pending: list[Candidate] | None = None
+        self._results: list[tuple[Candidate, float]] = []
+        self._outstanding = 0
+        self._finished = False
+
+    def _seed_cohort(self) -> None:
+        seen: set[tuple[int, ...]] = set()
+        cohort: list[Candidate] = []
+        for _ in range(self.cohort):
+            point = self._fresh_random(seen)
+            if point is None:
+                break
+            seen.add(point)
+            cohort.append(Candidate(point, rung=0))
+        self._pending = cohort
+
+    def _promote(self) -> None:
+        """Close the current rung: keep the top ``1/eta``, advance."""
+        ranked = sorted(self._results, key=lambda item: item[1])
+        survivors = max(1, len(ranked) // self.eta)
+        self._rung += 1
+        if self._rung >= self.num_rungs or not ranked:
+            self._finished = True
+            self._pending = []
+        else:
+            self._pending = [
+                Candidate(candidate.indices, rung=self._rung)
+                for candidate, _ in ranked[:survivors]
+            ]
+        self._results = []
+
+    def ask(self, n: int) -> list[Candidate]:
+        if self._finished:
+            return []
+        if self._pending is None:
+            self._seed_cohort()
+        out: list[Candidate] = []
+        while len(out) < n and self._pending:
+            out.append(self._pending.pop(0))
+        self._outstanding += len(out)
+        return out
+
+    def tell(self, evaluated: Sequence[tuple[Candidate, float]]) -> None:
+        super().tell(evaluated)
+        self._results.extend(evaluated)
+        self._outstanding -= len(evaluated)
+        if not self._pending and self._outstanding <= 0:
+            self._promote()
+
+    def done(self) -> bool:
+        return self._finished
+
+
+OPTIMIZERS: dict[str, type[Optimizer]] = {
+    "random": RandomSearch,
+    "hillclimb": HillClimb,
+    "genetic": GeneticAlgorithm,
+    "sha": SuccessiveHalving,
+}
+
+
+def list_optimizers() -> list[str]:
+    return list(OPTIMIZERS)
+
+
+def build_optimizer(
+    name: str, space: DesignSpace, *, seed: int = 0, **options
+) -> Optimizer:
+    try:
+        cls = OPTIMIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {name!r}; available: {', '.join(OPTIMIZERS)}"
+        ) from None
+    return cls(space, seed=seed, **options)

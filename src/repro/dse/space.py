@@ -1,0 +1,401 @@
+"""Design-space declarations: typed axes, constraints, job encoding.
+
+A :class:`DesignSpace` is an ordered list of finite axes plus constraint
+predicates.  Every axis — categorical, integer or log-float — is
+quantised to an explicit grid, so a candidate design is just a tuple of
+grid indices.  That finiteness is what makes the search cache-amplified:
+``to_job`` maps a candidate deterministically onto a :class:`SimJob`,
+whose content hash then addresses the result in the on-disk
+:class:`~repro.runtime.cache.ResultCache`.  Two optimizers (or two runs,
+or a search and the serving path) that touch the same design pay for it
+once.
+
+Spaces are registered by name (:data:`SPACES`) so the CLI, the serve
+endpoint and the bench tier can all ask for ``"aurora-core"`` and mean
+the same axes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..config import AcceleratorConfig, NoCConfig, default_config
+from ..runtime.jobs import MAPPING_POLICIES, SimJob
+
+__all__ = [
+    "Categorical",
+    "IntGrid",
+    "LogFloat",
+    "Constraint",
+    "DesignSpace",
+    "SPACES",
+    "build_space",
+    "list_spaces",
+]
+
+
+@dataclass(frozen=True)
+class Categorical:
+    """Unordered choice axis (mapping policy, topology variant, …)."""
+
+    name: str
+    choices: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.choices) < 1:
+            raise ValueError(f"axis {self.name!r} needs at least one choice")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"axis {self.name!r} has duplicate choices")
+
+    @property
+    def size(self) -> int:
+        return len(self.choices)
+
+    #: Ordered axes support ±1 neighbourhood moves; categorical ones
+    #: treat every other choice as a neighbour.
+    ordered = False
+
+    def value(self, index: int):
+        return self.choices[index]
+
+    def index(self, value) -> int:
+        return self.choices.index(value)
+
+    def describe(self) -> dict:
+        return {"kind": "categorical", "name": self.name, "choices": list(self.choices)}
+
+
+@dataclass(frozen=True)
+class IntGrid:
+    """Ordered integer axis over an explicit grid (e.g. powers of two)."""
+
+    name: str
+    grid: tuple[int, ...]
+    ordered = True
+
+    def __post_init__(self) -> None:
+        if len(self.grid) < 1:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+        if list(self.grid) != sorted(set(self.grid)):
+            raise ValueError(f"axis {self.name!r} grid must be strictly increasing")
+
+    @property
+    def size(self) -> int:
+        return len(self.grid)
+
+    def value(self, index: int) -> int:
+        return self.grid[index]
+
+    def index(self, value) -> int:
+        return self.grid.index(int(value))
+
+    def describe(self) -> dict:
+        return {"kind": "int", "name": self.name, "grid": list(self.grid)}
+
+
+def _geomspace(lo: float, hi: float, steps: int) -> tuple[float, ...]:
+    if steps == 1:
+        return (float(lo),)
+    ratio = (hi / lo) ** (1.0 / (steps - 1))
+    return tuple(float(lo * ratio**i) for i in range(steps))
+
+
+@dataclass(frozen=True)
+class LogFloat:
+    """Ordered float axis quantised onto a geometric grid.
+
+    Quantisation (rather than a continuous range) keeps every candidate
+    content-addressable: two optimizers proposing "roughly 1 GHz" land
+    on the *same* grid value, the same job hash, and one cache entry.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    steps: int
+    grid: tuple[float, ...] = field(init=False)
+    ordered = True
+
+    def __post_init__(self) -> None:
+        if self.lo <= 0 or self.hi < self.lo:
+            raise ValueError(f"axis {self.name!r} needs 0 < lo <= hi")
+        if self.steps < 1:
+            raise ValueError(f"axis {self.name!r} needs steps >= 1")
+        object.__setattr__(self, "grid", _geomspace(self.lo, self.hi, self.steps))
+
+    @property
+    def size(self) -> int:
+        return self.steps
+
+    def value(self, index: int) -> float:
+        return self.grid[index]
+
+    def index(self, value) -> int:
+        target = float(value)
+        best = min(range(self.steps), key=lambda i: abs(self.grid[i] - target))
+        return best
+
+    def describe(self) -> dict:
+        return {
+            "kind": "log-float",
+            "name": self.name,
+            "lo": self.lo,
+            "hi": self.hi,
+            "steps": self.steps,
+        }
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Named feasibility predicate over a decoded ``{axis: value}`` dict."""
+
+    label: str
+    predicate: Callable[[dict], bool]
+
+    def __call__(self, values: dict) -> bool:
+        return bool(self.predicate(values))
+
+
+#: Axis-name prefixes route decoded values into the job spec: ``noc.*``
+#: targets :class:`NoCConfig`, plain accelerator fields target
+#: :class:`AcceleratorConfig`, and ``job.*`` targets ``SimJob`` fields
+#: (``job.mapping``, ``job.hidden``, …).
+_JOB_FIELDS = ("mapping", "hidden", "num_layers", "model")
+
+
+class DesignSpace:
+    """Finite, constrained design space bound to a base workload job.
+
+    ``base_job`` carries everything the search does *not* vary — model,
+    dataset, scale, seed.  ``to_job`` overlays a decoded candidate onto
+    it, producing the content-addressed spec the runtime executes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        axes: Sequence,
+        *,
+        base_job: SimJob | None = None,
+        constraints: Sequence[Constraint] = (),
+    ) -> None:
+        if not axes:
+            raise ValueError("a design space needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate axis names")
+        self.name = name
+        self.axes = tuple(axes)
+        self.base_job = base_job or SimJob()
+        self.constraints = tuple(constraints)
+        self._axis_by_name = {axis.name: axis for axis in self.axes}
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total grid cardinality (ignoring constraints)."""
+        total = 1
+        for axis in self.axes:
+            total *= axis.size
+        return total
+
+    def decode(self, indices: Sequence[int]) -> dict:
+        """Grid indices → ``{axis name: value}``."""
+        if len(indices) != len(self.axes):
+            raise ValueError("index vector length mismatch")
+        return {
+            axis.name: axis.value(int(i)) for axis, i in zip(self.axes, indices)
+        }
+
+    def encode(self, values: dict) -> tuple[int, ...]:
+        """``{axis name: value}`` → grid indices (inverse of decode)."""
+        return tuple(axis.index(values[axis.name]) for axis in self.axes)
+
+    def is_feasible(self, indices: Sequence[int]) -> bool:
+        values = self.decode(indices)
+        return all(constraint(values) for constraint in self.constraints)
+
+    def random_point(self, rng) -> tuple[int, ...]:
+        """Uniform feasible sample (rejection sampling, bounded)."""
+        for _ in range(1000):
+            indices = tuple(rng.randrange(axis.size) for axis in self.axes)
+            if self.is_feasible(indices):
+                return indices
+        raise RuntimeError(
+            f"could not sample a feasible point in space {self.name!r}"
+        )
+
+    def neighbors(self, indices: Sequence[int]) -> list[tuple[int, ...]]:
+        """Feasible single-axis moves (±1 for ordered axes, any other
+        choice for categorical ones) — the hill-climb neighbourhood."""
+        indices = tuple(int(i) for i in indices)
+        out: list[tuple[int, ...]] = []
+        for pos, axis in enumerate(self.axes):
+            if getattr(axis, "ordered", False):
+                steps = [indices[pos] - 1, indices[pos] + 1]
+            else:
+                steps = [i for i in range(axis.size) if i != indices[pos]]
+            for step in steps:
+                if 0 <= step < axis.size:
+                    cand = indices[:pos] + (step,) + indices[pos + 1 :]
+                    if self.is_feasible(cand):
+                        out.append(cand)
+        return out
+
+    # -- job encoding --------------------------------------------------
+    def to_job(self, values: dict, *, fidelity: float = 1.0) -> SimJob:
+        """Overlay a decoded candidate onto the base workload job.
+
+        ``fidelity`` in (0, 1] multiplies the base job's dataset scale —
+        the successive-halving rungs evaluate the same design on a
+        proportionally smaller graph before promoting it to the full
+        workload.
+        """
+        if not 0.0 < fidelity <= 1.0:
+            raise ValueError("fidelity must be in (0, 1]")
+        config = self.base_job.config or default_config()
+        cfg_fields = {f for f in AcceleratorConfig.__dataclass_fields__}
+        noc_overrides: dict = {}
+        cfg_overrides: dict = {}
+        job_overrides: dict = {}
+        for name, value in values.items():
+            if name.startswith("noc."):
+                noc_overrides[name[4:]] = value
+            elif name in _JOB_FIELDS:
+                job_overrides[name] = value
+            elif name in cfg_fields:
+                cfg_overrides[name] = value
+            else:
+                raise KeyError(f"axis {name!r} maps to no known field")
+        if noc_overrides:
+            cfg_overrides["noc"] = replace(config.noc, **noc_overrides)
+        if cfg_overrides:
+            config = replace(config, **cfg_overrides)
+        scale = self.base_job.scale * fidelity
+        # SimJob requires scale in (0, 1]; clamp the low end only.
+        scale = max(scale, 1e-6)
+        return replace(
+            self.base_job, config=config, scale=scale, **job_overrides
+        )
+
+    def job_for(
+        self, indices: Sequence[int], *, fidelity: float = 1.0
+    ) -> SimJob:
+        return self.to_job(self.decode(indices), fidelity=fidelity)
+
+    # -- identity ------------------------------------------------------
+    def describe(self) -> dict:
+        """Canonical JSON description (the basis of :meth:`signature`)."""
+        return {
+            "name": self.name,
+            "axes": [axis.describe() for axis in self.axes],
+            "constraints": [c.label for c in self.constraints],
+            "base_job": self.base_job.as_dict(),
+        }
+
+    def signature(self) -> str:
+        """Content hash of the space + workload; stamped into checkpoints
+        and trajectories so a resume against different axes is refused."""
+        blob = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Named spaces
+
+
+def _multiplier_budget(values: dict) -> bool:
+    """Keep candidate arrays within the paper's 32×32×16 multiplier budget."""
+    k = values.get("array_k", 32)
+    macs = values.get("macs_per_pe", 16)
+    return k * k * macs <= 32 * 32 * 16
+
+
+def _buffer_budget(values: dict) -> bool:
+    """Aggregate on-chip buffer must not exceed the paper's ~100 MB."""
+    k = values.get("array_k", 32)
+    per_pe = values.get("pe_buffer_bytes", 100 * 1024)
+    return k * k * per_pe <= 32 * 32 * 100 * 1024
+
+
+def _core_space(base_job: SimJob) -> DesignSpace:
+    """The headline search: array shape, buffers, clock, NoC, mapping."""
+    kib = 1024
+    return DesignSpace(
+        "aurora-core",
+        [
+            IntGrid("array_k", (8, 16, 32)),
+            IntGrid("macs_per_pe", (4, 8, 16)),
+            IntGrid(
+                "pe_buffer_bytes", (16 * kib, 32 * kib, 64 * kib, 100 * kib)
+            ),
+            LogFloat("frequency_hz", 350e6, 1.4e9, 5),
+            IntGrid("noc.flit_bytes", (8, 16, 32)),
+            IntGrid("noc.vcs_per_port", (1, 2, 4)),
+            IntGrid("noc.bypass_links_per_row", (0, 1, 2)),
+            Categorical("mapping", MAPPING_POLICIES),
+        ],
+        base_job=base_job,
+        constraints=(
+            Constraint("multiplier-budget", _multiplier_budget),
+            Constraint("buffer-budget", _buffer_budget),
+        ),
+    )
+
+
+def _noc_space(base_job: SimJob) -> DesignSpace:
+    """NoC-only ablation: fixed array, vary the interconnect."""
+    return DesignSpace(
+        "aurora-noc",
+        [
+            IntGrid("noc.flit_bytes", (8, 16, 32, 64)),
+            IntGrid("noc.vcs_per_port", (1, 2, 4)),
+            IntGrid("noc.vc_depth", (2, 4, 8)),
+            IntGrid("noc.bypass_links_per_row", (0, 1, 2)),
+            IntGrid("noc.bypass_links_per_col", (0, 1, 2)),
+            Categorical("mapping", MAPPING_POLICIES),
+        ],
+        base_job=base_job,
+    )
+
+
+def _mini_space(base_job: SimJob) -> DesignSpace:
+    """Tiny 24-point space for benches, smoke tests and CI: small enough
+    that a 200-candidate search revisits designs constantly, which is
+    exactly what the cache-amplification bench measures."""
+    return DesignSpace(
+        "aurora-mini",
+        [
+            IntGrid("array_k", (8, 16)),
+            IntGrid("noc.flit_bytes", (8, 16, 32)),
+            IntGrid("noc.bypass_links_per_row", (0, 1)),
+            Categorical("mapping", MAPPING_POLICIES),
+        ],
+        base_job=base_job,
+    )
+
+
+SPACES: dict[str, Callable[[SimJob], DesignSpace]] = {
+    "aurora-core": _core_space,
+    "aurora-noc": _noc_space,
+    "aurora-mini": _mini_space,
+}
+
+
+def list_spaces() -> list[str]:
+    return list(SPACES)
+
+
+def build_space(name: str, base_job: SimJob | None = None) -> DesignSpace:
+    """Instantiate a named space over ``base_job`` (default workload:
+    the ``SimJob`` defaults — GCN on cora)."""
+    try:
+        builder = SPACES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design space {name!r}; available: {', '.join(SPACES)}"
+        ) from None
+    return builder(base_job or SimJob())

@@ -2,18 +2,22 @@
 
 from .csr import CSRGraph, GraphMeta, from_dense_adjacency, from_edge_list
 from .datasets import (
+    ADVERSARIAL_DATASETS,
     DATASETS,
     DatasetProfile,
     dataset_profile,
+    list_adversarial_datasets,
     list_datasets,
     load_dataset,
 )
 from .io import load_npz, read_edge_list_file, save_npz, write_edge_list_file
 from .reorder import bfs_order, edge_locality_score, permute_graph
 from .generators import (
+    bipartite_graph,
     chain_graph,
     complete_graph,
     grid_graph,
+    near_clique_hub_graph,
     power_law_graph,
     rmat_graph,
     star_graph,
@@ -37,14 +41,18 @@ __all__ = [
     "from_dense_adjacency",
     "DatasetProfile",
     "DATASETS",
+    "ADVERSARIAL_DATASETS",
     "dataset_profile",
     "list_datasets",
+    "list_adversarial_datasets",
     "load_dataset",
     "power_law_graph",
     "rmat_graph",
     "uniform_random_graph",
     "grid_graph",
     "star_graph",
+    "bipartite_graph",
+    "near_clique_hub_graph",
     "chain_graph",
     "complete_graph",
     "bfs_order",

@@ -18,14 +18,21 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from .csr import CSRGraph
-from .generators import power_law_graph
+from .generators import (
+    bipartite_graph,
+    near_clique_hub_graph,
+    power_law_graph,
+    star_graph,
+)
 
 __all__ = [
     "DatasetProfile",
     "DATASETS",
+    "ADVERSARIAL_DATASETS",
     "dataset_profile",
     "load_dataset",
     "list_datasets",
+    "list_adversarial_datasets",
     "clear_snapshot_cache",
 ]
 
@@ -118,19 +125,121 @@ DATASETS: dict[str, DatasetProfile] = {
 }
 
 
+# Adversarial synthetic workloads: degree-skew extremes the paper's five
+# datasets miss.  They are deliberately *not* part of ``list_datasets`` (the
+# paper's grid stays the paper's grid) but resolve through the same
+# ``dataset_profile``/``load_dataset`` path so DSE searches and regression
+# sweeps can name them like any other workload.  Each builder takes
+# ``(profile, n, m, seed)`` where ``n``/``m`` are the scaled vertex/edge
+# targets; ``m`` is a target, not an exact budget, for the structured
+# generators.
+ADVERSARIAL_DATASETS: dict[str, DatasetProfile] = {
+    # One hub wired to every leaf: the extreme multicast / bypass-link case.
+    "adv-star": DatasetProfile(
+        name="adv-star",
+        num_vertices=4097,
+        num_edges=8192,
+        num_features=128,
+        num_classes=4,
+        feature_density=0.25,
+        degree_exponent=2.0,
+        locality=0.0,
+    ),
+    # Every edge crosses the partition: worst case for locality-preserving
+    # (sequential) mapping, neutral for hashing.
+    "adv-bipartite": DatasetProfile(
+        name="adv-bipartite",
+        num_vertices=4096,
+        num_edges=65536,
+        num_features=128,
+        num_classes=4,
+        feature_density=0.25,
+        degree_exponent=2.0,
+        locality=0.0,
+    ),
+    # Dense near-clique core with sparse spokes: pathological PE-load and
+    # hub-traffic concentration.
+    "adv-hubclique": DatasetProfile(
+        name="adv-hubclique",
+        num_vertices=4096,
+        num_edges=60000,
+        num_features=128,
+        num_classes=4,
+        feature_density=0.25,
+        degree_exponent=1.5,
+        locality=0.0,
+    ),
+}
+
+
+def _build_adv_star(prof: DatasetProfile, n: int, m: int, seed: int, name: str) -> CSRGraph:
+    del m, seed  # structure is fully determined by the leaf count
+    return star_graph(max(n - 1, 1), num_features=prof.num_features, name=name)
+
+
+def _build_adv_bipartite(
+    prof: DatasetProfile, n: int, m: int, seed: int, name: str
+) -> CSRGraph:
+    left = max(1, n // 2)
+    right = max(1, n - left)
+    m = min(m, 2 * left * right)
+    return bipartite_graph(
+        left,
+        right,
+        m,
+        num_features=prof.num_features,
+        feature_density=prof.feature_density,
+        seed=seed,
+        name=name,
+    )
+
+
+def _build_adv_hubclique(
+    prof: DatasetProfile, n: int, m: int, seed: int, name: str
+) -> CSRGraph:
+    # Pick the core size so the near-clique supplies roughly half the edge
+    # target: m/2 ≈ density * k * (k - 1).
+    k = max(2, min(n, int(round((m / (2 * 0.9)) ** 0.5)) + 1))
+    return near_clique_hub_graph(
+        n,
+        k,
+        clique_density=0.9,
+        spoke_degree=2,
+        num_features=prof.num_features,
+        feature_density=prof.feature_density,
+        seed=seed,
+        name=name,
+    )
+
+
+_ADVERSARIAL_BUILDERS = {
+    "adv-star": _build_adv_star,
+    "adv-bipartite": _build_adv_bipartite,
+    "adv-hubclique": _build_adv_hubclique,
+}
+
+
 def list_datasets() -> list[str]:
     """Names of all registered datasets, in the paper's order."""
     return list(DATASETS)
 
 
+def list_adversarial_datasets() -> list[str]:
+    """Names of the adversarial regression/DSE workloads."""
+    return list(ADVERSARIAL_DATASETS)
+
+
 def dataset_profile(name: str) -> DatasetProfile:
     """Look up the published statistics for ``name`` (case-insensitive)."""
     key = name.lower()
-    if key not in DATASETS:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
-        )
-    return DATASETS[key]
+    if key in DATASETS:
+        return DATASETS[key]
+    if key in ADVERSARIAL_DATASETS:
+        return ADVERSARIAL_DATASETS[key]
+    raise KeyError(
+        f"unknown dataset {name!r}; available: "
+        f"{', '.join((*DATASETS, *ADVERSARIAL_DATASETS))}"
+    )
 
 
 def load_dataset(
@@ -163,16 +272,21 @@ def load_dataset(
     n = max(16, int(round(prof.num_vertices * scale)))
     m = max(n, int(round(prof.num_edges * scale)))
     m = min(m, n * n)
-    graph = power_law_graph(
-        n,
-        m,
-        exponent=prof.degree_exponent,
-        locality=prof.locality,
-        num_features=prof.num_features,
-        feature_density=prof.feature_density,
-        seed=seed,
-        name=prof.name if scale == 1.0 else f"{prof.name}@{scale:g}",
-    )
+    graph_name = prof.name if scale == 1.0 else f"{prof.name}@{scale:g}"
+    builder = _ADVERSARIAL_BUILDERS.get(prof.name)
+    if builder is not None:
+        graph = builder(prof, n, m, int(seed), graph_name)
+    else:
+        graph = power_law_graph(
+            n,
+            m,
+            exponent=prof.degree_exponent,
+            locality=prof.locality,
+            num_features=prof.num_features,
+            feature_density=prof.feature_density,
+            seed=seed,
+            name=graph_name,
+        )
     _SNAPSHOTS[memo_key] = graph
     while len(_SNAPSHOTS) > SNAPSHOT_CACHE_MAX:
         _SNAPSHOTS.popitem(last=False)

@@ -31,6 +31,8 @@ __all__ = [
     "uniform_random_graph",
     "grid_graph",
     "star_graph",
+    "bipartite_graph",
+    "near_clique_hub_graph",
     "chain_graph",
     "complete_graph",
 ]
@@ -307,6 +309,120 @@ def star_graph(num_leaves: int, *, num_features: int = 16, name: str = "star") -
     edges = [(0, i) for i in range(1, num_leaves + 1)]
     edges += [(i, 0) for i in range(1, num_leaves + 1)]
     return from_edge_list(num_leaves + 1, edges, num_features=num_features, name=name)
+
+
+def bipartite_graph(
+    num_left: int,
+    num_right: int,
+    num_edges: int,
+    *,
+    num_features: int = 16,
+    feature_density: float = 1.0,
+    seed: int = 0,
+    name: str = "bipartite",
+) -> CSRGraph:
+    """Directed bipartite graph: edges only cross the left/right partition.
+
+    Vertices ``[0, num_left)`` form the left side, the rest the right side;
+    every left vertex points right and vice versa.  Bipartite traffic is
+    adversarial for locality-preserving mappings (sequential fill places
+    each side contiguously, so *every* edge crosses the array) while a
+    hashing mapping spreads it — the opposite of the community-local case.
+    """
+    if num_left < 1 or num_right < 1:
+        raise ValueError("partition sizes must be positive")
+    max_edges = 2 * num_left * num_right
+    if num_edges > max_edges:
+        raise ValueError("edge budget exceeds bipartite capacity")
+    rng = np.random.default_rng(seed)
+    n = num_left + num_right
+    n_lr = num_edges // 2
+    n_rl = num_edges - n_lr
+    seen: set[int] = set()
+    rows: list[np.ndarray] = []
+    for count, (src_lo, src_n, dst_lo, dst_n) in (
+        (n_lr, (0, num_left, num_left, num_right)),
+        (n_rl, (num_left, num_right, 0, num_left)),
+    ):
+        got = 0
+        while got < count:
+            need = count - got
+            src = src_lo + rng.integers(0, src_n, size=2 * need + 8, dtype=np.int64)
+            dst = dst_lo + rng.integers(0, dst_n, size=2 * need + 8, dtype=np.int64)
+            keys = src * n + dst
+            fresh = np.fromiter(
+                (int(k) not in seen for k in keys), dtype=bool, count=keys.size
+            )
+            src, dst, keys = src[fresh], dst[fresh], keys[fresh]
+            _, first = np.unique(keys, return_index=True)
+            order = np.sort(first)[:need]
+            for k in keys[order].tolist():
+                seen.add(int(k))
+            rows.append(np.column_stack((src[order], dst[order])))
+            got += order.size
+    edges = np.vstack(rows) if rows else np.empty((0, 2), dtype=np.int64)
+    return from_edge_list(
+        n,
+        edges,
+        num_features=num_features,
+        feature_density=feature_density,
+        name=name,
+        dedup=False,
+    )
+
+
+def near_clique_hub_graph(
+    num_vertices: int,
+    clique_size: int,
+    *,
+    clique_density: float = 0.9,
+    spoke_degree: int = 2,
+    num_features: int = 16,
+    feature_density: float = 1.0,
+    seed: int = 0,
+    name: str = "hubclique",
+) -> CSRGraph:
+    """A dense near-clique core with sparse spokes to the periphery.
+
+    The first ``clique_size`` vertices form a near-clique (each ordered
+    pair present with probability ``clique_density``); every peripheral
+    vertex sends ``spoke_degree`` edges into the core and receives one
+    back.  This concentrates both compute and multicast traffic on a tiny
+    vertex set — the pathological hub-pressure case for PE load balance
+    and for the NoC bypass-link heuristics.
+    """
+    if clique_size < 2 or clique_size > num_vertices:
+        raise ValueError("clique_size must be in [2, num_vertices]")
+    if not 0.0 < clique_density <= 1.0:
+        raise ValueError("clique_density must be in (0, 1]")
+    if spoke_degree < 1:
+        raise ValueError("spoke_degree must be positive")
+    rng = np.random.default_rng(seed)
+    src, dst = np.meshgrid(
+        np.arange(clique_size), np.arange(clique_size), indexing="ij"
+    )
+    mask = (src != dst) & (rng.random((clique_size, clique_size)) < clique_density)
+    edges = [np.column_stack((src[mask], dst[mask]))]
+    periphery = np.arange(clique_size, num_vertices, dtype=np.int64)
+    if periphery.size:
+        deg = min(spoke_degree, clique_size)
+        spokes_in = np.column_stack(
+            (
+                np.repeat(periphery, deg),
+                rng.integers(0, clique_size, size=periphery.size * deg),
+            )
+        )
+        spokes_out = np.column_stack(
+            (rng.integers(0, clique_size, size=periphery.size), periphery)
+        )
+        edges += [spokes_in, spokes_out]
+    return from_edge_list(
+        num_vertices,
+        np.vstack(edges),
+        num_features=num_features,
+        feature_density=feature_density,
+        name=name,
+    )
 
 
 def chain_graph(n: int, *, num_features: int = 16, name: str = "chain") -> CSRGraph:

@@ -10,6 +10,7 @@ error record so one bad point cannot kill a thousand-point sweep.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -21,6 +22,7 @@ from .budget import mark_pool_worker
 from .jobs import SimJob, execute_job
 
 __all__ = [
+    "CANCELLED",
     "ExecutionRecord",
     "SerialExecutor",
     "ProcessExecutor",
@@ -29,6 +31,14 @@ __all__ = [
 ]
 
 JobFn = Callable[[SimJob], dict]
+
+#: Error string reported for jobs abandoned because the caller's cancel
+#: event fired.  Callers (the DSE successive-halving runner, budgeted
+#: sweeps) match on it to distinguish "stopped on purpose" from a crash.
+CANCELLED = "cancelled"
+
+#: How often a cancel-aware wait re-checks the event while a pool job runs.
+_CANCEL_POLL_SECONDS = 0.05
 
 
 @dataclass
@@ -95,6 +105,7 @@ class SerialExecutor:
 
     name = "serial"
     supports_trace_ctx = True
+    supports_cancel = True
 
     def run(
         self,
@@ -102,8 +113,15 @@ class SerialExecutor:
         fn: JobFn = execute_job,
         *,
         trace_ctx: dict | None = None,
+        cancel: "threading.Event | None" = None,
     ) -> list[ExecutionRecord]:
-        return [_invoke(fn, job, trace_ctx) for job in jobs]
+        records = []
+        for job in jobs:
+            if cancel is not None and cancel.is_set():
+                records.append(ExecutionRecord(job, None, CANCELLED))
+                continue
+            records.append(_invoke(fn, job, trace_ctx))
+        return records
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -137,6 +155,7 @@ class ProcessExecutor:
 
     name = "process"
     supports_trace_ctx = True
+    supports_cancel = True
 
     def __init__(
         self,
@@ -192,6 +211,7 @@ class ProcessExecutor:
         fn: JobFn = execute_job,
         *,
         trace_ctx: dict | None = None,
+        cancel: "threading.Event | None" = None,
     ) -> list[ExecutionRecord]:
         jobs = list(jobs)
         if not jobs:
@@ -199,6 +219,10 @@ class ProcessExecutor:
         records: dict[int, ExecutionRecord] = {}
         pending = list(enumerate(jobs))
         while pending:
+            if cancel is not None and cancel.is_set():
+                for index, job in pending:
+                    records[index] = ExecutionRecord(job, None, CANCELLED)
+                break
             # Workers are marked so nested fan-out (e.g. tile sharding
             # inside a pooled job) degrades to serial instead of forking
             # grandchildren — see repro.runtime.budget.
@@ -209,19 +233,28 @@ class ProcessExecutor:
             ]
             survivors: list[tuple[int, SimJob]] = []
             timed_out = False
+            cancelled = False
             for index, job, future in futures:
-                if timed_out:
+                if timed_out or cancelled:
                     # A worker is being reaped: harvest whatever already
-                    # finished, resubmit the rest to the next pool.
+                    # finished; on timeout resubmit the rest to the next
+                    # pool, on cancel abandon them.
                     if future.done() and not future.cancelled():
                         records[index] = self._harvest(job, future)
+                    elif cancelled:
+                        future.cancel()
+                        records[index] = ExecutionRecord(job, None, CANCELLED)
                     else:
                         future.cancel()
                         survivors.append((index, job))
                     continue
-                try:
-                    records[index] = future.result(timeout=self.timeout)
-                except FutureTimeoutError:
+                status, value = self._await_future(future, cancel)
+                if status == "ok":
+                    records[index] = value
+                elif status == "cancelled":
+                    cancelled = True
+                    records[index] = ExecutionRecord(job, None, CANCELLED)
+                elif status == "timeout":
                     timed_out = True
                     records[index] = ExecutionRecord(
                         job,
@@ -229,11 +262,9 @@ class ProcessExecutor:
                         f"timeout: exceeded {self.timeout:g}s",
                         self.timeout or 0.0,
                     )
-                except Exception as exc:  # broken pool, pickling failure, …
-                    records[index] = ExecutionRecord(
-                        job, None, f"{type(exc).__name__}: {exc}"
-                    )
-            if timed_out or getattr(pool, "_broken", False):
+                else:  # broken pool, pickling failure, …
+                    records[index] = ExecutionRecord(job, None, value)
+            if timed_out or cancelled or getattr(pool, "_broken", False):
                 _terminate_pool(pool)
                 if pool is self._pool:
                     self._pool = None
@@ -241,6 +272,42 @@ class ProcessExecutor:
                 pool.shutdown()
             pending = survivors
         return [records[index] for index in range(len(jobs))]
+
+    def _await_future(
+        self, future, cancel: "threading.Event | None"
+    ) -> tuple[str, ExecutionRecord | str | None]:
+        """Wait for one future, re-checking ``cancel`` while blocked.
+
+        Returns ``("ok", record)``, ``("timeout", None)``,
+        ``("cancelled", None)`` or ``("error", message)``.  Without a
+        cancel event this is a single blocking wait, identical to the
+        pre-cancellation behaviour.
+        """
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        while True:
+            if cancel is not None and cancel.is_set():
+                return "cancelled", None
+            if deadline is None:
+                wait = _CANCEL_POLL_SECONDS if cancel is not None else None
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return "timeout", None
+                wait = (
+                    min(_CANCEL_POLL_SECONDS, remaining)
+                    if cancel is not None
+                    else remaining
+                )
+            try:
+                return "ok", future.result(timeout=wait)
+            except FutureTimeoutError:
+                if cancel is None:
+                    return "timeout", None
+                continue
+            except Exception as exc:
+                return "error", f"{type(exc).__name__}: {exc}"
 
     @staticmethod
     def _harvest(job: SimJob, future) -> ExecutionRecord:
@@ -260,6 +327,7 @@ class FakeExecutor:
 
     name = "fake"
     supports_trace_ctx = True
+    supports_cancel = True
 
     def __init__(
         self,
@@ -277,10 +345,14 @@ class FakeExecutor:
         fn: JobFn | None = None,
         *,
         trace_ctx: dict | None = None,
+        cancel: "threading.Event | None" = None,
     ) -> list[ExecutionRecord]:
         fn = fn or self.fn
         records = []
         for job in jobs:
+            if cancel is not None and cancel.is_set():
+                records.append(ExecutionRecord(job, None, CANCELLED))
+                continue
             self.calls.append(job)
             if self.fail_when is not None and self.fail_when(job):
                 records.append(ExecutionRecord(job, None, "injected failure"))

@@ -18,7 +18,7 @@ from ..core.results import SimulationResult
 from ..perf import PERF
 from ..telemetry import TRACER
 from .cache import ResultCache, as_cache
-from .executor import SerialExecutor, get_executor
+from .executor import CANCELLED, SerialExecutor, get_executor
 from .jobs import SimJob, job_key
 
 __all__ = [
@@ -57,6 +57,7 @@ class SweepMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     errors: int = 0
+    cancelled: int = 0
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0  # summed per-job execution time
     job_seconds: dict[str, float] = field(default_factory=dict)  # key → s
@@ -75,6 +76,8 @@ class SweepMetrics:
         ]
         if self.errors:
             parts.append(f"{self.errors} errors")
+        if self.cancelled:
+            parts.append(f"{self.cancelled} cancelled")
         parts.append(f"wall {self.wall_seconds:.2f}s")
         if self.executed:
             parts.append(f"sim {self.sim_seconds:.2f}s")
@@ -112,6 +115,7 @@ def run_jobs(
     cache: ResultCache | bool | None = None,
     jobs_n: int | None = None,
     progress: Callable[[JobOutcome], None] | None = None,
+    cancel=None,
 ) -> SweepReport:
     """Run a batch of simulation jobs through cache + executor.
 
@@ -121,6 +125,12 @@ def run_jobs(
     starts warm.  ``jobs_n`` is a convenience that builds a default
     executor (serial for 1, a process pool otherwise) when ``executor``
     is not given.
+
+    ``cancel`` is an optional :class:`threading.Event`; once it is set,
+    not-yet-executed jobs come back as ``error="cancelled"`` outcomes
+    (counted in ``metrics.cancelled``, not ``metrics.errors``) instead of
+    being simulated — the mechanism budgeted searches use to stop a
+    losing batch mid-flight.
     """
     start = time.perf_counter()
     job_list = list(jobs)
@@ -165,16 +175,19 @@ def run_jobs(
         # process pool) and merge the child spans the records bring back
         # — one request, one tree, across the process boundary.
         trace_ctx = TRACER.current_context()
+        run_kwargs: dict = {}
+        if cancel is not None and getattr(executor, "supports_cancel", False):
+            run_kwargs["cancel"] = cancel
         if trace_ctx is not None and getattr(
             executor, "supports_trace_ctx", False
         ):
             records = executor.run(
-                [job for _, job in pending], trace_ctx=trace_ctx
+                [job for _, job in pending], trace_ctx=trace_ctx, **run_kwargs
             )
             for record in records:
                 TRACER.merge(record.spans)
         else:
-            records = executor.run([job for _, job in pending])
+            records = executor.run([job for _, job in pending], **run_kwargs)
         span.set(executed=len(records))
     metrics = SweepMetrics(
         total_jobs=len(job_list),
@@ -197,7 +210,10 @@ def run_jobs(
                 exec_meta=record.payload.get("_exec"),
             )
         else:
-            metrics.errors += 1
+            if record.error == CANCELLED:
+                metrics.cancelled += 1
+            else:
+                metrics.errors += 1
             outcome = JobOutcome(
                 job, key, None, error=record.error, seconds=record.seconds
             )
@@ -207,6 +223,8 @@ def run_jobs(
         if progress is not None:
             progress(outcome)
 
+    # Cancelled jobs were abandoned, not run.
+    metrics.executed -= metrics.cancelled
     metrics.wall_seconds = time.perf_counter() - start
     return SweepReport([outcomes[key] for key in keys], metrics)
 
@@ -218,6 +236,7 @@ async def run_jobs_async(
     cache: ResultCache | bool | None = None,
     jobs_n: int | None = None,
     progress: Callable[[JobOutcome], None] | None = None,
+    cancel=None,
 ) -> SweepReport:
     """:func:`run_jobs` for asyncio callers (the ``repro.serve`` batcher).
 
@@ -236,5 +255,6 @@ async def run_jobs_async(
             cache=cache,
             jobs_n=jobs_n,
             progress=progress,
+            cancel=cancel,
         )
     )

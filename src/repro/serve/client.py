@@ -257,6 +257,42 @@ class ServeClient:
             raise RequestFailed(status, payload)
         return payload.get("text", "")
 
+    def dse_start(self, spec: dict, *, deadline: float | None = None) -> dict:
+        """Submit a search to ``POST /dse``; returns the accept payload
+        (``search_id`` + poll path).  Raises on 400/429."""
+        status, payload = self.call("POST", "/dse", dict(spec), deadline=deadline)
+        if status != 202:
+            raise RequestFailed(status, payload)
+        return payload
+
+    def dse_poll(self, search_id: str, *, deadline: float | None = None) -> dict:
+        """Poll ``GET /dse/<id>`` for search progress."""
+        status, payload = self.call(
+            "GET", f"/dse/{search_id}", deadline=deadline
+        )
+        if status != 200:
+            raise RequestFailed(status, payload)
+        return payload
+
+    def dse_wait(
+        self,
+        search_id: str,
+        *,
+        timeout: float = 60.0,
+        interval: float = 0.2,
+    ) -> dict:
+        """Poll until the search leaves the running state (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.dse_poll(search_id)
+            if payload.get("state") not in ("pending", "running"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    f"search {search_id} still running after {timeout:g}s"
+                )
+            time.sleep(interval)
+
     def trace(self, trace_id: str | None = None, *, limit: int = 0) -> dict:
         """Buffered spans from ``/trace``, optionally one trace only."""
         params = []

@@ -35,6 +35,7 @@ import time
 from collections import deque
 from urllib.parse import parse_qs
 
+from ..dse.service import DSEManager
 from ..perf import PERF
 from ..runtime.budget import BUDGET
 from ..runtime.cache import ResultCache
@@ -126,9 +127,21 @@ class SimulationService:
         replica_id: str | None = None,
         retry_after_hint: float = 0.1,
         tile_cache: ResultCache | None = None,
+        dse_artifact_dir=None,
+        max_dse_searches: int = 2,
     ) -> None:
         self.cache = cache
         self.tile_cache = tile_cache
+        # Async design-space searches share this replica's result cache:
+        # a search warms the serving path and vice versa.  Searches run
+        # on their own daemon threads with a serial evaluator so they
+        # never contend for the batcher's executor.
+        self.dse = DSEManager(
+            cache=cache,
+            artifact_dir=dse_artifact_dir,
+            max_active=max_dse_searches,
+            replica_id=replica_id or "0",
+        )
         # Aggregated per-tile reuse across every request this instance
         # served — the service-level view of incremental re-simulation.
         self.tile_counters = {"tiles_reused": 0, "tiles_recomputed": 0}
@@ -242,6 +255,12 @@ class SimulationService:
             if request.method != "POST":
                 return 405, {"error": "simulate is POST-only"}
             return await self._simulate(request)
+        if path == "/dse":
+            if request.method != "POST":
+                return 405, {"error": "dse is POST-only"}
+            return self._dse_start(request)
+        if path.startswith("/dse/"):
+            return self._dse_poll(request, path[len("/dse/"):])
         return 404, {"error": f"no such endpoint: {path}"}
 
     # -- endpoints ------------------------------------------------------
@@ -289,6 +308,7 @@ class SimulationService:
             "latency": self.latency.snapshot(),
             "telemetry": TRACER.snapshot(),
             "worker_budget": BUDGET.snapshot(),
+            "dse": self.dse.stats(),
         }
 
     def _tile_cache_stats(self) -> dict | None:
@@ -307,6 +327,48 @@ class SimulationService:
             payload["entries"] = disk["entries"]
             payload["bytes"] = disk["bytes"]
         return payload
+
+    def _dse_start(self, request: HTTPRequest) -> tuple:
+        """``POST /dse``: accept a budgeted async search, return its id.
+
+        202 + a pollable ``/dse/<id>`` handle on success; 400 for a
+        malformed or over-budget spec; 429 (with Retry-After) when the
+        replica is already running its maximum concurrent searches.
+        """
+        try:
+            body = request.json()
+        except HTTPError as exc:
+            self.counters["bad_requests"] += 1
+            return 400, {"error": str(exc)}
+        try:
+            accepted = self.dse.start(body)
+        except ValueError as exc:
+            self.counters["bad_requests"] += 1
+            return 400, {"error": str(exc)}
+        except (KeyError, TypeError) as exc:
+            self.counters["bad_requests"] += 1
+            return 400, {"error": f"bad search spec: {exc}"}
+        except RuntimeError as exc:
+            return 429, {"error": str(exc)}, {
+                "Retry-After": f"{self.retry_after_hint:.3f}"
+            }
+        return 202, accepted
+
+    def _dse_poll(self, request: HTTPRequest, rest: str) -> tuple:
+        """``GET /dse/<id>`` progress polling, ``POST /dse/<id>/cancel``."""
+        if rest.endswith("/cancel"):
+            if request.method != "POST":
+                return 405, {"error": "cancel is POST-only"}
+            search_id = rest[: -len("/cancel")]
+            if self.dse.cancel(search_id):
+                return 202, {"search_id": search_id, "status": "cancelling"}
+            return 404, {"error": f"no such search: {search_id}"}
+        if request.method != "GET":
+            return 405, {"error": "dse status is GET-only"}
+        payload = self.dse.status(rest)
+        if payload is None:
+            return 404, {"error": f"no such search: {rest}"}
+        return 200, payload
 
     def _trace(self, query: str) -> dict:
         """Buffered spans, optionally filtered to one trace id."""

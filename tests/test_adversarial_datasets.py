@@ -1,0 +1,102 @@
+"""Adversarial synthetic workloads: registry, shapes, determinism.
+
+These graphs stress the mapper and NoC in ways the power-law datasets
+do not (a single mega-hub, strict bipartite traffic, a dense near-clique
+core), so they ride the DSE and regression sweeps as named workloads.
+"""
+
+import pytest
+
+from repro.graphs import (
+    ADVERSARIAL_DATASETS,
+    bipartite_graph,
+    list_adversarial_datasets,
+    near_clique_hub_graph,
+)
+from repro.graphs.datasets import (
+    DATASETS,
+    dataset_profile,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_paper_registry_is_untouched(self):
+        # The serving/CLI dataset list is pinned to the paper's five
+        # datasets; adversarial workloads live in their own registry.
+        assert list_datasets() == ["cora", "citeseer", "pubmed", "nell", "reddit"]
+        assert not set(ADVERSARIAL_DATASETS) & set(DATASETS)
+
+    def test_adversarial_names(self):
+        assert list_adversarial_datasets() == [
+            "adv-star",
+            "adv-bipartite",
+            "adv-hubclique",
+        ]
+
+    def test_profiles_resolve(self):
+        for name in list_adversarial_datasets():
+            prof = dataset_profile(name)
+            assert prof.name == name
+            assert prof.num_vertices > 0 and prof.num_edges > 0
+
+    def test_unknown_name_lists_both_registries(self):
+        with pytest.raises(KeyError, match="adv-star"):
+            dataset_profile("nonesuch")
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", ["adv-star", "adv-bipartite", "adv-hubclique"])
+    def test_scaled_load_matches_profile(self, name):
+        prof = dataset_profile(name)
+        graph = load_dataset(name, scale=0.25)
+        assert graph.num_vertices == max(1, int(prof.num_vertices * 0.25))
+        assert graph.num_features == prof.num_features
+        assert graph.num_edges > 0
+
+    def test_star_is_hub_dominated(self):
+        graph = load_dataset("adv-star", scale=0.25)
+        degrees = graph.degrees
+        # One vertex touches essentially every edge endpoint.
+        assert degrees.max() > 100 * degrees.mean()
+
+    def test_bipartite_has_no_within_partition_edges(self):
+        graph = bipartite_graph(32, 48, 256, seed=3)
+        for v in range(32):
+            assert all(u >= 32 for u in graph.neighbors(v))
+        for v in range(32, 80):
+            assert all(u < 32 for u in graph.neighbors(v))
+
+    def test_near_clique_core_is_dense(self):
+        clique = 16
+        graph = near_clique_hub_graph(64, clique, seed=5)
+        core_edges = sum(
+            1
+            for v in range(clique)
+            for u in graph.neighbors(v)
+            if u < clique
+        )
+        possible = clique * (clique - 1)
+        assert core_edges / possible > 0.5
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["adv-star", "adv-bipartite", "adv-hubclique"])
+    def test_content_key_is_stable(self, name):
+        a = load_dataset(name, scale=0.25)
+        b = load_dataset(name, scale=0.25)
+        assert a.content_key == b.content_key
+
+    def test_seed_changes_content(self):
+        a = load_dataset("adv-bipartite", scale=0.25, seed=0)
+        b = load_dataset("adv-bipartite", scale=0.25, seed=1)
+        assert a.content_key != b.content_key
+
+    def test_generators_deterministic_by_seed(self):
+        a = bipartite_graph(32, 48, 256, seed=9)
+        b = bipartite_graph(32, 48, 256, seed=9)
+        assert a.content_key == b.content_key
+        c = near_clique_hub_graph(64, 16, seed=9)
+        d = near_clique_hub_graph(64, 16, seed=9)
+        assert c.content_key == d.content_key

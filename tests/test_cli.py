@@ -330,3 +330,67 @@ class TestCacheCommand:
         assert main(["request", "--port", "1", "--retries", "0",
                      "--dataset", "cora"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestDSECommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.space == "aurora-core"
+        assert args.optimizer == "random"
+        assert args.objective == "latency"
+        assert args.budget == 200
+        assert args.cache is True
+
+    def test_parser_rejects_unknown_space(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--space", "nonesuch"])
+
+    def test_parser_accepts_adversarial_dataset(self):
+        args = build_parser().parse_args(["dse", "--dataset", "adv-star"])
+        assert args.dataset == "adv-star"
+
+    def test_search_writes_trajectory(self, capsys, tmp_path):
+        rc = main([
+            "dse", "--space", "aurora-mini", "--budget", "8", "--batch", "4",
+            "--dataset", "cora", "--scale", "0.1", "--hidden", "8",
+            "--layers", "1", "--no-cache",
+            "--trajectory", str(tmp_path / "t.jsonl"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 evaluations" in out
+        assert "best latency" in out
+        assert (tmp_path / "t.jsonl").exists()
+
+    def test_malformed_option_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="malformed"):
+            main([
+                "dse", "--space", "aurora-mini", "--budget", "4",
+                "--option", "oops",
+                "--trajectory", str(tmp_path / "t.jsonl"),
+            ])
+
+    def test_paper_sweep_grid(self, capsys, tmp_path):
+        rc = main([
+            "dse", "--grid", "paper-sweep", "--datasets", "cora",
+            "--scale", "0.1", "--hidden", "8", "--layers", "1", "--no-cache",
+            "--trajectory", str(tmp_path / "grid.jsonl"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "6 evaluations" in out
+        assert "accelerator" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        import json
+
+        rc = main([
+            "dse", "--space", "aurora-mini", "--budget", "4", "--batch", "4",
+            "--dataset", "cora", "--scale", "0.1", "--hidden", "8",
+            "--layers", "1", "--no-cache", "--json",
+            "--trajectory", str(tmp_path / "t.jsonl"),
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evaluations"] == 4
+        assert payload["spec"]["space"] == "aurora-mini"

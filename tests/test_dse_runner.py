@@ -1,0 +1,205 @@
+"""DSERunner: budgets, determinism, checkpoint/resume, grid path."""
+
+import threading
+
+import pytest
+
+from repro.dse import (
+    DSERunner,
+    SearchSpec,
+    build_grid,
+    evaluate_grid,
+    list_grids,
+    read_trajectory,
+    summarize_trajectory,
+)
+from repro.runtime import ProcessExecutor, ResultCache
+
+#: Small enough that a 12-evaluation search is sub-second.
+WORKLOAD = {"dataset": "cora", "scale": 0.1, "hidden": 8, "num_layers": 1}
+
+
+def _spec(**overrides):
+    base = dict(
+        space="aurora-mini",
+        optimizer="random",
+        objective="latency",
+        seed=7,
+        max_evaluations=12,
+        batch=4,
+        workload=dict(WORKLOAD),
+    )
+    base.update(overrides)
+    return SearchSpec(**base)
+
+
+class TestBudgets:
+    def test_stops_at_evaluation_budget(self, tmp_path):
+        runner = DSERunner(
+            _spec(), trajectory_path=tmp_path / "t.jsonl"
+        )
+        result = runner.run()
+        assert result.evaluations == 12
+        assert result.stopped == "budget"
+        assert result.errors == 0
+        assert result.best_fitness is not None
+
+    def test_exhaustion_beats_budget(self, tmp_path):
+        # Unique sampling drains the 24-point space before 200 evals.
+        spec = _spec(max_evaluations=200, options={"unique": True})
+        result = DSERunner(spec, trajectory_path=tmp_path / "t.jsonl").run()
+        assert result.evaluations == 24
+        assert result.stopped == "exhausted"
+
+    def test_pre_set_cancel_stops_immediately(self, tmp_path):
+        cancel = threading.Event()
+        cancel.set()
+        runner = DSERunner(
+            _spec(), trajectory_path=tmp_path / "t.jsonl", cancel=cancel
+        )
+        result = runner.run()
+        assert result.evaluations == 0
+        assert result.stopped == "cancelled"
+
+    def test_wall_clock_budget(self, tmp_path):
+        spec = _spec(max_evaluations=100_000, max_seconds=0.2)
+        result = DSERunner(spec, trajectory_path=tmp_path / "t.jsonl").run()
+        assert result.stopped == "wall-clock"
+        assert result.evaluations < 100_000
+
+
+class TestTrajectory:
+    def test_best_fitness_is_monotone(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        DSERunner(_spec(max_evaluations=24), trajectory_path=path).run()
+        header, records = read_trajectory(path)
+        assert header["space"] == "aurora-mini"
+        assert header["optimizer"] == "random"
+        assert len(records) == 24
+        best = None
+        for record in records:
+            if record["best_fitness"] is not None:
+                if best is not None:
+                    assert record["best_fitness"] <= best
+                best = record["best_fitness"]
+        assert best is not None
+
+    def test_summary_matches_result(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        result = DSERunner(_spec(), trajectory_path=path).run()
+        summary = summarize_trajectory(read_trajectory(path)[1])
+        assert summary["evaluations"] == result.evaluations
+        assert summary["best_fitness"] == pytest.approx(result.best_fitness)
+
+
+class TestDeterminism:
+    def test_serial_and_process_pool_trajectories_match(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        DSERunner(_spec(), trajectory_path=serial_path).run()
+        pool_path = tmp_path / "pool.jsonl"
+        DSERunner(
+            _spec(),
+            trajectory_path=pool_path,
+            executor=ProcessExecutor(2),
+        ).run()
+        assert serial_path.read_bytes() == pool_path.read_bytes()
+
+    def test_warm_cache_trajectory_matches_cold(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold_path, warm_path = tmp_path / "cold.jsonl", tmp_path / "warm.jsonl"
+        cold = DSERunner(_spec(), cache=cache, trajectory_path=cold_path).run()
+        warm = DSERunner(_spec(), cache=cache, trajectory_path=warm_path).run()
+        assert cold_path.read_bytes() == warm_path.read_bytes()
+        # The second run is served entirely from the content-addressed
+        # cache: same trajectory, zero simulations.
+        assert warm.executed == 0
+        assert warm.served == warm.evaluations
+        assert cold.executed > 0
+
+    @pytest.mark.parametrize("optimizer", ["random", "genetic", "sha"])
+    def test_resume_continues_the_same_trajectory(self, tmp_path, optimizer):
+        options = {"cohort": 9} if optimizer == "sha" else {}
+        budget = 16
+        straight_path = tmp_path / "straight.jsonl"
+        straight = DSERunner(
+            _spec(optimizer=optimizer, options=options, max_evaluations=budget),
+            trajectory_path=straight_path,
+        ).run()
+
+        resumed_path = tmp_path / "resumed.jsonl"
+        checkpoint = tmp_path / "ckpt.json"
+        first = DSERunner(
+            _spec(optimizer=optimizer, options=options, max_evaluations=8),
+            trajectory_path=resumed_path,
+            checkpoint_path=checkpoint,
+        ).run()
+        assert first.evaluations == 8
+        second = DSERunner(
+            _spec(optimizer=optimizer, options=options, max_evaluations=budget),
+            trajectory_path=resumed_path,
+            checkpoint_path=checkpoint,
+            resume=True,
+        ).run()
+        # SHA exhausts its cohort below the budget; either way the
+        # resumed search must land exactly where the straight run did.
+        assert second.evaluations == straight.evaluations
+        assert straight_path.read_bytes() == resumed_path.read_bytes()
+
+    def test_resume_refuses_a_different_space(self, tmp_path):
+        checkpoint = tmp_path / "ckpt.json"
+        DSERunner(
+            _spec(max_evaluations=4), checkpoint_path=checkpoint
+        ).run()
+        other = _spec(
+            max_evaluations=8, workload={**WORKLOAD, "dataset": "citeseer"}
+        )
+        with pytest.raises(ValueError, match="different design space"):
+            DSERunner(
+                other, checkpoint_path=checkpoint, resume=True
+            ).run()
+
+
+class TestGrids:
+    def test_registry(self):
+        assert list_grids() == ["paper-sweep", "adversarial"]
+        with pytest.raises(KeyError):
+            build_grid("nonesuch")
+
+    def test_paper_sweep_shares_the_evaluation_path(self, tmp_path):
+        jobs, labels = build_grid(
+            "paper-sweep",
+            datasets=["cora"],
+            scale=0.1,
+            hidden=8,
+            num_layers=1,
+        )
+        assert len(jobs) == len(labels) == 6  # six accelerators
+        path = tmp_path / "grid.jsonl"
+        result = evaluate_grid(
+            jobs, objective="latency", trajectory_path=path, labels=labels
+        )
+        assert result.stopped == "completed"
+        assert result.evaluations == 6
+        assert result.best_point["accelerator"] in {
+            "hygcn", "awb-gcn", "gcnax", "regnn", "flowgnn", "aurora",
+        }
+        _, records = read_trajectory(path)
+        assert len(records) == 6
+
+    def test_adversarial_grid_builds(self):
+        jobs, labels = build_grid("adversarial", scale=0.25)
+        # 3 datasets x (5 baselines + aurora with 2 mappings).
+        assert len(jobs) == 3 * 7
+        assert {lab["dataset"] for lab in labels} == {
+            "adv-star", "adv-bipartite", "adv-hubclique",
+        }
+
+    def test_grid_cancel(self, tmp_path):
+        jobs, labels = build_grid(
+            "paper-sweep", datasets=["cora"], scale=0.1, hidden=8, num_layers=1
+        )
+        cancel = threading.Event()
+        cancel.set()
+        result = evaluate_grid(jobs, cancel=cancel, labels=labels)
+        assert result.stopped == "cancelled"
+        assert result.evaluations == 0

@@ -1,0 +1,114 @@
+"""The /dse endpoints: submit, poll, cancel, caps, manager accounting."""
+
+import pytest
+
+from repro.dse.service import DSEManager, MAX_EVALUATIONS_CAP
+from repro.runtime import ResultCache
+from repro.serve.client import RequestFailed, ServeClient
+from repro.serve.server import ServerThread, SimulationService
+
+SPEC = {
+    "space": "aurora-mini",
+    "optimizer": "random",
+    "objective": "latency",
+    "seed": 7,
+    "max_evaluations": 16,
+    "batch": 8,
+    "workload": {"dataset": "cora", "scale": 0.1, "hidden": 8, "num_layers": 1},
+}
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = SimulationService(
+        cache=ResultCache(tmp_path / "cache"),
+        dse_artifact_dir=str(tmp_path / "artifacts"),
+    )
+    with ServerThread(service) as thread:
+        host, port = thread.address
+        yield service, ServeClient(host, port, timeout=60.0)
+
+
+class TestEndpoints:
+    def test_submit_poll_done(self, served):
+        service, client = served
+        accepted = client.dse_start(dict(SPEC))
+        assert accepted["status"] == "accepted"
+        assert accepted["poll"] == f"/dse/{accepted['search_id']}"
+
+        payload = client.dse_wait(accepted["search_id"], timeout=60.0)
+        assert payload["state"] == "done"
+        result = payload["result"]
+        assert result["evaluations"] == 16
+        assert result["stopped"] == "budget"
+        assert result["best_fitness"] is not None
+        assert payload["trajectory_tail"]
+        tail = payload["trajectory_tail"]
+        assert tail[-1]["i"] == 15
+
+    def test_search_warms_the_shared_cache(self, served):
+        service, client = served
+        first = client.dse_start(dict(SPEC))
+        client.dse_wait(first["search_id"], timeout=60.0)
+        second = client.dse_start(dict(SPEC))
+        payload = client.dse_wait(second["search_id"], timeout=60.0)
+        # Same seed, same spec, cache shared through the service: the
+        # repeat search simulates nothing.
+        assert payload["result"]["executed"] == 0
+        assert payload["result"]["served"] == 16
+
+    def test_unknown_id_is_404(self, served):
+        _, client = served
+        with pytest.raises(RequestFailed) as info:
+            client.dse_poll("nonesuch")
+        assert info.value.status == 404
+
+    def test_over_cap_spec_is_400(self, served):
+        _, client = served
+        bad = {**SPEC, "max_evaluations": MAX_EVALUATIONS_CAP + 1}
+        with pytest.raises(RequestFailed) as info:
+            client.dse_start(bad)
+        assert info.value.status == 400
+
+    def test_unknown_spec_field_is_400(self, served):
+        _, client = served
+        with pytest.raises(RequestFailed) as info:
+            client.dse_start({**SPEC, "nonesuch": 1})
+        assert info.value.status == 400
+
+    def test_cancel_endpoint(self, served):
+        _, client = served
+        big = {**SPEC, "max_evaluations": 512, "seed": 99}
+        accepted = client.dse_start(big)
+        status, payload = client.call(
+            "POST", f"/dse/{accepted['search_id']}/cancel"
+        )
+        assert status == 202
+        final = client.dse_wait(accepted["search_id"], timeout=60.0)
+        assert final["state"] == "done"
+        assert final["result"]["stopped"] in ("cancelled", "budget")
+
+    def test_stats_carry_dse_section(self, served):
+        service, client = served
+        client.dse_wait(
+            client.dse_start(dict(SPEC))["search_id"], timeout=60.0
+        )
+        stats = client.stats()
+        assert stats["dse"]["started_total"] == 1
+
+
+class TestManager:
+    def test_caps_injected_wall_clock(self, tmp_path):
+        manager = DSEManager(artifact_dir=str(tmp_path))
+        spec = manager.parse_spec(dict(SPEC))
+        assert spec.max_seconds is not None
+
+    def test_rejects_when_replica_is_full(self, tmp_path):
+        manager = DSEManager(artifact_dir=str(tmp_path), max_active=0)
+        with pytest.raises(RuntimeError, match="too many"):
+            manager.start(dict(SPEC))
+        assert manager.stats()["rejected_total"] == 1
+
+    def test_cancel_unknown_is_false(self, tmp_path):
+        manager = DSEManager(artifact_dir=str(tmp_path))
+        assert manager.cancel("nonesuch") is False

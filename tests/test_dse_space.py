@@ -1,0 +1,152 @@
+"""Design-space declaration layer: axes, constraints, job encoding."""
+
+import random
+
+import pytest
+
+from repro.dse import (
+    Categorical,
+    Constraint,
+    DesignSpace,
+    IntGrid,
+    LogFloat,
+    build_space,
+    list_spaces,
+)
+from repro.runtime.jobs import SimJob, job_key
+
+
+def _tiny_space(**kwargs):
+    return DesignSpace(
+        "tiny",
+        [
+            IntGrid("array_k", (8, 16, 32)),
+            Categorical("mapping", ("degree-aware", "hashing")),
+        ],
+        **kwargs,
+    )
+
+
+class TestAxes:
+    def test_int_grid_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            IntGrid("k", (16, 8))
+
+    def test_categorical_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Categorical("m", ("a", "a"))
+
+    def test_log_float_grid_is_geometric(self):
+        axis = LogFloat("f", 1.0, 100.0, 3)
+        assert axis.grid == pytest.approx((1.0, 10.0, 100.0))
+
+    def test_log_float_index_snaps_to_nearest(self):
+        axis = LogFloat("f", 1.0, 100.0, 3)
+        assert axis.index(9.0) == 1
+        assert axis.index(200.0) == 2
+
+
+class TestGeometry:
+    def test_size_is_grid_product(self):
+        assert _tiny_space().size == 6
+
+    def test_encode_decode_round_trip(self):
+        space = _tiny_space()
+        for a in range(3):
+            for b in range(2):
+                values = space.decode((a, b))
+                assert space.encode(values) == (a, b)
+
+    def test_constraints_gate_feasibility(self):
+        space = _tiny_space(
+            constraints=(Constraint("small", lambda v: v["array_k"] <= 16),)
+        )
+        assert space.is_feasible((0, 0))
+        assert not space.is_feasible((2, 0))
+        rng = random.Random(0)
+        for _ in range(50):
+            assert space.is_feasible(space.random_point(rng))
+
+    def test_neighbors_move_one_axis(self):
+        space = _tiny_space()
+        nbrs = space.neighbors((1, 0))
+        assert (0, 0) in nbrs and (2, 0) in nbrs  # ordered ±1
+        assert (1, 1) in nbrs  # categorical flip
+        assert (0, 1) not in nbrs  # two axes at once
+
+    def test_random_point_is_seed_deterministic(self):
+        space = _tiny_space()
+        a = [space.random_point(random.Random(7)) for _ in range(5)]
+        b = [space.random_point(random.Random(7)) for _ in range(5)]
+        assert a == b
+
+
+class TestJobEncoding:
+    def test_axis_values_route_to_config_noc_and_job(self):
+        space = DesignSpace(
+            "routes",
+            [
+                IntGrid("array_k", (8, 16)),
+                IntGrid("noc.flit_bytes", (8, 32)),
+                Categorical("mapping", ("degree-aware", "hashing")),
+            ],
+            base_job=SimJob(dataset="cora", scale=0.5, hidden=8, num_layers=1),
+        )
+        job = space.job_for((1, 1, 1))
+        assert job.config.array_k == 16
+        assert job.config.noc.flit_bytes == 32
+        assert job.mapping == "hashing"
+        assert job.dataset == "cora" and job.hidden == 8
+
+    def test_fidelity_scales_the_workload(self):
+        space = _tiny_space(base_job=SimJob(scale=0.9))
+        job = space.job_for((0, 0), fidelity=1.0 / 3.0)
+        assert job.scale == pytest.approx(0.3)
+
+    def test_unknown_axis_name_raises(self):
+        space = DesignSpace("bad", [IntGrid("nonesuch_field", (1, 2))])
+        with pytest.raises(KeyError):
+            space.job_for((0,))
+
+    def test_same_point_same_job_key(self):
+        # The content-addressed identity the whole cache story rests on.
+        space = build_space("aurora-mini", SimJob(scale=0.5))
+        a = job_key(space.job_for((1, 2, 0, 1)))
+        b = job_key(space.job_for((1, 2, 0, 1)))
+        assert a == b
+        assert a != job_key(space.job_for((0, 2, 0, 1)))
+
+
+class TestNamedSpaces:
+    def test_registry(self):
+        assert list_spaces() == ["aurora-core", "aurora-noc", "aurora-mini"]
+        with pytest.raises(KeyError):
+            build_space("nonesuch")
+
+    def test_mini_space_size(self):
+        assert build_space("aurora-mini").size == 24
+
+    def test_core_space_constraints_cut_the_grid(self):
+        space = build_space("aurora-core")
+        # The full 32x32 array with 16 MACs/PE sits on the budget edge.
+        top = space.encode(
+            {
+                "array_k": 32,
+                "macs_per_pe": 16,
+                "pe_buffer_bytes": 100 * 1024,
+                "frequency_hz": 1.4e9,
+                "noc.flit_bytes": 32,
+                "noc.vcs_per_port": 4,
+                "noc.bypass_links_per_row": 2,
+                "mapping": "degree-aware",
+            }
+        )
+        assert space.is_feasible(top)
+
+    def test_signature_tracks_space_and_workload(self):
+        a = build_space("aurora-mini", SimJob(dataset="cora"))
+        b = build_space("aurora-mini", SimJob(dataset="cora"))
+        c = build_space("aurora-mini", SimJob(dataset="pubmed"))
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+        assert a.signature() != build_space("aurora-noc").signature()

@@ -265,6 +265,27 @@ class TestBenchSnapshot:
         assert counters.get("config.plan_cache_miss") is None
         assert counters.get("mapping.tile_cache_hit", 0) >= 1
 
+    def test_dse_tier_schema(self, tmp_path):
+        """The DSE tier through write_bench_json: schema + the
+        cache-amplification invariants BENCH_9 reports."""
+        from repro.perf.bench import write_bench_json
+
+        out = tmp_path / "BENCH_d.json"
+        snap = write_bench_json(out, repeat=1, tier="dse")
+        on_disk = json.loads(out.read_text())
+        assert on_disk["tier"] == "dse"
+        assert set(on_disk["benches"]) == {"random", "sha"}
+        random_bench = on_disk["benches"]["random"]
+        assert random_bench["evaluations"] == 200
+        assert random_bench["evaluations_per_second"] > 0
+        # With-replacement sampling on the 24-point mini space: most
+        # evaluations must be cache- or dedup-served.
+        assert random_bench["cold_served_fraction"] >= 0.3
+        # A warm repeat of the same seeded search simulates nothing.
+        assert random_bench["warm_executed"] == 0
+        assert random_bench["warm_served_fraction"] == 1.0
+        assert snap["benches"]["sha"]["stopped"] == "exhausted"
+
     def test_fanout_tier_schema(self, tmp_path):
         """A tiny fan-out case through write_bench_json: schema + the
         identity checks wired into _run_fanout_case."""

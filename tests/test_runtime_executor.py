@@ -1,5 +1,6 @@
 """Tests for the pluggable job executors."""
 
+import threading
 import time
 
 import pytest
@@ -11,6 +12,7 @@ from repro.runtime import (
     SimJob,
     get_executor,
 )
+from repro.runtime.executor import CANCELLED
 
 SMALL = dict(scale=0.1, hidden=8, num_layers=1)
 
@@ -154,6 +156,107 @@ class TestErrorRecordOrdering:
         records = fake.run(jobs)
         assert [r.job for r in records] == jobs
         assert [r.ok for r in records] == [True, False, True, False]
+
+
+class TestCancellation:
+    """The cancel event must stop a sweep mid-flight — the mechanism
+    SuccessiveHalving uses to abandon losing rungs — and every
+    unfinished job must come back as a CANCELLED record at its input
+    position, with its fn never called."""
+
+    def test_serial_stops_after_cancel_set(self):
+        jobs = [SimJob(seed=s, **SMALL) for s in range(4)]
+        cancel = threading.Event()
+        ran = []
+
+        def fn(job):
+            ran.append(job.seed)
+            if job.seed == 1:
+                # Models a budget expiring while the job runs.
+                cancel.set()
+            return {"seed": job.seed}
+
+        records = SerialExecutor().run(jobs, fn=fn, cancel=cancel)
+        assert [r.job for r in records] == jobs
+        assert ran == [0, 1]
+        assert records[0].ok and records[1].ok
+        assert [r.error for r in records[2:]] == [CANCELLED, CANCELLED]
+        assert all(r.payload is None for r in records[2:])
+
+    def test_fake_executor_hanging_job_regression(self):
+        """A 'hanging' FakeExecutor job (it sets cancel instead of
+        returning promptly) must not drag the rest of the batch with
+        it: later jobs are cancelled, not executed."""
+        jobs = [SimJob(seed=s, **SMALL) for s in range(5)]
+        cancel = threading.Event()
+
+        def hang(job):
+            if job.seed == 0:
+                cancel.set()
+            return {"seed": job.seed}
+
+        fake = FakeExecutor(fn=hang)
+        records = fake.run(jobs, cancel=cancel)
+        # Only the hanging job reached the executor's call log.
+        assert [j.seed for j in fake.calls] == [0]
+        assert records[0].ok
+        assert all(r.error == CANCELLED for r in records[1:])
+
+    def test_pre_cancelled_batch_runs_nothing(self):
+        cancel = threading.Event()
+        cancel.set()
+        fake = FakeExecutor(fn=_echo)
+        records = fake.run(_grid(), cancel=cancel)
+        assert fake.calls == []
+        assert all(r.error == CANCELLED for r in records)
+        serial = SerialExecutor().run(_grid(), fn=_echo, cancel=cancel)
+        assert all(r.error == CANCELLED for r in serial)
+
+    def test_process_pool_cancel_mid_flight(self):
+        """Cancelling while a worker hangs must return promptly with
+        CANCELLED records instead of waiting out the hang."""
+        jobs = [SimJob(seed=1, **SMALL), SimJob(seed=2, **SMALL)]
+        cancel = threading.Event()
+        timer = threading.Timer(0.5, cancel.set)
+        timer.start()
+        try:
+            start = time.perf_counter()
+            records = ProcessExecutor(1, timeout=120.0).run(
+                jobs, fn=_hang_on_seed_1, cancel=cancel
+            )
+            elapsed = time.perf_counter() - start
+        finally:
+            timer.cancel()
+        assert [r.job for r in records] == jobs
+        assert records[0].error == CANCELLED
+        assert records[1].error == CANCELLED
+        # Far below the 60s hang: the pool was terminated, not awaited.
+        assert elapsed < 30.0
+
+    def test_run_jobs_counts_cancelled(self):
+        from repro.runtime import run_jobs
+        from repro.runtime.jobs import execute_job
+
+        jobs = [SimJob(seed=s, **SMALL) for s in range(4)]
+        cancel = threading.Event()
+
+        def fn(job):
+            payload = execute_job(job)
+            if job.seed == 1:
+                cancel.set()
+            return payload
+
+        report = run_jobs(
+            jobs,
+            executor=FakeExecutor(fn=fn),
+            cache=False,
+            cancel=cancel,
+        )
+        assert report.metrics.cancelled == 2
+        assert report.metrics.executed == 2
+        assert report.metrics.errors == 0
+        cancelled = [o for o in report.outcomes if o.error == CANCELLED]
+        assert len(cancelled) == 2
 
 
 class TestSelection:
