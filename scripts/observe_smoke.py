@@ -1,0 +1,187 @@
+"""CI smoke test for the live observability channel.
+
+Boots the real server as a subprocess with ``--observe`` and a session
+recording, attaches a WebSocket client to ``GET /observe``, drives one
+``/simulate``, and asserts the ordered lifecycle event sequence arrives
+live and schema-valid.  It then checks the dashboard and ``/stats``
+surfaces, sends SIGTERM while the observer is still attached (the
+stream must close cleanly, not error), and replays the JSONL recording
+— every event the live client saw must be in the recording with an
+identical payload.  The recording is copied to OBSERVE_EVENTS.jsonl
+and uploaded as a CI artifact.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/observe_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.observe.client import ObserveClient  # noqa: E402
+from repro.observe.events import (  # noqa: E402
+    REQUEST_LIFECYCLE,
+    SCHEMA_VERSION,
+    validate_events,
+)
+from repro.observe.recorder import read_session  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+SMALL = {"dataset": "cora", "scale": 0.2, "hidden": 16, "layers": 1}
+ARTIFACT = REPO_ROOT / "OBSERVE_EVENTS.jsonl"
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"smoke: {label}: {status}", flush=True)
+    if not condition:
+        raise SystemExit(f"smoke check failed: {label}")
+
+
+def boot(cache_dir: str, record_path: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["REPRO_CACHE_DIR"] = cache_dir
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--observe", "--observe-record", str(record_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise SystemExit("smoke: server died during startup")
+        if "listening on" in line:
+            return process, int(line.rsplit(":", 1)[1])
+    raise SystemExit("smoke: server never reported its port")
+
+
+async def observe_one_request(port: int) -> list[dict]:
+    """Attach, fire one /simulate, collect events until it completes."""
+    observer = ObserveClient("127.0.0.1", port)
+    hello = await observer.connect()
+    check(hello["data"]["schema"] == SCHEMA_VERSION, "hello carries the schema")
+
+    client = ServeClient("127.0.0.1", port, timeout=60.0)
+    request = asyncio.create_task(asyncio.to_thread(client.simulate, SMALL))
+    events: list[dict] = []
+    while True:
+        event = await asyncio.wait_for(observer.next_event(), timeout=60.0)
+        check(event is not None, "stream stayed open through the request")
+        events.append(event)
+        if event["type"] == "request.completed":
+            break
+    result = await request
+    check(result["result"]["accelerator"] == "aurora", "request succeeded")
+    await observer.close()
+    return events
+
+
+async def watch_shutdown(port: int, process: subprocess.Popen) -> None:
+    """SIGTERM with an attached observer: the stream must end cleanly."""
+    observer = ObserveClient("127.0.0.1", port)
+    await observer.connect()
+    process.send_signal(signal.SIGTERM)
+    ended = await asyncio.wait_for(observer.next_event(), timeout=30.0)
+    check(ended is None, "stream closed cleanly on SIGTERM")
+    await observer.close()
+
+
+def http_get(port: int, path: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        record_path = Path(workdir) / "session.jsonl"
+        process, port = boot(workdir, record_path)
+        try:
+            events = asyncio.run(observe_one_request(port))
+
+            # The ordered lifecycle contract, live over the WebSocket.
+            types = [e["type"] for e in events]
+            positions = [
+                types.index(t) for t in REQUEST_LIFECYCLE if t in types
+            ]
+            check(
+                len(positions) == len(REQUEST_LIFECYCLE)
+                and positions == sorted(positions),
+                f"lifecycle arrived in order ({types})",
+            )
+            check(validate_events(events) == [], "live events are schema-valid")
+
+            status, body = http_get(port, "/observer")
+            check(
+                status == 200 and b"/observe" in body,
+                "dashboard is served",
+            )
+            status, body = http_get(port, "/stats")
+            observe_stats = json.loads(body)["observe"]
+            check(observe_stats["enabled"] is True, "stats report observe on")
+            check(
+                observe_stats["recorder"]["events_recorded"] >= len(events),
+                "recorder kept pace with the live feed",
+            )
+
+            asyncio.run(watch_shutdown(port, process))
+            check(process.wait(timeout=60) == 0, "clean drain exit code")
+
+            # Replay identity: everything the live client saw is in the
+            # recording, byte-identical, plus the shutdown tail.
+            recorded, info = read_session(record_path)
+            check(info["skipped"] == 0, "recording has no damaged lines")
+            check(info["schema"] == SCHEMA_VERSION, "recording schema pinned")
+            check(
+                validate_events(recorded) == [],
+                "recorded events are schema-valid",
+            )
+            by_seq = {event.seq: event.to_dict() for event in recorded}
+            check(
+                all(by_seq.get(e["seq"]) == e for e in events),
+                "live feed replays identically from the recording",
+            )
+
+            shutil.copyfile(record_path, ARTIFACT)
+            print(
+                f"smoke: PASS — {len(events)} live events, "
+                f"{len(recorded)} recorded → {ARTIFACT.name}",
+                flush=True,
+            )
+            return 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

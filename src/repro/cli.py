@@ -123,6 +123,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="reuse simulation results from the on-disk cache",
         )
 
+    def add_observe_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--observe",
+            action="store_true",
+            help="stream live telemetry events over ws://HOST:PORT/observe "
+            "and serve the browser dashboard at GET /observer",
+        )
+        p.add_argument(
+            "--observe-record",
+            default=None,
+            metavar="PATH",
+            help="also record the event stream as schema-versioned JSONL "
+            "(rotated; replay with `repro observe replay`)",
+        )
+        p.add_argument(
+            "--observe-queue",
+            type=positive_int,
+            default=512,
+            metavar="N",
+            help="per-client outbound event queue depth (default: 512)",
+        )
+        p.add_argument(
+            "--observe-max-drops",
+            type=positive_int,
+            default=64,
+            metavar="N",
+            help="dropped events before a slow client is evicted "
+            "with close code 1013 (default: 64)",
+        )
+
     p_cmp = sub.add_parser("compare", help="accelerator comparison figure")
     p_cmp.add_argument("--model", default="gcn", choices=list_models())
     p_cmp.add_argument(
@@ -310,15 +340,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--tier",
-        choices=("analytical", "cycle", "serve", "cluster", "fanout", "delta", "dse"),
+        choices=(
+            "analytical", "cycle", "serve", "cluster", "fanout", "delta",
+            "dse", "observe",
+        ),
         default="analytical",
         help="which tier to bench: analytical layer sweep (BENCH_2), "
         "flit-level cycle tile (BENCH_3), the end-to-end simulation "
         "service (BENCH_4), the sharded cluster at 1/2/4 replicas "
         "(BENCH_6), intra-job tile fan-out on a multi-tile job "
         "(BENCH_7), incremental re-simulation under mutation "
-        "streams at 1/10/50% dirty tiles (BENCH_8), or cache-amplified "
-        "design-space search throughput (BENCH_9)",
+        "streams at 1/10/50% dirty tiles (BENCH_8), cache-amplified "
+        "design-space search throughput (BENCH_9), or the serve path "
+        "with the live observer on vs off (BENCH_10)",
     )
     p_bench.add_argument(
         "--tile-workers",
@@ -445,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="identify this process as a cluster replica (adds the id "
         "to /healthz, /stats, and a repro_replica_info metric)",
     )
+    add_observe_flags(p_srv)
 
     p_cluster = sub.add_parser(
         "cluster", help="run the sharded replica fleet behind the router"
@@ -530,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="SIGTERM grace period for in-flight work, router and replicas",
     )
+    add_observe_flags(p_cluster)
 
     p_req = sub.add_parser(
         "request", help="fire one request at a running service"
@@ -642,6 +678,89 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SIZE",
         help="on-disk budget, e.g. 50000000, 64k, 100m, 2g; oldest "
         "results are evicted first until the cache fits",
+    )
+
+    p_obs = sub.add_parser(
+        "observe", help="record, tail, or replay the live event stream"
+    )
+    obs_sub = p_obs.add_subparsers(dest="observe_command", required=True)
+
+    def add_observe_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument(
+            "--port",
+            type=int,
+            default=8765,
+            help="server started with --observe",
+        )
+
+    o_rec = obs_sub.add_parser(
+        "record", help="attach to ws://HOST:PORT/observe and write JSONL"
+    )
+    add_observe_source(o_rec)
+    o_rec.add_argument(
+        "--output",
+        default="observe.jsonl",
+        metavar="PATH",
+        help="recording destination (default: observe.jsonl)",
+    )
+    o_rec.add_argument(
+        "--max-events",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="stop after N events (default: until the stream closes)",
+    )
+    o_rec.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long (default: until the stream closes)",
+    )
+
+    o_tail = obs_sub.add_parser(
+        "tail", help="attach to ws://HOST:PORT/observe and print JSONL"
+    )
+    add_observe_source(o_tail)
+    o_tail.add_argument(
+        "--max-events",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="stop after N events (default: until the stream closes)",
+    )
+    o_tail.add_argument(
+        "--types",
+        nargs="+",
+        default=None,
+        metavar="TYPE",
+        help="only print these event types (e.g. request.completed span)",
+    )
+
+    o_rep = obs_sub.add_parser(
+        "replay", help="re-drive a recorded session at recorded speed"
+    )
+    o_rep.add_argument("input", metavar="PATH", help="JSONL recording")
+    o_rep.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="time acceleration; 0 replays flat-out (default: 1.0)",
+    )
+    o_rep.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve the replay over ws://127.0.0.1:PORT/observe with the "
+        "dashboard at /observer instead of printing to stdout",
+    )
+    o_rep.add_argument("--host", default="127.0.0.1")
+    o_rep.add_argument(
+        "--loop",
+        action="store_true",
+        help="with --port: restart the session when it ends",
     )
 
     return parser
@@ -977,6 +1096,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "fanout": "BENCH_7.json",
         "delta": "BENCH_8.json",
         "dse": "BENCH_9.json",
+        "observe": "BENCH_10.json",
     }
     output = args.output or defaults[args.tier]
     snapshot = write_bench_json(
@@ -1029,6 +1149,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"mid-load → {bench['failed']} failed, "
                 f"{bench['proxy_failovers']} failover(s), "
                 f"recovered={bench['recovered']}"
+            )
+        if "overhead_fraction" in bench:
+            print(
+                f"  {name:<12} observer off {bench['off_mean_seconds'] * 1e3:6.1f} ms "
+                f"| on {bench['on_mean_seconds'] * 1e3:6.1f} ms → "
+                f"{bench['overhead_fraction']:+.1%} overhead "
+                f"(budget {bench['overhead_budget']:.0%}, "
+                f"within={bench['within_budget']}, "
+                f"{bench['events_received']} events)"
             )
         if "dirty_fraction" in bench:
             print(
@@ -1094,6 +1223,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         os.environ[ENV_TILE_CACHE_DIR] = str(tiles_root)
         tile_cache = ResultCache(root=tiles_root)
     executor = get_executor(args.jobs, timeout=args.timeout)
+    observe = None
+    if args.observe or args.observe_record:
+        from .observe import ObserveState
+
+        observe = ObserveState(
+            record_path=args.observe_record,
+            queue_size=args.observe_queue,
+            max_drops=args.observe_max_drops,
+            source="serve",
+        )
     service = SimulationService(
         cache=cache,
         executor=executor,
@@ -1103,6 +1242,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         replica_id=args.replica_id,
         tile_cache=tile_cache,
+        observe=observe,
     )
     return asyncio.run(
         serve_forever(
@@ -1133,6 +1273,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         "--queue-depth", str(args.queue_depth),
         "--jobs", str(args.jobs),
     )
+    observe = None
+    if args.observe or args.observe_record:
+        from .observe import EventHub, ObserveState
+
+        # Replicas stream their own /observe feed; the router relays
+        # those into one fleet-wide feed on a private hub (the global
+        # hub would pick up this process's own tracer, double-counting
+        # spans that already arrive over the relay).
+        serve_args = serve_args + ("--observe",)
+        observe = ObserveState(
+            record_path=args.observe_record,
+            queue_size=args.observe_queue,
+            max_drops=args.observe_max_drops,
+            hub=EventHub(),
+            source="cluster",
+            install_hook=False,
+        )
     configs = [
         ReplicaConfig(
             replica_id=i,
@@ -1152,6 +1309,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         max_inflight_per_replica=args.max_inflight,
         lru_capacity=args.lru_capacity,
         proxy_timeout=args.proxy_timeout,
+        observe=observe,
     )
     for cfg in configs:
         # The router reads replica shards directly (same host): a ring
@@ -1338,6 +1496,149 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_observe(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.observe_command in ("record", "tail"):
+        coro = _observe_attach(args)
+    elif args.observe_command == "replay":
+        coro = _observe_replay(args)
+    else:  # pragma: no cover
+        raise AssertionError(f"unhandled observe command {args.observe_command}")
+    try:
+        return asyncio.run(coro)
+    except KeyboardInterrupt:
+        return 0
+
+
+async def _observe_attach(args: argparse.Namespace) -> int:
+    """``observe record`` / ``observe tail``: drain a live feed."""
+    import json as json_mod
+
+    from .observe import Event, SessionRecorder, stream_events
+    from .observe.websocket import WebSocketError
+
+    recorder = None
+    if args.observe_command == "record":
+        recorder = SessionRecorder(args.output, source="record")
+    wanted = set(getattr(args, "types", None) or ()) or None
+    count = 0
+    try:
+        async for event in stream_events(
+            args.host,
+            args.port,
+            max_events=args.max_events,
+            duration=getattr(args, "duration", None),
+        ):
+            if recorder is not None:
+                recorder.emit(Event.from_dict(event))
+                count += 1
+                continue
+            if wanted is not None and event.get("type") not in wanted:
+                continue
+            print(json_mod.dumps(event), flush=True)
+            count += 1
+    except (ConnectionError, OSError, WebSocketError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if recorder is not None:
+            recorder.close()
+            print(
+                f"observe: recorded {count} event(s) to {args.output}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+async def _observe_replay(args: argparse.Namespace) -> int:
+    """``observe replay``: to stdout, or re-served over a broadcaster."""
+    import asyncio
+    import json as json_mod
+
+    from .observe.replay import iter_session, replay_events
+
+    try:
+        events = iter_session(args.input)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print("error: recording holds no events", file=sys.stderr)
+        return 1
+
+    if args.port is None:
+        await replay_events(
+            events,
+            lambda event: print(
+                json_mod.dumps(event.to_dict()), flush=True
+            ),
+            speed=args.speed,
+        )
+        return 0
+
+    # Serve the replay: a broadcaster + dashboard with the recording as
+    # the event source instead of a live service.
+    from .observe import WebSocketBroadcaster
+    from .observe.service import ui_asset
+    from .serve.http import read_request, render_bytes, render_response
+
+    broadcaster = WebSocketBroadcaster()
+    broadcaster.bind(asyncio.get_running_loop())
+
+    async def handle(reader, writer) -> None:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            path = request.path.partition("?")[0]
+            if (
+                path == "/observe"
+                and "websocket" in request.headers.get("upgrade", "").lower()
+            ):
+                await broadcaster.handle_client(request, reader, writer)
+                return
+            if path == "/observer" or path.startswith("/observer/"):
+                asset = ui_asset(path[len("/observer"):].lstrip("/"))
+                if asset is not None:
+                    body, content_type = asset
+                    writer.write(render_bytes(200, body, content_type))
+                else:
+                    writer.write(
+                        render_response(404, {"error": "no such asset"})
+                    )
+            else:
+                writer.write(
+                    render_response(
+                        404,
+                        {"error": "replay serves /observe and /observer only"},
+                    )
+                )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, args.host, args.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(
+        f"repro-observe: replaying {len(events)} event(s) on {host}:{port} "
+        f"(dashboard http://{host}:{port}/observer, speed x{args.speed:g})",
+        flush=True,
+    )
+    try:
+        while True:
+            await replay_events(events, broadcaster.emit, speed=args.speed)
+            if not args.loop:
+                break
+    finally:
+        await broadcaster.aclose()
+        server.close()
+        await server.wait_closed()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1371,4 +1672,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "observe":
+        return _cmd_observe(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

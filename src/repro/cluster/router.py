@@ -30,14 +30,33 @@ benches host it exactly like a single service.
 from __future__ import annotations
 
 import asyncio
+import json
 import signal
 import time
+from urllib.parse import parse_qs
 
+from ..observe.service import ui_asset
+from ..observe.websocket import (
+    FrameAssembler,
+    WebSocketError,
+    client_handshake,
+    encode_pong,
+    read_frame,
+)
 from ..perf import PERF
-from ..serve.http import HTTPError, HTTPRequest, read_request, render_response, render_text
+from ..serve.http import (
+    HTTPError,
+    HTTPRequest,
+    RawResponse,
+    read_request,
+    render_bytes,
+    render_response,
+    render_text,
+)
 from ..serve.protocol import ProtocolError, parse_simulation_request
 from ..serve.server import DEADLINE_HEADER, TRACE_HEADER, LatencyWindow
 from ..telemetry import METRICS
+from ..telemetry.trace import valid_trace_id
 from . import wire
 from .replica import ReplicaSupervisor
 from .ring import DEFAULT_VNODES, HashRing
@@ -64,6 +83,7 @@ class ClusterRouter:
         retry_after_hint: float = 0.25,
         peer_fetch_limit: int = 2,
         supervisor: ReplicaSupervisor | None = None,
+        observe=None,
     ) -> None:
         if max_inflight_per_replica < 1:
             raise ValueError("max_inflight_per_replica must be >= 1")
@@ -81,6 +101,14 @@ class ClusterRouter:
         )
         if self.tiers.peer_fetch is None and peer_fetch_limit > 0:
             self.tiers.peer_fetch = self._peer_fetch
+        #: Optional :class:`repro.observe.ObserveState` (built around a
+        #: *private* hub, never the process-global one: in-process
+        #: replica services must not leak events into the fleet feed
+        #: except through their relayed WebSocket streams).
+        self.observe = observe
+        self._relays: dict[str, asyncio.Task] = {}
+        self.relay_events = 0
+        self.relay_reconnects = 0
         self._addresses: dict[str, tuple[str, int]] = {}
         self._inflight: dict[str, int] = {}
         self._draining = False
@@ -136,6 +164,11 @@ class ClusterRouter:
         if name not in self.ring:
             self.ring.add(name)
         self._replica_up.labels(replica=name).set(1)
+        if self.observe is not None:
+            self.observe.hub.emit(
+                "replica.up", {"replica": name, "host": host, "port": port}
+            )
+            self._start_relay(name, host, port)
 
     def replica_down(self, replica_id: str) -> None:
         name = str(replica_id)
@@ -143,6 +176,92 @@ class ClusterRouter:
         if name in self.ring:
             self.ring.remove(name)
         self._replica_up.labels(replica=name).set(0)
+        if self.observe is not None:
+            self.observe.hub.emit("replica.down", {"replica": name})
+            task = self._relays.pop(name, None)
+            if task is not None:
+                task.cancel()
+
+    # -- replica event relays -------------------------------------------
+    def _start_relay(self, name: str, host: str, port: int) -> None:
+        """Subscribe to one replica's /observe stream (loop thread only)."""
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # registered outside the loop (tests); no relay
+        old = self._relays.pop(name, None)
+        if old is not None:
+            old.cancel()
+        self._relays[name] = loop.create_task(
+            self._relay_replica(name, host, port)
+        )
+
+    async def _relay_replica(self, name: str, host: str, port: int) -> None:
+        """Pump one replica's event stream into the fleet hub, forever.
+
+        Events are re-emitted with a ``replica`` tag and their original
+        wall-clock timestamp; the fleet hub assigns a fresh sequence so
+        clients see one totally ordered feed.  Connection loss retries
+        with backoff for as long as the replica stays registered — a
+        replica booted without ``--observe`` simply keeps refusing the
+        upgrade and the relay keeps (slowly) knocking.
+        """
+        backoff = 0.5
+        while name in self._addresses:
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                await client_handshake(
+                    reader, writer, f"{host}:{port}", "/observe"
+                )
+                backoff = 0.5
+                assembler = FrameAssembler(require_mask=False)
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        break
+                    message = assembler.feed(frame)
+                    if message is None:
+                        continue
+                    kind, payload = message
+                    if kind == "ping":
+                        writer.write(encode_pong(payload, mask=True))
+                        await writer.drain()
+                        continue
+                    if kind == "close":
+                        break
+                    if kind != "text":
+                        continue
+                    try:
+                        event = json.loads(payload)
+                    except json.JSONDecodeError:
+                        continue
+                    if (
+                        not isinstance(event, dict)
+                        or event.get("type") in (None, "observe.hello")
+                    ):
+                        continue
+                    data = dict(event.get("data") or {})
+                    data.setdefault("replica", name)
+                    self.observe.hub.emit(
+                        event["type"], data, ts=event.get("ts")
+                    )
+                    self.relay_events += 1
+            except asyncio.CancelledError:
+                return
+            except (OSError, WebSocketError, ConnectionError):
+                pass
+            finally:
+                if writer is not None:
+                    writer.close()
+            if name not in self._addresses:
+                return
+            self.relay_reconnects += 1
+            try:
+                await asyncio.sleep(backoff)
+            except asyncio.CancelledError:
+                return
+            backoff = min(backoff * 2, 5.0)
 
     def attach_supervisor(self, supervisor: ReplicaSupervisor) -> None:
         """Wire a supervisor's callbacks into the ring."""
@@ -168,6 +287,15 @@ class ClusterRouter:
                 return
             if request is None:
                 return
+            if (
+                self.observe is not None
+                and request.path.partition("?")[0] == "/observe"
+                and "websocket" in request.headers.get("upgrade", "").lower()
+            ):
+                await self.observe.broadcaster.handle_client(
+                    request, reader, writer
+                )
+                return
             try:
                 reply = await self.dispatch(request)
             except Exception as exc:  # noqa: BLE001 — a handler bug must
@@ -180,7 +308,14 @@ class ClusterRouter:
             else:
                 status, payload = reply
                 headers = {}
-            if isinstance(payload, str):
+            if isinstance(payload, RawResponse):
+                writer.write(
+                    render_bytes(
+                        status, payload.body, payload.content_type,
+                        headers=headers or None,
+                    )
+                )
+            elif isinstance(payload, str):
                 writer.write(render_text(status, payload))
             else:
                 writer.write(
@@ -210,6 +345,10 @@ class ClusterRouter:
             if request.method != "GET":
                 return 405, {"error": "metrics is GET-only"}
             return 200, METRICS.render_prometheus()
+        if path == "/trace":
+            if request.method != "GET":
+                return 405, {"error": "trace is GET-only"}
+            return 200, await self._trace(_query)
         if path.startswith("/result/"):
             if request.method != "GET":
                 return 405, {"error": "result is GET-only"}
@@ -224,6 +363,19 @@ class ClusterRouter:
             return 200, self._replicas_view()
         if path.startswith("/replicas/"):
             return await self._replica_action(request, path)
+        if path == "/observe":
+            if self.observe is None:
+                return 404, {"error": "observability is off (start with --observe)"}
+            return 400, {"error": "GET /observe requires a websocket upgrade"}
+        if path == "/observer" or path.startswith("/observer/"):
+            if self.observe is None:
+                return 404, {"error": "observability is off (start with --observe)"}
+            if request.method != "GET":
+                return 405, {"error": "observer is GET-only"}
+            asset = ui_asset(path[len("/observer"):].lstrip("/"))
+            if asset is None:
+                return 404, {"error": "no such asset"}
+            return 200, RawResponse(asset[0], asset[1])
         return 404, {"error": f"no such endpoint: {path}"}
 
     # -- endpoints ------------------------------------------------------
@@ -272,6 +424,7 @@ class ClusterRouter:
                 "inflight": dict(sorted(self._inflight.items())),
                 "max_inflight_per_replica": self.max_inflight_per_replica,
                 "latency": self.latency.snapshot(),
+                "observe": self._observe_section(),
             },
             "supervisor": (
                 self.supervisor.snapshot() if self.supervisor is not None else None
@@ -279,6 +432,67 @@ class ClusterRouter:
             "replicas": aggregated,
             "requests_by_replica": requests_by_replica,
         }
+
+    async def _trace(self, query: str) -> dict:
+        """Fleet-wide ``GET /trace``: fan out and merge by span identity.
+
+        A request proxied through the router leaves spans on exactly one
+        replica, but a trace tree can also span replicas (retried
+        failovers, peer fetches), and replicas sharing a process (tests)
+        share a buffer — so spans merge by ``(trace_id, span_id)``,
+        first sighting wins, ordered by start time.  The same endpoint
+        shape as a single replica's, so ``repro trace export`` works
+        unchanged against a cluster.
+        """
+        params = parse_qs(query)
+        trace_id = valid_trace_id((params.get("trace_id") or [None])[0])
+        try:
+            limit = int((params.get("limit") or ["0"])[0])
+        except ValueError:
+            limit = 0
+        names = self.ring.nodes
+        path = "/trace" + (f"?trace_id={trace_id}" if trace_id else "")
+        fetched = await asyncio.gather(
+            *(self._fetch_replica_json(name, path) for name in names)
+        )
+        merged: dict[tuple, dict] = {}
+        replicas: dict[str, dict] = {}
+        for name, payload in zip(names, fetched):
+            if "error" in payload and "spans" not in payload:
+                replicas[name] = payload
+                continue
+            spans = payload.get("spans") or []
+            replicas[name] = {"count": len(spans)}
+            for span in spans:
+                if not isinstance(span, dict):
+                    continue
+                key = (span.get("trace_id"), span.get("span_id"))
+                merged.setdefault(key, span)
+        spans = sorted(
+            merged.values(), key=lambda s: s.get("start_time") or 0.0
+        )
+        if limit > 0:
+            spans = spans[-limit:]
+        return {
+            "trace_id": trace_id,
+            "count": len(spans),
+            "spans": spans,
+            "replicas": replicas,
+        }
+
+    async def _fetch_replica_json(self, name: str, path: str) -> dict:
+        address = self._addresses.get(name)
+        if address is None:
+            return {"error": "not routable"}
+        try:
+            status, payload, _ = await wire.request_json(
+                address[0], address[1], "GET", path, timeout=5.0
+            )
+        except (OSError, asyncio.TimeoutError, wire.PeerProtocolError) as exc:
+            return {"error": f"{type(exc).__name__}: {exc}"}
+        if status != 200:
+            return {"error": f"HTTP {status}"}
+        return payload
 
     async def _fetch_replica_stats(self, name: str) -> dict:
         address = self._addresses.get(name)
@@ -470,7 +684,54 @@ class ClusterRouter:
                 return payload["result"]
         return None
 
+    def _observe_section(self) -> dict | None:
+        if self.observe is None:
+            return None
+        section = self.observe.snapshot()
+        section["relays"] = sorted(self._relays)
+        section["relay_events"] = self.relay_events
+        section["relay_reconnects"] = self.relay_reconnects
+        return section
+
     # -- lifecycle (ServerThread-compatible) -----------------------------
+    def observe_startup(self) -> None:
+        """Attach the fleet observe sinks on the router loop."""
+        if self.observe is not None:
+            self.observe.startup(
+                asyncio.get_running_loop(), stats_fn=self._observe_stats
+            )
+            # Replicas that came up before the loop (or before observe
+            # was attached) still need their relays.
+            for name, (host, port) in list(self._addresses.items()):
+                if name not in self._relays:
+                    self._start_relay(name, host, port)
+
+    async def observe_shutdown(self) -> None:
+        if self.observe is None:
+            return
+        for task in self._relays.values():
+            task.cancel()
+        for task in list(self._relays.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._relays.clear()
+        await self.observe.shutdown()
+
+    def _observe_stats(self) -> dict:
+        return {
+            "admission": {
+                "in_flight": sum(self._inflight.values()),
+                "max_pending": self.max_inflight_per_replica
+                * max(1, len(self._addresses)),
+                "shed": self.counters["shed"],
+            },
+            "batcher": {},
+            "latency": self.latency.snapshot(),
+            "replicas_up": len(self.ring.nodes),
+        }
+
     def _note_idle(self) -> None:
         if self._idle is not None and sum(self._inflight.values()) == 0:
             self._idle.set()
@@ -509,6 +770,7 @@ async def cluster_forever(
     proxies, then SIGTERM-drain every replica.
     """
     router.attach_supervisor(supervisor)
+    router.observe_startup()
     await supervisor.start(wait_ready=True)
     server = await asyncio.start_server(router.handle, host, port)
     bound_host, bound_port = server.sockets[0].getsockname()[:2]
@@ -533,6 +795,7 @@ async def cluster_forever(
     server.close()
     await server.wait_closed()
     clean = await router.drain(timeout=drain_timeout)
+    await router.observe_shutdown()
     await supervisor.stop(drain_timeout=drain_timeout)
     print(
         "repro-cluster: drained, exiting"
@@ -581,6 +844,7 @@ class ClusterThread:
         async def main() -> int:
             self._stop = asyncio.Event()
             self.router.attach_supervisor(self.supervisor)
+            self.router.observe_startup()
             await self.supervisor.start(wait_ready=True)
             server = await asyncio.start_server(
                 self.router.handle, self.host, self.port
@@ -592,6 +856,7 @@ class ClusterThread:
             server.close()
             await server.wait_closed()
             clean = await self.router.drain(timeout=self.drain_timeout)
+            await self.router.observe_shutdown()
             await self.supervisor.stop(drain_timeout=self.drain_timeout)
             return 0 if clean else 1
 

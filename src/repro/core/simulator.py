@@ -44,6 +44,7 @@ from ..mapping.degree_aware import ALGORITHM_CYCLES, _zorder_nodes_cached
 from ..mapping.memo import map_tile
 from ..mapping.traffic import aggregate_flows, batched_multicast_flows
 from ..models.base import GNNModel
+from ..observe.events import noc_heat_enabled
 from ..perf import PERF
 from ..telemetry import TRACER
 from ..models.workload import (
@@ -181,12 +182,25 @@ def _tile_outcome(
     # neighbors (reuse FIFOs forward copies).
     noc_flit_hops = 0
     if mc.flows.shape[0]:
-        with TRACER.span("noc", {"edges": m_t}):
+        with TRACER.span("noc", {"edges": m_t}) as noc_span:
             with PERF.timer("traffic"):
                 traffic = TrafficMatrix.from_flows(
                     aggregate_flows(mc.flows, cfg.num_pes),
                     cfg.noc.flit_bytes,
                     cfg.array_k,
+                )
+            if noc_heat_enabled():
+                # Destination-router flit totals as a k×k row-major
+                # grid: the live observer's per-tile heatmap, carried
+                # home on the span (so worker-process tiles reach the
+                # serving process through the span-merge path).
+                heat = np.bincount(
+                    traffic.dst_y * cfg.array_k + traffic.dst_x,
+                    weights=traffic.flits,
+                    minlength=cfg.array_k * cfg.array_k,
+                )
+                noc_span.set(
+                    noc_heat=[int(v) for v in heat], k=cfg.array_k
                 )
             noc_res = AnalyticalNoCModel.cached(
                 conf.topology, cfg.noc

@@ -1,0 +1,56 @@
+"""Push-channel observability: live events, recording, and replay.
+
+Where :mod:`repro.telemetry` answers *pull* questions (``/trace``,
+``/metrics``, ``/stats``), this package is the *push* side — watch a
+request move through admission → batcher → executor → NoC as it
+happens:
+
+* :mod:`.events` — the schema-versioned :class:`Event` model, the
+  :class:`EventSink` interface, and the process-global :data:`HUB`
+  producers publish into;
+* :mod:`.websocket` — a hand-rolled, stdlib-only RFC 6455 layer
+  (handshake, frame codec, fragmentation/masking enforcement);
+* :mod:`.broadcaster` — bounded fan-out to ``GET /observe`` clients
+  with slow-consumer drop-and-evict;
+* :mod:`.recorder` / :mod:`.replay` — rotating JSONL session logs and
+  a pacing replayer that re-drives any consumer at recorded or
+  accelerated speed;
+* :mod:`.service` — the :class:`ObserveState` bundle ``repro serve
+  --observe`` flips on, plus the static dashboard under ``ui/``.
+
+See ``docs/observability.md`` ("Live observability") for the event
+schema, the wire protocol notes, and the replay runbook.
+"""
+
+from .broadcaster import WebSocketBroadcaster
+from .client import ObserveClient, stream_events
+from .events import (
+    HUB,
+    SCHEMA_VERSION,
+    Event,
+    EventHub,
+    EventSink,
+    install_tracer_hook,
+    validate_events,
+)
+from .recorder import SessionRecorder, read_session
+from .replay import replay_events, replay_session
+from .service import ObserveState
+
+__all__ = [
+    "HUB",
+    "SCHEMA_VERSION",
+    "Event",
+    "EventHub",
+    "EventSink",
+    "ObserveClient",
+    "ObserveState",
+    "SessionRecorder",
+    "WebSocketBroadcaster",
+    "install_tracer_hook",
+    "read_session",
+    "replay_events",
+    "replay_session",
+    "stream_events",
+    "validate_events",
+]

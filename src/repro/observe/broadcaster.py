@@ -1,0 +1,342 @@
+"""Fan-out of observe events to live WebSocket clients.
+
+One :class:`WebSocketBroadcaster` is an :class:`~.events.EventSink`
+bridging the (any-thread) event hub onto one asyncio loop: ``emit``
+trampolines through ``call_soon_threadsafe`` and every connected
+client gets the event on a bounded per-client queue.  A client that
+cannot keep up loses events (counted per client and globally) and is
+evicted once its drop count passes ``max_drops`` — a stalled dashboard
+must never back-pressure the serving path or grow memory.
+
+The connection handler owns the full socket lifecycle after the HTTP
+upgrade: hello frame, queue drain, keepalive pings on idle, pong/close
+handling, and protocol-violation closes (1002).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from collections import deque
+
+from .events import SCHEMA_VERSION, Event, EventSink
+from .websocket import (
+    FrameAssembler,
+    WebSocketError,
+    close_code,
+    encode_close,
+    encode_ping,
+    encode_pong,
+    encode_text,
+    handshake_response,
+    read_frame,
+)
+
+__all__ = ["WebSocketBroadcaster"]
+
+#: Queue sentinel telling a client's sender loop to close and exit.
+_EVICT = object()
+#: Like ``_EVICT`` but for server shutdown: queued events still go out,
+#: and the close code is 1001 (going away), not 1013 (overloaded).
+_SHUTDOWN = object()
+
+
+class _Client:
+    """Book-keeping for one connected observer."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, peer: str, queue_size: int) -> None:
+        self.id = next(_Client._ids)
+        self.peer = peer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.connected_at = time.time()
+        self.drops = 0
+        self.sent = 0
+        self.evicted = False
+
+
+class WebSocketBroadcaster(EventSink):
+    """Bounded fan-out of the event stream to ``GET /observe`` clients."""
+
+    def __init__(
+        self,
+        *,
+        queue_size: int = 512,
+        max_drops: int = 64,
+        ping_interval: float = 15.0,
+        flush_interval: float = 0.025,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.queue_size = queue_size
+        self.max_drops = max_drops
+        self.ping_interval = ping_interval
+        #: Events buffer for up to this long before fanning out, so one
+        #: request's burst leaves as a single write after the request —
+        #: not as per-event loop wakeups racing the serving path.  0
+        #: dispatches on the next loop iteration.
+        self.flush_interval = flush_interval
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._clients: dict[int, _Client] = {}
+        # Events emitted between loop iterations coalesce into one
+        # cross-thread wakeup: a burst of spans from one request costs
+        # one ``call_soon_threadsafe``, not one per event.
+        self._pending: deque[Event] = deque()
+        self._pending_lock = threading.Lock()
+        self._dispatch_scheduled = False
+        self.connections_total = 0
+        self.peak_clients = 0
+        self.events_sent = 0
+        self.events_dropped = 0
+        self.clients_evicted = 0
+        self.protocol_errors = 0
+
+    # -- sink side ------------------------------------------------------
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Adopt the loop the connection handlers run on."""
+        self._loop = loop
+
+    def emit(self, event: Event) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed() or not self._clients:
+            return
+        with self._pending_lock:
+            self._pending.append(event)
+            if self._dispatch_scheduled:
+                return
+            self._dispatch_scheduled = True
+        try:
+            loop.call_soon_threadsafe(self._arm_flush)
+        except RuntimeError:
+            with self._pending_lock:  # loop shut down under us
+                self._dispatch_scheduled = False
+                self._pending.clear()
+
+    def _arm_flush(self) -> None:
+        """Loop-thread only: dispatch now or after the flush window."""
+        if self.flush_interval > 0:
+            self._loop.call_later(self.flush_interval, self._dispatch_pending)
+        else:
+            self._dispatch_pending()
+
+    def _dispatch_pending(self) -> None:
+        """Loop-thread only: drain the coalescing buffer to the queues."""
+        with self._pending_lock:
+            batch = list(self._pending)
+            self._pending.clear()
+            self._dispatch_scheduled = False
+        for event in batch:
+            self._dispatch(event)
+
+    def _dispatch(self, event: Event) -> None:
+        """Loop-thread only: queue the event for every client."""
+        for client in list(self._clients.values()):
+            if client.evicted:
+                continue
+            try:
+                client.queue.put_nowait(event)
+            except asyncio.QueueFull:
+                client.drops += 1
+                self.events_dropped += 1
+                if client.drops > self.max_drops:
+                    self._evict(client)
+
+    def _evict(self, client: _Client) -> None:
+        """Flush a stalled client's queue and schedule its close."""
+        client.evicted = True
+        self.clients_evicted += 1
+        while True:
+            try:
+                client.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        client.queue.put_nowait(_EVICT)
+
+    def close(self) -> None:
+        """Sink shutdown: ask every connected client's sender to exit."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._close_all)
+        except RuntimeError:
+            pass
+
+    async def aclose(self, timeout: float = 2.0) -> None:
+        """Close every connection and wait for the handlers to finish.
+
+        Loop-thread only.  Prevents "task destroyed" noise on server
+        shutdown: the close frames actually reach the wire before the
+        loop goes away.
+        """
+        self._close_all()
+        deadline = time.monotonic() + timeout
+        while self._clients and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+
+    def _close_all(self) -> None:
+        self._dispatch_pending()  # don't strand a buffered tail
+        for client in list(self._clients.values()):
+            if client.evicted:
+                continue
+            client.evicted = True
+            try:
+                client.queue.put_nowait(_SHUTDOWN)
+            except asyncio.QueueFull:
+                try:  # make room for the close marker
+                    client.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+                client.queue.put_nowait(_SHUTDOWN)
+
+    # -- connection side ------------------------------------------------
+    async def handle_client(self, request, reader, writer) -> None:
+        """Own one upgraded connection until either side closes.
+
+        ``request`` is the already-parsed upgrade request; the reply —
+        101 or a 400 on a malformed handshake — is written here.
+        """
+        try:
+            reply = handshake_response(request)
+        except WebSocketError as exc:
+            self.protocol_errors += 1
+            from ..serve.http import render_response
+
+            writer.write(render_response(400, {"error": str(exc)}))
+            await writer.drain()
+            return
+        writer.write(reply)
+        await writer.drain()
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        client = _Client(peer, self.queue_size)
+        self._clients[client.id] = client
+        self.connections_total += 1
+        self.peak_clients = max(self.peak_clients, len(self._clients))
+        hello = {
+            "seq": 0,
+            "ts": time.time(),
+            "type": "observe.hello",
+            "data": {"schema": SCHEMA_VERSION, "seq": 0, "client": client.id},
+        }
+        try:
+            writer.write(encode_text(json.dumps(hello)))
+            await writer.drain()
+            receiver = asyncio.create_task(self._receive(reader, writer))
+            try:
+                await self._send_loop(client, writer, receiver)
+            finally:
+                receiver.cancel()
+                try:
+                    await receiver
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._clients.pop(client.id, None)
+
+    async def _send_loop(self, client, writer, receiver) -> None:
+        """Drain the client queue; ping on idle; stop when receiver ends.
+
+        Whatever is queued when the loop wakes goes out as one write +
+        one drain — per-event flushes would double the warm-path cost
+        the observer is budgeted against.
+        """
+        while True:
+            if receiver.done():
+                return
+            try:
+                item = await asyncio.wait_for(
+                    client.queue.get(), timeout=self.ping_interval
+                )
+            except asyncio.TimeoutError:
+                writer.write(encode_ping(b"observe"))
+                await writer.drain()
+                continue
+            closing = None
+            frames: list[bytes] = []
+            while True:
+                if item is _EVICT:
+                    closing = encode_close(1013, "slow consumer")
+                    break
+                if item is _SHUTDOWN:
+                    closing = encode_close(1001, "server shutdown")
+                    break
+                frames.append(encode_text(item.to_json()))
+                try:
+                    item = client.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            if frames:
+                writer.write(b"".join(frames))
+                await writer.drain()
+                client.sent += len(frames)
+                self.events_sent += len(frames)
+            if closing is not None:
+                writer.write(closing)
+                await writer.drain()
+                return
+
+    async def _receive(self, reader, writer) -> None:
+        """Read client frames: answer pings, honour close, flag abuse."""
+        assembler = FrameAssembler(require_mask=True)
+        while True:
+            try:
+                frame = await read_frame(reader)
+            except WebSocketError:
+                self.protocol_errors += 1
+                try:
+                    writer.write(encode_close(1002, "protocol error"))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                return
+            if frame is None:
+                return  # peer hung up
+            try:
+                message = assembler.feed(frame)
+            except WebSocketError:
+                self.protocol_errors += 1
+                try:
+                    writer.write(encode_close(1002, "protocol error"))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                return
+            if message is None:
+                continue
+            kind, payload = message
+            if kind == "ping":
+                writer.write(encode_pong(payload))
+                await writer.drain()
+            elif kind == "close":
+                code = close_code(payload) or 1000
+                try:
+                    writer.write(encode_close(code))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                return
+            # text/binary/pong from observers carry no meaning; ignored.
+
+    # -- stats ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "clients": len(self._clients),
+            "peak_clients": self.peak_clients,
+            "connections_total": self.connections_total,
+            "queue_size": self.queue_size,
+            "max_drops": self.max_drops,
+            "events_sent": self.events_sent,
+            "events_dropped": self.events_dropped,
+            "clients_evicted": self.clients_evicted,
+            "protocol_errors": self.protocol_errors,
+        }

@@ -1,0 +1,143 @@
+"""Minimal asyncio client for the ``/observe`` WebSocket feed.
+
+One connection, JSON events out — shared by ``repro observe
+record|tail``, the bench observe tier, the CI smoke script, and the
+tests, so none of them need a third-party WebSocket library.  Pings
+from the server are answered transparently; a server close ends the
+stream cleanly (``next_event`` returns ``None``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from .websocket import (
+    FrameAssembler,
+    WebSocketError,
+    client_handshake,
+    encode_close,
+    encode_pong,
+    read_frame,
+)
+
+__all__ = ["ObserveClient", "stream_events"]
+
+
+class ObserveClient:
+    """One client connection to ``ws://host:port/observe``."""
+
+    def __init__(self, host: str, port: int, *, path: str = "/observe") -> None:
+        self.host = host
+        self.port = port
+        self.path = path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._assembler = FrameAssembler(require_mask=False)
+        #: The ``observe.hello`` event the server sends first.
+        self.hello: dict | None = None
+
+    async def connect(self) -> dict:
+        """Open the connection and handshake; returns the hello event."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        await client_handshake(
+            self._reader, self._writer, f"{self.host}:{self.port}", self.path
+        )
+        hello = await self.next_event()
+        if hello is None or hello.get("type") != "observe.hello":
+            raise WebSocketError("expected an observe.hello event first")
+        self.hello = hello
+        return hello
+
+    async def next_event(self) -> dict | None:
+        """The next JSON event; ``None`` once the server closes."""
+        if self._reader is None or self._writer is None:
+            return None
+        while True:
+            frame = await read_frame(self._reader)
+            if frame is None:
+                return None
+            message = self._assembler.feed(frame)
+            if message is None:
+                continue
+            kind, payload = message
+            if kind == "ping":
+                self._writer.write(encode_pong(payload, mask=True))
+                await self._writer.drain()
+                continue
+            if kind == "pong":
+                continue
+            if kind == "close":
+                try:
+                    self._writer.write(encode_close(mask=True))
+                    await self._writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                return None
+            if kind == "text":
+                return json.loads(payload.decode("utf-8"))
+            # Binary frames are not part of the observe protocol; skip.
+
+    async def close(self) -> None:
+        """Send a close frame (best effort) and tear the socket down."""
+        if self._writer is None:
+            return
+        writer, self._writer = self._writer, None
+        try:
+            writer.write(encode_close(mask=True))
+            await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def stream_events(
+    host: str,
+    port: int,
+    *,
+    path: str = "/observe",
+    max_events: int | None = None,
+    duration: float | None = None,
+    include_hello: bool = False,
+):
+    """Async generator over the live event feed.
+
+    Ends after ``max_events`` events, after ``duration`` seconds, or
+    when the server closes the stream — whichever comes first.
+    """
+    client = ObserveClient(host, port, path=path)
+    hello = await client.connect()
+    try:
+        count = 0
+        if include_hello:
+            yield hello
+            count += 1
+        deadline = (
+            time.monotonic() + duration if duration is not None else None
+        )
+        while max_events is None or count < max_events:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                try:
+                    event = await asyncio.wait_for(
+                        client.next_event(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    return
+            else:
+                event = await client.next_event()
+            if event is None:
+                return
+            yield event
+            count += 1
+    finally:
+        await client.close()

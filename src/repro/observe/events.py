@@ -1,0 +1,354 @@
+"""The observe event model: typed events, sinks, and the process hub.
+
+Everything the push channel carries is an :class:`Event` — a sequenced,
+timestamped ``(type, data)`` record small enough to JSON-encode on the
+hot path.  Producers (the serve lifecycle, the batcher, the tracer
+hook) publish into the process-global :data:`HUB`; consumers implement
+:class:`EventSink` (the WebSocket broadcaster, the JSONL session
+recorder) and attach to it.
+
+Design constraints mirror the tracer's:
+
+* **negligible cost when off** — with no sinks attached,
+  ``HUB.enabled`` is a plain attribute read and every emission site
+  guards on it, so a server running without ``--observe`` pays one
+  boolean check per request;
+* **thread-safe ordering** — sequence numbers are assigned under one
+  lock, so events emitted from the event loop, the batch worker
+  thread, and executor merges interleave into a single total order;
+* **schema-versioned** — :data:`SCHEMA_VERSION` stamps every session
+  header and hello frame; :func:`validate_events` is the contract the
+  tests and the CI smoke enforce.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "REQUEST_LIFECYCLE",
+    "Event",
+    "EventSink",
+    "EventHub",
+    "HUB",
+    "install_tracer_hook",
+    "noc_heat_enabled",
+    "validate_event",
+    "validate_events",
+]
+
+#: Version stamped into session headers and hello frames; bump on any
+#: incompatible change to event shapes so replay tooling can refuse
+#: rather than misread.
+SCHEMA_VERSION = 1
+
+#: Environment flag propagated to executor worker processes so the NoC
+#: heat summary is attached to spans computed off-process too.
+NOC_HEAT_ENV = "REPRO_OBSERVE_NOC"
+
+#: Every event type the schema admits, mapped to the data keys a
+#: well-formed instance must carry (a subset — producers may add more).
+EVENT_TYPES: dict[str, tuple[str, ...]] = {
+    "observe.hello": ("schema", "seq"),
+    "session.meta": ("schema", "source"),
+    "request.received": ("rid", "path"),
+    "request.admitted": ("rid", "in_flight"),
+    "request.shed": ("rid", "status"),
+    "request.rejected": ("rid", "status"),
+    "request.completed": ("rid", "status", "latency_seconds"),
+    "request.timeout": ("rid", "timeout_seconds"),
+    "request.error": ("rid", "error"),
+    "batch.flush": ("jobs", "batches_run"),
+    "span": ("name", "trace_id", "duration"),
+    "noc.tile": ("k", "heat"),
+    "stats.tick": (),
+    "replica.up": ("replica",),
+    "replica.down": ("replica",),
+}
+
+#: The happy-path order one /simulate request produces — the contract
+#: the smoke script asserts over a live WebSocket.
+REQUEST_LIFECYCLE = (
+    "request.received",
+    "request.admitted",
+    "batch.flush",
+    "request.completed",
+)
+
+
+def _jsonable(value):
+    """Best-effort conversion of attribute values to JSON-safe types.
+
+    Span attributes occasionally carry numpy scalars or arrays; the
+    event channel must never raise on them mid-request.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    for attr in ("item", "tolist"):  # numpy scalar / ndarray
+        method = getattr(value, attr, None)
+        if callable(method):
+            try:
+                return _jsonable(method())
+            except Exception:  # noqa: BLE001 — item() raises on
+                continue  # multi-element arrays; tolist() still works
+    return repr(value)
+
+
+def _json_default(value):
+    """``json.dumps`` fallback for non-JSON values (numpy, objects)."""
+    for attr in ("item", "tolist"):  # numpy scalar / ndarray
+        method = getattr(value, attr, None)
+        if callable(method):
+            try:
+                return method()
+            except Exception:  # noqa: BLE001 — item() raises on
+                continue  # multi-element arrays; tolist() still works
+    return repr(value)
+
+
+@dataclass
+class Event:
+    """One record on the push channel."""
+
+    seq: int
+    ts: float
+    type: str
+    data: dict = field(default_factory=dict)
+    #: Compact serialization, computed once and shared by every sink
+    #: (the recorder line and each client's frame reuse it).
+    _json: str | None = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "ts": self.ts, "type": self.type, "data": self.data}
+
+    def to_json(self) -> str:
+        if self._json is None:
+            self._json = json.dumps(
+                self.to_dict(), separators=(",", ":"), default=_json_default
+            )
+        return self._json
+
+    @staticmethod
+    def from_dict(data: dict) -> "Event":
+        return Event(
+            seq=int(data["seq"]),
+            ts=float(data["ts"]),
+            type=str(data["type"]),
+            data=dict(data.get("data") or {}),
+        )
+
+
+class EventSink:
+    """Consumer interface: override :meth:`emit`; ``close`` is optional.
+
+    ``emit`` may be called from any thread and must not block — the hub
+    runs every attached sink inline under its lock.
+    """
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; never raises from the hub's perspective."""
+
+
+class EventHub:
+    """Thread-safe fan-in point between producers and attached sinks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sinks: list[EventSink] = []
+        self._seq = 0
+        self.events_emitted = 0
+        self.sink_errors = 0
+        #: Cheap producer-side guard; kept in sync with the sink list so
+        #: emission sites read one attribute instead of taking the lock.
+        self.enabled = False
+
+    def attach(self, sink: EventSink) -> EventSink:
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+            self.enabled = True
+        return sink
+
+    def detach(self, sink: EventSink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            self.enabled = bool(self._sinks)
+
+    def emit(self, type: str, data: dict | None = None, *, ts: float | None = None) -> Event | None:
+        """Publish one event to every sink; ``None`` when nobody listens.
+
+        ``ts`` lets relays (the cluster router re-emitting a replica's
+        stream) preserve the original wall-clock time while still
+        drawing a fresh fleet-order sequence number.
+        """
+        with self._lock:
+            if not self._sinks:
+                return None
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                ts=time.time() if ts is None else ts,
+                type=type,
+                data=data or {},
+            )
+            self.events_emitted += 1
+            # Delivery stays under the lock: the recorder relies on
+            # arrival order matching seq order (its JSONL is read back
+            # with strict monotonicity checks).  Sinks are built to be
+            # cheap inline — the broadcaster only queues.
+            for sink in self._sinks:
+                try:
+                    sink.emit(event)
+                except Exception:  # noqa: BLE001 — a sink must never
+                    # break the serving path it observes
+                    self.sink_errors += 1
+        return event
+
+    def reset(self) -> None:
+        """Detach everything (tests); closes no sinks."""
+        with self._lock:
+            self._sinks.clear()
+            self._seq = 0
+            self.events_emitted = 0
+            self.sink_errors = 0
+            self.enabled = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "sinks": len(self._sinks),
+                "events_emitted": self.events_emitted,
+                "sink_errors": self.sink_errors,
+            }
+
+
+#: The process-global hub every instrumented module publishes into.
+HUB = EventHub()
+
+
+def noc_heat_enabled() -> bool:
+    """Should the simulator attach per-tile NoC heat to its spans?
+
+    True in the serving process when the hub has listeners, and in
+    executor worker processes via the inherited environment flag (set
+    by ``repro serve --observe`` so spans computed off-process carry
+    the heatmap home through the span-merge path).
+    """
+    return HUB.enabled or os.environ.get(NOC_HEAT_ENV) == "1"
+
+
+def span_event_data(span) -> dict:
+    """Project a finished :class:`~repro.telemetry.trace.Span` onto the
+    ``span`` event shape.
+
+    Attributes pass through unsanitized — non-JSON values (numpy
+    scalars from the simulator) are handled once, at serialization
+    time, by :meth:`Event.to_json`'s fallback.
+    """
+    return {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_time": span.start_time,
+        "duration": span.duration,
+        "status": span.status,
+        "attributes": span.attributes,
+    }
+
+
+def install_tracer_hook(tracer=None, hub: EventHub | None = None):
+    """Bridge span completions into the event channel.
+
+    Sets ``tracer.on_span`` so every span landing in the buffer (local
+    completion or cross-process merge) also yields a ``span`` event; a
+    ``noc`` span carrying a ``noc_heat`` attribute additionally yields
+    a ``noc.tile`` event for the dashboard heatmap.  Returns an
+    uninstall callable.
+    """
+    if tracer is None:
+        from ..telemetry import TRACER as tracer  # noqa: N811 — rebind
+    target = hub or HUB
+
+    def _on_span(span) -> None:
+        if not target.enabled:
+            return
+        target.emit("span", span_event_data(span))
+        heat = span.attributes.get("noc_heat")
+        if span.name == "noc" and heat is not None:
+            target.emit(
+                "noc.tile",
+                {
+                    "k": int(span.attributes.get("k", 0)),
+                    "heat": _jsonable(heat),
+                    "trace_id": span.trace_id,
+                },
+            )
+
+    tracer.on_span = _on_span
+
+    def _uninstall() -> None:
+        if tracer.on_span is _on_span:
+            tracer.on_span = None
+
+    return _uninstall
+
+
+def validate_event(data: dict) -> list[str]:
+    """Schema check for one serialized event; returns problem strings."""
+    problems: list[str] = []
+    for key in ("seq", "ts", "type"):
+        if key not in data:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(data["seq"], int) or data["seq"] < 0:
+        problems.append(f"seq must be a non-negative int, got {data['seq']!r}")
+    if not isinstance(data["ts"], (int, float)):
+        problems.append(f"ts must be a number, got {data['ts']!r}")
+    etype = data["type"]
+    if etype not in EVENT_TYPES:
+        problems.append(f"unknown event type {etype!r}")
+        return problems
+    payload = data.get("data")
+    if not isinstance(payload, dict):
+        problems.append(f"{etype}: data must be an object")
+        return problems
+    for key in EVENT_TYPES[etype]:
+        if key not in payload:
+            problems.append(f"{etype}: missing data key {key!r}")
+    return problems
+
+
+def validate_events(events) -> list[str]:
+    """Validate a sequence of event dicts, including seq monotonicity."""
+    problems: list[str] = []
+    last_seq = None
+    for i, data in enumerate(events):
+        if isinstance(data, Event):
+            data = data.to_dict()
+        for problem in validate_event(data):
+            problems.append(f"event[{i}]: {problem}")
+        seq = data.get("seq")
+        if isinstance(seq, int):
+            if last_seq is not None and seq <= last_seq:
+                problems.append(
+                    f"event[{i}]: seq {seq} not after previous {last_seq}"
+                )
+            last_seq = seq
+    return problems

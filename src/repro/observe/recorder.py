@@ -1,0 +1,213 @@
+"""Schema-versioned JSONL session recording with rotation.
+
+A :class:`SessionRecorder` is an :class:`~.events.EventSink` that
+appends every event as one JSON line.  Each segment opens with a
+``session.meta`` header line carrying the schema version, so a reader
+can refuse a file written by an incompatible future format instead of
+misreading it.  When a segment passes ``max_bytes`` the file rotates
+shift-style (``path`` → ``path.1`` → ``path.2`` …) keeping at most
+``max_segments`` historical segments — a long soak test cannot fill
+the disk.
+
+:func:`read_session` is the tolerant reader: it walks segments oldest
+first and skips a truncated tail line (the normal state of a recording
+cut by SIGKILL) rather than failing the whole replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from .events import SCHEMA_VERSION, Event, EventSink
+
+__all__ = ["SessionRecorder", "read_session"]
+
+
+class SessionRecorder(EventSink):
+    """Append observe events to a rotating JSONL log."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        max_bytes: int = 32 << 20,
+        max_segments: int = 3,
+        source: str = "serve",
+        flush_every: int = 32,
+    ) -> None:
+        if max_bytes < 1024:
+            raise ValueError("max_bytes must be >= 1024")
+        if max_segments < 0:
+            raise ValueError("max_segments must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_segments = max_segments
+        self.source = source
+        self.flush_every = max(1, flush_every)
+        self._lock = threading.Lock()
+        self._file = None
+        self._bytes = 0
+        self._unflushed = 0
+        self.events_recorded = 0
+        self.bytes_written = 0
+        self.rotations = 0
+
+    # -- sink side ------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        encoded = (event.to_json() + "\n").encode("utf-8")
+        with self._lock:
+            if self._file is None:
+                self._open()
+            elif self._bytes + len(encoded) > self.max_bytes:
+                self._rotate()
+            self._file.write(encoded)
+            self._bytes += len(encoded)
+            self.bytes_written += len(encoded)
+            self.events_recorded += 1
+            self._unflushed += 1
+            if self._unflushed >= self.flush_every:
+                self._file.flush()
+                self._unflushed = 0
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._unflushed = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    # -- segment management (lock held) ---------------------------------
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._bytes = self._file.tell()
+        if self._bytes == 0:
+            self._write_meta()
+
+    def _write_meta(self) -> None:
+        meta = {
+            "seq": 0,
+            "ts": time.time(),
+            "type": "session.meta",
+            "data": {
+                "schema": SCHEMA_VERSION,
+                "source": self.source,
+                "pid": os.getpid(),
+            },
+        }
+        encoded = (json.dumps(meta, separators=(",", ":")) + "\n").encode()
+        self._file.write(encoded)
+        self._bytes += len(encoded)
+        self.bytes_written += len(encoded)
+
+    def _rotate(self) -> None:
+        self._file.flush()
+        self._file.close()
+        self._file = None
+        if self.max_segments == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.max_segments}")
+            oldest.unlink(missing_ok=True)
+            for n in range(self.max_segments - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{n}")
+                if src.exists():
+                    src.rename(self.path.with_name(f"{self.path.name}.{n + 1}"))
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self.rotations += 1
+        self._file = open(self.path, "ab")
+        self._bytes = 0
+        self._unflushed = 0
+        self._write_meta()
+
+    # -- stats ----------------------------------------------------------
+    def segments(self) -> list[Path]:
+        """Existing segment paths, oldest first (the read order)."""
+        found = []
+        for n in range(self.max_segments, 0, -1):
+            candidate = self.path.with_name(f"{self.path.name}.{n}")
+            if candidate.exists():
+                found.append(candidate)
+        if self.path.exists():
+            found.append(self.path)
+        return found
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "events_recorded": self.events_recorded,
+                "bytes_written": self.bytes_written,
+                "rotations": self.rotations,
+                "segments": len(self.segments()),
+                "max_bytes": self.max_bytes,
+                "max_segments": self.max_segments,
+            }
+
+
+def read_session(
+    path, *, include_meta: bool = False, max_segments: int = 16
+) -> tuple[list[Event], dict]:
+    """Read a recorded session back as events, oldest segment first.
+
+    Returns ``(events, info)`` where ``info`` reports the schema
+    version seen, the segment count, and how many lines were skipped
+    (a truncated tail from a hard kill, or garbage).  Raises
+    ``ValueError`` only for a schema version this reader does not
+    understand — everything else degrades to ``skipped`` counts.
+    """
+    path = Path(path)
+    segments = []
+    for n in range(max_segments, 0, -1):
+        candidate = path.with_name(f"{path.name}.{n}")
+        if candidate.exists():
+            segments.append(candidate)
+    if path.exists():
+        segments.append(path)
+    if not segments:
+        raise FileNotFoundError(f"no session recording at {path}")
+
+    events: list[Event] = []
+    skipped = 0
+    schema = None
+    for segment in segments:
+        with open(segment, "rb") as handle:
+            for raw in handle:
+                try:
+                    data = json.loads(raw)
+                except json.JSONDecodeError:
+                    skipped += 1  # truncated tail or corruption
+                    continue
+                if not isinstance(data, dict) or "type" not in data:
+                    skipped += 1
+                    continue
+                if data["type"] == "session.meta":
+                    seen = data.get("data", {}).get("schema")
+                    if seen is not None and seen > SCHEMA_VERSION:
+                        raise ValueError(
+                            f"recording schema v{seen} is newer than this "
+                            f"reader (v{SCHEMA_VERSION})"
+                        )
+                    schema = seen
+                    if not include_meta:
+                        continue
+                try:
+                    events.append(Event.from_dict(data))
+                except (KeyError, TypeError, ValueError):
+                    skipped += 1
+    return events, {
+        "schema": schema,
+        "segments": len(segments),
+        "events": len(events),
+        "skipped": skipped,
+    }

@@ -1,0 +1,67 @@
+"""Re-drive a recorded session through any event consumer.
+
+Replay preserves the recorded events byte-for-byte — same ``seq``,
+same ``ts``, same data — and only controls *when* each one is
+delivered: at the recorded inter-event gaps (``speed=1``), faster
+(``speed=4``), or flat-out (``speed=0``).  Consumers are plain
+callables, so the same loop feeds the WebSocket broadcaster for a
+live-again dashboard, stdout for ``repro observe replay``, or a test's
+list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .events import Event
+from .recorder import read_session
+
+__all__ = ["iter_session", "replay_events", "replay_session"]
+
+#: Gaps above this are capped during paced replay: a recording that sat
+#: idle overnight should not make the replay sit idle overnight.
+MAX_GAP_SECONDS = 30.0
+
+
+def iter_session(path) -> list[Event]:
+    """The recorded events of a session, oldest first (meta excluded)."""
+    events, _info = read_session(path)
+    return events
+
+
+async def replay_events(
+    events,
+    emit,
+    *,
+    speed: float = 1.0,
+    max_gap: float = MAX_GAP_SECONDS,
+    sleep=asyncio.sleep,
+) -> int:
+    """Deliver ``events`` to ``emit`` paced by their recorded timestamps.
+
+    ``speed`` scales time: 1.0 replays in real time, 2.0 twice as fast,
+    0 (or negative) with no pacing at all.  Returns the event count.
+    """
+    delivered = 0
+    previous_ts = None
+    for event in events:
+        if speed > 0 and previous_ts is not None:
+            gap = (event.ts - previous_ts) / speed
+            if gap > 0:
+                await sleep(min(gap, max_gap))
+        previous_ts = event.ts
+        emit(event)
+        delivered += 1
+    return delivered
+
+
+async def replay_session(
+    path, emit, *, speed: float = 1.0, loop_forever: bool = False
+) -> int:
+    """Replay a recording file into ``emit``; optionally loop it."""
+    events = iter_session(path)
+    total = 0
+    while True:
+        total += await replay_events(events, emit, speed=speed)
+        if not loop_forever:
+            return total

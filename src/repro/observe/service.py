@@ -1,0 +1,158 @@
+"""Wiring: one object that turns observability on for a server.
+
+:class:`ObserveState` bundles the sinks (WebSocket broadcaster,
+optional JSONL recorder), attaches them to an event hub, installs the
+tracer bridge, and runs a periodic ``stats.tick`` emitter — then tears
+all of it down symmetrically on drain.  Both the single-process
+service (``repro serve --observe``) and the cluster router hold one.
+
+The static dashboard lives next to this module in ``ui/`` and is
+served byte-for-byte from disk — no templating, no build step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from pathlib import Path
+
+from .broadcaster import WebSocketBroadcaster
+from .events import HUB, NOC_HEAT_ENV, EventHub, install_tracer_hook
+from .recorder import SessionRecorder
+
+__all__ = ["ObserveState", "ui_asset"]
+
+#: Whitelisted dashboard assets (request name → file, content type).
+UI_DIR = Path(__file__).parent / "ui"
+UI_ASSETS = {
+    "": ("index.html", "text/html; charset=utf-8"),
+    "index.html": ("index.html", "text/html; charset=utf-8"),
+    "observer.js": ("observer.js", "application/javascript; charset=utf-8"),
+    "observer.css": ("observer.css", "text/css; charset=utf-8"),
+}
+
+
+def ui_asset(name: str) -> tuple[bytes, str] | None:
+    """Dashboard asset bytes + content type, ``None`` for unknown names."""
+    entry = UI_ASSETS.get(name)
+    if entry is None:
+        return None
+    filename, content_type = entry
+    try:
+        return (UI_DIR / filename).read_bytes(), content_type
+    except OSError:
+        return None
+
+
+class ObserveState:
+    """Everything ``--observe`` turns on, with a symmetric shutdown."""
+
+    def __init__(
+        self,
+        *,
+        record_path=None,
+        record_max_bytes: int = 32 << 20,
+        record_max_segments: int = 3,
+        queue_size: int = 512,
+        max_drops: int = 64,
+        flush_interval: float = 0.025,
+        tick_interval: float = 1.0,
+        hub: EventHub | None = None,
+        tracer=None,
+        source: str = "serve",
+        install_hook: bool = True,
+    ) -> None:
+        self.hub = hub if hub is not None else HUB
+        self.tick_interval = tick_interval
+        self.source = source
+        self.broadcaster = WebSocketBroadcaster(
+            queue_size=queue_size,
+            max_drops=max_drops,
+            flush_interval=flush_interval,
+        )
+        self.recorder = (
+            SessionRecorder(
+                record_path,
+                max_bytes=record_max_bytes,
+                max_segments=record_max_segments,
+                source=source,
+            )
+            if record_path
+            else None
+        )
+        self._tracer = tracer
+        #: False for consumers that only relay (the cluster router):
+        #: no tracer bridge, no NoC-heat env flag — spans arrive on the
+        #: wire from replicas instead of from a local tracer.
+        self.install_hook = install_hook
+        self._uninstall_hook = None
+        self._ticker: asyncio.Task | None = None
+        self._stats_fn = None
+        self._noc_env_set = False
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------
+    def startup(self, loop: asyncio.AbstractEventLoop, *, stats_fn=None) -> None:
+        """Attach sinks and start the ticker on ``loop`` (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.broadcaster.bind(loop)
+        self.hub.attach(self.broadcaster)
+        if self.recorder is not None:
+            self.hub.attach(self.recorder)
+        if self.install_hook:
+            self._uninstall_hook = install_tracer_hook(self._tracer, self.hub)
+            # Executor worker processes inherit the environment, so
+            # spans they compute also carry the NoC heat summary home.
+            if os.environ.get(NOC_HEAT_ENV) != "1":
+                os.environ[NOC_HEAT_ENV] = "1"
+                self._noc_env_set = True
+        self._stats_fn = stats_fn
+        if stats_fn is not None and self.tick_interval > 0:
+            self._ticker = loop.create_task(self._tick_forever())
+
+    async def _tick_forever(self) -> None:
+        while True:
+            await asyncio.sleep(self.tick_interval)
+            try:
+                self.hub.emit("stats.tick", self._stats_fn())
+            except Exception:  # noqa: BLE001 — a stats bug must not
+                # kill the ticker
+                pass
+
+    async def shutdown(self) -> None:
+        """Detach sinks, stop the ticker, close the recorder."""
+        if not self._running:
+            return
+        self._running = False
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+            self._ticker = None
+        if self._uninstall_hook is not None:
+            self._uninstall_hook()
+            self._uninstall_hook = None
+        self.hub.detach(self.broadcaster)
+        await self.broadcaster.aclose()
+        if self.recorder is not None:
+            self.hub.detach(self.recorder)
+            self.recorder.close()
+        if self._noc_env_set:
+            os.environ.pop(NOC_HEAT_ENV, None)
+            self._noc_env_set = False
+
+    # -- stats ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "enabled": True,
+            "hub": self.hub.snapshot(),
+            "broadcaster": self.broadcaster.snapshot(),
+            "recorder": (
+                self.recorder.snapshot() if self.recorder is not None else None
+            ),
+            "tick_interval_seconds": self.tick_interval,
+        }

@@ -1,0 +1,167 @@
+/* repro observer: one WebSocket, a few canvases, zero dependencies.
+ *
+ * Connects to ws(s)://<host>/observe and renders the event stream:
+ * request lifecycle feed, latency sparkline, admission/batcher gauges
+ * (from stats.tick), per-stage span aggregates, and the per-tile NoC
+ * traffic heatmap (noc.tile events). Reconnects with backoff so a
+ * replica restart does not require a page reload.
+ */
+(function () {
+  "use strict";
+
+  var FEED_ROWS = 40;
+  var LATENCY_POINTS = 120;
+
+  var conn = document.getElementById("conn");
+  var totals = document.getElementById("totals");
+  var feedBody = document.querySelector("#feed tbody");
+  var spansBody = document.querySelector("#spans tbody");
+
+  var latencies = [];
+  var stages = {}; // name -> {count, sum, last}
+  var eventsSeen = 0;
+  var backoff = 500;
+
+  function fmt(n, digits) {
+    return typeof n === "number" ? n.toFixed(digits === undefined ? 1 : digits) : "–";
+  }
+
+  function setGauge(id, value) {
+    var el = document.getElementById(id);
+    if (el) el.textContent = value === undefined || value === null ? "–" : value;
+  }
+
+  function addFeedRow(ev) {
+    var row = document.createElement("tr");
+    var kind = ev.type.split(".").pop();
+    var detail = "";
+    var d = ev.data || {};
+    if (ev.type === "request.completed")
+      detail = fmt(1000 * d.latency_seconds) + " ms" +
+        (d.cached ? " · cached" : "") + (d.joined ? " · joined" : "");
+    else if (ev.type === "request.shed") detail = "HTTP " + d.status;
+    else if (ev.type === "request.error") detail = d.error || "";
+    else if (ev.type === "request.timeout") detail = fmt(d.timeout_seconds, 2) + " s budget";
+    else if (ev.type === "request.admitted") detail = "in flight " + d.in_flight;
+    else if (ev.type === "batch.flush") detail = d.jobs + " job(s), batch #" + d.batches_run;
+    row.innerHTML =
+      "<td>" + ev.seq + "</td>" +
+      "<td>" + new Date(ev.ts * 1000).toLocaleTimeString() + "</td>" +
+      '<td class="evt-' + kind + '">' + ev.type + "</td>" +
+      "<td>" + (d.rid || "") + "</td>" +
+      "<td>" + detail + "</td>";
+    feedBody.insertBefore(row, feedBody.firstChild);
+    while (feedBody.children.length > FEED_ROWS) feedBody.removeChild(feedBody.lastChild);
+  }
+
+  function drawLatency() {
+    var canvas = document.getElementById("latency");
+    var ctx = canvas.getContext("2d");
+    ctx.clearRect(0, 0, canvas.width, canvas.height);
+    if (!latencies.length) return;
+    var max = Math.max.apply(null, latencies);
+    var w = canvas.width / LATENCY_POINTS;
+    ctx.fillStyle = "#5cc8ff";
+    latencies.forEach(function (v, i) {
+      var h = Math.max(2, (v / max) * (canvas.height - 6));
+      ctx.fillRect(i * w, canvas.height - h, Math.max(1, w - 1), h);
+    });
+    var sum = latencies.reduce(function (a, b) { return a + b; }, 0);
+    document.getElementById("latency-stats").textContent =
+      "n=" + latencies.length + "  mean=" + fmt(1000 * sum / latencies.length) +
+      " ms  max=" + fmt(1000 * max) + " ms";
+  }
+
+  function drawHeat(k, heat) {
+    var canvas = document.getElementById("heatmap");
+    var ctx = canvas.getContext("2d");
+    ctx.clearRect(0, 0, canvas.width, canvas.height);
+    if (!k || !heat || !heat.length) return;
+    var cell = Math.floor(canvas.width / k);
+    var max = Math.max.apply(null, heat) || 1;
+    for (var y = 0; y < k; y++) {
+      for (var x = 0; x < k; x++) {
+        var v = heat[y * k + x] / max;
+        // cold steel-blue -> hot amber ramp
+        var r = Math.round(30 + 225 * v);
+        var g = Math.round(40 + 120 * v);
+        var b = Math.round(70 + 60 * (1 - v));
+        ctx.fillStyle = "rgb(" + r + "," + g + "," + b + ")";
+        ctx.fillRect(x * cell, y * cell, cell - 1, cell - 1);
+      }
+    }
+    document.getElementById("heat-stats").textContent =
+      k + "×" + k + " mesh · max " + Math.round(max) + " flits";
+  }
+
+  function updateSpans(d) {
+    var s = stages[d.name] || { count: 0, sum: 0, last: 0 };
+    s.count += 1;
+    s.sum += d.duration || 0;
+    s.last = d.duration || 0;
+    stages[d.name] = s;
+    var names = Object.keys(stages).sort();
+    spansBody.innerHTML = names.map(function (name) {
+      var st = stages[name];
+      return "<tr><td>" + name + "</td><td>" + st.count + "</td><td>" +
+        fmt(1000 * st.last, 2) + "</td><td>" +
+        fmt(1000 * (st.sum / st.count), 2) + "</td></tr>";
+    }).join("");
+  }
+
+  function onStats(d) {
+    var adm = d.admission || {};
+    var bat = d.batcher || {};
+    setGauge("g-inflight", adm.in_flight);
+    setGauge("g-depth", adm.max_pending);
+    setGauge("g-shed", adm.shed);
+    setGauge("g-batches", bat.batches_run);
+    setGauge("g-jobs", bat.jobs_run);
+    setGauge("g-joins", bat.singleflight_joins);
+  }
+
+  function onEvent(ev) {
+    eventsSeen += 1;
+    totals.textContent = eventsSeen + " events";
+    if (ev.type.indexOf("request.") === 0 || ev.type === "batch.flush") {
+      addFeedRow(ev);
+      if (ev.type === "request.completed" && ev.data.latency_seconds != null) {
+        latencies.push(ev.data.latency_seconds);
+        if (latencies.length > LATENCY_POINTS) latencies.shift();
+        drawLatency();
+      }
+    } else if (ev.type === "span") {
+      updateSpans(ev.data);
+    } else if (ev.type === "noc.tile") {
+      drawHeat(ev.data.k, ev.data.heat);
+    } else if (ev.type === "stats.tick") {
+      onStats(ev.data);
+    } else if (ev.type === "observe.hello") {
+      totals.textContent = "schema v" + ev.data.schema;
+    }
+  }
+
+  function connect() {
+    var proto = location.protocol === "https:" ? "wss://" : "ws://";
+    var ws = new WebSocket(proto + location.host + "/observe");
+    ws.onopen = function () {
+      conn.textContent = "live";
+      conn.className = "badge up";
+      backoff = 500;
+    };
+    ws.onmessage = function (msg) {
+      try {
+        onEvent(JSON.parse(msg.data));
+      } catch (err) { /* tolerate one bad frame */ }
+    };
+    ws.onclose = function () {
+      conn.textContent = "disconnected — retrying";
+      conn.className = "badge down";
+      setTimeout(connect, backoff);
+      backoff = Math.min(backoff * 2, 10000);
+    };
+    ws.onerror = function () { ws.close(); };
+  }
+
+  connect();
+})();

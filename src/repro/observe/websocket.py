@@ -1,0 +1,313 @@
+"""Hand-rolled RFC 6455 (WebSocket) on asyncio streams — stdlib only.
+
+Just enough of the protocol for the observe push channel, in the same
+spirit as :mod:`repro.serve.http`: a server-side upgrade handshake, a
+frame codec with extended lengths and client-frame unmasking, a
+reassembler that enforces the fragmentation and masking rules, and a
+client handshake for the router's replica relays and the CLI tooling.
+
+Anything a peer does that the spec forbids raises
+:class:`WebSocketError`; the connection owner answers with a protocol
+close (1002) and hangs up.  No extensions, no subprotocols, no
+permessage-deflate — every frame carries plain JSON text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "GUID",
+    "OP_CONT",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "WebSocketError",
+    "Frame",
+    "accept_key",
+    "handshake_response",
+    "encode_frame",
+    "encode_text",
+    "encode_close",
+    "encode_ping",
+    "encode_pong",
+    "read_frame",
+    "close_code",
+    "FrameAssembler",
+    "client_handshake",
+]
+
+#: The protocol-mandated key-derivation GUID (RFC 6455 §1.3).
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_DATA_OPCODES = {OP_CONT, OP_TEXT, OP_BINARY}
+_CONTROL_OPCODES = {OP_CLOSE, OP_PING, OP_PONG}
+
+#: Upper bound on a single frame and on a reassembled message; observe
+#: events are a few KB, so anything near this is hostile or broken.
+MAX_FRAME_BYTES = 1 << 20
+MAX_MESSAGE_BYTES = 1 << 20
+
+
+class WebSocketError(ValueError):
+    """A frame or handshake the protocol layer refuses (close 1002)."""
+
+
+@dataclass
+class Frame:
+    """One wire frame, unmasked."""
+
+    fin: bool
+    opcode: int
+    payload: bytes
+    masked: bool
+
+
+def accept_key(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(request) -> bytes:
+    """Validate an upgrade request and render the 101 reply.
+
+    ``request`` is a :class:`repro.serve.http.HTTPRequest` (lower-cased
+    header names).  Raises :class:`WebSocketError` on anything other
+    than a well-formed RFC 6455 opening handshake.
+    """
+    if request.method != "GET":
+        raise WebSocketError("websocket upgrade must be GET")
+    if "websocket" not in request.headers.get("upgrade", "").lower():
+        raise WebSocketError("missing 'Upgrade: websocket' header")
+    connection = request.headers.get("connection", "").lower()
+    if "upgrade" not in connection:
+        raise WebSocketError("missing 'Connection: Upgrade' header")
+    key = request.headers.get("sec-websocket-key", "")
+    if not key:
+        raise WebSocketError("missing Sec-WebSocket-Key header")
+    version = request.headers.get("sec-websocket-version")
+    if version is not None and version.strip() != "13":
+        raise WebSocketError(f"unsupported websocket version: {version}")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def _mask_payload(payload: bytes, key: bytes) -> bytes:
+    # XOR with the 4-byte key cycled over the payload; int.from_bytes
+    # over repeated key beats a per-byte python loop by ~30x.
+    if not payload:
+        return payload
+    repeated = key * (len(payload) // 4 + 1)
+    return (
+        int.from_bytes(payload, "big")
+        ^ int.from_bytes(repeated[: len(payload)], "big")
+    ).to_bytes(len(payload), "big")
+
+
+def encode_frame(
+    opcode: int, payload: bytes = b"", *, fin: bool = True, mask: bool = False
+) -> bytes:
+    """Render one frame; ``mask=True`` for client→server frames."""
+    header = bytearray([(0x80 if fin else 0x00) | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        return bytes(header) + key + _mask_payload(payload, key)
+    return bytes(header) + payload
+
+
+def encode_text(text: str, *, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def encode_close(code: int = 1000, reason: str = "", *, mask: bool = False) -> bytes:
+    payload = struct.pack("!H", code) + reason.encode("utf-8")[:123]
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+def encode_ping(payload: bytes = b"", *, mask: bool = False) -> bytes:
+    return encode_frame(OP_PING, payload, mask=mask)
+
+
+def encode_pong(payload: bytes = b"", *, mask: bool = False) -> bytes:
+    return encode_frame(OP_PONG, payload, mask=mask)
+
+
+def close_code(payload: bytes) -> int | None:
+    """The status code of a close frame's payload (``None`` if absent)."""
+    if len(payload) < 2:
+        return None
+    return struct.unpack("!H", payload[:2])[0]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+    """Parse one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        head = await reader.readexactly(2)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WebSocketError("connection closed mid-frame") from None
+    except ConnectionError:
+        return None
+    b1, b2 = head
+    if b1 & 0x70:
+        raise WebSocketError("reserved bits set without a negotiated extension")
+    fin = bool(b1 & 0x80)
+    opcode = b1 & 0x0F
+    if opcode not in _DATA_OPCODES and opcode not in _CONTROL_OPCODES:
+        raise WebSocketError(f"reserved opcode 0x{opcode:x}")
+    masked = bool(b2 & 0x80)
+    length = b2 & 0x7F
+    try:
+        if length == 126:
+            length = struct.unpack("!H", await reader.readexactly(2))[0]
+        elif length == 127:
+            length = struct.unpack("!Q", await reader.readexactly(8))[0]
+        if length > MAX_FRAME_BYTES:
+            raise WebSocketError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise WebSocketError("connection closed mid-frame") from None
+    if masked:
+        payload = _mask_payload(payload, key)
+    return Frame(fin=fin, opcode=opcode, payload=payload, masked=masked)
+
+
+class FrameAssembler:
+    """Reassemble messages and enforce the masking/fragmentation rules.
+
+    ``require_mask=True`` is the server side (client frames MUST be
+    masked); ``require_mask=False`` is the client side (server frames
+    MUST NOT be masked).  :meth:`feed` yields zero or one completed
+    ``(kind, payload)`` message per frame — ``kind`` is one of
+    ``"text"``, ``"binary"``, ``"ping"``, ``"pong"``, ``"close"`` —
+    and raises :class:`WebSocketError` on violations.
+    """
+
+    def __init__(
+        self, *, require_mask: bool, max_message_bytes: int = MAX_MESSAGE_BYTES
+    ) -> None:
+        self.require_mask = require_mask
+        self.max_message_bytes = max_message_bytes
+        self._fragments: list[bytes] = []
+        self._fragment_opcode: int | None = None
+
+    def feed(self, frame: Frame) -> tuple[str, bytes] | None:
+        if self.require_mask and not frame.masked:
+            raise WebSocketError("client frames must be masked")
+        if not self.require_mask and frame.masked:
+            raise WebSocketError("server frames must not be masked")
+
+        if frame.opcode in _CONTROL_OPCODES:
+            # Control frames may interleave a fragmented message but may
+            # not themselves be fragmented or oversized (RFC 6455 §5.5).
+            if not frame.fin:
+                raise WebSocketError("control frames must not be fragmented")
+            if len(frame.payload) > 125:
+                raise WebSocketError("control frame payload exceeds 125 bytes")
+            kind = {OP_CLOSE: "close", OP_PING: "ping", OP_PONG: "pong"}
+            return kind[frame.opcode], frame.payload
+
+        if frame.opcode == OP_CONT:
+            if self._fragment_opcode is None:
+                raise WebSocketError("continuation frame without a message start")
+            self._fragments.append(frame.payload)
+        else:  # TEXT / BINARY
+            if self._fragment_opcode is not None:
+                raise WebSocketError(
+                    "new data frame while a fragmented message is open"
+                )
+            self._fragment_opcode = frame.opcode
+            self._fragments = [frame.payload]
+        if sum(len(part) for part in self._fragments) > self.max_message_bytes:
+            raise WebSocketError(
+                f"message exceeds {self.max_message_bytes} bytes"
+            )
+        if not frame.fin:
+            return None
+        opcode = self._fragment_opcode
+        payload = b"".join(self._fragments)
+        self._fragments = []
+        self._fragment_opcode = None
+        if opcode == OP_TEXT:
+            try:
+                payload.decode("utf-8")
+            except UnicodeDecodeError:
+                raise WebSocketError("text message is not valid UTF-8") from None
+            return "text", payload
+        return "binary", payload
+
+
+async def client_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    host: str,
+    path: str = "/observe",
+) -> None:
+    """Perform the client side of the opening handshake on open streams.
+
+    Raises :class:`WebSocketError` unless the peer answers 101 with the
+    key-derived ``Sec-WebSocket-Accept``.
+    """
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    writer.write(
+        (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    parts = status_line.decode("latin-1", "replace").split()
+    if len(parts) < 2 or parts[1] != "101":
+        raise WebSocketError(
+            f"upgrade refused: {status_line.decode('latin-1', 'replace').strip()!r}"
+        )
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise WebSocketError("connection closed mid-handshake")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    if headers.get("sec-websocket-accept") != accept_key(key):
+        raise WebSocketError("Sec-WebSocket-Accept mismatch")

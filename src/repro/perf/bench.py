@@ -37,6 +37,7 @@ __all__ = [
     "run_delta_benches",
     "run_dse_benches",
     "run_fanout_benches",
+    "run_observe_benches",
     "run_serve_benches",
     "write_bench_json",
 ]
@@ -591,6 +592,143 @@ def _run_serve_benches_traced(*, repeat: int) -> dict:
                 "shed": shed,
                 "shed_rate": shed / overload_total,
                 "admission": overload_stats["admission"],
+            },
+        },
+        "stages": perf["stages"],
+        "counters": perf["counters"],
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+#: Live-observer latency budget on the warm serve path (BENCH_10).
+OBSERVE_OVERHEAD_BUDGET = 0.05
+
+
+def run_observe_benches(*, repeat: int = 40, telemetry: bool = True) -> dict:
+    """Bench the warm serve path with the live observer on vs off.
+
+    Two services share one warm cache: a plain one, and one with the
+    ``--observe`` equivalents active — tracer hook installed, a
+    WebSocket client live-draining the event feed, and a JSONL session
+    recorder attached.  Warm requests alternate between them so both
+    see the same machine conditions and drift cancels out of the
+    comparison.  The snapshot records the overhead fraction against the
+    :data:`OBSERVE_OVERHEAD_BUDGET` and proves the recording replays.
+    """
+    from ..telemetry import TRACER
+
+    with TRACER.session(enabled=telemetry, sample_rate=1.0):
+        snapshot = _run_observe_benches_traced(repeat=repeat)
+        snapshot["telemetry"] = _telemetry_section()
+    return snapshot
+
+
+def _trimmed_mean(samples: list[float]) -> float:
+    """Mean of the middle 80% — robust to scheduler-noise outliers."""
+    ordered = sorted(samples)
+    drop = len(ordered) // 10
+    kept = ordered[drop: len(ordered) - drop] if drop else ordered
+    return sum(kept) / len(kept)
+
+
+def _run_observe_benches_traced(*, repeat: int) -> dict:
+    import asyncio
+    import tempfile
+    import threading
+
+    from ..observe import ObserveState, read_session, stream_events, validate_events
+    from ..runtime.cache import ResultCache
+    from ..serve.client import ServeClient
+    from ..serve.server import ServerThread, SimulationService
+    from .instrumentation import PERF
+
+    PERF.reset()
+    wall_start = time.perf_counter()
+    request = dict(SERVE_BENCH_REQUEST)
+    repeat = max(4, repeat)
+
+    def timed(client: ServeClient) -> float:
+        t0 = time.perf_counter()
+        payload = client.simulate(request)
+        elapsed = time.perf_counter() - t0
+        if not (payload["cached"] or payload["joined"]):  # pragma: no cover
+            raise AssertionError("observe bench request missed the cache")
+        return elapsed
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "cache"
+        record_path = Path(tmp) / "session.jsonl"
+        observe = ObserveState(record_path=record_path)
+        service_off = SimulationService(
+            cache=ResultCache(cache_dir), queue_depth=64
+        )
+        service_on = SimulationService(
+            cache=ResultCache(cache_dir), queue_depth=64, observe=observe
+        )
+        with ServerThread(service_off) as t_off, ServerThread(service_on) as t_on:
+            off_client = ServeClient(*t_off.address, timeout=120.0)
+            on_client = ServeClient(*t_on.address, timeout=120.0)
+            received: list[str] = []
+            attached = threading.Event()
+            host, port = t_on.address
+
+            def drain() -> None:
+                async def _run() -> None:
+                    async for event in stream_events(host, port):
+                        received.append(event["type"])
+                        attached.set()
+                asyncio.run(_run())
+
+            drainer = threading.Thread(target=drain, daemon=True)
+            drainer.start()
+            off_client.simulate(request)  # fill the shared cache + settle
+            on_client.simulate(request)
+            attached.wait(timeout=5.0)
+            off: list[float] = []
+            on: list[float] = []
+            for _ in range(repeat):
+                off.append(timed(off_client))
+                on.append(timed(on_client))
+            observe_section = service_on.stats()["observe"]
+        drainer.join(timeout=5.0)
+
+        recorded, info = read_session(record_path)
+        validate_events([event.to_dict() for event in recorded])
+
+    off_mean = _trimmed_mean(off)
+    on_mean = _trimmed_mean(on)
+    overhead = (on_mean - off_mean) / off_mean if off_mean else 0.0
+    perf = PERF.snapshot()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "observe",
+        "repeat": repeat,
+        "wall_seconds": time.perf_counter() - wall_start,
+        "benches": {
+            "observer": {
+                "label": "warm serve path, observer on vs off",
+                "request": request,
+                "requests_per_phase": repeat,
+                "off_mean_seconds": off_mean,
+                "on_mean_seconds": on_mean,
+                "off_min_seconds": min(off),
+                "on_min_seconds": min(on),
+                "overhead_fraction": overhead,
+                "overhead_budget": OBSERVE_OVERHEAD_BUDGET,
+                "within_budget": overhead <= OBSERVE_OVERHEAD_BUDGET,
+                "events_received": len(received),
+                "event_types": sorted(set(received)),
+                "broadcaster": observe_section["broadcaster"],
+                "recording": {
+                    "events": info["events"],
+                    "skipped": info["skipped"],
+                    "schema": info["schema"],
+                    "replay_valid": True,
+                },
             },
         },
         "stages": perf["stages"],
@@ -1203,8 +1341,9 @@ def write_bench_json(
     flit-level cycle-tier bench (BENCH_3-style), the end-to-end service
     bench (BENCH_4-style), the sharded-cluster fleet bench
     (BENCH_6-style), the intra-job tile fan-out bench (BENCH_7-style),
-    the incremental re-simulation bench (BENCH_8-style), or the
-    cache-amplified design-space-search bench (BENCH_9-style); returns
+    the incremental re-simulation bench (BENCH_8-style), the
+    cache-amplified design-space-search bench (BENCH_9-style), or the
+    live-observer overhead bench (BENCH_10-style); returns
     the snapshot.  With
     ``telemetry`` the benches run traced and the snapshot carries a
     ``telemetry`` section (span count, top stages by cumulative time).
@@ -1248,10 +1387,14 @@ def write_bench_json(
         snapshot = run_dse_benches(
             repeat=repeat if repeat is not None else 1, telemetry=telemetry
         )
+    elif tier == "observe":
+        snapshot = run_observe_benches(
+            repeat=repeat if repeat is not None else 40, telemetry=telemetry
+        )
     else:
         raise ValueError(
             "tier must be 'analytical', 'cycle', 'serve', 'cluster', "
-            "'fanout', 'delta', or 'dse'"
+            "'fanout', 'delta', 'dse', or 'observe'"
         )
     Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable
 
+from ..observe.events import HUB
 from ..perf import PERF
 from ..runtime.budget import BUDGET
 from ..runtime.cache import ResultCache
@@ -148,6 +149,15 @@ class JobBatcher:
         self.jobs_run += len(jobs)
         PERF.incr("serve.batch")
         PERF.incr("serve.batch_jobs", len(jobs))
+        if HUB.enabled:
+            HUB.emit(
+                "batch.flush",
+                {
+                    "jobs": len(jobs),
+                    "batches_run": self.batches_run,
+                    "keys": [key[:12] for key, _ in batch],
+                },
+            )
         self._acquire_pool()
         try:
             with TRACER.span("batch", {"jobs": len(jobs)}):

@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 __all__ = [
     "HTTPError",
     "HTTPRequest",
+    "RawResponse",
     "read_request",
+    "render_bytes",
     "render_response",
     "render_text",
     "STATUS_REASONS",
@@ -164,3 +166,27 @@ def render_text(
 ) -> bytes:
     """A plaintext response (the Prometheus ``/metrics`` exposition)."""
     return _render(status, text.encode("utf-8"), content_type, headers)
+
+
+@dataclass
+class RawResponse:
+    """A handler payload served byte-for-byte with its content type.
+
+    The dispatch convention maps dict payloads to JSON and str payloads
+    to plaintext; static assets (the observer dashboard) need neither,
+    so handlers wrap them in this instead.
+    """
+
+    body: bytes
+    content_type: str = "application/octet-stream"
+
+
+def render_bytes(
+    status: int,
+    body: bytes,
+    content_type: str,
+    *,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """A complete response around an opaque body (static assets)."""
+    return _render(status, body, content_type, headers)

@@ -36,6 +36,8 @@ from collections import deque
 from urllib.parse import parse_qs
 
 from ..dse.service import DSEManager
+from ..observe.events import HUB
+from ..observe.service import ui_asset
 from ..perf import PERF
 from ..runtime.budget import BUDGET
 from ..runtime.cache import ResultCache
@@ -47,7 +49,9 @@ from .batcher import JobBatcher
 from .http import (
     HTTPError,
     HTTPRequest,
+    RawResponse,
     read_request,
+    render_bytes,
     render_response,
     render_text,
 )
@@ -129,9 +133,14 @@ class SimulationService:
         tile_cache: ResultCache | None = None,
         dse_artifact_dir=None,
         max_dse_searches: int = 2,
+        observe=None,
     ) -> None:
         self.cache = cache
         self.tile_cache = tile_cache
+        #: Optional :class:`repro.observe.ObserveState`; when set, the
+        #: service mounts ``GET /observe`` (WebSocket) + ``/observer``
+        #: (dashboard) and publishes lifecycle events into its hub.
+        self.observe = observe
         # Async design-space searches share this replica's result cache:
         # a search warms the serving path and vice versa.  Searches run
         # on their own daemon threads with a serial evaluator so they
@@ -196,6 +205,18 @@ class SimulationService:
                 return
             if request is None:
                 return
+            # The WebSocket upgrade leaves HTTP entirely: the observe
+            # broadcaster owns the raw streams for the connection's
+            # lifetime instead of the one-reply dispatch below.
+            if (
+                self.observe is not None
+                and request.path.partition("?")[0] == "/observe"
+                and "websocket" in request.headers.get("upgrade", "").lower()
+            ):
+                await self.observe.broadcaster.handle_client(
+                    request, reader, writer
+                )
+                return
             try:
                 reply = await self.dispatch(request)
             except Exception as exc:  # noqa: BLE001 — a handler bug must
@@ -209,7 +230,14 @@ class SimulationService:
             else:
                 status, payload = reply
                 headers = {}
-            if isinstance(payload, str):
+            if isinstance(payload, RawResponse):
+                writer.write(
+                    render_bytes(
+                        status, payload.body, payload.content_type,
+                        headers=headers or None,
+                    )
+                )
+            elif isinstance(payload, str):
                 writer.write(render_text(status, payload))
             else:
                 trace_id = payload.get("trace_id")
@@ -261,7 +289,27 @@ class SimulationService:
             return self._dse_start(request)
         if path.startswith("/dse/"):
             return self._dse_poll(request, path[len("/dse/"):])
+        if path == "/observe":
+            if self.observe is None:
+                return 404, {"error": "observability is off (start with --observe)"}
+            # Reaching dispatch means handle() saw no upgrade header.
+            return 400, {"error": "GET /observe requires a websocket upgrade"}
+        if path == "/observer" or path.startswith("/observer/"):
+            if self.observe is None:
+                return 404, {"error": "observability is off (start with --observe)"}
+            return self._observer_asset(request, path)
         return 404, {"error": f"no such endpoint: {path}"}
+
+    def _observer_asset(self, request: HTTPRequest, path: str) -> tuple:
+        """Serve the static dashboard (whitelisted files only)."""
+        if request.method != "GET":
+            return 405, {"error": "observer is GET-only"}
+        name = path[len("/observer"):].lstrip("/")
+        asset = ui_asset(name)
+        if asset is None:
+            return 404, {"error": f"no such asset: {name}"}
+        body, content_type = asset
+        return 200, RawResponse(body, content_type)
 
     # -- endpoints ------------------------------------------------------
     def _healthz(self) -> dict:
@@ -309,6 +357,9 @@ class SimulationService:
             "telemetry": TRACER.snapshot(),
             "worker_budget": BUDGET.snapshot(),
             "dse": self.dse.stats(),
+            "observe": (
+                self.observe.snapshot() if self.observe is not None else None
+            ),
         }
 
     def _tile_cache_stats(self) -> dict | None:
@@ -394,7 +445,15 @@ class SimulationService:
             "http", {"method": request.method, "path": "/simulate"},
             trace_id=trace_id,
         ) as span:
-            reply = await self._simulate_admitted(request)
+            # The request id correlates the lifecycle events of one
+            # request; the trace id doubles as it when tracing is on.
+            rid = span.trace_id or f"r{self.counters['requests'] + 1}"
+            if HUB.enabled:
+                HUB.emit(
+                    "request.received",
+                    {"rid": rid, "path": "/simulate", "replica": self.replica_id},
+                )
+            reply = await self._simulate_admitted(request, rid)
             status, payload = reply[0], reply[1]
             span.set(status=status)
         self._requests_total.labels(status=str(status)).inc()
@@ -403,7 +462,7 @@ class SimulationService:
             payload.setdefault("trace_id", span.trace_id)
         return reply
 
-    async def _simulate_admitted(self, request: HTTPRequest) -> tuple:
+    async def _simulate_admitted(self, request: HTTPRequest, rid: str) -> tuple:
         self.counters["requests"] += 1
         PERF.incr("serve.request")
         with TRACER.span("admission") as adm:
@@ -411,23 +470,43 @@ class SimulationService:
             adm.set(admitted=admitted, in_flight=self.admission.in_flight)
         if not admitted:
             PERF.incr("serve.shed")
+            status = 503 if self.admission.draining else 429
+            if HUB.enabled:
+                HUB.emit(
+                    "request.shed",
+                    {
+                        "rid": rid,
+                        "status": status,
+                        "reason": "draining" if status == 503 else "queue_full",
+                    },
+                )
             # Retry-After tells the resilient client exactly how long to
             # back off instead of guessing with exponential delays.
             retry_after = {"Retry-After": f"{self.retry_after_hint:.3f}"}
-            if self.admission.draining:
+            if status == 503:
                 return 503, {"error": "service is draining"}, retry_after
             return 429, {
                 "error": "queue full, request shed",
                 "queue_depth": self.admission.max_pending,
             }, retry_after
+        if HUB.enabled:
+            HUB.emit(
+                "request.admitted",
+                {"rid": rid, "in_flight": self.admission.in_flight},
+            )
         try:
             try:
                 body = request.json()
                 job = parse_simulation_request(body)
             except (HTTPError, ProtocolError) as exc:
                 self.counters["bad_requests"] += 1
+                if HUB.enabled:
+                    HUB.emit(
+                        "request.rejected",
+                        {"rid": rid, "status": 400, "error": str(exc)},
+                    )
                 return 400, {"error": str(exc)}
-            return await self._run(job, self._effective_timeout(request))
+            return await self._run(job, self._effective_timeout(request), rid)
         finally:
             self.admission.release()
 
@@ -444,7 +523,9 @@ class SimulationService:
                 pass
         return min(budgets) if budgets else None
 
-    async def _run(self, job: SimJob, timeout: float | None) -> tuple[int, dict]:
+    async def _run(
+        self, job: SimJob, timeout: float | None, rid: str = ""
+    ) -> tuple[int, dict]:
         start = time.perf_counter()
         try:
             with PERF.timer("serve.request"), TRACER.span(
@@ -458,6 +539,11 @@ class SimulationService:
         except asyncio.TimeoutError:
             self.counters["timeouts"] += 1
             PERF.incr("serve.timeout")
+            if HUB.enabled:
+                HUB.emit(
+                    "request.timeout",
+                    {"rid": rid, "timeout_seconds": timeout, "key": job.key},
+                )
             return 504, {
                 "error": f"request exceeded its {timeout:g}s budget",
                 "key": job.key,
@@ -467,8 +553,25 @@ class SimulationService:
         if not outcome.ok:
             self.counters["errors"] += 1
             PERF.incr("serve.error")
+            if HUB.enabled:
+                HUB.emit(
+                    "request.error",
+                    {"rid": rid, "error": outcome.error, "key": outcome.key},
+                )
             return 500, {"error": outcome.error, "key": outcome.key}
         self.counters["completed"] += 1
+        if HUB.enabled:
+            HUB.emit(
+                "request.completed",
+                {
+                    "rid": rid,
+                    "status": 200,
+                    "latency_seconds": latency,
+                    "cached": outcome.cached,
+                    "joined": joined,
+                    "key": outcome.key,
+                },
+            )
         PERF.incr("serve.cache_hit" if outcome.cached else "serve.cache_miss")
         if outcome.exec_meta is not None:
             self.tile_counters["tiles_reused"] += outcome.exec_meta.get(
@@ -480,6 +583,26 @@ class SimulationService:
         return 200, encode_outcome(outcome, joined=joined, latency_seconds=latency)
 
     # -- lifecycle ------------------------------------------------------
+    def observe_startup(self) -> None:
+        """Attach the observe sinks on the serving loop (if configured)."""
+        if self.observe is not None:
+            self.observe.startup(
+                asyncio.get_running_loop(), stats_fn=self._observe_stats
+            )
+
+    async def observe_shutdown(self) -> None:
+        if self.observe is not None:
+            await self.observe.shutdown()
+
+    def _observe_stats(self) -> dict:
+        """The ``stats.tick`` payload: gauge state, not cumulative dumps."""
+        return {
+            "admission": self.admission.snapshot(),
+            "batcher": self.batcher.snapshot(),
+            "latency": self.latency.snapshot(),
+            "worker_budget": BUDGET.snapshot(),
+        }
+
     def begin_drain(self) -> None:
         self.admission.begin_drain()
 
@@ -514,6 +637,7 @@ async def serve_forever(
     smoke script, the e2e tests) can discover an ephemeral port.
     """
     server = await asyncio.start_server(service.handle, host, port)
+    service.observe_startup()
     bound_host, bound_port = server.sockets[0].getsockname()[:2]
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -532,6 +656,7 @@ async def serve_forever(
     server.close()
     await server.wait_closed()
     clean = await service.drain(timeout=drain_timeout)
+    await service.observe_shutdown()
     print(
         "repro-serve: drained, exiting"
         if clean
@@ -577,6 +702,7 @@ class ServerThread:
             server = await asyncio.start_server(
                 self.service.handle, self.host, self.port
             )
+            self.service.observe_startup()
             self.address = server.sockets[0].getsockname()[:2]
             self._started.set()
             await self._stop.wait()
@@ -584,6 +710,7 @@ class ServerThread:
             server.close()
             await server.wait_closed()
             clean = await self.service.drain(timeout=self.drain_timeout)
+            await self.service.observe_shutdown()
             return 0 if clean else 1
 
         try:

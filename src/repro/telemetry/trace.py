@@ -37,7 +37,25 @@ from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from .metrics import METRICS
+
 __all__ = ["Span", "SpanBuffer", "Tracer", "TRACER"]
+
+#: Span accounting exposed on /metrics (the buffer keeps the same
+#: numbers for /stats).  Module-level handles survive METRICS.reset()
+#: because the registry re-seeds families instead of dropping them.
+_SPANS_TOTAL = METRICS.counter(
+    "repro_spans_total",
+    help="Spans recorded into the tracer buffer (local + merged)",
+)
+_SPANS_DROPPED = METRICS.counter(
+    "repro_spans_dropped_total",
+    help="Spans evicted from the tracer ring buffer by overflow",
+)
+_SAMPLE_RATE = METRICS.gauge(
+    "repro_trace_sample_rate",
+    help="Configured head-sampling rate of the tracer",
+)
 
 #: Context variable holding the innermost active span (or ``None``).
 _CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
@@ -150,12 +168,15 @@ class SpanBuffer:
         self.total = 0  # spans ever recorded
         self.dropped = 0  # spans evicted by overflow
 
-    def add(self, span: Span) -> None:
+    def add(self, span: Span) -> bool:
+        """Append one span; ``True`` when an old span was evicted."""
         with self._lock:
-            if len(self._spans) == self.maxlen:
+            dropped = len(self._spans) == self.maxlen
+            if dropped:
                 self.dropped += 1
             self._spans.append(span)
             self.total += 1
+        return dropped
 
     def add_many(self, spans: "list[Span]") -> None:
         for span in spans:
@@ -210,6 +231,12 @@ class Tracer:
         self.sample_rate = sample_rate
         self.buffer = SpanBuffer(buffer_size)
         self._rng = rng or random.Random()
+        #: Optional callable fired with every span that lands in the
+        #: buffer (locally finished or merged from a worker) — the
+        #: bridge ``repro.observe`` uses for its push channel.  Must
+        #: never raise; exceptions are swallowed so observability can
+        #: never break the traced path.
+        self.on_span = None
 
     # -- configuration --------------------------------------------------
     def configure(
@@ -225,6 +252,7 @@ class Tracer:
             if not (0.0 <= sample_rate <= 1.0):
                 raise ValueError("sample_rate must be in [0, 1]")
             self.sample_rate = sample_rate
+            _SAMPLE_RATE.set(sample_rate)
         if buffer_size is not None and buffer_size != self.buffer.maxlen:
             self.buffer = SpanBuffer(buffer_size)
 
@@ -326,9 +354,24 @@ class Tracer:
     def _record(self, span: Span) -> None:
         collector = _COLLECTOR.get()
         if collector is not None:
+            # Diverted spans ship to the parent process and re-enter
+            # through merge(); counting or hooking them here would
+            # double-report.
             collector.append(span)
-        else:
-            self.buffer.add(span)
+            return
+        self._buffer_span(span)
+
+    def _buffer_span(self, span: Span) -> None:
+        _SPANS_TOTAL.inc()
+        if self.buffer.add(span):
+            _SPANS_DROPPED.inc()
+        hook = self.on_span
+        if hook is not None:
+            try:
+                hook(span)
+            except Exception:  # noqa: BLE001 — observers must not
+                # break the traced path
+                pass
 
     # -- cross-boundary propagation --------------------------------------
     @contextmanager
@@ -371,10 +414,11 @@ class Tracer:
         merged = 0
         for data in span_dicts:
             try:
-                self.buffer.add(Span.from_dict(data))
-                merged += 1
+                span = Span.from_dict(data)
             except (KeyError, TypeError):
                 continue  # a malformed record must not kill the sweep
+            self._buffer_span(span)
+            merged += 1
         return merged
 
 

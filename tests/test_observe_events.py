@@ -1,0 +1,239 @@
+"""Unit tests for the observe event model, hub, and tracer bridge."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observe.events import (
+    EVENT_TYPES,
+    HUB,
+    SCHEMA_VERSION,
+    Event,
+    EventHub,
+    EventSink,
+    install_tracer_hook,
+    noc_heat_enabled,
+    span_event_data,
+    validate_event,
+    validate_events,
+)
+from repro.telemetry.trace import Span
+
+
+class ListSink(EventSink):
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+class BoomSink(EventSink):
+    def emit(self, event):
+        raise RuntimeError("boom")
+
+
+class TestEvent:
+    def test_dict_roundtrip(self):
+        event = Event(seq=3, ts=12.5, type="request.received", data={"rid": "r1"})
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_to_json_is_compact_and_cached(self):
+        event = Event(seq=1, ts=1.0, type="stats.tick", data={"a": 1})
+        first = event.to_json()
+        assert ": " not in first and ", " not in first
+        assert event.to_json() is first  # cached, not re-serialized
+        assert json.loads(first) == event.to_dict()
+
+    def test_to_json_numpy_fallback(self):
+        event = Event(
+            seq=1,
+            ts=1.0,
+            type="span",
+            data={"x": np.int64(3), "arr": np.array([1.0, 2.0]), "obj": object()},
+        )
+        decoded = json.loads(event.to_json())
+        assert decoded["data"]["x"] == 3
+        assert decoded["data"]["arr"] == [1.0, 2.0]
+        assert isinstance(decoded["data"]["obj"], str)  # repr fallback
+
+
+class TestEventHub:
+    def test_emit_without_sinks_is_a_noop(self):
+        hub = EventHub()
+        assert hub.enabled is False
+        assert hub.emit("stats.tick", {}) is None
+        assert hub.events_emitted == 0
+
+    def test_attach_detach_toggles_enabled(self):
+        hub = EventHub()
+        sink = hub.attach(ListSink())
+        assert hub.enabled is True
+        hub.detach(sink)
+        assert hub.enabled is False
+
+    def test_seq_is_contiguous_and_delivery_ordered(self):
+        hub = EventHub()
+        sink = hub.attach(ListSink())
+        for i in range(5):
+            hub.emit("stats.tick", {"i": i})
+        assert [e.seq for e in sink.events] == [1, 2, 3, 4, 5]
+        assert validate_events(sink.events) == []
+
+    def test_sink_exception_is_isolated_and_counted(self):
+        hub = EventHub()
+        hub.attach(BoomSink())
+        healthy = hub.attach(ListSink())
+        event = hub.emit("stats.tick", {})
+        assert event is not None
+        assert hub.sink_errors == 1
+        assert healthy.events == [event]
+
+    def test_concurrent_emitters_keep_arrival_order(self):
+        # The recorder depends on arrival order matching seq order even
+        # when the loop thread and the batch worker emit concurrently.
+        hub = EventHub()
+        sink = hub.attach(ListSink())
+
+        def pump():
+            for _ in range(200):
+                hub.emit("stats.tick", {})
+
+        threads = [threading.Thread(target=pump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e.seq for e in sink.events]
+        assert seqs == list(range(1, 801))
+
+    def test_reset_clears_everything(self):
+        hub = EventHub()
+        hub.attach(ListSink())
+        hub.emit("stats.tick", {})
+        hub.reset()
+        assert hub.enabled is False
+        assert hub.snapshot() == {
+            "enabled": False,
+            "sinks": 0,
+            "events_emitted": 0,
+            "sink_errors": 0,
+        }
+
+
+class TestValidation:
+    def test_every_declared_type_validates_with_its_keys(self):
+        for etype, keys in EVENT_TYPES.items():
+            data = {key: 1 for key in keys}
+            record = {"seq": 1, "ts": 0.5, "type": etype, "data": data}
+            assert validate_event(record) == []
+
+    def test_missing_top_level_keys(self):
+        problems = validate_event({"type": "stats.tick"})
+        assert any("seq" in p for p in problems)
+        assert any("ts" in p for p in problems)
+
+    def test_unknown_type_and_missing_data_key(self):
+        assert validate_event(
+            {"seq": 1, "ts": 0.0, "type": "nope", "data": {}}
+        ) == ["unknown event type 'nope'"]
+        problems = validate_event(
+            {"seq": 1, "ts": 0.0, "type": "request.received", "data": {"rid": "r"}}
+        )
+        assert problems == ["request.received: missing data key 'path'"]
+
+    def test_sequence_monotonicity(self):
+        events = [
+            Event(seq=1, ts=0.0, type="stats.tick"),
+            Event(seq=1, ts=0.0, type="stats.tick"),
+        ]
+        problems = validate_events(events)
+        assert any("not after previous" in p for p in problems)
+
+
+class FakeTracer:
+    on_span = None
+
+
+class TestTracerHook:
+    def make_span(self, name="simulate", **attributes):
+        return Span(
+            name=name,
+            trace_id="t" * 8,
+            span_id="s" * 8,
+            duration=0.01,
+            attributes=attributes,
+        )
+
+    def test_span_events_flow_through_hub(self):
+        hub = EventHub()
+        sink = hub.attach(ListSink())
+        tracer = FakeTracer()
+        uninstall = install_tracer_hook(tracer, hub)
+        tracer.on_span(self.make_span(rows=np.int64(7)))
+        assert [e.type for e in sink.events] == ["span"]
+        decoded = json.loads(sink.events[0].to_json())
+        assert decoded["data"]["name"] == "simulate"
+        assert decoded["data"]["attributes"]["rows"] == 7
+        uninstall()
+        assert tracer.on_span is None
+
+    def test_noc_span_also_emits_tile_heat(self):
+        hub = EventHub()
+        sink = hub.attach(ListSink())
+        tracer = FakeTracer()
+        install_tracer_hook(tracer, hub)
+        tracer.on_span(self.make_span(name="noc", k=2, noc_heat=np.array([1, 2])))
+        assert [e.type for e in sink.events] == ["span", "noc.tile"]
+        tile = sink.events[1]
+        assert tile.data["k"] == 2
+        assert tile.data["heat"] == [1, 2]
+        assert validate_events(sink.events) == []
+
+    def test_disabled_hub_skips_emission(self):
+        hub = EventHub()
+        tracer = FakeTracer()
+        install_tracer_hook(tracer, hub)
+        tracer.on_span(self.make_span())  # no sinks attached
+        assert hub.events_emitted == 0
+
+    def test_uninstall_leaves_foreign_hook_alone(self):
+        tracer = FakeTracer()
+        uninstall = install_tracer_hook(tracer, EventHub())
+
+        def other(span):
+            pass
+
+        tracer.on_span = other
+        uninstall()
+        assert tracer.on_span is other
+
+
+class TestNocHeatFlag:
+    def test_env_flag_enables_heat(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBSERVE_NOC", raising=False)
+        HUB.reset()
+        assert noc_heat_enabled() is False
+        monkeypatch.setenv("REPRO_OBSERVE_NOC", "1")
+        assert noc_heat_enabled() is True
+
+    def test_hub_listeners_enable_heat(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBSERVE_NOC", raising=False)
+        sink = HUB.attach(ListSink())
+        try:
+            assert noc_heat_enabled() is True
+        finally:
+            HUB.detach(sink)
+
+
+def test_span_event_data_passes_attributes_through():
+    # Sanitization is deferred to Event.to_json; the projection itself
+    # must not copy or mangle attribute values on the hot path.
+    attrs = {"heat": np.array([1, 2])}
+    span = Span(name="noc", trace_id="t", span_id="s", attributes=attrs)
+    data = span_event_data(span)
+    assert data["attributes"] is attrs
+    assert data["trace_id"] == "t"
+    assert "schema" not in data

@@ -1,0 +1,169 @@
+"""Recorder and replay tests: rotation, tolerant reads, pacing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.observe.events import SCHEMA_VERSION, Event
+from repro.observe.recorder import SessionRecorder, read_session
+from repro.observe.replay import iter_session, replay_events, replay_session
+
+
+def make_events(n, *, start=1, gap=0.0):
+    return [
+        Event(seq=start + i, ts=100.0 + i * gap, type="stats.tick", data={"i": i})
+        for i in range(n)
+    ]
+
+
+class TestSessionRecorder:
+    def test_roundtrip_with_meta_header(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        recorder = SessionRecorder(path, source="unit")
+        events = make_events(5)
+        for event in events:
+            recorder.emit(event)
+        recorder.close()
+
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "session.meta"
+        assert header["data"]["schema"] == SCHEMA_VERSION
+        assert header["data"]["source"] == "unit"
+
+        read, info = read_session(path)
+        assert read == events
+        assert info == {
+            "schema": SCHEMA_VERSION,
+            "segments": 1,
+            "events": 5,
+            "skipped": 0,
+        }
+
+    def test_rotation_keeps_newest_segments_in_order(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        recorder = SessionRecorder(path, max_bytes=1024, max_segments=2)
+        events = make_events(60)  # ~80 bytes/line → several rotations
+        for event in events:
+            recorder.emit(event)
+        recorder.close()
+
+        assert recorder.rotations > 2
+        segments = recorder.segments()
+        assert segments[-1] == path
+        assert len(segments) <= 3  # 2 historical + active
+        read, info = read_session(path)
+        # Oldest segments fell off, but what's left reads back oldest
+        # first with contiguous, strictly increasing seq.
+        seqs = [e.seq for e in read]
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        assert seqs[-1] == 60
+        assert info["segments"] == len(segments)
+
+    def test_truncated_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        recorder = SessionRecorder(path)
+        for event in make_events(3):
+            recorder.emit(event)
+        recorder.close()
+        with open(path, "ab") as handle:  # a SIGKILL mid-line
+            handle.write(b'{"seq":4,"ts":103.0,"ty')
+
+        read, info = read_session(path)
+        assert [e.seq for e in read] == [1, 2, 3]
+        assert info["skipped"] == 1
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        meta = {
+            "seq": 0,
+            "ts": 0.0,
+            "type": "session.meta",
+            "data": {"schema": SCHEMA_VERSION + 1, "source": "future"},
+        }
+        path.write_text(json.dumps(meta) + "\n")
+        with pytest.raises(ValueError, match="newer than this reader"):
+            read_session(path)
+
+    def test_missing_recording_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_session(tmp_path / "absent.jsonl")
+
+    def test_garbage_lines_count_as_skipped(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        recorder = SessionRecorder(path)
+        recorder.emit(make_events(1)[0])
+        recorder.close()
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'["a","list","line"]\n')
+        read, info = read_session(path)
+        assert len(read) == 1
+        assert info["skipped"] == 2
+
+    def test_snapshot_counts(self, tmp_path):
+        recorder = SessionRecorder(tmp_path / "s.jsonl", source="unit")
+        for event in make_events(4):
+            recorder.emit(event)
+        snap = recorder.snapshot()
+        recorder.close()
+        assert snap["events_recorded"] == 4
+        assert snap["rotations"] == 0
+        assert snap["segments"] == 1
+        assert snap["bytes_written"] > 0
+
+
+class TestReplay:
+    def record(self, tmp_path, events):
+        path = tmp_path / "session.jsonl"
+        recorder = SessionRecorder(path)
+        for event in events:
+            recorder.emit(event)
+        recorder.close()
+        return path
+
+    def test_replay_preserves_events_byte_for_byte(self, tmp_path):
+        events = make_events(4, gap=0.5)
+        path = self.record(tmp_path, events)
+        assert iter_session(path) == events
+
+        received = []
+        count = asyncio.run(replay_events(events, received.append, speed=0))
+        assert count == 4
+        assert received == events
+
+    def test_pacing_honours_recorded_gaps_and_speed(self, tmp_path):
+        events = make_events(3, gap=1.0)
+        sleeps = []
+
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+
+        asyncio.run(
+            replay_events(events, lambda e: None, speed=2.0, sleep=fake_sleep)
+        )
+        assert sleeps == [0.5, 0.5]  # 1s recorded gaps at double speed
+
+    def test_long_gaps_are_capped(self):
+        events = [
+            Event(seq=1, ts=0.0, type="stats.tick"),
+            Event(seq=2, ts=3600.0, type="stats.tick"),
+        ]
+        sleeps = []
+
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+
+        asyncio.run(
+            replay_events(events, lambda e: None, speed=1.0, sleep=fake_sleep)
+        )
+        assert sleeps == [30.0]  # an overnight idle must not stall replay
+
+    def test_replay_session_reads_from_disk(self, tmp_path):
+        events = make_events(5)
+        path = self.record(tmp_path, events)
+        received = []
+        total = asyncio.run(replay_session(path, received.append, speed=0))
+        assert total == 5
+        assert received == events

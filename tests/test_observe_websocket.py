@@ -1,0 +1,255 @@
+"""Protocol tests for the hand-rolled RFC 6455 layer.
+
+Codec roundtrips (including extended lengths and masking), handshake
+validation on both sides, and the reassembler's fragmentation and
+masking rules — all the cases a hostile or merely broken peer can hit.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.observe.websocket import (
+    MAX_FRAME_BYTES,
+    OP_BINARY,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_TEXT,
+    Frame,
+    FrameAssembler,
+    WebSocketError,
+    accept_key,
+    client_handshake,
+    close_code,
+    encode_close,
+    encode_frame,
+    encode_ping,
+    encode_pong,
+    encode_text,
+    handshake_response,
+    read_frame,
+)
+from repro.serve.http import HTTPRequest
+
+
+def parse(data: bytes) -> Frame:
+    """Decode one frame from bytes through the real stream reader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(run())
+
+
+def upgrade_request(**overrides) -> HTTPRequest:
+    headers = {
+        "upgrade": "websocket",
+        "connection": "keep-alive, Upgrade",
+        "sec-websocket-key": "dGhlIHNhbXBsZSBub25jZQ==",
+        "sec-websocket-version": "13",
+    }
+    headers.update(overrides.pop("headers", {}))
+    return HTTPRequest(
+        overrides.pop("method", "GET"), "/observe", headers=headers
+    )
+
+
+class TestHandshake:
+    def test_accept_key_rfc_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_valid_upgrade_renders_101(self):
+        reply = handshake_response(upgrade_request())
+        assert reply.startswith(b"HTTP/1.1 101 Switching Protocols\r\n")
+        assert b"Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n" in reply
+        assert reply.endswith(b"\r\n\r\n")
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"method": "POST"},
+            {"headers": {"upgrade": "h2c"}},
+            {"headers": {"connection": "close"}},
+            {"headers": {"sec-websocket-key": ""}},
+            {"headers": {"sec-websocket-version": "8"}},
+        ],
+    )
+    def test_malformed_upgrades_are_refused(self, broken):
+        with pytest.raises(WebSocketError):
+            handshake_response(upgrade_request(**broken))
+
+    def test_client_handshake_against_scripted_server(self):
+        async def run():
+            async def serve(reader, writer):
+                raw = await reader.readuntil(b"\r\n\r\n")
+                lines = raw.decode("latin-1").split("\r\n")
+                headers = dict(
+                    (k.strip().lower(), v.strip())
+                    for k, _, v in (line.partition(":") for line in lines[1:])
+                    if k
+                )
+                request = HTTPRequest("GET", "/observe", headers)
+                writer.write(handshake_response(request))
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            await client_handshake(reader, writer, f"{host}:{port}")
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())  # raises WebSocketError on any mismatch
+
+    def test_client_handshake_rejects_wrong_accept(self):
+        async def run():
+            async def serve(reader, writer):
+                await reader.readuntil(b"\r\n\r\n")
+                writer.write(
+                    b"HTTP/1.1 101 Switching Protocols\r\n"
+                    b"Upgrade: websocket\r\n"
+                    b"Connection: Upgrade\r\n"
+                    b"Sec-WebSocket-Accept: bm90LXRoZS1yaWdodC1rZXk=\r\n"
+                    b"\r\n"
+                )
+                await writer.drain()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                with pytest.raises(WebSocketError, match="Accept mismatch"):
+                    await client_handshake(reader, writer, f"{host}:{port}")
+            finally:
+                writer.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536])
+    def test_length_encodings_roundtrip(self, size):
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+        frame = parse(encode_frame(OP_BINARY, payload))
+        assert frame.fin is True
+        assert frame.opcode == OP_BINARY
+        assert frame.payload == payload
+        assert frame.masked is False
+
+    def test_masked_frame_unmasks_on_read(self):
+        wire = encode_text("hello observe", mask=True)
+        frame = parse(wire)
+        assert frame.masked is True
+        assert frame.payload == b"hello observe"
+        assert b"hello observe" not in wire  # actually masked on the wire
+
+    def test_close_frame_carries_code_and_reason(self):
+        frame = parse(encode_close(1013, "slow consumer"))
+        assert frame.opcode == OP_CLOSE
+        assert close_code(frame.payload) == 1013
+        assert frame.payload[2:] == b"slow consumer"
+        assert close_code(b"") is None
+
+    def test_ping_pong_payloads(self):
+        assert parse(encode_ping(b"observe")).payload == b"observe"
+        assert parse(encode_pong(b"observe")).opcode == 0xA
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_mid_frame_eof_is_an_error(self):
+        wire = encode_text("truncated")
+        with pytest.raises(WebSocketError, match="mid-frame"):
+            parse(wire[: len(wire) - 3])
+
+    def test_reserved_bits_are_refused(self):
+        wire = bytearray(encode_text("x"))
+        wire[0] |= 0x40  # RSV1 without a negotiated extension
+        with pytest.raises(WebSocketError, match="reserved bits"):
+            parse(bytes(wire))
+
+    def test_reserved_opcode_is_refused(self):
+        with pytest.raises(WebSocketError, match="reserved opcode"):
+            parse(bytes([0x83, 0x00]))  # opcode 0x3 is unassigned
+
+    def test_oversized_frame_is_refused(self):
+        header = bytes([0x82, 127]) + struct.pack("!Q", MAX_FRAME_BYTES + 1)
+        with pytest.raises(WebSocketError, match="exceeds"):
+            parse(header)
+
+
+def make_frame(opcode, payload=b"", *, fin=True, masked=True):
+    return Frame(fin=fin, opcode=opcode, payload=payload, masked=masked)
+
+
+class TestFrameAssembler:
+    def test_fragmented_text_reassembles(self):
+        assembler = FrameAssembler(require_mask=True)
+        assert assembler.feed(make_frame(OP_TEXT, b"hel", fin=False)) is None
+        assert assembler.feed(make_frame(OP_CONT, b"lo ", fin=False)) is None
+        assert assembler.feed(make_frame(OP_CONT, b"observe")) == (
+            "text",
+            b"hello observe",
+        )
+
+    def test_control_frame_interleaves_fragments(self):
+        assembler = FrameAssembler(require_mask=True)
+        assembler.feed(make_frame(OP_TEXT, b"part", fin=False))
+        assert assembler.feed(make_frame(OP_PING, b"hb")) == ("ping", b"hb")
+        assert assembler.feed(make_frame(OP_CONT, b"ial")) == ("text", b"partial")
+
+    def test_server_side_requires_masked_frames(self):
+        assembler = FrameAssembler(require_mask=True)
+        with pytest.raises(WebSocketError, match="must be masked"):
+            assembler.feed(make_frame(OP_TEXT, b"x", masked=False))
+
+    def test_client_side_refuses_masked_frames(self):
+        assembler = FrameAssembler(require_mask=False)
+        with pytest.raises(WebSocketError, match="must not be masked"):
+            assembler.feed(make_frame(OP_TEXT, b"x", masked=True))
+
+    def test_fragmented_control_frame_is_refused(self):
+        assembler = FrameAssembler(require_mask=True)
+        with pytest.raises(WebSocketError, match="must not be fragmented"):
+            assembler.feed(make_frame(OP_PING, b"x", fin=False))
+
+    def test_oversized_control_payload_is_refused(self):
+        assembler = FrameAssembler(require_mask=True)
+        with pytest.raises(WebSocketError, match="125"):
+            assembler.feed(make_frame(OP_PING, b"x" * 126))
+
+    def test_continuation_without_start_is_refused(self):
+        assembler = FrameAssembler(require_mask=True)
+        with pytest.raises(WebSocketError, match="without a message start"):
+            assembler.feed(make_frame(OP_CONT, b"x"))
+
+    def test_new_data_frame_mid_fragment_is_refused(self):
+        assembler = FrameAssembler(require_mask=True)
+        assembler.feed(make_frame(OP_TEXT, b"open", fin=False))
+        with pytest.raises(WebSocketError, match="fragmented message is open"):
+            assembler.feed(make_frame(OP_TEXT, b"new"))
+
+    def test_invalid_utf8_text_is_refused(self):
+        assembler = FrameAssembler(require_mask=True)
+        with pytest.raises(WebSocketError, match="UTF-8"):
+            assembler.feed(make_frame(OP_TEXT, b"\xff\xfe"))
+
+    def test_message_size_cap(self):
+        assembler = FrameAssembler(require_mask=True, max_message_bytes=8)
+        assembler.feed(make_frame(OP_TEXT, b"12345", fin=False))
+        with pytest.raises(WebSocketError, match="exceeds"):
+            assembler.feed(make_frame(OP_CONT, b"6789"))
